@@ -1,0 +1,39 @@
+// Extension ablation (not in the paper): is PageRank the right centrality
+// for SVG seed scheduling? The paper argues for PageRank over degree and
+// eigenvector centrality (section IV-B); this bench runs SwarmFuzz with each
+// measure on the 5-drone / 10 m configuration and compares outcomes.
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace swarmfuzz;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv, 30);
+  bench::print_header("Ablation: SVG centrality measure (5 drones / 10 m)", options);
+
+  struct Variant {
+    const char* name;
+    fuzz::CentralityKind kind;
+  };
+  const Variant variants[] = {
+      {"PageRank", fuzz::CentralityKind::kPageRank},
+      {"Eigenvector", fuzz::CentralityKind::kEigenvector},
+      {"In-degree", fuzz::CentralityKind::kDegree},
+  };
+
+  util::TextTable table({"Centrality", "Success rate", "Avg. iterations (all)",
+                         "Avg. iterations (successful)"});
+  for (const Variant& variant : variants) {
+    fuzz::CampaignConfig config = bench::paper_campaign(options);
+    config.mission.num_drones = 5;
+    config.fuzzer.spoof_distance = 10.0;
+    config.fuzzer.seeds.centrality = variant.kind;
+    const fuzz::CampaignResult result = fuzz::run_campaign(config);
+    table.add_row({variant.name, util::format_percent(result.success_rate(), 0),
+                   util::format_double(result.avg_iterations_all()),
+                   util::format_double(result.avg_iterations_successful())});
+  }
+  std::printf("%s\n", table.render("SVG centrality ablation").c_str());
+  std::printf("Expected: PageRank matches or beats the simpler measures; the\n"
+              "gap narrows on small swarms where the SVG has few nodes.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared plumbing for the table/figure benchmark binaries.
+//
+// Every binary accepts:
+//   --missions=N   missions per configuration (env SWARMFUZZ_MISSIONS)
+//   --threads=N    worker threads             (env SWARMFUZZ_THREADS)
+//   --budget=N     search-iteration budget per mission (env SWARMFUZZ_BUDGET)
+//   --seed=N       campaign base seed         (env SWARMFUZZ_SEED)
+// The paper runs 100 missions per configuration; the defaults here are
+// smaller so the whole harness completes in minutes on one core.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "fuzz/report.h"
+#include "util/options.h"
+
+namespace swarmfuzz::bench {
+
+struct BenchOptions {
+  int missions = 40;
+  int threads = 0;   // 0 = hardware concurrency
+  int budget = 60;
+  std::uint64_t seed = 1000;
+};
+
+inline BenchOptions parse_bench_options(int argc, const char* const* argv,
+                                        int default_missions = 40) {
+  const util::Options opts = util::Options::parse(argc, argv);
+  BenchOptions bench;
+  bench.missions = opts.get_int("missions", default_missions);
+  bench.threads = opts.get_int("threads", 0);
+  bench.budget = opts.get_int("budget", 60);
+  bench.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1000));
+  return bench;
+}
+
+// Campaign configuration matching the paper's experimental setup
+// (section V-A) with the simulation resolution used throughout this repo.
+inline fuzz::CampaignConfig paper_campaign(const BenchOptions& bench) {
+  fuzz::CampaignConfig config;
+  config.num_missions = bench.missions;
+  config.base_seed = bench.seed;
+  config.num_threads = bench.threads;
+  config.fuzzer.sim.dt = 0.05;
+  config.fuzzer.sim.gps.rate_hz = 20.0;
+  config.fuzzer.mission_budget = bench.budget;
+  return config;
+}
+
+// The paper's configuration grid: {5, 10, 15} drones x {5, 10} m spoofing.
+inline fuzz::GridConfig paper_grid(const BenchOptions& bench) {
+  fuzz::GridConfig grid;
+  grid.base = paper_campaign(bench);
+  return grid;
+}
+
+inline void print_header(const char* experiment, const BenchOptions& bench) {
+  std::printf("=== SwarmFuzz reproduction: %s ===\n", experiment);
+  std::printf("missions/config=%d budget=%d base_seed=%llu (paper: 100 missions)\n\n",
+              bench.missions, bench.budget,
+              static_cast<unsigned long long>(bench.seed));
+}
+
+}  // namespace swarmfuzz::bench

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives that
+// dominate fuzzing campaigns: controller evaluation, full simulation steps,
+// whole-mission runs, SVG construction and PageRank.
+#include <benchmark/benchmark.h>
+
+#include "fuzz/seeds.h"
+#include "fuzz/svg.h"
+#include "graph/pagerank.h"
+#include "math/rng.h"
+#include "sim/simulator.h"
+#include "swarm/vasarhelyi.h"
+
+namespace {
+
+using namespace swarmfuzz;
+
+sim::MissionSpec mission_of(int drones) {
+  sim::MissionConfig config;
+  config.num_drones = drones;
+  return sim::generate_mission(config, 1005);
+}
+
+sim::WorldSnapshot snapshot_of(const sim::MissionSpec& mission) {
+  sim::WorldSnapshot snap;
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    snap.drones.push_back(
+        {i, mission.initial_positions[static_cast<size_t>(i)], {2.5, 0, 0}});
+  }
+  return snap;
+}
+
+void BM_ControllerEvaluation(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const sim::MissionSpec mission = mission_of(drones);
+  const sim::WorldSnapshot snap = snapshot_of(mission);
+  const swarm::VasarhelyiController controller;
+  for (auto _ : state) {
+    for (int i = 0; i < drones; ++i) {
+      benchmark::DoNotOptimize(controller.desired_velocity(i, snap, mission));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * drones);
+}
+BENCHMARK(BM_ControllerEvaluation)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_QuadrotorStep(benchmark::State& state) {
+  const auto vehicle = sim::make_vehicle(sim::VehicleType::kQuadrotor);
+  vehicle->reset({0, 0, 10}, {});
+  for (auto _ : state) {
+    vehicle->step({2, 0, 0}, 0.005);
+  }
+}
+BENCHMARK(BM_QuadrotorStep);
+
+void BM_PointMassStep(benchmark::State& state) {
+  const auto vehicle = sim::make_vehicle(sim::VehicleType::kPointMass);
+  vehicle->reset({0, 0, 10}, {});
+  for (auto _ : state) {
+    vehicle->step({2, 0, 0}, 0.05);
+  }
+}
+BENCHMARK(BM_PointMassStep);
+
+void BM_FullMission(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const sim::MissionSpec mission = mission_of(drones);
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  const sim::Simulator simulator(config);
+  auto system = swarm::make_vasarhelyi_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(mission, *system));
+  }
+}
+BENCHMARK(BM_FullMission)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_SvgConstruction(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const sim::MissionSpec mission = mission_of(drones);
+  const sim::WorldSnapshot snap = snapshot_of(mission);
+  auto system = swarm::make_vasarhelyi_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzz::build_svg(snap, mission, *system,
+                                             attack::SpoofDirection::kRight, 10.0));
+  }
+}
+BENCHMARK(BM_SvgConstruction)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_PageRank(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  math::Rng rng(7);
+  graph::Digraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.4)) g.add_edge(i, j, rng.uniform(0.1, 1.0));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::pagerank(g));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(5)->Arg(15)->Arg(100);
+
+void BM_SeedScheduling(benchmark::State& state) {
+  const sim::MissionSpec mission = mission_of(static_cast<int>(state.range(0)));
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  const sim::Simulator simulator(config);
+  auto system = swarm::make_vasarhelyi_system();
+  const sim::RunResult clean = simulator.run(mission, *system);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzz::schedule_seeds(clean, mission, *system, 10.0));
+  }
+}
+BENCHMARK(BM_SeedScheduling)->Arg(5)->Arg(15);
+
+void BM_MissionGeneration(benchmark::State& state) {
+  sim::MissionConfig config;
+  config.num_drones = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::generate_mission(config, ++seed));
+  }
+}
+BENCHMARK(BM_MissionGeneration)->Arg(5)->Arg(15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

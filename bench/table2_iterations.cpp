@@ -1,0 +1,38 @@
+// Reproduces Table II: average number of search iterations SwarmFuzz takes
+// to find SPVs, per configuration.
+//
+// Paper values: 6.33/9.3/12.65 (5 m) and 6.93/9.91/13.47 (10 m). Expected
+// shape: iterations grow with swarm size (more drone-pair interactions) and
+// are nearly unaffected by the spoofing distance.
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace swarmfuzz;
+  const bench::BenchOptions options = bench::parse_bench_options(argc, argv, 30);
+  bench::print_header("Table II (search iterations)", options);
+
+  const std::vector<fuzz::GridCell> grid = fuzz::run_grid(bench::paper_grid(options));
+  std::printf("%s\n", fuzz::format_iterations_table(grid).c_str());
+
+  // Also show the all-missions average (successes + abandoned searches),
+  // the runtime-overhead view used in Table III.
+  util::TextTable table({"", "5-drone", "10-drone", "15-drone"});
+  for (const double d : {5.0, 10.0}) {
+    std::vector<std::string> row{util::format_double(d, 0) + "m-spoofing"};
+    for (const int size : {5, 10, 15}) {
+      for (const fuzz::GridCell& cell : grid) {
+        if (cell.swarm_size == size && cell.spoof_distance == d) {
+          row.push_back(util::format_double(cell.result.avg_iterations_all()));
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render("Average iterations over all missions").c_str());
+
+  std::printf("Paper reference (successful missions):\n");
+  std::printf("  5m-spoofing : 6.33 / 9.30 / 12.65\n");
+  std::printf("  10m-spoofing: 6.93 / 9.91 / 13.47\n");
+  return 0;
+}

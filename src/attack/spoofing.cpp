@@ -1,0 +1,45 @@
+#include "attack/spoofing.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "math/geometry.h"
+
+namespace swarmfuzz::attack {
+
+std::string_view direction_name(SpoofDirection dir) noexcept {
+  return dir == SpoofDirection::kRight ? "right" : "left";
+}
+
+SpoofDirection opposite(SpoofDirection dir) noexcept {
+  return dir == SpoofDirection::kRight ? SpoofDirection::kLeft
+                                       : SpoofDirection::kRight;
+}
+
+std::string SpoofingPlan::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "spoof{target=%d dir=%s t_s=%.2fs dt=%.2fs d=%.1fm}", target,
+                direction_name(direction).data(), start_time, duration, distance);
+  return buf;
+}
+
+GpsSpoofer::GpsSpoofer(const SpoofingPlan& plan, const sim::MissionSpec& mission)
+    : plan_(plan) {
+  if (plan.target < 0 || plan.target >= mission.num_drones()) {
+    throw std::invalid_argument("GpsSpoofer: target out of range");
+  }
+  if (plan.distance < 0.0 || plan.duration < 0.0 || plan.start_time < 0.0) {
+    throw std::invalid_argument("GpsSpoofer: negative spoofing parameter");
+  }
+  const Vec3 left = math::lateral_left(sim::mission_axis(mission));
+  active_offset_ =
+      left * (-static_cast<double>(direction_sign(plan.direction)) * plan.distance);
+}
+
+Vec3 GpsSpoofer::offset(int drone_id, double time) const {
+  if (drone_id != plan_.target || !plan_.active_at(time)) return Vec3{};
+  return active_offset_;
+}
+
+}  // namespace swarmfuzz::attack

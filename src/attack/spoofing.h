@@ -1,0 +1,63 @@
+// GPS spoofing attack model (paper sections II and IV-A).
+//
+// The attacker performs *horizontal constant spoofing* on a single swarm
+// member: during [t_start, t_start + duration) the target's GPS reading is
+// offset by a constant distance d, laterally (perpendicular to the mission
+// axis), to the right (theta = +1) or left (theta = -1). A test-run is the
+// tuple <T-V, t_s, dt, theta>; this header defines the attack half of it.
+#pragma once
+
+#include <string>
+
+#include "math/vec3.h"
+#include "sim/gps.h"
+#include "sim/mission.h"
+
+namespace swarmfuzz::attack {
+
+using math::Vec3;
+
+// Spoofing direction: the paper encodes right as +1 and left as -1.
+enum class SpoofDirection : int {
+  kRight = +1,
+  kLeft = -1,
+};
+
+[[nodiscard]] constexpr int direction_sign(SpoofDirection dir) noexcept {
+  return static_cast<int>(dir);
+}
+[[nodiscard]] std::string_view direction_name(SpoofDirection dir) noexcept;
+[[nodiscard]] SpoofDirection opposite(SpoofDirection dir) noexcept;
+
+struct SpoofingPlan {
+  int target = 0;                 // drone id under attack
+  SpoofDirection direction = SpoofDirection::kRight;
+  double start_time = 0.0;        // t_s, s
+  double duration = 0.0;          // delta-t, s
+  double distance = 10.0;         // d, m (paper evaluates 5 m and 10 m)
+
+  [[nodiscard]] bool active_at(double t) const noexcept {
+    return t >= start_time && t < start_time + duration;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+// GpsOffsetProvider that applies one SpoofingPlan. The lateral axis is
+// derived from the mission (perpendicular to the mission axis, pointing
+// left); "right" spoofing is -lateral.
+class GpsSpoofer final : public sim::GpsOffsetProvider {
+ public:
+  GpsSpoofer(const SpoofingPlan& plan, const sim::MissionSpec& mission);
+
+  [[nodiscard]] Vec3 offset(int drone_id, double time) const override;
+
+  [[nodiscard]] const SpoofingPlan& plan() const noexcept { return plan_; }
+  // The world-frame offset applied while the attack is active.
+  [[nodiscard]] Vec3 active_offset() const noexcept { return active_offset_; }
+
+ private:
+  SpoofingPlan plan_;
+  Vec3 active_offset_;
+};
+
+}  // namespace swarmfuzz::attack

@@ -1,0 +1,248 @@
+#include "cli/commands.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "attack/spoofing.h"
+#include "defense/detector.h"
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/serialize.h"
+#include "graph/pagerank.h"
+#include "math/stats.h"
+#include "swarm/flocking_system.h"
+#include "swarm/olfati_saber.h"
+#include "swarm/reynolds.h"
+#include "swarm/vasarhelyi.h"
+#include "util/table.h"
+
+namespace swarmfuzz::cli {
+namespace {
+
+sim::MissionSpec mission_from(const util::Options& options) {
+  sim::MissionConfig config;
+  config.num_drones = options.get_int("drones", 5);
+  config.num_obstacles = options.get_int("obstacles", 1);
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1013));
+  return sim::generate_mission(config, seed);
+}
+
+sim::SimulationConfig sim_from(const util::Options& options) {
+  sim::SimulationConfig config;
+  config.dt = options.get_double("dt", 0.05);
+  config.gps.rate_hz = options.get_double("gps-rate", 20.0);
+  config.gps.noise_stddev = options.get_double("gps-noise", 0.0);
+  config.use_navigation_filter = options.get_bool("nav-filter", false);
+  return config;
+}
+
+fuzz::FuzzerKind fuzzer_kind_from(const util::Options& options) {
+  const std::string name = options.get("fuzzer", "swarmfuzz");
+  if (name == "swarmfuzz") return fuzz::FuzzerKind::kSwarmFuzz;
+  if (name == "random" || name == "r_fuzz") return fuzz::FuzzerKind::kRandom;
+  if (name == "gradient" || name == "g_fuzz") return fuzz::FuzzerKind::kGradientOnly;
+  if (name == "svg" || name == "s_fuzz") return fuzz::FuzzerKind::kSvgOnly;
+  throw std::invalid_argument("unknown --fuzzer: " + name);
+}
+
+}  // namespace
+
+std::shared_ptr<const swarm::SwarmController> make_controller(std::string_view name) {
+  if (name == "vasarhelyi" || name == "vicsek" || name.empty()) {
+    return std::make_shared<swarm::VasarhelyiController>();
+  }
+  if (name == "olfati" || name == "olfati_saber") {
+    return std::make_shared<swarm::OlfatiSaberController>();
+  }
+  if (name == "reynolds" || name == "boids") {
+    return std::make_shared<swarm::ReynoldsController>();
+  }
+  throw std::invalid_argument("unknown --controller: " + std::string{name});
+}
+
+int cmd_run(const util::Options& options) {
+  const sim::MissionSpec mission = mission_from(options);
+  auto controller = make_controller(options.get("controller", "vasarhelyi"));
+  swarm::FlockingControlSystem system(controller);
+  const sim::Simulator simulator(sim_from(options));
+  const sim::RunResult result = simulator.run(mission, system);
+
+  std::printf("controller=%s drones=%d seed=%llu\n", controller->name().data(),
+              mission.num_drones(), static_cast<unsigned long long>(mission.seed));
+  std::printf("%s in %.1f s, collisions: %s\n",
+              result.reached_destination ? "arrived" : "timed out", result.end_time,
+              result.collided ? "YES" : "none");
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    std::printf("  drone %2d VDO %.2f m\n", i, result.vdo(i));
+  }
+  return result.collided ? 1 : 0;
+}
+
+int cmd_fuzz(const util::Options& options) {
+  const sim::MissionSpec mission = mission_from(options);
+  fuzz::FuzzerConfig config;
+  config.sim = sim_from(options);
+  config.spoof_distance = options.get_double("distance", 10.0);
+  config.mission_budget = options.get_int("budget", 60);
+  auto fuzzer = fuzz::make_fuzzer(fuzzer_kind_from(options), config,
+                                  make_controller(options.get("controller", "")));
+  const fuzz::FuzzResult result = fuzzer->fuzz(mission);
+  if (options.get_bool("json", false)) {
+    std::printf("%s\n", fuzz::to_json(result).c_str());
+    return result.clean_run_failed ? 2 : 0;
+  }
+  if (result.clean_run_failed) {
+    std::printf("clean run collided; mission not fuzzable\n");
+    return 2;
+  }
+  std::printf("%s: %d iterations, %d simulations, mission VDO %.2f m\n",
+              fuzzer->name().data(), result.iterations, result.simulations,
+              result.mission_vdo);
+  if (!result.found) {
+    std::printf("no SPV found: mission resilient at %.0f m spoofing\n",
+                config.spoof_distance);
+    return 0;
+  }
+  std::printf("SPV: %s -> victim %d (clean VDO %.2f m)\n",
+              result.plan.to_string().c_str(), result.victim, result.victim_vdo);
+  return 0;
+}
+
+int cmd_campaign(const util::Options& options) {
+  fuzz::CampaignConfig config;
+  config.mission.num_drones = options.get_int("drones", 5);
+  config.fuzzer.sim = sim_from(options);
+  config.fuzzer.spoof_distance = options.get_double("distance", 10.0);
+  config.fuzzer.mission_budget = options.get_int("budget", 60);
+  config.num_missions = options.get_int("missions", 30);
+  config.base_seed = static_cast<std::uint64_t>(options.get_int("seed", 1000));
+  config.num_threads = options.get_int("threads", 0);
+  config.kind = fuzzer_kind_from(options);
+  if (options.has("controller")) {
+    const std::string name = options.get("controller", "vasarhelyi");
+    config.controller_factory = [name] { return make_controller(name); };
+  }
+
+  const fuzz::CampaignResult result = fuzz::run_campaign(config);
+  if (options.get_bool("json", false)) {
+    std::printf("%s\n", fuzz::to_json(result).c_str());
+    return 0;
+  }
+  const auto ci = math::wilson_interval(result.num_found(), result.num_fuzzable());
+  std::printf("%s, %d drones, %.0f m spoofing, %d missions:\n",
+              fuzz::fuzzer_kind_name(config.kind).data(), config.mission.num_drones,
+              config.fuzzer.spoof_distance, config.num_missions);
+  std::printf("  success rate      %.1f%%  (95%% CI %.1f%% - %.1f%%)\n",
+              result.success_rate() * 100.0, ci.low * 100.0, ci.high * 100.0);
+  std::printf("  avg iterations    %.2f (all) / %.2f (successful)\n",
+              result.avg_iterations_all(), result.avg_iterations_successful());
+  const auto vdos = result.mission_vdos();
+  std::printf("  mission VDO       median %.2f m\n", math::median(vdos));
+  return 0;
+}
+
+int cmd_svg(const util::Options& options) {
+  const sim::MissionSpec mission = mission_from(options);
+  auto controller = make_controller(options.get("controller", "vasarhelyi"));
+  swarm::FlockingControlSystem system(controller);
+  const sim::Simulator simulator(sim_from(options));
+  const sim::RunResult clean = simulator.run(mission, system);
+  if (clean.collided) {
+    std::printf("clean run collided; no SVG\n");
+    return 2;
+  }
+  const double distance = options.get_double("distance", 10.0);
+  const auto seeds = fuzz::schedule_seeds(clean, mission, system, distance);
+  util::TextTable table({"#", "target", "victim", "dir", "VDO", "influence"});
+  int index = 0;
+  for (const fuzz::Seed& s : seeds) {
+    table.add_row({std::to_string(index++), std::to_string(s.target),
+                   std::to_string(s.victim),
+                   std::string{attack::direction_name(s.direction)},
+                   util::format_double(s.vdo), util::format_double(s.influence, 3)});
+  }
+  std::printf("%s", table.render("Seedpool (fuzzing order)").c_str());
+  return 0;
+}
+
+int cmd_replay(const util::Options& options) {
+  const sim::MissionSpec mission = mission_from(options);
+  const attack::SpoofingPlan plan{
+      .target = options.get_int("target", 0),
+      .direction = options.get("direction", "right") == "left"
+                       ? attack::SpoofDirection::kLeft
+                       : attack::SpoofDirection::kRight,
+      .start_time = options.get_double("start", 30.0),
+      .duration = options.get_double("duration", 10.0),
+      .distance = options.get_double("distance", 10.0),
+  };
+  auto controller = make_controller(options.get("controller", "vasarhelyi"));
+  swarm::FlockingControlSystem system(controller);
+  const sim::Simulator simulator(sim_from(options));
+  const attack::GpsSpoofer spoofer(plan, mission);
+
+  defense::SwarmDetectionMonitor monitor(
+      mission.num_drones(),
+      defense::DetectorConfig{.threshold = options.get_double("detect-threshold", 10.0)});
+  const bool detect = options.get_bool("detect", false);
+  const sim::RunResult result =
+      simulator.run(mission, system, &spoofer, detect ? &monitor : nullptr);
+
+  std::printf("replayed %s\n", plan.to_string().c_str());
+  if (result.first_collision) {
+    const auto& event = *result.first_collision;
+    std::printf("collision: drone %d vs %s %d at t=%.1f s\n", event.drone,
+                event.kind == sim::CollisionKind::kDroneObstacle ? "obstacle" : "drone",
+                event.other, event.time);
+  } else {
+    std::printf("no collision (mission %s in %.1f s)\n",
+                result.reached_destination ? "completed" : "ended", result.end_time);
+  }
+  if (detect) {
+    const defense::DetectionReport report = monitor.report();
+    if (report.detected) {
+      std::printf("defense: spoofing DETECTED on drone %d at t=%.1f s\n",
+                  report.drone, report.time);
+    } else {
+      std::printf("defense: not detected (peak innovation %.2f m)\n",
+                  report.peak_innovation);
+    }
+  }
+  return 0;
+}
+
+int print_usage() {
+  std::printf(
+      "swarmfuzz - discovering GPS-spoofing attacks in drone swarms\n\n"
+      "usage: swarmfuzz <command> [options]\n\n"
+      "commands:\n"
+      "  run        fly one mission without attack\n"
+      "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
+      "  campaign   evaluate a configuration over many missions\n"
+      "  svg        print the Swarm Vulnerability Graph seedpool\n"
+      "  replay     execute an explicit spoofing plan (--target --direction\n"
+      "             --start --duration --distance) [--detect]\n\n"
+      "common options: --drones=N --seed=N --distance=M --controller=vasarhelyi|\n"
+      "                olfati|reynolds --dt=S --gps-rate=HZ --nav-filter\n");
+  return 64;
+}
+
+int dispatch(int argc, const char* const* argv) {
+  const util::Options options = util::Options::parse(argc, argv);
+  if (options.positional().empty()) return print_usage();
+  const std::string& command = options.positional().front();
+  try {
+    if (command == "run") return cmd_run(options);
+    if (command == "fuzz") return cmd_fuzz(options);
+    if (command == "campaign") return cmd_campaign(options);
+    if (command == "svg") return cmd_svg(options);
+    if (command == "replay") return cmd_replay(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  return print_usage();
+}
+
+}  // namespace swarmfuzz::cli

@@ -1,0 +1,38 @@
+// Subcommand implementations for the `swarmfuzz` command-line tool.
+//
+//   swarmfuzz run       - fly one mission without attack and report it
+//   swarmfuzz fuzz      - run a fuzzer (SwarmFuzz/R/G/S) on one mission
+//   swarmfuzz campaign  - run a many-mission campaign, print summary + CI
+//   swarmfuzz svg       - print the Swarm Vulnerability Graph and seedpool
+//   swarmfuzz replay    - execute an explicit spoofing plan, with optional
+//                         spoofing detection (--detect)
+//
+// Common options: --drones, --seed, --distance, --controller
+// (vasarhelyi|olfati|reynolds), --dt, --gps-rate, --nav-filter.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "swarm/controller.h"
+#include "util/options.h"
+
+namespace swarmfuzz::cli {
+
+// Builds a controller by name; throws std::invalid_argument on unknown names.
+[[nodiscard]] std::shared_ptr<const swarm::SwarmController> make_controller(
+    std::string_view name);
+
+int cmd_run(const util::Options& options);
+int cmd_fuzz(const util::Options& options);
+int cmd_campaign(const util::Options& options);
+int cmd_svg(const util::Options& options);
+int cmd_replay(const util::Options& options);
+
+// Prints usage to stdout; returns the exit code to use.
+int print_usage();
+
+// Dispatches on the first positional argument.
+int dispatch(int argc, const char* const* argv);
+
+}  // namespace swarmfuzz::cli

@@ -1,0 +1,3 @@
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return swarmfuzz::cli::dispatch(argc, argv); }

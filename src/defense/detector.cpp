@@ -1,0 +1,84 @@
+#include "defense/detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swarmfuzz::defense {
+
+InnovationDetector::InnovationDetector(const DetectorConfig& config)
+    : config_(config) {
+  if (config.threshold <= 0.0 || config.required_hits < 1) {
+    throw std::invalid_argument("InnovationDetector: invalid config");
+  }
+}
+
+void InnovationDetector::reset() {
+  has_previous_ = false;
+  consecutive_hits_ = 0;
+  alarmed_ = false;
+  alarm_time_ = 0.0;
+  peak_ = 0.0;
+}
+
+bool InnovationDetector::observe(const Vec3& gps_position, const Vec3& velocity,
+                                 double time) {
+  if (has_previous_) {
+    const double dt = time - previous_time_;
+    if (dt > 0.0) {
+      // Dead-reckoned prediction from the previous fix. The onset (and the
+      // removal) of a constant spoofing offset appears as a position jump
+      // the velocity cannot explain.
+      const Vec3 predicted = previous_position_ + previous_velocity_ * dt;
+      const double innovation = math::distance(predicted, gps_position);
+      peak_ = std::max(peak_, innovation);
+      if (innovation > config_.threshold) {
+        if (++consecutive_hits_ >= config_.required_hits && !alarmed_) {
+          alarmed_ = true;
+          alarm_time_ = time;
+        }
+      } else {
+        consecutive_hits_ = 0;
+      }
+    }
+  }
+  previous_position_ = gps_position;
+  previous_velocity_ = velocity;
+  previous_time_ = time;
+  has_previous_ = true;
+  return alarmed_;
+}
+
+SwarmDetectionMonitor::SwarmDetectionMonitor(int num_drones,
+                                             const DetectorConfig& config) {
+  if (num_drones < 1) {
+    throw std::invalid_argument("SwarmDetectionMonitor: num_drones < 1");
+  }
+  detectors_.reserve(static_cast<size_t>(num_drones));
+  for (int i = 0; i < num_drones; ++i) detectors_.emplace_back(config);
+}
+
+void SwarmDetectionMonitor::on_step(double time, const sim::WorldSnapshot& snapshot,
+                                    std::span<const sim::DroneState> /*truth*/) {
+  for (const sim::DroneObservation& obs : snapshot.drones) {
+    if (obs.id < 0 || obs.id >= static_cast<int>(detectors_.size())) continue;
+    InnovationDetector& detector = detectors_[static_cast<size_t>(obs.id)];
+    const bool was_alarmed = detector.alarmed();
+    detector.observe(obs.gps_position, obs.velocity, time);
+    if (!was_alarmed && detector.alarmed() && !first_alarm_.detected) {
+      first_alarm_.detected = true;
+      first_alarm_.drone = obs.id;
+      first_alarm_.time = detector.alarm_time();
+    }
+  }
+}
+
+DetectionReport SwarmDetectionMonitor::report() const {
+  DetectionReport report = first_alarm_;
+  for (const InnovationDetector& detector : detectors_) {
+    report.peak_innovation = std::max(report.peak_innovation,
+                                      detector.peak_innovation());
+  }
+  return report;
+}
+
+}  // namespace swarmfuzz::defense

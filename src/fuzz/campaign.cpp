@@ -1,0 +1,161 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace swarmfuzz::fuzz {
+
+double CampaignResult::success_rate() const {
+  const int fuzzable = num_fuzzable();
+  return fuzzable > 0 ? static_cast<double>(num_found()) / fuzzable : 0.0;
+}
+
+int CampaignResult::num_found() const {
+  int found = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.result.found) ++found;
+  }
+  return found;
+}
+
+int CampaignResult::num_fuzzable() const {
+  int fuzzable = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (!o.result.clean_run_failed) ++fuzzable;
+  }
+  return fuzzable;
+}
+
+double CampaignResult::avg_iterations_successful() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.result.found) {
+      sum += o.result.iterations;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double CampaignResult::avg_iterations_all() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (!o.result.clean_run_failed) {
+      sum += o.result.iterations;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::vector<double> CampaignResult::found_start_times() const {
+  std::vector<double> values;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.result.found) values.push_back(o.result.plan.start_time);
+  }
+  return values;
+}
+
+std::vector<double> CampaignResult::found_durations() const {
+  std::vector<double> values;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.result.found) values.push_back(o.result.plan.duration);
+  }
+  return values;
+}
+
+std::vector<double> CampaignResult::mission_vdos() const {
+  std::vector<double> values;
+  for (const MissionOutcome& o : outcomes) {
+    if (!o.result.clean_run_failed) values.push_back(o.result.mission_vdo);
+  }
+  return values;
+}
+
+std::vector<std::pair<double, double>> CampaignResult::cumulative_success_by_vdo()
+    const {
+  // Sort fuzzable missions by VDO; sweep, accumulating successes.
+  struct Point {
+    double vdo;
+    bool found;
+  };
+  std::vector<Point> points;
+  for (const MissionOutcome& o : outcomes) {
+    if (!o.result.clean_run_failed) {
+      points.push_back({o.result.mission_vdo, o.result.found});
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.vdo < b.vdo; });
+
+  std::vector<std::pair<double, double>> curve;
+  int found = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].found) ++found;
+    // Emit one point per distinct VDO value (last of a run of equal VDOs).
+    if (i + 1 < points.size() && points[i + 1].vdo - points[i].vdo < 1e-9) continue;
+    curve.emplace_back(points[i].vdo,
+                       static_cast<double>(found) / static_cast<double>(i + 1));
+  }
+  return curve;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  if (config.num_missions < 1) {
+    throw std::invalid_argument("run_campaign: num_missions < 1");
+  }
+  CampaignResult result;
+  result.config = config;
+  result.outcomes.resize(static_cast<size_t>(config.num_missions));
+
+  int threads = config.num_threads > 0
+                    ? config.num_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::clamp(threads, 1, config.num_missions);
+
+  std::atomic<int> next{0};
+  std::atomic<int> completed{0};
+  const auto worker = [&] {
+    // One fuzzer per worker: fuzzers are stateful but mission outcomes only
+    // depend on per-mission seeds, so sharding is deterministic.
+    auto controller =
+        config.controller_factory ? config.controller_factory() : nullptr;
+    const std::unique_ptr<Fuzzer> fuzzer =
+        make_fuzzer(config.kind, config.fuzzer, std::move(controller));
+    while (true) {
+      const int index = next.fetch_add(1);
+      if (index >= config.num_missions) break;
+      MissionOutcome& outcome = result.outcomes[static_cast<size_t>(index)];
+      for (int attempt = 0; attempt <= config.clean_failure_retries; ++attempt) {
+        // Salted re-draws keep retried missions deterministic and distinct
+        // from every base seed.
+        const std::uint64_t seed =
+            config.base_seed + static_cast<std::uint64_t>(index) +
+            static_cast<std::uint64_t>(attempt) * 0x9e3779b9ull;
+        const sim::MissionSpec mission = sim::generate_mission(config.mission, seed);
+        outcome.mission_seed = seed;
+        outcome.result = fuzzer->fuzz(mission);
+        if (!outcome.result.clean_run_failed) break;
+      }
+      const int done = completed.fetch_add(1) + 1;
+      if (config.num_missions >= 10 && done % (config.num_missions / 10) == 0) {
+        SWARMFUZZ_INFO("campaign [{}]: {}/{} missions",
+                       fuzzer_kind_name(config.kind), done, config.num_missions);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return result;
+}
+
+}  // namespace swarmfuzz::fuzz

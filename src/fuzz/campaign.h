@@ -1,0 +1,71 @@
+// Campaign runner: evaluates a fuzzer over many randomized missions for one
+// swarm configuration (paper section V-B runs 100 missions per
+// configuration), and aggregates the metrics behind every table and figure.
+//
+// Missions are embarrassingly parallel; the runner shards them over a thread
+// pool. Results are bit-for-bit deterministic in (config, base_seed)
+// regardless of thread count, because every mission derives its own streams.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "sim/mission.h"
+
+namespace swarmfuzz::fuzz {
+
+struct CampaignConfig {
+  sim::MissionConfig mission{};
+  FuzzerConfig fuzzer{};
+  FuzzerKind kind = FuzzerKind::kSwarmFuzz;
+  int num_missions = 60;
+  std::uint64_t base_seed = 1000;  // mission i uses seed base_seed + i
+  int num_threads = 0;             // 0 = hardware concurrency
+  // The paper's missions never collide without an attack (section V-A); a
+  // small fraction of our randomly generated ones do. When > 0, such
+  // missions are re-drawn (with a salted seed) up to this many times so the
+  // campaign evaluates the configured number of attack-free missions.
+  int clean_failure_retries = 5;
+  // Optional custom controller factory (per worker); null = Vasarhelyi.
+  std::function<std::shared_ptr<const swarm::SwarmController>()> controller_factory;
+};
+
+struct MissionOutcome {
+  std::uint64_t mission_seed = 0;
+  FuzzResult result;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<MissionOutcome> outcomes;
+
+  // Success rate over fuzzable missions (clean-run failures excluded, as in
+  // the paper where no mission collides without attack).
+  [[nodiscard]] double success_rate() const;
+  [[nodiscard]] int num_found() const;
+  [[nodiscard]] int num_fuzzable() const;
+
+  // Average search iterations: over successful missions only (Table II's
+  // "iterations taken to find SPVs") and over all fuzzable missions.
+  [[nodiscard]] double avg_iterations_successful() const;
+  [[nodiscard]] double avg_iterations_all() const;
+
+  // Spoofing parameters of the SPVs found (Fig. 7 series).
+  [[nodiscard]] std::vector<double> found_start_times() const;
+  [[nodiscard]] std::vector<double> found_durations() const;
+
+  // Clean-run mission VDOs, one per fuzzable mission (Fig. 6d series).
+  [[nodiscard]] std::vector<double> mission_vdos() const;
+
+  // Cumulative success rate: for each x, the success rate over missions with
+  // VDO <= x (Fig. 6a-6c). Returns (x, rate) points at each distinct VDO.
+  [[nodiscard]] std::vector<std::pair<double, double>> cumulative_success_by_vdo()
+      const;
+};
+
+// Runs the campaign. Progress (one line per 10% of missions) is logged at
+// info level.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,281 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+
+#include "swarm/vasarhelyi.h"
+#include "util/logging.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+// Shared plumbing: clean run, seed scheduling, bookkeeping.
+class FuzzerBase : public Fuzzer {
+ public:
+  FuzzerBase(FuzzerConfig config,
+             std::shared_ptr<const swarm::SwarmController> controller)
+      : config_(std::move(config)),
+        controller_(controller != nullptr
+                        ? std::move(controller)
+                        : std::make_shared<swarm::VasarhelyiController>()),
+        system_(controller_, config_.comm),
+        simulator_(config_.sim) {}
+
+  FuzzResult fuzz(const sim::MissionSpec& mission) final {
+    FuzzResult result;
+    const sim::RunResult clean = simulator_.run(mission, system_);
+    result.simulations = 1;
+    result.clean_mission_time = clean.end_time;
+    if (clean.collided) {
+      // The paper's step (1): missions that fail without any attack are not
+      // fuzzed.
+      result.clean_run_failed = true;
+      return result;
+    }
+    double mission_vdo = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < mission.num_drones(); ++i) {
+      mission_vdo = std::min(mission_vdo, clean.recorder.min_obstacle_distance(i));
+    }
+    result.mission_vdo = mission_vdo;
+
+    run_search(mission, clean, result);
+    return result;
+  }
+
+ protected:
+  // Subclass-specific search; fills result.found/plan/victim/iterations.
+  virtual void run_search(const sim::MissionSpec& mission,
+                          const sim::RunResult& clean, FuzzResult& result) = 0;
+
+  // Initial (t_s, dt) candidates for a seed, anchored on the victim's
+  // clean-run closest approach t_ca: one window ending at the encounter, one
+  // well before it (attacks that pre-deviate the trajectory), and one short
+  // late window. Multi-start matters because far from the collision basin
+  // the objective is nearly flat and gradients carry no signal.
+  [[nodiscard]] std::vector<StartPoint> initial_guesses(
+      const sim::RunResult& clean, const Seed& seed) const {
+    const double t_ca = clean.recorder.time_of_min_obstacle_distance(seed.victim);
+    const double lead = config_.lead_time;
+    const double dur = config_.initial_duration;
+    return {
+        StartPoint{std::max(t_ca - lead, 0.0), dur},
+        StartPoint{std::max(t_ca - 2.0 * lead - dur, 0.0), dur},
+        StartPoint{std::max(t_ca - lead / 2.0, 0.0), dur / 2.0},
+    };
+  }
+
+  void record_success(FuzzResult& result, const Seed& seed,
+                      const OptimizationResult& outcome,
+                      const sim::RunResult& clean) const {
+    result.found = true;
+    result.plan = attack::SpoofingPlan{
+        .target = seed.target,
+        .direction = seed.direction,
+        .start_time = outcome.t_start,
+        .duration = outcome.duration,
+        .distance = config_.spoof_distance,
+    };
+    result.victim = outcome.crashed_drone >= 0 ? outcome.crashed_drone : seed.victim;
+    result.victim_vdo = clean.recorder.min_obstacle_distance(result.victim);
+  }
+
+  FuzzerConfig config_;
+  std::shared_ptr<const swarm::SwarmController> controller_;
+  swarm::FlockingControlSystem system_;
+  sim::Simulator simulator_;
+};
+
+// Runs the gradient search over an ordered seed list (SwarmFuzz / G_Fuzz).
+class GradientSearchFuzzer : public FuzzerBase {
+ public:
+  using FuzzerBase::FuzzerBase;
+
+ protected:
+  void search_seeds(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                    std::vector<Seed> seeds, FuzzResult& result) {
+    for (const Seed& seed : seeds) {
+      const int remaining = config_.mission_budget - result.iterations;
+      if (remaining <= 0) break;
+      Objective objective(mission, simulator_, system_, seed,
+                          config_.spoof_distance, clean.end_time);
+      const std::vector<StartPoint> starts = initial_guesses(clean, seed);
+      const OptimizationResult outcome =
+          optimize(objective, starts, std::min(remaining, config_.per_seed_budget),
+                   config_.optimizer);
+      result.iterations += outcome.iterations;
+      result.simulations += objective.evaluations();
+      result.attempts.push_back(SeedAttempt{seed, outcome});
+      if (outcome.success) {
+        record_success(result, seed, outcome, clean);
+        return;
+      }
+    }
+  }
+};
+
+class SwarmFuzzer final : public GradientSearchFuzzer {
+ public:
+  using GradientSearchFuzzer::GradientSearchFuzzer;
+  [[nodiscard]] std::string_view name() const noexcept override { return "SwarmFuzz"; }
+
+ protected:
+  void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                  FuzzResult& result) override {
+    std::vector<Seed> seeds = schedule_seeds(clean, mission, system_,
+                                             config_.spoof_distance, config_.seeds);
+    SWARMFUZZ_DEBUG("SwarmFuzz: {} scheduled seeds", seeds.size());
+    search_seeds(mission, clean, std::move(seeds), result);
+  }
+};
+
+// G_Fuzz: gradient search on randomly chosen pairs/directions.
+class GradientOnlyFuzzer final : public GradientSearchFuzzer {
+ public:
+  GradientOnlyFuzzer(FuzzerConfig config,
+                     std::shared_ptr<const swarm::SwarmController> controller)
+      : GradientSearchFuzzer(std::move(config), std::move(controller)),
+        rng_(config_.rng_seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "G_Fuzz"; }
+
+ protected:
+  void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                  FuzzResult& result) override {
+    // Same seed count as SwarmFuzz would schedule, but drawn uniformly.
+    math::Rng rng = rng_.split(mission.seed);
+    std::vector<Seed> seeds;
+    const int n = mission.num_drones();
+    for (int k = 0; k < config_.seeds.max_seeds; ++k) {
+      const int target = rng.uniform_int(0, n - 1);
+      int victim = rng.uniform_int(0, n - 2);
+      if (victim >= target) ++victim;
+      seeds.push_back(Seed{
+          .target = target,
+          .victim = victim,
+          .direction = rng.bernoulli(0.5) ? attack::SpoofDirection::kRight
+                                          : attack::SpoofDirection::kLeft,
+          .vdo = clean.recorder.min_obstacle_distance(victim),
+          .influence = 0.0,
+      });
+    }
+    search_seeds(mission, clean, std::move(seeds), result);
+  }
+
+ private:
+  math::Rng rng_;
+};
+
+// Random-parameter search shared by R_Fuzz and S_Fuzz: each iteration is one
+// simulation with random (t_s, dt); only a collision stops it early.
+class RandomSearchFuzzer : public FuzzerBase {
+ public:
+  RandomSearchFuzzer(FuzzerConfig config,
+                     std::shared_ptr<const swarm::SwarmController> controller)
+      : FuzzerBase(std::move(config), std::move(controller)), rng_(config_.rng_seed) {}
+
+ protected:
+  // Draws and evaluates random parameters for `seed`; true on success.
+  bool try_random_params(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                         const Seed& seed, math::Rng& rng, FuzzResult& result) {
+    Objective objective(mission, simulator_, system_, seed, config_.spoof_distance,
+                        clean.end_time);
+    const double t_s = rng.uniform(0.0, clean.end_time);
+    const double dt = rng.uniform(0.0, clean.end_time - t_s);
+    const ObjectiveEval eval = objective.evaluate(t_s, dt);
+    ++result.iterations;
+    result.simulations += objective.evaluations();
+    if (eval.success) {
+      const OptimizationResult outcome{.success = true,
+                                       .t_start = t_s,
+                                       .duration = dt,
+                                       .best_f = eval.f,
+                                       .crashed_drone = eval.crashed_drone,
+                                       .iterations = 1};
+      result.attempts.push_back(SeedAttempt{seed, outcome});
+      record_success(result, seed, outcome, clean);
+      return true;
+    }
+    return false;
+  }
+
+  math::Rng rng_;
+};
+
+// R_Fuzz: random pair, direction and parameters every iteration.
+class RandomFuzzer final : public RandomSearchFuzzer {
+ public:
+  using RandomSearchFuzzer::RandomSearchFuzzer;
+  [[nodiscard]] std::string_view name() const noexcept override { return "R_Fuzz"; }
+
+ protected:
+  void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                  FuzzResult& result) override {
+    math::Rng rng = rng_.split(mission.seed);
+    const int n = mission.num_drones();
+    while (result.iterations < config_.mission_budget) {
+      const int target = rng.uniform_int(0, n - 1);
+      int victim = rng.uniform_int(0, n - 2);
+      if (victim >= target) ++victim;
+      const Seed seed{
+          .target = target,
+          .victim = victim,
+          .direction = rng.bernoulli(0.5) ? attack::SpoofDirection::kRight
+                                          : attack::SpoofDirection::kLeft,
+          .vdo = clean.recorder.min_obstacle_distance(victim),
+          .influence = 0.0,
+      };
+      if (try_random_params(mission, clean, seed, rng, result)) return;
+    }
+  }
+};
+
+// S_Fuzz: SVG-scheduled seeds, random parameters (round-robin over seeds).
+class SvgOnlyFuzzer final : public RandomSearchFuzzer {
+ public:
+  using RandomSearchFuzzer::RandomSearchFuzzer;
+  [[nodiscard]] std::string_view name() const noexcept override { return "S_Fuzz"; }
+
+ protected:
+  void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                  FuzzResult& result) override {
+    const std::vector<Seed> seeds = schedule_seeds(
+        clean, mission, system_, config_.spoof_distance, config_.seeds);
+    if (seeds.empty()) return;
+    math::Rng rng = rng_.split(mission.seed);
+    size_t index = 0;
+    while (result.iterations < config_.mission_budget) {
+      const Seed& seed = seeds[index % seeds.size()];
+      ++index;
+      if (try_random_params(mission, clean, seed, rng, result)) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::string_view fuzzer_kind_name(FuzzerKind kind) noexcept {
+  switch (kind) {
+    case FuzzerKind::kSwarmFuzz: return "SwarmFuzz";
+    case FuzzerKind::kRandom: return "R_Fuzz";
+    case FuzzerKind::kGradientOnly: return "G_Fuzz";
+    case FuzzerKind::kSvgOnly: return "S_Fuzz";
+  }
+  return "?";
+}
+
+std::unique_ptr<Fuzzer> make_fuzzer(
+    FuzzerKind kind, const FuzzerConfig& config,
+    std::shared_ptr<const swarm::SwarmController> controller) {
+  switch (kind) {
+    case FuzzerKind::kSwarmFuzz:
+      return std::make_unique<SwarmFuzzer>(config, std::move(controller));
+    case FuzzerKind::kRandom:
+      return std::make_unique<RandomFuzzer>(config, std::move(controller));
+    case FuzzerKind::kGradientOnly:
+      return std::make_unique<GradientOnlyFuzzer>(config, std::move(controller));
+    case FuzzerKind::kSvgOnly:
+      return std::make_unique<SvgOnlyFuzzer>(config, std::move(controller));
+  }
+  throw std::invalid_argument("make_fuzzer: unknown kind");
+}
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,82 @@
+// The fuzzers (paper sections IV and V-C).
+//
+//   SwarmFuzz : SVG/PageRank seed scheduling + gradient-guided search
+//   R_Fuzz    : random pairs, random parameters   (neither heuristic)
+//   G_Fuzz    : random pairs, gradient search     (no SVG)
+//   S_Fuzz    : SVG seed scheduling, random params (no gradient)
+//
+// All fuzzers share the same mission-level iteration budget; gradient-based
+// fuzzers additionally stop early when a seed's search stalls, which is why
+// their runtime is ~3x lower (Table III).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/optimizer.h"
+#include "fuzz/seeds.h"
+#include "math/rng.h"
+#include "sim/simulator.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::fuzz {
+
+enum class FuzzerKind {
+  kSwarmFuzz,
+  kRandom,        // R_Fuzz
+  kGradientOnly,  // G_Fuzz
+  kSvgOnly,       // S_Fuzz
+};
+
+[[nodiscard]] std::string_view fuzzer_kind_name(FuzzerKind kind) noexcept;
+
+struct FuzzerConfig {
+  double spoof_distance = 10.0;          // d, m
+  sim::SimulationConfig sim{};           // simulator settings
+  swarm::CommConfig comm{};              // communication model
+  OptimizerConfig optimizer{};           // gradient-search settings
+  SeedScheduleConfig seeds{};            // SVG scheduling settings
+  int mission_budget = 60;               // total search iterations per mission
+  int per_seed_budget = 20;              // paper: cap 20 per seed
+  std::uint64_t rng_seed = 7;            // stream for the random fuzzers
+  // Initial guess: spoofing starts `lead_time` before the victim's clean
+  // closest approach, for `initial_duration` seconds.
+  double lead_time = 15.0;
+  double initial_duration = 20.0;
+};
+
+// One fuzzed seed's outcome (for diagnostics and the ablation bench).
+struct SeedAttempt {
+  Seed seed;
+  OptimizationResult outcome;
+};
+
+struct FuzzResult {
+  bool clean_run_failed = false;  // mission collided without any attack
+  bool found = false;             // an SPV was discovered
+  attack::SpoofingPlan plan;      // the successful attack (when found)
+  int victim = -1;                // the drone that crashed (when found)
+  double victim_vdo = 0.0;        // that drone's clean-run VDO
+  int iterations = 0;             // total search iterations consumed
+  int simulations = 0;            // total mission simulations (incl. stencil)
+  double mission_vdo = 0.0;       // min over drones of clean-run VDO
+  double clean_mission_time = 0.0;
+  std::vector<SeedAttempt> attempts;
+};
+
+class Fuzzer {
+ public:
+  virtual ~Fuzzer() = default;
+  [[nodiscard]] virtual FuzzResult fuzz(const sim::MissionSpec& mission) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+// Builds a fuzzer of `kind`. The controller defaults to Vasarhelyi when
+// `controller` is null.
+[[nodiscard]] std::unique_ptr<Fuzzer> make_fuzzer(
+    FuzzerKind kind, const FuzzerConfig& config,
+    std::shared_ptr<const swarm::SwarmController> controller = nullptr);
+
+}  // namespace swarmfuzz::fuzz

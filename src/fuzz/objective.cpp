@@ -1,0 +1,72 @@
+#include "fuzz/objective.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swarmfuzz::fuzz {
+
+Objective::Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
+                     swarm::FlockingControlSystem& system, Seed seed,
+                     double spoof_distance, double t_mission)
+    : mission_(mission),
+      simulator_(simulator),
+      system_(system),
+      seed_(seed),
+      spoof_distance_(spoof_distance),
+      t_mission_(t_mission) {
+  if (seed.target < 0 || seed.target >= mission.num_drones() || seed.victim < 0 ||
+      seed.victim >= mission.num_drones() || seed.target == seed.victim) {
+    throw std::invalid_argument("Objective: invalid seed pair");
+  }
+  if (spoof_distance <= 0.0 || t_mission <= 0.0) {
+    throw std::invalid_argument("Objective: non-positive parameter");
+  }
+}
+
+void Objective::project(double& t_start, double& duration) const {
+  const double dt_min = simulator_.config().dt;
+  t_start = std::clamp(t_start, 0.0, t_mission_ - dt_min);
+  duration = std::clamp(duration, dt_min, t_mission_ - t_start);
+}
+
+ObjectiveEval Objective::evaluate(double t_start, double duration) {
+  project(t_start, duration);
+  const attack::SpoofingPlan plan{
+      .target = seed_.target,
+      .direction = seed_.direction,
+      .start_time = t_start,
+      .duration = duration,
+      .distance = spoof_distance_,
+  };
+  const attack::GpsSpoofer spoofer(plan, mission_);
+  const sim::RunResult run = simulator_.run(mission_, system_, &spoofer);
+  ++evaluations_;
+
+  ObjectiveEval eval;
+  eval.end_time = run.end_time;
+  eval.f = run.recorder.min_obstacle_distance(seed_.victim) - mission_.drone_radius;
+  if (run.first_collision) {
+    const sim::CollisionEvent& event = *run.first_collision;
+    const bool involves_target =
+        event.drone == seed_.target ||
+        (event.kind == sim::CollisionKind::kDroneDrone && event.other == seed_.target);
+    if (event.kind == sim::CollisionKind::kDroneObstacle && !involves_target) {
+      // Success per the paper's metric: a victim drone (any swarm member
+      // other than the target) crashed into the on-path obstacle.
+      eval.success = true;
+      eval.crashed_drone = event.drone;
+      if (event.drone != seed_.victim) {
+        // Another drone than the scheduled victim crashed; reflect that in f
+        // so the optimizer sees the success.
+        eval.f = std::min(
+            eval.f,
+            run.recorder.min_obstacle_distance(event.drone) - mission_.drone_radius);
+      }
+    } else {
+      eval.target_caused = involves_target;
+    }
+  }
+  return eval;
+}
+
+}  // namespace swarmfuzz::fuzz

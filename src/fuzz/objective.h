@@ -1,0 +1,66 @@
+// The fuzzing objective f(t_s, dt) - paper section IV-C.
+//
+// Given a seed <T-V, theta> and the spoofing deviation d, f(t_s, dt) is the
+// minimum distance between the victim drone and the obstacle over the
+// attacked mission, minus the drone's collision radius; a collision occurs
+// iff f <= 0. Each evaluation is one full mission simulation.
+#pragma once
+
+#include "attack/spoofing.h"
+#include "fuzz/seeds.h"
+#include "sim/simulator.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::fuzz {
+
+struct ObjectiveEval {
+  double f = 0.0;               // victim-obstacle clearance, m (<= 0: crash)
+  bool success = false;         // a victim drone hit the obstacle
+  int crashed_drone = -1;       // which drone hit the obstacle (on success)
+  bool target_caused = false;   // collision involved the target (excluded by
+                                // the paper's success metric)
+  double end_time = 0.0;
+};
+
+// Abstract objective over (t_s, dt): what the gradient search minimises.
+// Split from the simulator-backed Objective so the optimizer can be tested
+// (and reused) against synthetic landscapes.
+class ObjectiveFunction {
+ public:
+  virtual ~ObjectiveFunction() = default;
+  [[nodiscard]] virtual ObjectiveEval evaluate(double t_start, double duration) = 0;
+  // Clamps (t_s, dt) into the feasible region.
+  virtual void project(double& t_start, double& duration) const = 0;
+};
+
+// Evaluates attacked missions for a fixed seed. Not thread-safe (owns the
+// control system it mutates); create one per worker.
+class Objective final : public ObjectiveFunction {
+ public:
+  // `system` must outlive the objective. `t_mission` (timing constraint
+  // t_s + dt < t_mission) is taken from the clean run's end time.
+  Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
+            swarm::FlockingControlSystem& system, Seed seed, double spoof_distance,
+            double t_mission);
+
+  [[nodiscard]] ObjectiveEval evaluate(double t_start, double duration) override;
+
+  // Clamps (t_s, dt) into the feasible region 0 <= t_s, dt_min <= dt,
+  // t_s + dt <= t_mission.
+  void project(double& t_start, double& duration) const override;
+
+  [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+  [[nodiscard]] double t_mission() const noexcept { return t_mission_; }
+  [[nodiscard]] const Seed& seed() const noexcept { return seed_; }
+
+ private:
+  const sim::MissionSpec& mission_;
+  const sim::Simulator& simulator_;
+  swarm::FlockingControlSystem& system_;
+  Seed seed_;
+  double spoof_distance_;
+  double t_mission_;
+  int evaluations_ = 0;
+};
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,134 @@
+#include "fuzz/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "util/logging.h"
+
+namespace swarmfuzz::fuzz {
+
+OptimizationResult optimize(ObjectiveFunction& objective,
+                            std::span<const StartPoint> starts, int budget,
+                            const OptimizerConfig& config) {
+  OptimizationResult result;
+  result.best_f = std::numeric_limits<double>::infinity();
+  const int iterations = std::min(budget, config.max_iterations);
+  if (starts.empty() || iterations <= 0) return result;
+
+  // Multi-start phase: probe every candidate once; descend from the best.
+  double t_start = starts.front().t_start;
+  double duration = starts.front().duration;
+  double start_f = std::numeric_limits<double>::infinity();
+  for (const StartPoint& start : starts) {
+    if (result.iterations >= iterations) break;
+    ++result.iterations;
+    double ts = start.t_start;
+    double dur = start.duration;
+    objective.project(ts, dur);
+    const ObjectiveEval eval = objective.evaluate(ts, dur);
+    if (eval.f < result.best_f) {
+      result.best_f = eval.f;
+      result.t_start = ts;
+      result.duration = dur;
+    }
+    if (eval.success) {
+      result.success = true;
+      result.t_start = ts;
+      result.duration = dur;
+      result.crashed_drone = eval.crashed_drone;
+      return result;
+    }
+    if (eval.f < start_f) {
+      start_f = eval.f;
+      t_start = ts;
+      duration = dur;
+    }
+  }
+  objective.project(t_start, duration);
+
+  // The first descent iteration re-evaluates the chosen start; seed the
+  // stall detector with infinity so that re-evaluation never counts as a
+  // stall.
+  double previous_f = std::numeric_limits<double>::infinity();
+  int stalls = 0;
+
+  for (int iter = result.iterations; iter < iterations; ++iter) {
+    result.iterations = iter + 1;
+    const ObjectiveEval eval = objective.evaluate(t_start, duration);
+    if (eval.f < result.best_f) {
+      result.best_f = eval.f;
+      result.t_start = t_start;
+      result.duration = duration;
+    }
+    if (eval.success) {
+      result.success = true;
+      result.t_start = t_start;
+      result.duration = duration;
+      result.crashed_drone = eval.crashed_drone;
+      return result;
+    }
+
+    // Stall detection: converged to a positive minimum -> abandon the seed
+    // (the fuzzer moves on; this is what keeps SwarmFuzz's runtime ~3x below
+    // the random fuzzers in Table III).
+    if (previous_f - eval.f < config.stall_tolerance) {
+      if (++stalls >= config.stall_patience) {
+        result.stalled = true;
+        return result;
+      }
+    } else {
+      stalls = 0;
+    }
+    previous_f = eval.f;
+
+    // Central finite differences. The stencil evaluations also count toward
+    // success: if any lands on a collision we take it immediately.
+    const double h = config.fd_step;
+    const auto probe = [&](double ts, double dt) -> double {
+      const ObjectiveEval e = objective.evaluate(ts, dt);
+      if (e.success && !result.success) {
+        result.success = true;
+        result.t_start = ts;
+        result.duration = dt;
+        result.best_f = e.f;
+        result.crashed_drone = e.crashed_drone;
+      }
+      return e.f;
+    };
+    const double f_ts_plus = probe(t_start + h, duration);
+    if (result.success) return result;
+    const double f_ts_minus = probe(std::max(t_start - h, 0.0), duration);
+    if (result.success) return result;
+    const double f_dt_plus = probe(t_start, duration + h);
+    if (result.success) return result;
+    const double f_dt_minus = probe(t_start, std::max(duration - h, 0.0));
+    if (result.success) return result;
+
+    const double denom_ts = t_start + h - std::max(t_start - h, 0.0);
+    const double denom_dt = duration + h - std::max(duration - h, 0.0);
+    const double grad_ts = (f_ts_plus - f_ts_minus) / std::max(denom_ts, 1e-9);
+    const double grad_dt = (f_dt_plus - f_dt_minus) / std::max(denom_dt, 1e-9);
+
+    const double step_ts =
+        std::clamp(config.learning_rate * grad_ts, -config.max_step, config.max_step);
+    const double step_dt =
+        std::clamp(config.learning_rate * grad_dt, -config.max_step, config.max_step);
+    t_start = std::max(t_start - step_ts, 0.0);   // Eq. (1a)
+    duration = std::max(duration - step_dt, 0.0); // Eq. (1b)
+    objective.project(t_start, duration);
+
+    SWARMFUZZ_TRACE("opt iter={} f={:.3f} t_s={:.2f} dt={:.2f} grad=({:.3f},{:.3f})",
+                    iter, eval.f, t_start, duration, grad_ts, grad_dt);
+
+    // Degenerate gradient: the attack window has no effect; abandon.
+    if (std::abs(grad_ts) < 1e-6 && std::abs(grad_dt) < 1e-6) {
+      result.stalled = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace swarmfuzz::fuzz

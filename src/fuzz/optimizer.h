@@ -1,0 +1,57 @@
+// Gradient-guided search for the spoofing parameters (paper section IV-C).
+//
+// The objective f(t_s, dt) is convex in practice (Fig. 5): spoofing too
+// briefly or too long makes the victim miss the obstacle on either side.
+// Parameters are updated with the paper's Eq. (1a)/(1b):
+//   t_s <- max(t_s - lr * df/dt_s, 0)
+//   dt  <- max(dt  - lr * df/ddt, 0)
+// with partial derivatives estimated by central finite differences of full
+// mission simulations, and projection onto t_s + dt <= t_mission.
+//
+// One "search iteration" = one gradient update (the unit reported in the
+// paper's Tables II/III); each update internally costs up to five
+// simulations (f at the point plus the four stencil evaluations).
+#pragma once
+
+#include <span>
+
+#include "fuzz/objective.h"
+
+namespace swarmfuzz::fuzz {
+
+struct OptimizerConfig {
+  double learning_rate = 20.0;   // lr in Eq. (1), s^2/m
+  double fd_step = 1.0;         // finite-difference h, s
+  int max_iterations = 20;       // per-seed cap (paper: 20)
+  double max_step = 8.0;         // clamp on per-iteration parameter change, s
+  double stall_tolerance = 2e-3; // m; improvement below this counts as a stall
+  int stall_patience = 3;        // consecutive stalls before abandoning
+};
+
+struct OptimizationResult {
+  bool success = false;
+  bool stalled = false;          // abandoned early on convergence-to-positive
+  double t_start = 0.0;          // best parameters found
+  double duration = 0.0;
+  double best_f = 0.0;           // best (lowest) objective seen
+  int crashed_drone = -1;        // on success
+  int iterations = 0;            // gradient updates executed
+};
+
+// A candidate starting point for the descent.
+struct StartPoint {
+  double t_start = 0.0;
+  double duration = 0.0;
+};
+
+// Multi-start gradient descent: every start point is evaluated once (each
+// evaluation counts as one search iteration and can itself be a success);
+// the descent then proceeds from the most promising one. `budget` caps the
+// total iterations (min of config.max_iterations and the caller's remaining
+// mission budget).
+[[nodiscard]] OptimizationResult optimize(ObjectiveFunction& objective,
+                                          std::span<const StartPoint> starts,
+                                          int budget,
+                                          const OptimizerConfig& config = {});
+
+}  // namespace swarmfuzz::fuzz

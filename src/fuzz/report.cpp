@@ -1,0 +1,132 @@
+#include "fuzz/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+std::string distance_label(double metres) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%gm spoofing", metres);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<GridCell> run_grid(const GridConfig& config) {
+  std::vector<GridCell> grid;
+  for (const double distance : config.spoof_distances) {
+    for (const int size : config.swarm_sizes) {
+      CampaignConfig campaign = config.base;
+      campaign.mission.num_drones = size;
+      campaign.fuzzer.spoof_distance = distance;
+      grid.push_back(GridCell{
+          .swarm_size = size,
+          .spoof_distance = distance,
+          .result = run_campaign(campaign),
+      });
+    }
+  }
+  return grid;
+}
+
+std::string format_success_table(const std::vector<GridCell>& grid) {
+  std::vector<int> sizes;
+  std::vector<double> distances;
+  for (const GridCell& cell : grid) {
+    if (std::find(sizes.begin(), sizes.end(), cell.swarm_size) == sizes.end()) {
+      sizes.push_back(cell.swarm_size);
+    }
+    if (std::find(distances.begin(), distances.end(), cell.spoof_distance) ==
+        distances.end()) {
+      distances.push_back(cell.spoof_distance);
+    }
+  }
+
+  std::vector<std::string> header{"Swarm size"};
+  for (const int s : sizes) header.push_back(std::to_string(s) + " drones");
+  util::TextTable table(header);
+  double total = 0.0;
+  int cells = 0;
+  for (const double d : distances) {
+    std::vector<std::string> row{distance_label(d)};
+    for (const int s : sizes) {
+      for (const GridCell& cell : grid) {
+        if (cell.swarm_size == s && cell.spoof_distance == d) {
+          row.push_back(util::format_percent(cell.result.success_rate(), 0));
+          total += cell.result.success_rate();
+          ++cells;
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::string out = table.render("Table I: Success rates of SwarmFuzz in finding SPVs");
+  if (cells > 0) {
+    out += "Average success rate: " + util::format_percent(total / cells) + "\n";
+  }
+  return out;
+}
+
+std::string format_iterations_table(const std::vector<GridCell>& grid) {
+  std::vector<int> sizes;
+  std::vector<double> distances;
+  for (const GridCell& cell : grid) {
+    if (std::find(sizes.begin(), sizes.end(), cell.swarm_size) == sizes.end()) {
+      sizes.push_back(cell.swarm_size);
+    }
+    if (std::find(distances.begin(), distances.end(), cell.spoof_distance) ==
+        distances.end()) {
+      distances.push_back(cell.spoof_distance);
+    }
+  }
+
+  std::vector<std::string> header{""};
+  for (const int s : sizes) header.push_back(std::to_string(s) + "-drone");
+  util::TextTable table(header);
+  for (const double d : distances) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%gm-spoofing", d);
+    std::vector<std::string> row{label};
+    for (const int s : sizes) {
+      for (const GridCell& cell : grid) {
+        if (cell.swarm_size == s && cell.spoof_distance == d) {
+          row.push_back(util::format_double(cell.result.avg_iterations_successful()));
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render(
+      "Table II: Average number of search iterations taken by SwarmFuzz to find "
+      "SPVs");
+}
+
+std::string format_ablation_table(const std::vector<CampaignResult>& per_fuzzer) {
+  std::vector<std::string> header{"Metric"};
+  for (const CampaignResult& r : per_fuzzer) {
+    header.emplace_back(fuzzer_kind_name(r.config.kind));
+  }
+  util::TextTable table(header);
+
+  std::vector<std::string> success{"Success rate"};
+  std::vector<std::string> iterations{"Avg. iterations"};
+  for (const CampaignResult& r : per_fuzzer) {
+    success.push_back(util::format_percent(r.success_rate(), 0));
+    iterations.push_back(util::format_double(r.avg_iterations_all()));
+  }
+  table.add_row(std::move(success));
+  table.add_row(std::move(iterations));
+  return table.render("Table III: Comparison of fuzzers");
+}
+
+std::string cell_label(const GridCell& cell) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%dd-%gm", cell.swarm_size, cell.spoof_distance);
+  return buf;
+}
+
+}  // namespace swarmfuzz::fuzz

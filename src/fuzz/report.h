@@ -1,0 +1,41 @@
+// Report helpers shared by the benchmark harness: run the paper's
+// configuration grid ({5,10,15} drones x {5,10} m spoofing) and format the
+// aggregate tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+
+namespace swarmfuzz::fuzz {
+
+struct GridCell {
+  int swarm_size = 0;
+  double spoof_distance = 0.0;
+  CampaignResult result;
+};
+
+struct GridConfig {
+  std::vector<int> swarm_sizes{5, 10, 15};
+  std::vector<double> spoof_distances{5.0, 10.0};
+  CampaignConfig base{};  // mission.num_drones / fuzzer.spoof_distance overridden
+};
+
+// Runs one campaign per (size, distance) cell, in declaration order.
+[[nodiscard]] std::vector<GridCell> run_grid(const GridConfig& config);
+
+// Table I: success rates per configuration.
+[[nodiscard]] std::string format_success_table(const std::vector<GridCell>& grid);
+
+// Table II: average search iterations (over successful missions).
+[[nodiscard]] std::string format_iterations_table(const std::vector<GridCell>& grid);
+
+// Table III: fuzzer comparison for a single configuration.
+[[nodiscard]] std::string format_ablation_table(
+    const std::vector<CampaignResult>& per_fuzzer);
+
+// Short label like "5d-5m" used in Fig. 6/7 renderings.
+[[nodiscard]] std::string cell_label(const GridCell& cell);
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,124 @@
+#include "fuzz/seeds.h"
+
+#include <algorithm>
+
+#include "graph/centrality.h"
+#include "util/logging.h"
+
+namespace swarmfuzz::fuzz {
+
+std::vector<Seed> schedule_seeds(const sim::RunResult& clean,
+                                 const sim::MissionSpec& mission,
+                                 const swarm::FlockingControlSystem& system,
+                                 double spoof_distance,
+                                 const SeedScheduleConfig& config) {
+  std::vector<Seed> seeds;
+  const int n = mission.num_drones();
+  if (n < 2 || mission.obstacles.empty() || clean.recorder.num_samples() == 0) {
+    return seeds;
+  }
+
+  // States at t_clo, where inter-drone influence is strongest. The search is
+  // bounded to the pre-obstacle phase: after the obstacle is passed the
+  // converging swarm gets ever tighter, but that geometry is useless for
+  // planning an attack around the obstacle.
+  double obstacle_phase_end = 0.0;
+  for (int i = 0; i < n; ++i) {
+    obstacle_phase_end = std::max(obstacle_phase_end,
+                                  clean.recorder.time_of_min_obstacle_distance(i));
+  }
+  const double t_clo = clean.recorder.closest_time(obstacle_phase_end);
+  const int sample = clean.recorder.sample_index_at(t_clo);
+  sim::WorldSnapshot snapshot;
+  snapshot.time = t_clo;
+  const auto states = clean.recorder.sample(sample);
+  snapshot.drones.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    snapshot.drones.push_back(sim::DroneObservation{
+        .id = i,
+        .gps_position = states[static_cast<size_t>(i)].position,
+        .velocity = states[static_cast<size_t>(i)].velocity,
+    });
+  }
+
+  // Victims ordered by ascending VDO.
+  std::vector<int> victims(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) victims[static_cast<size_t>(i)] = i;
+  std::sort(victims.begin(), victims.end(), [&](int a, int b) {
+    return clean.recorder.min_obstacle_distance(a) <
+           clean.recorder.min_obstacle_distance(b);
+  });
+
+  // One SVG + PageRank pair per spoofing direction.
+  constexpr attack::SpoofDirection kDirections[] = {attack::SpoofDirection::kRight,
+                                                    attack::SpoofDirection::kLeft};
+  struct DirectionScores {
+    std::vector<double> target_rank;  // PR on SVG: influence as a target
+    std::vector<double> victim_rank;  // PR on transposed SVG: susceptibility
+    bool has_edges = false;
+  };
+  DirectionScores scores[2];
+  const auto centrality = [&config](const graph::Digraph& g) {
+    switch (config.centrality) {
+      case CentralityKind::kPageRank:
+        return graph::pagerank(g, config.pagerank).scores;
+      case CentralityKind::kEigenvector:
+        return graph::eigenvector_centrality(g);
+      case CentralityKind::kDegree:
+        // Influence flows along edge direction, so a node's score as an
+        // influence sink is its weighted in-degree.
+        return graph::in_degree_centrality(g);
+    }
+    return graph::pagerank(g, config.pagerank).scores;
+  };
+  for (int d = 0; d < 2; ++d) {
+    const graph::Digraph svg = build_svg(snapshot, mission, system, kDirections[d],
+                                         spoof_distance, config.svg);
+    scores[d].has_edges = svg.num_edges() > 0;
+    scores[d].target_rank = centrality(svg);
+    scores[d].victim_rank = centrality(svg.transposed());
+    SWARMFUZZ_DEBUG("SVG dir={} edges={}", attack::direction_name(kDirections[d]),
+                    svg.num_edges());
+  }
+
+  for (const int victim : victims) {
+    std::vector<Seed> candidates;
+    for (int d = 0; d < 2; ++d) {
+      if (!scores[d].has_edges) continue;
+      // T = argmax over potential targets of summative influence
+      // I(theta)_Tv = PR_SVG(T) + PR_SVG^T(v). The top `targets_per_victim`
+      // targets are kept: the SVG is a heuristic abstraction, and its
+      // second-best target is often the truly exploitable one.
+      std::vector<std::pair<double, int>> ranked;  // (influence, target)
+      for (int target = 0; target < n; ++target) {
+        if (target == victim) continue;
+        if (scores[d].target_rank[static_cast<size_t>(target)] <= 0.0) continue;
+        ranked.emplace_back(scores[d].target_rank[static_cast<size_t>(target)] +
+                                scores[d].victim_rank[static_cast<size_t>(victim)],
+                            target);
+      }
+      std::sort(ranked.begin(), ranked.end(), std::greater<>());
+      const int keep =
+          std::min<int>(config.targets_per_victim, static_cast<int>(ranked.size()));
+      for (int k = 0; k < keep; ++k) {
+        candidates.push_back(Seed{
+            .target = ranked[static_cast<size_t>(k)].second,
+            .victim = victim,
+            .direction = kDirections[d],
+            .vdo = clean.recorder.min_obstacle_distance(victim),
+            .influence = ranked[static_cast<size_t>(k)].first,
+        });
+      }
+    }
+    // Same victim: higher-influence candidates first.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Seed& a, const Seed& b) { return a.influence > b.influence; });
+    for (const Seed& seed : candidates) {
+      if (static_cast<int>(seeds.size()) >= config.max_seeds) return seeds;
+      seeds.push_back(seed);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace swarmfuzz::fuzz

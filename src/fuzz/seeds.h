@@ -1,0 +1,56 @@
+// Seed scheduling (paper section IV-B).
+//
+// A seed is <T-V, theta>: a target-victim drone pair plus a spoofing
+// direction. The seedpool is ordered so the most promising seeds are fuzzed
+// first:
+//   (1) victims are sorted by ascending VDO (closest to the obstacle first),
+//   (2) for each victim v and direction theta, the target is the drone T
+//       maximising the summative influence I(theta)_Tv = PR_SVG(T) +
+//       PR_SVG_transposed(v), where PR is PageRank on the direction's SVG,
+//   (3) for the same victim, directions are ordered by influence.
+#pragma once
+
+#include <vector>
+
+#include "attack/spoofing.h"
+#include "fuzz/svg.h"
+#include "graph/pagerank.h"
+#include "sim/simulator.h"
+
+namespace swarmfuzz::fuzz {
+
+struct Seed {
+  int target = -1;
+  int victim = -1;
+  attack::SpoofDirection direction = attack::SpoofDirection::kRight;
+  double vdo = 0.0;        // victim's clean-run distance to the obstacle
+  double influence = 0.0;  // summative influence I(theta)_Tv
+};
+
+// Centrality measure used to score SVG nodes. The paper motivates PageRank
+// (section IV-B); the alternatives exist to ablate that choice
+// (bench/ablation_centrality).
+enum class CentralityKind {
+  kPageRank,
+  kEigenvector,
+  kDegree,  // weighted in/out-degree
+};
+
+struct SeedScheduleConfig {
+  int max_seeds = 16;            // cap on the seedpool size
+  int targets_per_victim = 2;    // top-k targets kept per (victim, direction)
+  CentralityKind centrality = CentralityKind::kPageRank;
+  SvgConfig svg{};
+  graph::PageRankOptions pagerank{};
+};
+
+// Builds the ordered seedpool from the clean run. `clean` must be the
+// attack-free RunResult of `mission`; `system` is the control system under
+// test (used for SVG probes); `spoof_distance` is the deviation d.
+// Seeds whose direction's SVG gives the pair no influence are dropped.
+[[nodiscard]] std::vector<Seed> schedule_seeds(
+    const sim::RunResult& clean, const sim::MissionSpec& mission,
+    const swarm::FlockingControlSystem& system, double spoof_distance,
+    const SeedScheduleConfig& config = {});
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,121 @@
+#include "fuzz/serialize.h"
+
+#include "math/stats.h"
+#include "util/json.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+void write_plan(util::JsonWriter& json, const attack::SpoofingPlan& plan) {
+  json.begin_object();
+  json.key("target");
+  json.value(plan.target);
+  json.key("direction");
+  json.value(attack::direction_name(plan.direction));
+  json.key("start_time");
+  json.value(plan.start_time);
+  json.key("duration");
+  json.value(plan.duration);
+  json.key("distance");
+  json.value(plan.distance);
+  json.end_object();
+}
+
+void write_result_fields(util::JsonWriter& json, const FuzzResult& result) {
+  json.key("clean_run_failed");
+  json.value(result.clean_run_failed);
+  json.key("found");
+  json.value(result.found);
+  json.key("iterations");
+  json.value(result.iterations);
+  json.key("simulations");
+  json.value(result.simulations);
+  json.key("mission_vdo");
+  json.value(result.mission_vdo);
+  json.key("clean_mission_time");
+  json.value(result.clean_mission_time);
+  if (result.found) {
+    json.key("victim");
+    json.value(result.victim);
+    json.key("victim_vdo");
+    json.value(result.victim_vdo);
+    json.key("plan");
+    write_plan(json, result.plan);
+  }
+}
+
+}  // namespace
+
+std::string to_json(const FuzzResult& result) {
+  util::JsonWriter json;
+  json.begin_object();
+  write_result_fields(json, result);
+  json.key("attempts");
+  json.begin_array();
+  for (const SeedAttempt& attempt : result.attempts) {
+    json.begin_object();
+    json.key("target");
+    json.value(attempt.seed.target);
+    json.key("victim");
+    json.value(attempt.seed.victim);
+    json.key("direction");
+    json.value(attack::direction_name(attempt.seed.direction));
+    json.key("vdo");
+    json.value(attempt.seed.vdo);
+    json.key("influence");
+    json.value(attempt.seed.influence);
+    json.key("iterations");
+    json.value(attempt.outcome.iterations);
+    json.key("best_f");
+    json.value(attempt.outcome.best_f);
+    json.key("success");
+    json.value(attempt.outcome.success);
+    json.key("stalled");
+    json.value(attempt.outcome.stalled);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const CampaignResult& result) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("fuzzer");
+  json.value(fuzzer_kind_name(result.config.kind));
+  json.key("num_drones");
+  json.value(result.config.mission.num_drones);
+  json.key("spoof_distance");
+  json.value(result.config.fuzzer.spoof_distance);
+  json.key("num_missions");
+  json.value(static_cast<int>(result.outcomes.size()));
+
+  json.key("success_rate");
+  json.value(result.success_rate());
+  const auto ci = math::wilson_interval(result.num_found(), result.num_fuzzable());
+  json.key("success_rate_ci95");
+  json.begin_array();
+  json.value(ci.low);
+  json.value(ci.high);
+  json.end_array();
+  json.key("avg_iterations_all");
+  json.value(result.avg_iterations_all());
+  json.key("avg_iterations_successful");
+  json.value(result.avg_iterations_successful());
+
+  json.key("missions");
+  json.begin_array();
+  for (const MissionOutcome& outcome : result.outcomes) {
+    json.begin_object();
+    json.key("seed");
+    json.value(static_cast<double>(outcome.mission_seed));
+    write_result_fields(json, outcome.result);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace swarmfuzz::fuzz

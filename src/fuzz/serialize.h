@@ -1,0 +1,18 @@
+// JSON serialization of fuzzing results, for downstream tooling (plots,
+// dashboards, regression tracking). Produced by `swarmfuzz fuzz --json` and
+// `swarmfuzz campaign --json`.
+#pragma once
+
+#include <string>
+
+#include "fuzz/campaign.h"
+
+namespace swarmfuzz::fuzz {
+
+// One mission's fuzzing outcome, including every seed attempt.
+[[nodiscard]] std::string to_json(const FuzzResult& result);
+
+// A whole campaign: configuration echo, aggregates and per-mission rows.
+[[nodiscard]] std::string to_json(const CampaignResult& result);
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,62 @@
+#include "fuzz/svg.h"
+
+#include "math/geometry.h"
+
+namespace swarmfuzz::fuzz {
+
+graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
+                         const sim::MissionSpec& mission,
+                         const swarm::FlockingControlSystem& system,
+                         attack::SpoofDirection direction, double distance,
+                         const SvgConfig& config) {
+  const int n = static_cast<int>(snapshot.drones.size());
+  graph::Digraph svg(n);
+  if (mission.obstacles.empty()) return svg;
+
+  // World-frame spoofing offset for this direction (same mapping as the
+  // attack itself uses).
+  const math::Vec3 left = math::lateral_left(sim::mission_axis(mission));
+  const math::Vec3 spoof_offset =
+      left * (-static_cast<double>(attack::direction_sign(direction)) * distance);
+
+  // Baseline: what every drone would do right now, unspoofed.
+  std::vector<math::Vec3> base_velocity(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    base_velocity[static_cast<size_t>(i)] = system.probe_desired_velocity(
+        snapshot.drones[static_cast<size_t>(i)].id, snapshot, mission);
+  }
+
+  for (int j = 0; j < n; ++j) {
+    // Counterfactual: drone j's broadcast position is spoofed.
+    sim::WorldSnapshot spoofed = snapshot;
+    spoofed.drones[static_cast<size_t>(j)].gps_position += spoof_offset;
+
+    for (int i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const sim::DroneObservation& obs_i = snapshot.drones[static_cast<size_t>(i)];
+      const auto hit = mission.obstacles.nearest(obs_i.gps_position);
+      if (!hit) continue;
+
+      const math::Vec3 spoofed_velocity =
+          system.probe_desired_velocity(obs_i.id, spoofed, mission);
+      const double base_rate =
+          math::radial_speed_xy(obs_i.gps_position, mission.obstacles.at(hit->index).center,
+                                base_velocity[static_cast<size_t>(i)]);
+      const double spoofed_rate = math::radial_speed_xy(
+          obs_i.gps_position, mission.obstacles.at(hit->index).center, spoofed_velocity);
+
+      // Edge i -> j iff spoofing j makes i approach the obstacle faster.
+      if (spoofed_rate < base_rate - config.influence_threshold) {
+        const double weight = math::cos_angle_xy(
+            obs_i.gps_position, snapshot.drones[static_cast<size_t>(j)].gps_position,
+            left);
+        // A zero-weight edge carries no PageRank mass; keep a small floor so
+        // the malicious link itself is never lost from the graph.
+        svg.add_edge(i, j, std::max(weight, 1e-3));
+      }
+    }
+  }
+  return svg;
+}
+
+}  // namespace swarmfuzz::fuzz

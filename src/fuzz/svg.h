@@ -1,0 +1,42 @@
+// Swarm Vulnerability Graph (SVG) construction - paper section IV-B.
+//
+// SVG = (N, E, W): nodes are swarm members; a directed edge e_ij (i -> j)
+// exists iff drone j has *malicious influence* on drone i for the given
+// spoofing direction - i.e. spoofing j's GPS would push i closer to the
+// obstacle. The edge weight w_ij = cos(alpha) captures the local influence
+// (alpha is the angle between the drones' separation and the spoofing axis;
+// Fig. 4 of the paper).
+//
+// The graph is built at t_clo, the time of minimum average inter-drone
+// distance in the clean run, where influence between members is strongest.
+// Malicious influence is probed counterfactually: evaluate drone i's
+// controller with and without drone j's position spoofed, and compare the
+// rate at which i approaches its nearest obstacle.
+#pragma once
+
+#include "attack/spoofing.h"
+#include "graph/digraph.h"
+#include "sim/mission.h"
+#include "sim/types.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::fuzz {
+
+struct SvgConfig {
+  // Minimum decrease in radial speed toward the obstacle (m/s) for an edge;
+  // guards against numerical noise in the controller probe.
+  double influence_threshold = 1e-4;
+};
+
+// Builds the SVG for one spoofing direction.
+//  snapshot : broadcast states at t_clo from the clean run
+//  direction: the spoofing direction theta being analysed
+//  distance : the spoofing deviation d (input to SwarmFuzz)
+// The returned graph has mission.num_drones() nodes.
+[[nodiscard]] graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
+                                       const sim::MissionSpec& mission,
+                                       const swarm::FlockingControlSystem& system,
+                                       attack::SpoofDirection direction,
+                                       double distance, const SvgConfig& config = {});
+
+}  // namespace swarmfuzz::fuzz

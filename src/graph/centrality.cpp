@@ -1,0 +1,57 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+
+namespace swarmfuzz::graph {
+namespace {
+
+void normalize_l1(std::vector<double>& scores) {
+  double sum = 0.0;
+  for (const double s : scores) sum += s;
+  if (sum <= 0.0) return;
+  for (double& s : scores) s /= sum;
+}
+
+}  // namespace
+
+std::vector<double> in_degree_centrality(const Digraph& graph) {
+  std::vector<double> scores(static_cast<size_t>(graph.num_nodes()), 0.0);
+  for (const Edge& e : graph.edges()) scores[static_cast<size_t>(e.to)] += e.weight;
+  normalize_l1(scores);
+  return scores;
+}
+
+std::vector<double> out_degree_centrality(const Digraph& graph) {
+  std::vector<double> scores(static_cast<size_t>(graph.num_nodes()), 0.0);
+  for (const Edge& e : graph.edges()) scores[static_cast<size_t>(e.from)] += e.weight;
+  normalize_l1(scores);
+  return scores;
+}
+
+std::vector<double> eigenvector_centrality(const Digraph& graph,
+                                           const EigenvectorOptions& options) {
+  const int n = graph.num_nodes();
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  if (n == 0) return scores;
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> x(static_cast<size_t>(n), uniform);
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+  constexpr double kTeleport = 1e-3;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (double& v : next) v = kTeleport * uniform;
+    for (const Edge& e : graph.edges()) {
+      next[static_cast<size_t>(e.to)] += e.weight * x[static_cast<size_t>(e.from)];
+    }
+    normalize_l1(next);
+    double delta = 0.0;
+    for (int v = 0; v < n; ++v) {
+      delta += std::abs(next[static_cast<size_t>(v)] - x[static_cast<size_t>(v)]);
+    }
+    x.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return x;
+}
+
+}  // namespace swarmfuzz::graph

@@ -1,0 +1,33 @@
+// Alternative centrality measures.
+//
+// The paper motivates PageRank over degree and eigenvector centrality
+// (section IV-B); we implement all three so the choice can be ablated
+// (bench/ablation_centrality).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace swarmfuzz::graph {
+
+// Weighted in-degree centrality: sum of incoming edge weights, normalised to
+// sum to 1 across nodes (all-zero when the graph has no edges).
+[[nodiscard]] std::vector<double> in_degree_centrality(const Digraph& graph);
+
+// Weighted out-degree centrality, normalised like in_degree_centrality.
+[[nodiscard]] std::vector<double> out_degree_centrality(const Digraph& graph);
+
+struct EigenvectorOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-10;
+};
+
+// Right-eigenvector centrality of the column-stochastic-free adjacency
+// (power iteration on A^T x, i.e. influence flows along edge direction like
+// PageRank). A small uniform teleport (1e-3) guarantees convergence on
+// disconnected graphs. Scores are L1-normalised.
+[[nodiscard]] std::vector<double> eigenvector_centrality(
+    const Digraph& graph, const EigenvectorOptions& options = {});
+
+}  // namespace swarmfuzz::graph

@@ -1,0 +1,80 @@
+#include "graph/digraph.h"
+
+#include <stdexcept>
+
+namespace swarmfuzz::graph {
+
+Digraph::Digraph(int num_nodes) : num_nodes_(num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("Digraph: negative node count");
+  adjacency_.resize(static_cast<size_t>(num_nodes));
+  in_degree_.resize(static_cast<size_t>(num_nodes), 0);
+}
+
+void Digraph::check_node(int node) const {
+  if (node < 0 || node >= num_nodes_) {
+    throw std::out_of_range("Digraph: node id out of range");
+  }
+}
+
+void Digraph::add_edge(int from, int to, double weight) {
+  check_node(from);
+  check_node(to);
+  if (from == to) throw std::invalid_argument("Digraph: self-loop");
+  if (weight < 0.0) throw std::invalid_argument("Digraph: negative weight");
+  for (Edge& e : adjacency_[static_cast<size_t>(from)]) {
+    if (e.to == to) {
+      e.weight = weight;
+      for (Edge& stored : edges_) {
+        if (stored.from == from && stored.to == to) stored.weight = weight;
+      }
+      return;
+    }
+  }
+  const Edge edge{from, to, weight};
+  adjacency_[static_cast<size_t>(from)].push_back(edge);
+  ++in_degree_[static_cast<size_t>(to)];
+  edges_.push_back(edge);
+}
+
+bool Digraph::has_edge(int from, int to) const {
+  return edge_weight(from, to).has_value();
+}
+
+std::optional<double> Digraph::edge_weight(int from, int to) const {
+  check_node(from);
+  check_node(to);
+  for (const Edge& e : adjacency_[static_cast<size_t>(from)]) {
+    if (e.to == to) return e.weight;
+  }
+  return std::nullopt;
+}
+
+std::span<const Edge> Digraph::out_edges(int node) const {
+  check_node(node);
+  return adjacency_[static_cast<size_t>(node)];
+}
+
+double Digraph::out_weight(int node) const {
+  check_node(node);
+  double sum = 0.0;
+  for (const Edge& e : adjacency_[static_cast<size_t>(node)]) sum += e.weight;
+  return sum;
+}
+
+int Digraph::out_degree(int node) const {
+  check_node(node);
+  return static_cast<int>(adjacency_[static_cast<size_t>(node)].size());
+}
+
+int Digraph::in_degree(int node) const {
+  check_node(node);
+  return in_degree_[static_cast<size_t>(node)];
+}
+
+Digraph Digraph::transposed() const {
+  Digraph t(num_nodes_);
+  for (const Edge& e : edges_) t.add_edge(e.to, e.from, e.weight);
+  return t;
+}
+
+}  // namespace swarmfuzz::graph

@@ -1,0 +1,61 @@
+// Weighted directed graph used for the Swarm Vulnerability Graph (SVG).
+//
+// Nodes are dense integer ids [0, num_nodes). Edges carry a non-negative
+// weight (the paper's cos(alpha) local-influence weight). The graph is small
+// (one node per drone), so adjacency lists of structs are plenty fast.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace swarmfuzz::graph {
+
+struct Edge {
+  int from = 0;
+  int to = 0;
+  double weight = 1.0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_nodes);
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] int num_edges() const noexcept { return static_cast<int>(edges_.size()); }
+
+  // Adds a directed edge from -> to. Throws std::out_of_range on bad ids and
+  // std::invalid_argument on negative weight or self-loop; replaces the
+  // weight when the edge already exists.
+  void add_edge(int from, int to, double weight = 1.0);
+
+  [[nodiscard]] bool has_edge(int from, int to) const;
+  [[nodiscard]] std::optional<double> edge_weight(int from, int to) const;
+
+  // Outgoing edges of `node`, ordered by insertion.
+  [[nodiscard]] std::span<const Edge> out_edges(int node) const;
+
+  // Sum of outgoing edge weights of `node`.
+  [[nodiscard]] double out_weight(int node) const;
+
+  [[nodiscard]] int out_degree(int node) const;
+  [[nodiscard]] int in_degree(int node) const;
+
+  // All edges, in insertion order.
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  // Graph with every edge reversed (weights preserved). The paper uses the
+  // transposed SVG to score victim drones.
+  [[nodiscard]] Digraph transposed() const;
+
+ private:
+  void check_node(int node) const;
+
+  int num_nodes_ = 0;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<int> in_degree_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace swarmfuzz::graph

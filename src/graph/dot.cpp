@@ -1,0 +1,39 @@
+#include "graph/dot.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace swarmfuzz::graph {
+
+std::string to_dot(const Digraph& graph, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph " << options.graph_name << " {\n";
+  out << "  rankdir=LR;\n";
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    std::string label =
+        static_cast<size_t>(v) < options.node_labels.size() &&
+                !options.node_labels[static_cast<size_t>(v)].empty()
+            ? options.node_labels[static_cast<size_t>(v)]
+            : "n" + std::to_string(v);
+    if (static_cast<size_t>(v) < options.node_scores.size()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3f", options.node_scores[static_cast<size_t>(v)]);
+      label += "\\n";
+      label += buf;
+    }
+    out << "  " << v << " [label=\"" << label << "\"];\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    out << "  " << e.from << " -> " << e.to;
+    if (options.show_edge_weights) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3f", e.weight);
+      out << " [label=\"" << buf << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace swarmfuzz::graph

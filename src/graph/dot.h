@@ -1,0 +1,23 @@
+// GraphViz DOT export for visual inspection of SVGs (examples/svg_explorer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace swarmfuzz::graph {
+
+struct DotOptions {
+  std::string graph_name = "svg";
+  // Optional per-node labels; node ids are used when empty/missing.
+  std::vector<std::string> node_labels;
+  // Optional per-node score annotated into the label (e.g. PageRank).
+  std::vector<double> node_scores;
+  bool show_edge_weights = true;
+};
+
+// Renders the digraph as DOT text.
+[[nodiscard]] std::string to_dot(const Digraph& graph, const DotOptions& options = {});
+
+}  // namespace swarmfuzz::graph

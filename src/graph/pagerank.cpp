@@ -1,0 +1,53 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace swarmfuzz::graph {
+
+PageRankResult pagerank(const Digraph& graph, const PageRankOptions& options) {
+  PageRankResult result;
+  const int n = graph.num_nodes();
+  if (n == 0) return result;
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(static_cast<size_t>(n), uniform);
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+  std::vector<double> out_weight(static_cast<size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) out_weight[static_cast<size_t>(v)] = graph.out_weight(v);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (int v = 0; v < n; ++v) {
+      if (out_weight[static_cast<size_t>(v)] <= 0.0) {
+        dangling_mass += rank[static_cast<size_t>(v)];
+      }
+    }
+    const double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling_mass * uniform;
+    for (double& x : next) x = base;
+    for (int v = 0; v < n; ++v) {
+      const double ow = out_weight[static_cast<size_t>(v)];
+      if (ow <= 0.0) continue;
+      const double share = options.damping * rank[static_cast<size_t>(v)] / ow;
+      for (const Edge& e : graph.out_edges(v)) {
+        next[static_cast<size_t>(e.to)] += share * e.weight;
+      }
+    }
+
+    double delta = 0.0;
+    for (int v = 0; v < n; ++v) {
+      delta += std::abs(next[static_cast<size_t>(v)] - rank[static_cast<size_t>(v)]);
+    }
+    rank.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(rank);
+  return result;
+}
+
+}  // namespace swarmfuzz::graph

@@ -1,0 +1,33 @@
+// Weighted PageRank via the power method (paper section IV-B).
+//
+// The paper picks PageRank to score a drone's malicious influence in the SVG
+// because (1) the power method is cheap, (2) influence grows with the number
+// of maliciously-influenced neighbours, and (3) influence discounts
+// hard-to-influence or distant neighbours.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace swarmfuzz::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;        // classic damping factor
+  int max_iterations = 200;     // power-method cap
+  double tolerance = 1e-10;     // L1 convergence threshold
+};
+
+struct PageRankResult {
+  std::vector<double> scores;   // one per node, sums to 1
+  int iterations = 0;           // power-method iterations executed
+  bool converged = false;
+};
+
+// Computes weighted PageRank. A node's rank flows along its out-edges in
+// proportion to edge weight; dangling nodes (no out-edges) distribute their
+// rank uniformly. Empty graphs return an empty score vector.
+[[nodiscard]] PageRankResult pagerank(const Digraph& graph,
+                                      const PageRankOptions& options = {});
+
+}  // namespace swarmfuzz::graph

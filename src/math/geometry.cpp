@@ -1,0 +1,56 @@
+#include "math/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swarmfuzz::math {
+
+double distance_to_cylinder(const Vec3& point, const Vec3& center, double radius) {
+  return distance_xy(point, center) - radius;
+}
+
+Vec3 closest_point_on_cylinder(const Vec3& point, const Vec3& center, double radius) {
+  Vec3 radial = (point - center).horizontal();
+  if (radial.norm_sq() < 1e-18) radial = {1.0, 0.0, 0.0};
+  const Vec3 dir = radial.normalized();
+  return Vec3{center.x, center.y, point.z} + dir * radius;
+}
+
+Vec3 cylinder_outward_normal(const Vec3& point, const Vec3& center) {
+  Vec3 radial = (point - center).horizontal();
+  if (radial.norm_sq() < 1e-18) radial = {1.0, 0.0, 0.0};
+  return radial.normalized();
+}
+
+Vec3 lateral_left(const Vec3& heading) {
+  const Vec3 h = heading.horizontal();
+  if (h.norm_sq() < 1e-18) return {};
+  const Vec3 left{-h.y, h.x, 0.0};
+  return left.normalized();
+}
+
+double cos_angle_xy(const Vec3& a, const Vec3& b, const Vec3& axis) {
+  const Vec3 diff = (a - b).horizontal();
+  const Vec3 ax = axis.horizontal();
+  const double denom = diff.norm() * ax.norm();
+  if (denom < 1e-12) return 0.0;
+  return std::abs(diff.dot(ax)) / denom;
+}
+
+double segment_point_distance_xy(const Vec3& a, const Vec3& b, const Vec3& p) {
+  const Vec3 ab = (b - a).horizontal();
+  const Vec3 ap = (p - a).horizontal();
+  const double len_sq = ab.norm_sq();
+  if (len_sq < 1e-18) return ap.norm();
+  const double t = std::clamp(ap.dot(ab) / len_sq, 0.0, 1.0);
+  return (ap - ab * t).norm();
+}
+
+double radial_speed_xy(const Vec3& x, const Vec3& c, const Vec3& v) {
+  const Vec3 radial = (x - c).horizontal();
+  const double dist = radial.norm();
+  if (dist < 1e-12) return 0.0;
+  return radial.dot(v.horizontal()) / dist;
+}
+
+}  // namespace swarmfuzz::math

@@ -1,0 +1,44 @@
+// Planar geometry helpers shared by obstacle handling, collision detection
+// and SVG weight computation. All distances are horizontal (XY plane):
+// obstacles are vertical cylinders, and both the attack and the controller's
+// obstacle avoidance act horizontally.
+#pragma once
+
+#include "math/vec3.h"
+
+namespace swarmfuzz::math {
+
+// Signed distance from `point` to the surface of the vertical cylinder of
+// radius `radius` centred at `center` (negative = inside).
+[[nodiscard]] double distance_to_cylinder(const Vec3& point, const Vec3& center,
+                                          double radius);
+
+// Closest point on the cylinder surface to `point`, at the height of `point`.
+// When `point` is at the axis the +x direction is chosen deterministically.
+[[nodiscard]] Vec3 closest_point_on_cylinder(const Vec3& point, const Vec3& center,
+                                             double radius);
+
+// Unit outward normal of the cylinder at the closest point to `point`.
+[[nodiscard]] Vec3 cylinder_outward_normal(const Vec3& point, const Vec3& center);
+
+// Left-hand lateral unit vector for a horizontal heading: rotate `heading`'s
+// XY projection by +90 degrees. Returns zero for a vertical heading.
+// "Right" in the paper's spoofing-direction sense is -lateral_left.
+[[nodiscard]] Vec3 lateral_left(const Vec3& heading);
+
+// Cosine of the angle between (a - b) and `axis`, using XY projections; this
+// is the SVG weight cos(alpha) from the paper (Fig. 4). Returns 0 when either
+// projection is degenerate. Result is the absolute cosine, in [0, 1].
+[[nodiscard]] double cos_angle_xy(const Vec3& a, const Vec3& b, const Vec3& axis);
+
+// Minimum XY distance between the segment [a, b] and point `p`.
+// Used to conservatively check sweep collisions between timesteps.
+[[nodiscard]] double segment_point_distance_xy(const Vec3& a, const Vec3& b,
+                                               const Vec3& p);
+
+// Rate of change of |x - c|_xy for a point moving with velocity v:
+// d/dt |x - c| = ((x - c) . v)_xy / |x - c|_xy. Returns 0 at the centre.
+// Negative = approaching. Used by the SVG malicious-influence probe.
+[[nodiscard]] double radial_speed_xy(const Vec3& x, const Vec3& c, const Vec3& v);
+
+}  // namespace swarmfuzz::math

@@ -1,0 +1,84 @@
+#include "math/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace swarmfuzz::math {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+// splitmix64: used only for seeding / stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t salt) const {
+  // Mix the full current state with the salt through splitmix64 so different
+  // salts give decorrelated streams even for adjacent integers.
+  std::uint64_t sm = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                     rotl(state_[3], 47) ^ (salt * 0x9e3779b97f4a7c15ull + 1);
+  std::array<std::uint64_t, 4> child;
+  for (auto& word : child) word = splitmix64(sm);
+  return Rng{child};
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is < 2^-50 for any span we use; acceptable for simulation.
+  return lo + static_cast<int>(next() % span);
+}
+
+double Rng::normal() {
+  // Box-Muller; uniform() can return 0, so nudge away from log(0).
+  const double u1 = std::max(uniform(), 0x1.0p-60);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Vec3 Rng::uniform_in_box(const Vec3& lo, const Vec3& hi) {
+  return {uniform(lo.x, hi.x), uniform(lo.y, hi.y), uniform(lo.z, hi.z)};
+}
+
+Vec3 Rng::unit_vector_xy() {
+  const double angle = uniform(0.0, 2.0 * std::numbers::pi);
+  return {std::cos(angle), std::sin(angle), 0.0};
+}
+
+}  // namespace swarmfuzz::math

@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// Fuzzing campaigns must be exactly reproducible from a single seed: every
+// mission, fuzzer and noise source derives its own stream via split(), so
+// adding a consumer never perturbs the draws seen by existing consumers.
+//
+// Engine: xoshiro256++ seeded through splitmix64 (public-domain algorithms by
+// Blackman & Vigna), implemented here to avoid depending on unspecified
+// std::mt19937 distribution behaviour across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "math/vec3.h"
+
+namespace swarmfuzz::math {
+
+class Rng {
+ public:
+  // Streams seeded with the same value are identical.
+  explicit Rng(std::uint64_t seed = 0x5eedu);
+
+  // Satisfies std::uniform_random_bit_generator.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  // Raw 64 uniform bits.
+  std::uint64_t next();
+
+  // Derives an independent stream; deterministic in (parent state, salt).
+  // Does not advance this generator, so split() calls are order-insensitive.
+  [[nodiscard]] Rng split(std::uint64_t salt) const;
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int uniform_int(int lo, int hi);
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal();
+  double normal(double mean, double stddev);
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Uniform point in an axis-aligned box [lo, hi] per component.
+  Vec3 uniform_in_box(const Vec3& lo, const Vec3& hi);
+  // Uniform unit vector in the XY plane (z = 0).
+  Vec3 unit_vector_xy();
+
+ private:
+  explicit Rng(const std::array<std::uint64_t, 4>& state) : state_(state) {}
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace swarmfuzz::math

@@ -1,0 +1,125 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace swarmfuzz::math {
+namespace {
+
+std::vector<double> sorted_copy(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - m) * (v - m);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double q) {
+  const std::vector<double> sorted = sorted_copy(values);
+  return percentile_sorted(sorted, q);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+BoxStats box_stats(std::span<const double> values) {
+  BoxStats stats;
+  stats.count = static_cast<int>(values.size());
+  if (values.empty()) return stats;
+  const std::vector<double> sorted = sorted_copy(values);
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  stats.q1 = percentile_sorted(sorted, 25.0);
+  stats.median = percentile_sorted(sorted, 50.0);
+  stats.q3 = percentile_sorted(sorted, 75.0);
+  stats.mean = mean(values);
+  return stats;
+}
+
+double ecdf(std::span<const double> values, double x) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  int count = 0;
+  for (const double v : values) {
+    if (v <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+std::vector<std::pair<double, double>> ecdf_curve(std::span<const double> values,
+                                                  int num_points) {
+  std::vector<std::pair<double, double>> curve;
+  if (values.empty() || num_points <= 0) return curve;
+  const double lo = min_value(values);
+  const double hi = max_value(values);
+  curve.reserve(static_cast<size_t>(num_points));
+  for (int i = 0; i < num_points; ++i) {
+    const double x = num_points == 1
+        ? hi
+        : lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(num_points - 1);
+    curve.emplace_back(x, ecdf(values, x));
+  }
+  return curve;
+}
+
+std::vector<int> histogram(std::span<const double> values, double lo, double hi,
+                           int bins) {
+  std::vector<int> counts(static_cast<size_t>(std::max(bins, 1)), 0);
+  if (values.empty() || bins <= 0 || hi <= lo) return counts;
+  const double width = (hi - lo) / bins;
+  for (const double v : values) {
+    int bin = static_cast<int>((v - lo) / width);
+    bin = std::clamp(bin, 0, bins - 1);
+    ++counts[static_cast<size_t>(bin)];
+  }
+  return counts;
+}
+
+ProportionInterval wilson_interval(int successes, int trials, double z) {
+  if (trials <= 0) return {};
+  const double n = trials;
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+}  // namespace swarmfuzz::math

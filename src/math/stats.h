@@ -1,0 +1,62 @@
+// Descriptive statistics used by the evaluation harness (Tables I-III,
+// Figs. 6-7): means, percentiles, empirical CDFs and box-plot summaries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace swarmfuzz::math {
+
+// All functions taking std::span<const double> accept unsorted data.
+
+[[nodiscard]] double mean(std::span<const double> values);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+// Linear-interpolated percentile, q in [0, 100]. Empty input returns NaN.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+[[nodiscard]] double median(std::span<const double> values);
+
+// Five-number box-plot summary (matches the whisker convention of Fig. 7:
+// min / q1 / median / q3 / max).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  int count = 0;
+};
+[[nodiscard]] BoxStats box_stats(std::span<const double> values);
+
+// Empirical CDF evaluated at x: fraction of samples <= x.
+[[nodiscard]] double ecdf(std::span<const double> values, double x);
+
+// Samples the ECDF at `num_points` evenly spaced x values covering
+// [min, max] of the data; returns (x, F(x)) pairs. Used for Fig. 6d.
+[[nodiscard]] std::vector<std::pair<double, double>> ecdf_curve(
+    std::span<const double> values, int num_points);
+
+// Histogram with equal-width bins over [lo, hi]; values outside are clamped
+// into the boundary bins. Returns per-bin counts.
+[[nodiscard]] std::vector<int> histogram(std::span<const double> values,
+                                         double lo, double hi, int bins);
+
+// Wilson score interval for a binomial proportion (successes/trials) at the
+// given z (1.96 = 95%). Success rates in the paper's tables come from 100
+// missions; the interval quantifies how much of any difference to the paper
+// is sampling noise. Returns {0, 1} when trials == 0.
+struct ProportionInterval {
+  double low = 0.0;
+  double high = 1.0;
+};
+[[nodiscard]] ProportionInterval wilson_interval(int successes, int trials,
+                                                 double z = 1.96);
+
+}  // namespace swarmfuzz::math

@@ -1,0 +1,47 @@
+#include "sim/collision.h"
+
+#include <stdexcept>
+
+#include "math/geometry.h"
+
+namespace swarmfuzz::sim {
+
+CollisionMonitor::CollisionMonitor(double drone_radius) : drone_radius_(drone_radius) {
+  if (drone_radius <= 0.0) {
+    throw std::invalid_argument("CollisionMonitor: drone_radius <= 0");
+  }
+}
+
+std::optional<CollisionEvent> CollisionMonitor::check(
+    std::span<const DroneState> states, std::span<const Vec3> prev_positions,
+    const ObstacleField& obstacles, double time) const {
+  const int n = static_cast<int>(states.size());
+  const bool swept = prev_positions.size() == states.size();
+
+  for (int i = 0; i < n; ++i) {
+    const Vec3& pos = states[static_cast<size_t>(i)].position;
+    for (int k = 0; k < obstacles.size(); ++k) {
+      const CylinderObstacle& o = obstacles.at(k);
+      const double dist =
+          swept ? math::segment_point_distance_xy(prev_positions[static_cast<size_t>(i)],
+                                                  pos, o.center)
+                : math::distance_xy(pos, o.center);
+      if (dist <= o.radius + drone_radius_) {
+        return CollisionEvent{CollisionKind::kDroneObstacle, time, i, k};
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dist = math::distance(states[static_cast<size_t>(i)].position,
+                                         states[static_cast<size_t>(j)].position);
+      if (dist <= 2.0 * drone_radius_) {
+        return CollisionEvent{CollisionKind::kDroneDrone, time, i, j};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace swarmfuzz::sim

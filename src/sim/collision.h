@@ -1,0 +1,46 @@
+// Collision detection between drones and obstacles / other drones.
+//
+// Obstacle checks sweep the segment travelled during a step so fast drones
+// cannot tunnel through a thin cylinder between samples. Drone-drone checks
+// use instantaneous distance (relative speeds are low in a flock).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/mission.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::sim {
+
+enum class CollisionKind {
+  kDroneObstacle,
+  kDroneDrone,
+};
+
+struct CollisionEvent {
+  CollisionKind kind = CollisionKind::kDroneObstacle;
+  double time = 0.0;
+  int drone = -1;   // the drone that collided
+  int other = -1;   // obstacle index, or the other drone's id
+};
+
+class CollisionMonitor {
+ public:
+  explicit CollisionMonitor(double drone_radius);
+
+  // Checks all drones against obstacles (swept from prev_positions) and each
+  // other; returns the first collision found, if any. `prev_positions` may
+  // be empty on the first step (point checks only).
+  [[nodiscard]] std::optional<CollisionEvent> check(
+      std::span<const DroneState> states, std::span<const Vec3> prev_positions,
+      const ObstacleField& obstacles, double time) const;
+
+  [[nodiscard]] double drone_radius() const noexcept { return drone_radius_; }
+
+ private:
+  double drone_radius_;
+};
+
+}  // namespace swarmfuzz::sim

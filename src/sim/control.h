@@ -1,0 +1,30 @@
+// Control-system boundary between the simulator and the swarm algorithms.
+//
+// The interface lives in sim/ (not swarm/) so the simulator does not depend
+// on concrete flocking implementations; swarm/ provides FlockingControlSystem
+// on top of this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/mission.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::sim {
+
+// Computes one desired velocity per drone from the shared broadcast picture.
+// Implementations may keep state (e.g. a communication model with packet
+// drops); reset() is called once per mission before the first compute().
+class ControlSystem {
+ public:
+  virtual ~ControlSystem() = default;
+
+  virtual void reset(const MissionSpec& mission, std::uint64_t seed) = 0;
+
+  // `desired` has exactly snapshot.drones.size() entries, filled in id order.
+  virtual void compute(const WorldSnapshot& snapshot, const MissionSpec& mission,
+                       std::span<Vec3> desired) = 0;
+};
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,25 @@
+// Implementation note: the factory lives in its own TU so headers stay
+// lightweight; it is compiled into swarmfuzz_sim via point_mass.cpp /
+// quadrotor.cpp siblings.
+#include "sim/dynamics.h"
+
+#include <stdexcept>
+
+#include "sim/point_mass.h"
+#include "sim/quadrotor.h"
+
+namespace swarmfuzz::sim {
+
+std::unique_ptr<VehicleModel> make_vehicle(VehicleType type,
+                                           const PointMassParams& point_mass,
+                                           const QuadrotorParams& quadrotor) {
+  switch (type) {
+    case VehicleType::kPointMass:
+      return std::make_unique<PointMassModel>(point_mass);
+    case VehicleType::kQuadrotor:
+      return std::make_unique<QuadrotorModel>(quadrotor);
+  }
+  throw std::invalid_argument("make_vehicle: unknown vehicle type");
+}
+
+}  // namespace swarmfuzz::sim

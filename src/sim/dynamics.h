@@ -1,0 +1,68 @@
+// Vehicle dynamics interface.
+//
+// The swarm controller outputs a desired velocity; a vehicle model tracks it.
+// Two models are provided, mirroring SwarmLab:
+//  - PointMassModel: first-order velocity tracking with acceleration limits
+//    (fast; default for fuzzing campaigns),
+//  - QuadrotorModel: 12-state rigid body with a cascaded PID flight
+//    controller (the paper's setup: 0.296 kg quadcopter with PID control).
+#pragma once
+
+#include <memory>
+
+#include "math/vec3.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::sim {
+
+class VehicleModel {
+ public:
+  virtual ~VehicleModel() = default;
+
+  // Re-initialises the vehicle at rest-or-moving initial conditions.
+  virtual void reset(const Vec3& position, const Vec3& velocity) = 0;
+
+  // Advances the vehicle by dt seconds while tracking `desired_velocity`.
+  virtual void step(const Vec3& desired_velocity, double dt) = 0;
+
+  [[nodiscard]] virtual DroneState state() const = 0;
+};
+
+enum class VehicleType {
+  kPointMass,
+  kQuadrotor,
+};
+
+struct PointMassParams {
+  double max_acceleration = 5.0;  // m/s^2
+  double max_speed = 8.0;         // m/s, hard clamp on tracked velocity
+  double time_constant = 0.3;     // s, first-order velocity response
+};
+
+struct QuadrotorParams {
+  double mass = 0.296;            // kg, SwarmLab default quadcopter
+  double arm_length = 0.08;       // m
+  double inertia_xx = 1.4e-4;     // kg m^2 (small quad, diagonal inertia)
+  double inertia_yy = 1.4e-4;
+  double inertia_zz = 2.2e-4;
+  double gravity = 9.81;
+  double max_tilt = 0.6;          // rad, attitude command saturation
+  double max_thrust_factor = 2.0; // max thrust = factor * hover thrust
+  double max_speed = 8.0;         // m/s velocity-command clamp
+  double drag_coefficient = 0.08; // kg/s, linear aerodynamic drag
+  // Cascaded loop gains (velocity -> attitude -> rate). Bandwidths are
+  // separated by ~5x per stage (velocity ~1.5, attitude ~8, rate ~50 rad/s)
+  // so the cascade is stable at the 5 ms internal substep.
+  double vel_kp = 1.6;
+  double vel_ki = 0.3;
+  double att_kp = 8.0;    // rad/s commanded per rad of attitude error
+  double rate_kp = 50.0;  // rad/s^2 per rad/s of rate error
+  double rate_kd = 5.0;   // rad/s^2 per rad/s of body rate (damping)
+};
+
+// Factory: builds a model of the requested type with the given parameters.
+[[nodiscard]] std::unique_ptr<VehicleModel> make_vehicle(
+    VehicleType type, const PointMassParams& point_mass = {},
+    const QuadrotorParams& quadrotor = {});
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,60 @@
+// GPS receiver model and the spoofing hook.
+//
+// The receiver produces fixes at a fixed sampling rate (SwarmLab default:
+// 100 Hz) with optional zero-mean Gaussian noise; between samples the last
+// fix is held, like a real receiver feeding a faster control loop.
+//
+// Spoofing is injected exactly the way the paper does it in software
+// (section V-A): the reported reading becomes GPS + offset at the GPS
+// sampling rate, where the offset is supplied by a GpsOffsetProvider
+// (implemented in src/attack).
+#pragma once
+
+#include "math/rng.h"
+#include "math/vec3.h"
+
+namespace swarmfuzz::sim {
+
+using math::Vec3;
+
+// Supplies the spoofing offset added to a drone's true position at time t.
+// The null provider (no attack) is represented by a nullptr.
+class GpsOffsetProvider {
+ public:
+  virtual ~GpsOffsetProvider() = default;
+  [[nodiscard]] virtual Vec3 offset(int drone_id, double time) const = 0;
+};
+
+struct GpsConfig {
+  double rate_hz = 100.0;      // fix rate; SwarmLab default
+  double noise_stddev = 0.0;   // per-axis Gaussian noise on each fix, metres
+};
+
+// One receiver instance per drone. Not thread-safe (one drone = one owner).
+class GpsSensor {
+ public:
+  GpsSensor(const GpsConfig& config, math::Rng rng);
+
+  // Re-arms the receiver at mission start with an immediate first fix.
+  void reset();
+
+  // Returns the reading at time `t` for a drone truly at `true_position`,
+  // with `spoof_offset` added to any fix taken while the offset is active.
+  // Produces a new fix whenever at least one sampling period elapsed since
+  // the previous fix; otherwise returns the held fix.
+  Vec3 read(const Vec3& true_position, const Vec3& spoof_offset, double t);
+
+  [[nodiscard]] const GpsConfig& config() const noexcept { return config_; }
+  // Number of fixes taken since reset (held readings don't count).
+  [[nodiscard]] int fix_count() const noexcept { return fix_count_; }
+
+ private:
+  GpsConfig config_;
+  math::Rng rng_;
+  Vec3 last_fix_;
+  double last_fix_time_ = 0.0;
+  bool has_fix_ = false;
+  int fix_count_ = 0;
+};
+
+}  // namespace swarmfuzz::sim

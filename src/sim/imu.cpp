@@ -1,0 +1,27 @@
+#include "sim/imu.h"
+
+#include <stdexcept>
+
+namespace swarmfuzz::sim {
+
+ImuSensor::ImuSensor(const ImuConfig& config, math::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config.accel_noise_stddev < 0.0 || config.accel_bias_stddev < 0.0) {
+    throw std::invalid_argument("ImuSensor: negative noise parameter");
+  }
+  bias_ = Vec3{rng_.normal(0.0, config.accel_bias_stddev),
+               rng_.normal(0.0, config.accel_bias_stddev),
+               rng_.normal(0.0, config.accel_bias_stddev)};
+}
+
+Vec3 ImuSensor::measure(const Vec3& true_acceleration) {
+  Vec3 reading = true_acceleration + bias_;
+  if (config_.accel_noise_stddev > 0.0) {
+    reading += Vec3{rng_.normal(0.0, config_.accel_noise_stddev),
+                    rng_.normal(0.0, config_.accel_noise_stddev),
+                    rng_.normal(0.0, config_.accel_noise_stddev)};
+  }
+  return reading;
+}
+
+}  // namespace swarmfuzz::sim

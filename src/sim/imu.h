@@ -1,0 +1,38 @@
+// Inertial measurement unit model: measures the vehicle's acceleration with
+// a constant per-device bias plus white noise. Together with the
+// NavigationFilter this gives drones a GPS+IMU navigation pipeline, so GPS
+// spoofing acts through sensor fusion instead of replacing the position
+// outright (closer to a real autopilot; enable via
+// SimulationConfig::use_navigation_filter).
+#pragma once
+
+#include "math/rng.h"
+#include "math/vec3.h"
+
+namespace swarmfuzz::sim {
+
+using math::Vec3;
+
+struct ImuConfig {
+  double accel_noise_stddev = 0.05;  // m/s^2 per axis, white noise
+  double accel_bias_stddev = 0.02;   // m/s^2 per axis, constant per device
+};
+
+class ImuSensor {
+ public:
+  // The constant bias is drawn once from `rng` at construction.
+  ImuSensor(const ImuConfig& config, math::Rng rng);
+
+  // Measurement of the true acceleration.
+  [[nodiscard]] Vec3 measure(const Vec3& true_acceleration);
+
+  [[nodiscard]] const Vec3& bias() const noexcept { return bias_; }
+  [[nodiscard]] const ImuConfig& config() const noexcept { return config_; }
+
+ private:
+  ImuConfig config_;
+  math::Rng rng_;
+  Vec3 bias_;
+};
+
+}  // namespace swarmfuzz::sim

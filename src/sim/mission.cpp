@@ -1,0 +1,87 @@
+#include "sim/mission.h"
+
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace swarmfuzz::sim {
+
+MissionSpec generate_mission(const MissionConfig& config, std::uint64_t seed) {
+  if (config.num_drones < 2) {
+    throw std::invalid_argument("generate_mission: need at least 2 drones");
+  }
+  if (config.spawn_range <= 0.0 || config.mission_length <= 0.0) {
+    throw std::invalid_argument("generate_mission: non-positive dimensions");
+  }
+
+  math::Rng rng(seed);
+  math::Rng spawn_rng = rng.split(1);
+  math::Rng obstacle_rng = rng.split(2);
+
+  MissionSpec mission;
+  mission.seed = seed;
+  mission.cruise_altitude = config.cruise_altitude;
+  mission.max_time = config.max_time;
+  mission.arrival_radius = config.arrival_radius;
+  mission.drone_radius = config.drone_radius;
+
+  // Spawn positions: uniform in the box, rejection-sampled for separation.
+  const Vec3 lo{0.0, 0.0, config.cruise_altitude};
+  const Vec3 hi{config.spawn_range, config.spawn_range, config.cruise_altitude};
+  constexpr int kMaxAttempts = 20000;
+  int attempts = 0;
+  while (static_cast<int>(mission.initial_positions.size()) < config.num_drones) {
+    if (++attempts > kMaxAttempts) {
+      throw std::runtime_error(
+          "generate_mission: cannot place swarm with requested separation");
+    }
+    const Vec3 candidate = spawn_rng.uniform_in_box(lo, hi);
+    bool ok = true;
+    for (const Vec3& placed : mission.initial_positions) {
+      if (math::distance_xy(candidate, placed) < config.min_spawn_separation) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) mission.initial_positions.push_back(candidate);
+  }
+
+  // Mission axis: +x from the spawn-box centre, per the paper's layout.
+  const Vec3 spawn_center{config.spawn_range / 2.0, config.spawn_range / 2.0,
+                          config.cruise_altitude};
+  mission.destination =
+      spawn_center + Vec3{config.mission_length, 0.0, 0.0};
+
+  // Obstacles near the half-way mark with lateral jitter.
+  std::vector<CylinderObstacle> obstacles;
+  obstacles.reserve(static_cast<size_t>(config.num_obstacles));
+  for (int i = 0; i < config.num_obstacles; ++i) {
+    const double along =
+        config.mission_length / 2.0 +
+        obstacle_rng.uniform(-config.obstacle_along_jitter, config.obstacle_along_jitter) +
+        // Spread multiple obstacles out along the path so they are met in
+        // sequence rather than simultaneously.
+        static_cast<double>(i) * 3.0 * config.obstacle_radius_max;
+    const double lateral = obstacle_rng.uniform(-config.obstacle_lateral_jitter,
+                                                config.obstacle_lateral_jitter);
+    const double radius =
+        obstacle_rng.uniform(config.obstacle_radius_min, config.obstacle_radius_max);
+    obstacles.push_back(CylinderObstacle{
+        .center = spawn_center + Vec3{along, lateral, 0.0},
+        .radius = radius,
+    });
+  }
+  mission.obstacles = ObstacleField(std::move(obstacles));
+  return mission;
+}
+
+Vec3 mission_axis(const MissionSpec& mission) {
+  Vec3 centroid;
+  for (const Vec3& p : mission.initial_positions) centroid += p;
+  if (!mission.initial_positions.empty()) {
+    centroid = centroid / static_cast<double>(mission.initial_positions.size());
+  }
+  return (mission.destination - centroid).horizontal().normalized();
+}
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,63 @@
+// Mission specification and the randomized mission generator.
+//
+// Missions follow the paper's setup (section V-A): the swarm spawns at
+// random positions inside a 0-50 m box, flies 233.5 m to a pre-defined
+// destination, and must avoid a single on-path obstacle placed at roughly
+// the half-way mark. The obstacle's lateral offset and radius are randomized
+// per mission, which produces the spread of victim-distance-to-obstacle
+// (VDO) values analysed in Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/vec3.h"
+#include "sim/obstacle.h"
+
+namespace swarmfuzz::sim {
+
+// A fully-instantiated mission: everything the simulator needs to run.
+struct MissionSpec {
+  std::vector<Vec3> initial_positions;  // one per drone
+  Vec3 destination;
+  double cruise_altitude = 10.0;  // m, all flight is at this height
+  ObstacleField obstacles;
+  double max_time = 180.0;        // s, hard cap on mission duration
+  double arrival_radius = 8.0;    // m, centroid-to-destination arrival test
+  double drone_radius = 0.3;      // m, collision radius of one drone
+  std::uint64_t seed = 0;         // generator seed, kept for reproducibility
+
+  [[nodiscard]] int num_drones() const noexcept {
+    return static_cast<int>(initial_positions.size());
+  }
+};
+
+// Knobs for the random generator; defaults mirror the paper.
+struct MissionConfig {
+  int num_drones = 5;
+  double spawn_range = 50.0;        // spawn box edge, m (paper: 0-50 m)
+  double min_spawn_separation = 8.0;  // m, rejection-sampled
+  double mission_length = 233.5;    // m (paper)
+  double cruise_altitude = 10.0;    // m
+  int num_obstacles = 1;            // paper uses one; >1 supported (section VI)
+  double obstacle_radius_min = 2.5;   // m
+  double obstacle_radius_max = 4.0;   // m
+  double obstacle_lateral_jitter = 12.0;  // m, off-path offset range
+  double obstacle_along_jitter = 10.0;    // m, along-path placement jitter
+  double max_time = 180.0;
+  double arrival_radius = 8.0;
+  double drone_radius = 0.3;
+};
+
+// Deterministically generates a mission from (config, seed). Spawn positions
+// are rejection-sampled to respect min_spawn_separation; throws
+// std::runtime_error if the box cannot fit the swarm (too many drones for
+// the spawn range).
+[[nodiscard]] MissionSpec generate_mission(const MissionConfig& config,
+                                           std::uint64_t seed);
+
+// Unit vector from the spawn centroid to the destination (the mission axis).
+// Spoofing directions "left"/"right" are defined relative to this axis.
+[[nodiscard]] Vec3 mission_axis(const MissionSpec& mission);
+
+}  // namespace swarmfuzz::sim

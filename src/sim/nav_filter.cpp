@@ -1,0 +1,31 @@
+#include "sim/nav_filter.h"
+
+#include <stdexcept>
+
+namespace swarmfuzz::sim {
+
+NavigationFilter::NavigationFilter(const NavFilterConfig& config) : config_(config) {
+  if (config.position_gain <= 0.0 || config.position_gain > 1.0 ||
+      config.velocity_gain < 0.0) {
+    throw std::invalid_argument("NavigationFilter: invalid gains");
+  }
+}
+
+void NavigationFilter::reset(const Vec3& position, const Vec3& velocity) {
+  position_ = position;
+  velocity_ = velocity;
+}
+
+void NavigationFilter::predict(const Vec3& accel_measurement, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("NavigationFilter: dt <= 0");
+  velocity_ += accel_measurement * dt;
+  position_ += velocity_ * dt;
+}
+
+void NavigationFilter::correct(const Vec3& gps_position) {
+  const Vec3 error = gps_position - position_;
+  position_ += error * config_.position_gain;
+  velocity_ += error * config_.velocity_gain;
+}
+
+}  // namespace swarmfuzz::sim

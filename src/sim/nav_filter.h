@@ -1,0 +1,45 @@
+// Complementary GPS/IMU navigation filter.
+//
+// Between GPS corrections the state is dead-reckoned from IMU acceleration;
+// each correction blends the GPS fix into the estimate:
+//   predict: v += a_imu * dt;  p += v * dt
+//   correct: e = gps - p;  p += Kp * e;  v += Kv * e
+// A spoofed fix therefore drags the estimate toward the spoofed position at
+// a rate set by the gains instead of teleporting it, and leaves a velocity
+// transient - the signature defenses look for (src/defense).
+#pragma once
+
+#include "math/vec3.h"
+
+namespace swarmfuzz::sim {
+
+using math::Vec3;
+
+struct NavFilterConfig {
+  double position_gain = 0.12;  // Kp, per correction
+  double velocity_gain = 0.04;  // Kv (1/s-ish), per correction
+};
+
+class NavigationFilter {
+ public:
+  explicit NavigationFilter(const NavFilterConfig& config = {});
+
+  void reset(const Vec3& position, const Vec3& velocity);
+
+  // Dead-reckoning with the IMU acceleration over dt (> 0).
+  void predict(const Vec3& accel_measurement, double dt);
+
+  // Blends a GPS fix into the state.
+  void correct(const Vec3& gps_position);
+
+  [[nodiscard]] const Vec3& position() const noexcept { return position_; }
+  [[nodiscard]] const Vec3& velocity() const noexcept { return velocity_; }
+  [[nodiscard]] const NavFilterConfig& config() const noexcept { return config_; }
+
+ private:
+  NavFilterConfig config_;
+  Vec3 position_;
+  Vec3 velocity_;
+};
+
+}  // namespace swarmfuzz::sim

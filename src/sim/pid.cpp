@@ -1,0 +1,36 @@
+#include "sim/pid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swarmfuzz::sim {
+
+Pid::Pid(const PidGains& gains) : gains_(gains) {
+  if (gains.output_limit <= 0.0) throw std::invalid_argument("Pid: output_limit <= 0");
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  previous_error_ = 0.0;
+  has_history_ = false;
+}
+
+double Pid::update(double error, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("Pid: dt <= 0");
+  const double derivative = has_history_ ? (error - previous_error_) / dt : 0.0;
+  previous_error_ = error;
+  has_history_ = true;
+
+  const double unsaturated =
+      gains_.kp * error + gains_.ki * (integral_ + error * dt) + gains_.kd * derivative;
+  const double saturated =
+      std::clamp(unsaturated, -gains_.output_limit, gains_.output_limit);
+  // Conditional anti-windup: only integrate when not pushing further into
+  // saturation.
+  if (unsaturated == saturated || unsaturated * error < 0.0) {
+    integral_ += error * dt;
+  }
+  return saturated;
+}
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,41 @@
+// Scalar PID controller with clamped output and integral anti-windup, used
+// by the quadrotor model's cascaded loops (SwarmLab drones use PID flight
+// controllers, section V-A of the paper).
+#pragma once
+
+#include <limits>
+
+namespace swarmfuzz::sim {
+
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  // Symmetric output saturation; also bounds the integral term's
+  // contribution (conditional anti-windup).
+  double output_limit = std::numeric_limits<double>::infinity();
+};
+
+class Pid {
+ public:
+  explicit Pid(const PidGains& gains);
+
+  // Clears the integral and derivative history.
+  void reset();
+
+  // One update with measured error over timestep dt (> 0). The derivative is
+  // computed on the error signal; the first call after reset() uses a zero
+  // derivative (no history).
+  double update(double error, double dt);
+
+  [[nodiscard]] const PidGains& gains() const noexcept { return gains_; }
+  [[nodiscard]] double integral() const noexcept { return integral_; }
+
+ private:
+  PidGains gains_;
+  double integral_ = 0.0;
+  double previous_error_ = 0.0;
+  bool has_history_ = false;
+};
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,27 @@
+// First-order point-mass vehicle: commanded acceleration
+//   a = (v_desired - v) / tau, clamped to max_acceleration,
+// integrated with semi-implicit Euler. This is SwarmLab's "point-mass"
+// dynamics option and the default for fuzzing campaigns, where thousands of
+// missions are simulated per table.
+#pragma once
+
+#include "sim/dynamics.h"
+
+namespace swarmfuzz::sim {
+
+class PointMassModel final : public VehicleModel {
+ public:
+  explicit PointMassModel(const PointMassParams& params);
+
+  void reset(const Vec3& position, const Vec3& velocity) override;
+  void step(const Vec3& desired_velocity, double dt) override;
+  [[nodiscard]] DroneState state() const override { return state_; }
+
+  [[nodiscard]] const PointMassParams& params() const noexcept { return params_; }
+
+ private:
+  PointMassParams params_;
+  DroneState state_;
+};
+
+}  // namespace swarmfuzz::sim

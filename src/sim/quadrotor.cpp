@@ -1,0 +1,110 @@
+#include "sim/quadrotor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swarmfuzz::sim {
+namespace {
+
+constexpr double kMaxSubstep = 0.005;  // s
+
+// Body z-axis in world frame for ZYX Euler angles (yaw assumed ~0 is not
+// required here; full expression kept for correctness).
+Vec3 body_z_world(const Vec3& att) {
+  const double cr = std::cos(att.x), sr = std::sin(att.x);
+  const double cp = std::cos(att.y), sp = std::sin(att.y);
+  const double cy = std::cos(att.z), sy = std::sin(att.z);
+  return {cy * sp * cr + sy * sr, sy * sp * cr - cy * sr, cp * cr};
+}
+
+}  // namespace
+
+QuadrotorModel::QuadrotorModel(const QuadrotorParams& params) : params_(params) {
+  if (params.mass <= 0.0 || params.inertia_xx <= 0.0 || params.inertia_yy <= 0.0 ||
+      params.inertia_zz <= 0.0 || params.max_tilt <= 0.0 ||
+      params.max_thrust_factor <= 1.0 || params.max_speed <= 0.0) {
+    throw std::invalid_argument("QuadrotorModel: invalid parameter");
+  }
+}
+
+void QuadrotorModel::reset(const Vec3& position, const Vec3& velocity) {
+  position_ = position;
+  velocity_ = velocity.clamped(params_.max_speed);
+  attitude_ = {};
+  rates_ = {};
+  velocity_integral_ = {};
+  thrust_ = params_.mass * params_.gravity;
+}
+
+DroneState QuadrotorModel::state() const { return {position_, velocity_}; }
+
+void QuadrotorModel::step(const Vec3& desired_velocity, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("QuadrotorModel: dt <= 0");
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt / kMaxSubstep)));
+  const double h = dt / substeps;
+  for (int i = 0; i < substeps; ++i) substep(desired_velocity, h);
+}
+
+void QuadrotorModel::substep(const Vec3& desired_velocity, double dt) {
+  const Vec3 v_des = desired_velocity.clamped(params_.max_speed);
+
+  // 1. Velocity loop (PI) with clamped integral for anti-windup.
+  const Vec3 v_err = v_des - velocity_;
+  velocity_integral_ = (velocity_integral_ + v_err * dt).clamped(4.0);
+  const Vec3 a_des =
+      (v_err * params_.vel_kp + velocity_integral_ * params_.vel_ki).clamped(6.0);
+
+  // 2. Map desired acceleration to thrust magnitude + attitude setpoint.
+  const Vec3 f = a_des + Vec3{0.0, 0.0, params_.gravity};
+  const double hover = params_.mass * params_.gravity;
+  thrust_ = std::clamp(params_.mass * f.norm(), 0.1 * hover,
+                       params_.max_thrust_factor * hover);
+  const double fz = std::max(f.z, 1e-3);
+  double pitch_des = std::atan2(f.x, fz);
+  double roll_des = std::atan2(-f.y * std::cos(pitch_des), fz);
+  pitch_des = std::clamp(pitch_des, -params_.max_tilt, params_.max_tilt);
+  roll_des = std::clamp(roll_des, -params_.max_tilt, params_.max_tilt);
+  const Vec3 att_des{roll_des, pitch_des, 0.0};
+
+  // 3./4. Attitude (P) and rate (P + damping) loops. Gains are angular
+  // accelerations per unit error; the inertia scaling keeps the closed-loop
+  // bandwidth independent of the airframe.
+  const Vec3 rate_des = (att_des - attitude_) * params_.att_kp;
+  const Vec3 rate_err = rate_des - rates_;
+  const Vec3 torque{
+      params_.inertia_xx * (params_.rate_kp * rate_err.x - params_.rate_kd * rates_.x),
+      params_.inertia_yy * (params_.rate_kp * rate_err.y - params_.rate_kd * rates_.y),
+      params_.inertia_zz * (params_.rate_kp * rate_err.z - params_.rate_kd * rates_.z)};
+
+  // Rigid-body rotational dynamics (gyroscopic coupling included).
+  const Vec3 omega = rates_;
+  const Vec3 omega_dot{
+      (torque.x - (params_.inertia_zz - params_.inertia_yy) * omega.y * omega.z) /
+          params_.inertia_xx,
+      (torque.y - (params_.inertia_xx - params_.inertia_zz) * omega.x * omega.z) /
+          params_.inertia_yy,
+      (torque.z - (params_.inertia_yy - params_.inertia_xx) * omega.x * omega.y) /
+          params_.inertia_zz};
+  rates_ += omega_dot * dt;
+
+  // ZYX Euler kinematics (guard the pitch singularity).
+  const double cp = std::max(std::cos(attitude_.y), 0.2);
+  const double sr = std::sin(attitude_.x), cr = std::cos(attitude_.x);
+  const double tp = std::tan(std::clamp(attitude_.y, -1.2, 1.2));
+  const Vec3 att_dot{rates_.x + sr * tp * rates_.y + cr * tp * rates_.z,
+                     cr * rates_.y - sr * rates_.z,
+                     (sr * rates_.y + cr * rates_.z) / cp};
+  attitude_ += att_dot * dt;
+
+  // Translational dynamics: thrust along body z minus gravity and linear
+  // drag (the drag makes cruising require a sustained tilt, as on a real
+  // airframe).
+  const Vec3 accel = body_z_world(attitude_) * (thrust_ / params_.mass) -
+                     Vec3{0.0, 0.0, params_.gravity} -
+                     velocity_ * (params_.drag_coefficient / params_.mass);
+  velocity_ = (velocity_ + accel * dt).clamped(1.5 * params_.max_speed);
+  position_ += velocity_ * dt;
+}
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,49 @@
+// 12-state quadrotor rigid-body model with a cascaded PID flight controller
+// (velocity -> attitude -> body rate), matching the paper's setup of a
+// 0.296 kg PID-controlled quadcopter in SwarmLab.
+//
+// Cascade, evaluated every internal substep:
+//   1. velocity loop (PI)  : a_des = Kp (v_des - v) + Ki integral
+//   2. thrust/attitude map : f = a_des + g z_hat; T = m |f|;
+//                            (roll_des, pitch_des) tilt the thrust onto f
+//                            (yaw held at 0 - flocking has no heading goal)
+//   3. attitude loop (P)   : rate_des = Katt (angle_des - angle)
+//   4. rate loop (P + damp): torque = I (Krate (rate_des - rate)) - Kd rate
+// Rigid-body integration uses ZYX Euler kinematics and semi-implicit Euler,
+// internally substepped to <= 5 ms so callers can step at any control dt.
+#pragma once
+
+#include "sim/dynamics.h"
+#include "sim/pid.h"
+
+namespace swarmfuzz::sim {
+
+class QuadrotorModel final : public VehicleModel {
+ public:
+  explicit QuadrotorModel(const QuadrotorParams& params);
+
+  void reset(const Vec3& position, const Vec3& velocity) override;
+  void step(const Vec3& desired_velocity, double dt) override;
+  [[nodiscard]] DroneState state() const override;
+
+  // Euler angles (roll, pitch, yaw) in radians; exposed for tests.
+  [[nodiscard]] Vec3 attitude() const noexcept { return attitude_; }
+  [[nodiscard]] Vec3 body_rates() const noexcept { return rates_; }
+  // Most recent commanded total thrust, Newtons.
+  [[nodiscard]] double thrust() const noexcept { return thrust_; }
+
+  [[nodiscard]] const QuadrotorParams& params() const noexcept { return params_; }
+
+ private:
+  void substep(const Vec3& desired_velocity, double dt);
+
+  QuadrotorParams params_;
+  Vec3 position_;
+  Vec3 velocity_;
+  Vec3 attitude_;  // roll (x), pitch (y), yaw (z)
+  Vec3 rates_;     // body angular rates p, q, r
+  Vec3 velocity_integral_;
+  double thrust_ = 0.0;
+};
+
+}  // namespace swarmfuzz::sim

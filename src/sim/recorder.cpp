@@ -1,0 +1,105 @@
+#include "sim/recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace swarmfuzz::sim {
+
+Recorder::Recorder(int num_drones, ObstacleField obstacles, double record_period)
+    : num_drones_(num_drones),
+      obstacles_(std::move(obstacles)),
+      record_period_(record_period) {
+  if (num_drones < 1) throw std::invalid_argument("Recorder: num_drones < 1");
+  if (record_period < 0.0) throw std::invalid_argument("Recorder: negative period");
+  min_obstacle_dist_.assign(static_cast<size_t>(num_drones),
+                            std::numeric_limits<double>::infinity());
+  min_obstacle_time_.assign(static_cast<size_t>(num_drones), 0.0);
+}
+
+void Recorder::record(double t, std::span<const DroneState> states) {
+  if (static_cast<int>(states.size()) != num_drones_) {
+    throw std::invalid_argument("Recorder: state count mismatch");
+  }
+  last_time_ = t;
+
+  for (int i = 0; i < num_drones_; ++i) {
+    const double dist =
+        obstacles_.min_surface_distance(states[static_cast<size_t>(i)].position);
+    if (dist < min_obstacle_dist_[static_cast<size_t>(i)]) {
+      min_obstacle_dist_[static_cast<size_t>(i)] = dist;
+      min_obstacle_time_[static_cast<size_t>(i)] = t;
+    }
+  }
+
+  if (last_kept_ >= 0.0 && t - last_kept_ < record_period_ - 1e-9) return;
+  last_kept_ = t;
+  times_.push_back(t);
+  states_.insert(states_.end(), states.begin(), states.end());
+}
+
+std::span<const DroneState> Recorder::sample(int index) const {
+  if (index < 0 || index >= num_samples()) {
+    throw std::out_of_range("Recorder: sample index out of range");
+  }
+  return {states_.data() + static_cast<size_t>(index) * static_cast<size_t>(num_drones_),
+          static_cast<size_t>(num_drones_)};
+}
+
+int Recorder::sample_index_at(double t) const {
+  if (times_.empty()) throw std::out_of_range("Recorder: no samples");
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0;
+  if (it == times_.end()) return num_samples() - 1;
+  const auto hi = static_cast<int>(it - times_.begin());
+  const int lo = hi - 1;
+  return (t - times_[static_cast<size_t>(lo)] <= times_[static_cast<size_t>(hi)] - t)
+             ? lo
+             : hi;
+}
+
+double Recorder::min_obstacle_distance(int drone) const {
+  if (drone < 0 || drone >= num_drones_) {
+    throw std::out_of_range("Recorder: drone id out of range");
+  }
+  return min_obstacle_dist_[static_cast<size_t>(drone)];
+}
+
+double Recorder::time_of_min_obstacle_distance(int drone) const {
+  if (drone < 0 || drone >= num_drones_) {
+    throw std::out_of_range("Recorder: drone id out of range");
+  }
+  return min_obstacle_time_[static_cast<size_t>(drone)];
+}
+
+double Recorder::avg_inter_distance(int index) const {
+  const std::span<const DroneState> snap = sample(index);
+  if (num_drones_ < 2) return 0.0;
+  double sum = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < num_drones_; ++i) {
+    for (int j = i + 1; j < num_drones_; ++j) {
+      sum += math::distance(snap[static_cast<size_t>(i)].position,
+                            snap[static_cast<size_t>(j)].position);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double Recorder::closest_time(double up_to) const {
+  double best_time = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < num_samples(); ++s) {
+    if (times_[static_cast<size_t>(s)] > up_to) break;
+    const double avg = avg_inter_distance(s);
+    if (avg < best) {
+      best = avg;
+      best_time = times_[static_cast<size_t>(s)];
+    }
+  }
+  return best_time;
+}
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,75 @@
+// Trajectory recorder: captures everything SwarmFuzz's initial test needs
+// (paper section IV-A):
+//  (1) each drone's location at each timestamp,
+//  (2) each drone's minimum distance to the obstacle over the mission
+//      (D_ob^i, the VDO when the drone is a victim candidate),
+//  (3) the mission duration,
+// plus t_clo, the time of minimum average inter-drone distance, at which the
+// SVG is constructed (section IV-B).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sim/mission.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::sim {
+
+class Recorder {
+ public:
+  // Samples are kept when at least `record_period` elapsed since the last
+  // kept sample (0 keeps every call). `obstacles` may outlive the recorder
+  // (it is copied).
+  Recorder(int num_drones, ObstacleField obstacles, double record_period = 0.0);
+
+  // Ingests the state at time `t`. Distance-to-obstacle minima are updated
+  // on *every* call (not just kept samples) so VDO is exact.
+  void record(double t, std::span<const DroneState> states);
+
+  [[nodiscard]] int num_drones() const noexcept { return num_drones_; }
+  [[nodiscard]] int num_samples() const noexcept {
+    return static_cast<int>(times_.size());
+  }
+  [[nodiscard]] std::span<const double> times() const noexcept { return times_; }
+
+  // States of all drones at kept-sample `index`.
+  [[nodiscard]] std::span<const DroneState> sample(int index) const;
+
+  // Kept sample closest in time to `t` (clamped to the recording range).
+  [[nodiscard]] int sample_index_at(double t) const;
+
+  // Minimum distance from drone `i` to any obstacle surface over the whole
+  // mission (exact over all record() calls). Infinity with no obstacles.
+  [[nodiscard]] double min_obstacle_distance(int drone) const;
+  // Time at which that minimum was attained.
+  [[nodiscard]] double time_of_min_obstacle_distance(int drone) const;
+
+  // Average pairwise inter-drone distance at kept sample `index`.
+  [[nodiscard]] double avg_inter_distance(int index) const;
+
+  // Time of the minimum average inter-drone distance (t_clo); 0 when no
+  // samples were kept. Only samples with t <= up_to are considered: callers
+  // analysing obstacle interactions bound the search to the pre-obstacle
+  // phase, because a converging swarm is tightest at arrival.
+  [[nodiscard]] double closest_time(
+      double up_to = std::numeric_limits<double>::infinity()) const;
+
+  // Duration covered by the recording (last t seen).
+  [[nodiscard]] double duration() const noexcept { return last_time_; }
+
+ private:
+  int num_drones_;
+  ObstacleField obstacles_;
+  double record_period_;
+  double last_kept_ = -1.0;
+  double last_time_ = 0.0;
+
+  std::vector<double> times_;
+  std::vector<DroneState> states_;  // num_samples * num_drones, row-major
+  std::vector<double> min_obstacle_dist_;
+  std::vector<double> min_obstacle_time_;
+};
+
+}  // namespace swarmfuzz::sim

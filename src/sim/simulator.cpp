@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "math/rng.h"
+#include "util/logging.h"
+
+namespace swarmfuzz::sim {
+
+Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
+  if (config_.dt <= 0.0) throw std::invalid_argument("Simulator: dt <= 0");
+}
+
+RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
+                         const GpsOffsetProvider* spoofer,
+                         StepObserver* observer) const {
+  const int n = mission.num_drones();
+  if (n < 1) throw std::invalid_argument("Simulator: empty mission");
+
+  World world(mission, config_.vehicle, config_.point_mass, config_.quadrotor);
+  CollisionMonitor monitor(mission.drone_radius);
+
+  math::Rng gps_rng(config_.noise_seed ^ mission.seed);
+  std::vector<GpsSensor> gps;
+  gps.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    gps.emplace_back(config_.gps, gps_rng.split(static_cast<std::uint64_t>(i)));
+    gps.back().reset();
+  }
+
+  // Optional GPS+IMU fusion pipeline (one IMU + filter per drone).
+  std::vector<ImuSensor> imus;
+  std::vector<NavigationFilter> filters;
+  if (config_.use_navigation_filter) {
+    math::Rng imu_rng(config_.noise_seed * 0x9e3779b9ull + mission.seed);
+    for (int i = 0; i < n; ++i) {
+      imus.emplace_back(config_.imu, imu_rng.split(static_cast<std::uint64_t>(i)));
+      filters.emplace_back(config_.nav_filter);
+      filters.back().reset(mission.initial_positions[static_cast<size_t>(i)], Vec3{});
+    }
+  }
+
+  control.reset(mission, mission.seed ^ 0x5f3759dfull);
+
+  RunResult result{.recorder = Recorder(n, mission.obstacles, config_.record_period)};
+
+  std::vector<DroneState> states = world.states();
+  result.recorder.record(0.0, states);
+
+  WorldSnapshot snapshot;
+  snapshot.drones.resize(static_cast<size_t>(n));
+  std::vector<Vec3> desired(static_cast<size_t>(n));
+  std::vector<Vec3> prev_positions(static_cast<size_t>(n));
+
+  double t = 0.0;
+  while (t < mission.max_time) {
+    // 1-2. Sense and exchange states.
+    snapshot.time = t;
+    for (int i = 0; i < n; ++i) {
+      const DroneState& truth = states[static_cast<size_t>(i)];
+      const Vec3 offset = spoofer ? spoofer->offset(i, t) : Vec3{};
+      const Vec3 fix = gps[static_cast<size_t>(i)].read(truth.position, offset, t);
+      DroneObservation& obs = snapshot.drones[static_cast<size_t>(i)];
+      obs.id = i;
+      if (config_.use_navigation_filter) {
+        NavigationFilter& filter = filters[static_cast<size_t>(i)];
+        filter.correct(fix);
+        obs.gps_position = filter.position();
+        obs.velocity = filter.velocity();
+      } else {
+        obs.gps_position = fix;
+        obs.velocity = truth.velocity;
+      }
+    }
+
+    if (observer != nullptr) observer->on_step(t, snapshot, states);
+
+    // 3. Swarm control.
+    control.compute(snapshot, mission, desired);
+
+    // 4. Physics.
+    for (int i = 0; i < n; ++i) {
+      prev_positions[static_cast<size_t>(i)] = states[static_cast<size_t>(i)].position;
+    }
+    world.step(desired, config_.dt);
+    t = world.time();
+    const std::vector<DroneState> previous_states = std::move(states);
+    states = world.states();
+    if (config_.use_navigation_filter) {
+      for (int i = 0; i < n; ++i) {
+        const Vec3 true_accel = (states[static_cast<size_t>(i)].velocity -
+                                 previous_states[static_cast<size_t>(i)].velocity) /
+                                config_.dt;
+        filters[static_cast<size_t>(i)].predict(
+            imus[static_cast<size_t>(i)].measure(true_accel), config_.dt);
+      }
+    }
+    result.recorder.record(t, states);
+
+    if (const auto event =
+            monitor.check(states, prev_positions, mission.obstacles, t)) {
+      result.collided = true;
+      if (!result.first_collision) result.first_collision = *event;
+      SWARMFUZZ_DEBUG("collision at t={:.2f}s drone={} kind={}", event->time,
+                      event->drone, event->kind == CollisionKind::kDroneObstacle
+                                        ? "obstacle"
+                                        : "drone");
+      if (config_.stop_on_collision) break;
+    }
+
+    if (config_.stop_on_arrival) {
+      Vec3 centroid;
+      for (const DroneState& s : states) centroid += s.position;
+      centroid = centroid / static_cast<double>(n);
+      if (math::distance_xy(centroid, mission.destination) <= mission.arrival_radius) {
+        result.reached_destination = true;
+        break;
+      }
+    }
+  }
+
+  result.end_time = t;
+  return result;
+}
+
+}  // namespace swarmfuzz::sim

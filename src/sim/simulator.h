@@ -1,0 +1,84 @@
+// Simulator front-end: runs one mission end-to-end.
+//
+// Per control tick (the distributed-swarm loop of Fig. 1 in the paper):
+//   1. each drone reads its GPS (spoofing offset applied here),
+//   2. drones exchange physical states (the shared WorldSnapshot),
+//   3. the control system computes per-drone desired velocities,
+//   4. vehicle dynamics advance ground truth,
+// then collisions are checked and the recorder updated.
+#pragma once
+
+#include <optional>
+
+#include "sim/collision.h"
+#include "sim/control.h"
+#include "sim/gps.h"
+#include "sim/imu.h"
+#include "sim/mission.h"
+#include "sim/nav_filter.h"
+#include "sim/recorder.h"
+#include "sim/world.h"
+
+namespace swarmfuzz::sim {
+
+// Observes every control tick of a run (after sensing, before actuation).
+// Used by defenses (GPS-spoofing detectors watch the broadcast fixes) and by
+// streaming exporters. Observers must not mutate simulation state.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(double time, const WorldSnapshot& snapshot,
+                       std::span<const DroneState> truth) = 0;
+};
+
+struct SimulationConfig {
+  double dt = 0.05;               // control/physics step, s
+  GpsConfig gps{.rate_hz = 20.0, .noise_stddev = 0.0};
+  VehicleType vehicle = VehicleType::kPointMass;
+  PointMassParams point_mass{};
+  QuadrotorParams quadrotor{};
+  bool stop_on_collision = true;  // collision ends the run
+  bool stop_on_arrival = true;    // centroid within arrival_radius ends it
+  double record_period = 0.1;     // s between kept trajectory samples
+  std::uint64_t noise_seed = 1;   // GPS/IMU noise stream seed
+  // When true, drones broadcast GPS+IMU fused estimates (complementary
+  // navigation filter) instead of raw GPS fixes. Spoofing then drags the
+  // estimate gradually rather than stepping it (see sim/nav_filter.h).
+  bool use_navigation_filter = false;
+  ImuConfig imu{};
+  NavFilterConfig nav_filter{};
+};
+
+struct RunResult {
+  bool collided = false;
+  std::optional<CollisionEvent> first_collision;
+  bool reached_destination = false;
+  double end_time = 0.0;           // mission duration t_mission
+  Recorder recorder;               // trajectories + VDO + t_clo
+
+  // Convenience accessors over the recorder.
+  [[nodiscard]] double vdo(int drone) const {
+    return recorder.min_obstacle_distance(drone);
+  }
+  [[nodiscard]] double t_clo() const { return recorder.closest_time(); }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimulationConfig config = {});
+
+  // Runs `mission` under `control`; `spoofer` (optional) injects GPS
+  // offsets; `observer` (optional) sees every control tick. The control
+  // system is reset() before the run with a seed derived from the mission
+  // seed, so repeated runs are identical.
+  [[nodiscard]] RunResult run(const MissionSpec& mission, ControlSystem& control,
+                              const GpsOffsetProvider* spoofer = nullptr,
+                              StepObserver* observer = nullptr) const;
+
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+
+ private:
+  SimulationConfig config_;
+};
+
+}  // namespace swarmfuzz::sim

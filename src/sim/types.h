@@ -1,0 +1,36 @@
+// Plain data types shared across the simulator, swarm controllers and the
+// fuzzer. These are deliberately invariant-free structs (data members vary
+// independently), so they stay structs per the Core Guidelines.
+#pragma once
+
+#include <vector>
+
+#include "math/vec3.h"
+
+namespace swarmfuzz::sim {
+
+using math::Vec3;
+
+// Ground-truth physical state of one drone.
+struct DroneState {
+  Vec3 position;
+  Vec3 velocity;
+};
+
+// What the rest of the swarm knows about a drone at an instant: the GPS fix
+// it broadcast (possibly spoofed and noisy) and its velocity estimate
+// (IMU-derived, not affected by GPS spoofing — see DESIGN.md).
+struct DroneObservation {
+  int id = 0;
+  Vec3 gps_position;
+  Vec3 velocity;
+};
+
+// The shared broadcast picture at one control tick. Swarm controllers only
+// ever see this, never ground truth.
+struct WorldSnapshot {
+  double time = 0.0;
+  std::vector<DroneObservation> drones;
+};
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,41 @@
+#include "sim/world.h"
+
+#include <stdexcept>
+
+namespace swarmfuzz::sim {
+
+World::World(const MissionSpec& mission, VehicleType vehicle_type,
+             const PointMassParams& point_mass, const QuadrotorParams& quadrotor) {
+  vehicles_.reserve(mission.initial_positions.size());
+  for (const Vec3& position : mission.initial_positions) {
+    auto vehicle = make_vehicle(vehicle_type, point_mass, quadrotor);
+    vehicle->reset(position, Vec3{});
+    vehicles_.push_back(std::move(vehicle));
+  }
+}
+
+DroneState World::state(int drone) const {
+  if (drone < 0 || drone >= num_drones()) {
+    throw std::out_of_range("World: drone id out of range");
+  }
+  return vehicles_[static_cast<size_t>(drone)]->state();
+}
+
+std::vector<DroneState> World::states() const {
+  std::vector<DroneState> all;
+  all.reserve(vehicles_.size());
+  for (const auto& vehicle : vehicles_) all.push_back(vehicle->state());
+  return all;
+}
+
+void World::step(std::span<const Vec3> desired, double dt) {
+  if (static_cast<int>(desired.size()) != num_drones()) {
+    throw std::invalid_argument("World::step: desired size mismatch");
+  }
+  for (size_t i = 0; i < vehicles_.size(); ++i) {
+    vehicles_[i]->step(desired[i], dt);
+  }
+  time_ += dt;
+}
+
+}  // namespace swarmfuzz::sim

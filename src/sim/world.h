@@ -1,0 +1,39 @@
+// World: owns the vehicle models and advances ground truth.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/dynamics.h"
+#include "sim/mission.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::sim {
+
+class World {
+ public:
+  // Builds one vehicle per drone in `mission` at its initial position, at
+  // rest, and time 0.
+  World(const MissionSpec& mission, VehicleType vehicle_type,
+        const PointMassParams& point_mass = {}, const QuadrotorParams& quadrotor = {});
+
+  [[nodiscard]] int num_drones() const noexcept {
+    return static_cast<int>(vehicles_.size());
+  }
+  [[nodiscard]] double time() const noexcept { return time_; }
+
+  // Ground-truth state of one drone / all drones.
+  [[nodiscard]] DroneState state(int drone) const;
+  [[nodiscard]] std::vector<DroneState> states() const;
+
+  // Advances every vehicle by dt tracking its desired velocity.
+  // `desired.size()` must equal num_drones().
+  void step(std::span<const Vec3> desired, double dt);
+
+ private:
+  std::vector<std::unique_ptr<VehicleModel>> vehicles_;
+  double time_ = 0.0;
+};
+
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,48 @@
+#include "swarm/comm.h"
+
+#include <stdexcept>
+
+namespace swarmfuzz::swarm {
+
+CommModel::CommModel(const CommConfig& config) : config_(config), rng_(0) {
+  if (config.range <= 0.0) throw std::invalid_argument("CommModel: range <= 0");
+  if (config.drop_probability < 0.0 || config.drop_probability >= 1.0) {
+    throw std::invalid_argument("CommModel: drop_probability outside [0, 1)");
+  }
+}
+
+void CommModel::reset(std::uint64_t seed) { rng_ = math::Rng(seed); }
+
+sim::WorldSnapshot CommModel::filter(const sim::WorldSnapshot& broadcast,
+                                     int self_id) {
+  sim::WorldSnapshot view;
+  view.time = broadcast.time;
+  view.drones.reserve(broadcast.drones.size());
+
+  const sim::DroneObservation* self = nullptr;
+  for (const sim::DroneObservation& obs : broadcast.drones) {
+    if (obs.id == self_id) {
+      self = &obs;
+      break;
+    }
+  }
+  if (self == nullptr) throw std::invalid_argument("CommModel: unknown self_id");
+  view.drones.push_back(*self);
+
+  for (const sim::DroneObservation& obs : broadcast.drones) {
+    if (obs.id == self_id) continue;
+    // Range is measured between broadcast GPS fixes: a spoofed target also
+    // distorts who appears in range, exactly as in a real swarm where links
+    // are pruned on reported positions.
+    if (math::distance(obs.gps_position, self->gps_position) > config_.range) {
+      continue;
+    }
+    if (config_.drop_probability > 0.0 && rng_.bernoulli(config_.drop_probability)) {
+      continue;
+    }
+    view.drones.push_back(obs);
+  }
+  return view;
+}
+
+}  // namespace swarmfuzz::swarm

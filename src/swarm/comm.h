@@ -1,0 +1,42 @@
+// Inter-drone communication model.
+//
+// Swarm members exchange physical states by broadcast (paper Fig. 1 step 2).
+// The model optionally limits the radio range and drops packets i.i.d.;
+// the defaults (infinite range, no loss) match the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "math/rng.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::swarm {
+
+struct CommConfig {
+  double range = std::numeric_limits<double>::infinity();  // m
+  double drop_probability = 0.0;  // per-link, per-tick
+};
+
+class CommModel {
+ public:
+  explicit CommModel(const CommConfig& config = {});
+
+  // Re-seeds the packet-loss stream for a new mission.
+  void reset(std::uint64_t seed);
+
+  // Builds receiver `self_id`'s view of the broadcast: the drone itself plus
+  // every neighbour whose packet arrived (within range, not dropped). The
+  // drone's own entry is always present and is first in the result.
+  [[nodiscard]] sim::WorldSnapshot filter(const sim::WorldSnapshot& broadcast,
+                                          int self_id);
+
+  [[nodiscard]] const CommConfig& config() const noexcept { return config_; }
+
+ private:
+  CommConfig config_;
+  math::Rng rng_;
+};
+
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,36 @@
+// Swarm-controller concept: a memoryless flocking law.
+//
+// A controller maps the *perceived* states of the drones a member can hear
+// (GPS positions - possibly spoofed - plus velocity estimates) to that
+// member's desired velocity. Statelessness is what lets SwarmFuzz probe
+// counterfactuals cheaply: the SVG construction (section IV-B) evaluates
+// "what would drone i do if drone j's position were spoofed right now?"
+// without re-running the mission.
+#pragma once
+
+#include <string_view>
+
+#include "sim/mission.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::swarm {
+
+using sim::MissionSpec;
+using sim::Vec3;
+using sim::WorldSnapshot;
+
+class SwarmController {
+ public:
+  virtual ~SwarmController() = default;
+
+  // Desired velocity for the drone at `self_index` in `snapshot.drones`.
+  // The snapshot contains the drone itself plus every neighbour it can hear
+  // (communication filtering happens in FlockingControlSystem).
+  [[nodiscard]] virtual Vec3 desired_velocity(int self_index,
+                                              const WorldSnapshot& snapshot,
+                                              const MissionSpec& mission) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace swarmfuzz::swarm

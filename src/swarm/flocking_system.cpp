@@ -1,0 +1,52 @@
+#include "swarm/flocking_system.h"
+
+#include <stdexcept>
+
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz::swarm {
+
+FlockingControlSystem::FlockingControlSystem(
+    std::shared_ptr<const SwarmController> controller, const CommConfig& comm)
+    : controller_(std::move(controller)), comm_(comm) {
+  if (controller_ == nullptr) {
+    throw std::invalid_argument("FlockingControlSystem: null controller");
+  }
+}
+
+void FlockingControlSystem::reset(const sim::MissionSpec& /*mission*/,
+                                  std::uint64_t seed) {
+  comm_.reset(seed);
+}
+
+void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,
+                                    const sim::MissionSpec& mission,
+                                    std::span<Vec3> desired) {
+  if (desired.size() != snapshot.drones.size()) {
+    throw std::invalid_argument("FlockingControlSystem: desired size mismatch");
+  }
+  for (size_t i = 0; i < snapshot.drones.size(); ++i) {
+    const int id = snapshot.drones[i].id;
+    const sim::WorldSnapshot view = comm_.filter(snapshot, id);
+    // filter() puts the receiving drone first in its own view.
+    desired[i] = controller_->desired_velocity(0, view, mission);
+  }
+}
+
+Vec3 FlockingControlSystem::probe_desired_velocity(
+    int drone_id, const sim::WorldSnapshot& snapshot,
+    const sim::MissionSpec& mission) const {
+  for (size_t i = 0; i < snapshot.drones.size(); ++i) {
+    if (snapshot.drones[i].id == drone_id) {
+      return controller_->desired_velocity(static_cast<int>(i), snapshot, mission);
+    }
+  }
+  throw std::invalid_argument("FlockingControlSystem: unknown drone id in probe");
+}
+
+std::unique_ptr<FlockingControlSystem> make_vasarhelyi_system(const CommConfig& comm) {
+  return std::make_unique<FlockingControlSystem>(
+      std::make_shared<VasarhelyiController>(), comm);
+}
+
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,50 @@
+// FlockingControlSystem: the concrete sim::ControlSystem used everywhere.
+//
+// Composes a (memoryless) SwarmController with a CommModel: per control tick
+// it builds each drone's perceived snapshot from the shared broadcast and
+// asks the controller for a desired velocity.
+//
+// It also exposes probe_desired_velocity(), the pure counterfactual
+// evaluation used by SVG construction (perfect communication assumed, no
+// packet-loss randomness), so fuzzing probes never disturb mission state.
+#pragma once
+
+#include <memory>
+
+#include "sim/control.h"
+#include "swarm/comm.h"
+#include "swarm/controller.h"
+
+namespace swarmfuzz::swarm {
+
+class FlockingControlSystem final : public sim::ControlSystem {
+ public:
+  // `controller` must not be null.
+  FlockingControlSystem(std::shared_ptr<const SwarmController> controller,
+                        const CommConfig& comm = {});
+
+  void reset(const sim::MissionSpec& mission, std::uint64_t seed) override;
+  void compute(const sim::WorldSnapshot& snapshot, const sim::MissionSpec& mission,
+               std::span<Vec3> desired) override;
+
+  [[nodiscard]] const SwarmController& controller() const noexcept {
+    return *controller_;
+  }
+
+  // Counterfactual probe: desired velocity of `drone_id` given the full
+  // broadcast `snapshot`, with perfect communication. const and
+  // deterministic - does not touch the packet-loss stream.
+  [[nodiscard]] Vec3 probe_desired_velocity(int drone_id,
+                                            const sim::WorldSnapshot& snapshot,
+                                            const sim::MissionSpec& mission) const;
+
+ private:
+  std::shared_ptr<const SwarmController> controller_;
+  CommModel comm_;
+};
+
+// Convenience factory for the common case.
+[[nodiscard]] std::unique_ptr<FlockingControlSystem> make_vasarhelyi_system(
+    const CommConfig& comm = {});
+
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,57 @@
+#include "swarm/metrics.h"
+
+#include <limits>
+
+namespace swarmfuzz::swarm {
+
+double order_parameter(std::span<const sim::DroneState> states) {
+  const int n = static_cast<int>(states.size());
+  if (n < 2) return 1.0;
+  double sum = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    const math::Vec3 vi = states[static_cast<size_t>(i)].velocity.horizontal();
+    const double ni = vi.norm();
+    if (ni < 1e-9) continue;
+    for (int j = i + 1; j < n; ++j) {
+      const math::Vec3 vj = states[static_cast<size_t>(j)].velocity.horizontal();
+      const double nj = vj.norm();
+      if (nj < 1e-9) continue;
+      sum += vi.dot(vj) / (ni * nj);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? sum / pairs : 1.0;
+}
+
+FlockMetrics flock_metrics(std::span<const sim::DroneState> states) {
+  FlockMetrics metrics;
+  const int n = static_cast<int>(states.size());
+  metrics.order = order_parameter(states);
+  metrics.min_separation = std::numeric_limits<double>::infinity();
+  if (n == 0) return metrics;
+
+  math::Vec3 centroid;
+  double speed_sum = 0.0;
+  for (const sim::DroneState& state : states) {
+    centroid += state.position;
+    speed_sum += state.velocity.norm_xy();
+  }
+  centroid = centroid / static_cast<double>(n);
+  metrics.mean_speed = speed_sum / static_cast<double>(n);
+
+  double radius_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    radius_sum += math::distance(states[static_cast<size_t>(i)].position, centroid);
+    for (int j = i + 1; j < n; ++j) {
+      metrics.min_separation =
+          std::min(metrics.min_separation,
+                   math::distance(states[static_cast<size_t>(i)].position,
+                                  states[static_cast<size_t>(j)].position));
+    }
+  }
+  metrics.cohesion_radius = radius_sum / static_cast<double>(n);
+  return metrics;
+}
+
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,32 @@
+// Flocking-quality metrics, following the evaluation vocabulary of
+// Vasarhelyi et al. (2018): how ordered, cohesive and safe a swarm state is.
+// Used by the examples to characterise missions and by tests to assert that
+// the controllers actually flock (not merely avoid collisions).
+#pragma once
+
+#include <span>
+
+#include "sim/mission.h"
+#include "sim/types.h"
+
+namespace swarmfuzz::swarm {
+
+struct FlockMetrics {
+  // Velocity order parameter: mean pairwise cosine similarity of horizontal
+  // velocities, in [-1, 1]; 1 = perfectly aligned flock.
+  double order = 0.0;
+  // Mean distance of members from the swarm centroid, m.
+  double cohesion_radius = 0.0;
+  // Minimum pairwise inter-drone distance, m (infinity for < 2 drones).
+  double min_separation = 0.0;
+  // Mean horizontal speed, m/s.
+  double mean_speed = 0.0;
+};
+
+// Computes the metrics for one instantaneous swarm state.
+[[nodiscard]] FlockMetrics flock_metrics(std::span<const sim::DroneState> states);
+
+// Velocity order parameter only (cheap); returns 1.0 for < 2 drones.
+[[nodiscard]] double order_parameter(std::span<const sim::DroneState> states);
+
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,76 @@
+#include "swarm/reynolds.h"
+
+#include <stdexcept>
+
+#include "math/geometry.h"
+
+namespace swarmfuzz::swarm {
+
+ReynoldsController::ReynoldsController(const ReynoldsParams& params)
+    : params_(params) {
+  if (params.v_cruise <= 0.0 || params.v_max <= 0.0 ||
+      params.separation_radius <= 0.0 || params.neighbour_radius <= 0.0 ||
+      params.avoid_radius <= 0.0) {
+    throw std::invalid_argument("ReynoldsController: invalid parameter");
+  }
+}
+
+Vec3 ReynoldsController::desired_velocity(int self_index,
+                                          const WorldSnapshot& snapshot,
+                                          const MissionSpec& mission) const {
+  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
+    throw std::out_of_range("ReynoldsController: self_index out of range");
+  }
+  const sim::DroneObservation& self =
+      snapshot.drones[static_cast<size_t>(self_index)];
+
+  // Migration urge.
+  Vec3 desired = (mission.destination - self.gps_position).horizontal().normalized() *
+                 params_.v_cruise;
+
+  // Boids rules over the neighbourhood.
+  Vec3 separation, velocity_sum, centroid;
+  int neighbours = 0;
+  for (int k = 0; k < static_cast<int>(snapshot.drones.size()); ++k) {
+    if (k == self_index) continue;
+    const sim::DroneObservation& other = snapshot.drones[static_cast<size_t>(k)];
+    const Vec3 diff = (self.gps_position - other.gps_position).horizontal();
+    const double dist = diff.norm();
+    if (dist < 1e-9 || dist > params_.neighbour_radius) continue;
+    ++neighbours;
+    velocity_sum += other.velocity.horizontal();
+    centroid += other.gps_position;
+    if (dist < params_.separation_radius) {
+      separation +=
+          diff * (params_.separation_gain * (params_.separation_radius - dist) / dist);
+    }
+  }
+  if (neighbours > 0) {
+    const double inv = 1.0 / static_cast<double>(neighbours);
+    desired += separation;
+    desired += (velocity_sum * inv - self.velocity.horizontal()) *
+               params_.alignment_gain;
+    const Vec3 to_centroid =
+        (centroid * inv - self.gps_position).horizontal();
+    if (to_centroid.norm() > params_.cohesion_deadzone) {
+      desired += to_centroid * params_.cohesion_gain;
+    }
+  }
+
+  // Obstacle avoidance: push radially outward, linear in proximity.
+  for (const sim::CylinderObstacle& obstacle : mission.obstacles.obstacles()) {
+    const double dist = math::distance_to_cylinder(self.gps_position,
+                                                   obstacle.center, obstacle.radius);
+    if (dist < params_.avoid_radius) {
+      const double strength =
+          params_.avoid_gain * (params_.avoid_radius - dist) / params_.avoid_radius;
+      desired += math::cylinder_outward_normal(self.gps_position, obstacle.center) *
+                 strength;
+    }
+  }
+
+  desired.z = params_.altitude_gain * (mission.cruise_altitude - self.gps_position.z);
+  return desired.clamped(params_.v_max);
+}
+
+}  // namespace swarmfuzz::swarm

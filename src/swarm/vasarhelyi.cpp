@@ -1,0 +1,123 @@
+#include "swarm/vasarhelyi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <stdexcept>
+
+#include "math/geometry.h"
+
+namespace swarmfuzz::swarm {
+
+double braking_curve(double r, double a, double p) {
+  if (r <= 0.0) return 0.0;
+  if (r * p <= a / p) return r * p;
+  return std::sqrt(2.0 * a * r - a * a / (p * p));
+}
+
+VasarhelyiController::VasarhelyiController(const VasarhelyiParams& params)
+    : params_(params) {
+  if (params.v_flock <= 0.0 || params.v_max <= 0.0 || params.r0_rep <= 0.0 ||
+      params.a_frict <= 0.0 || params.p_frict <= 0.0 || params.a_shill <= 0.0 ||
+      params.p_shill <= 0.0) {
+    throw std::invalid_argument("VasarhelyiController: invalid parameter");
+  }
+}
+
+VasarhelyiController::Terms VasarhelyiController::compute_terms(
+    int self_index, const WorldSnapshot& snapshot, const MissionSpec& mission) const {
+  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
+    throw std::out_of_range("VasarhelyiController: self_index out of range");
+  }
+  const sim::DroneObservation& self =
+      snapshot.drones[static_cast<size_t>(self_index)];
+  Terms terms;
+
+  // Goal (1): self-propulsion toward the destination at the preferred speed.
+  terms.migration =
+      (mission.destination - self.gps_position).horizontal().normalized() *
+      params_.v_flock;
+
+  // Goals (2) and (3): pairwise terms over every heard neighbour.
+  std::vector<std::pair<double, Vec3>> neighbours;  // (distance, self - other)
+  neighbours.reserve(snapshot.drones.size());
+  int friction_contributors = 0;
+  for (int k = 0; k < static_cast<int>(snapshot.drones.size()); ++k) {
+    if (k == self_index) continue;
+    const sim::DroneObservation& other = snapshot.drones[static_cast<size_t>(k)];
+    const Vec3 diff = (self.gps_position - other.gps_position).horizontal();
+    const double dist = diff.norm();
+    if (dist < 1e-9) continue;  // coincident fixes: no defined direction
+    neighbours.emplace_back(dist, diff);
+
+    if (dist < params_.r0_rep) {
+      terms.repulsion += diff * (params_.p_rep * (params_.r0_rep - dist) / dist);
+    }
+
+    const Vec3 vel_diff = other.velocity - self.velocity;
+    const double vel_diff_norm = vel_diff.norm();
+    const double slack =
+        std::max(params_.v_frict,
+                 braking_curve(dist - params_.r0_frict, params_.a_frict,
+                               params_.p_frict));
+    if (vel_diff_norm > slack) {
+      terms.friction +=
+          vel_diff * (params_.c_frict * (vel_diff_norm - slack) / vel_diff_norm);
+      ++friction_contributors;
+    }
+  }
+  // Alignment is averaged, not summed: a drone surrounded by many
+  // like-moving neighbours should feel one consensus pull, not an O(N) force
+  // that can bulldoze it through an obstacle in large swarms.
+  if (friction_contributors > 1) {
+    terms.friction = terms.friction / static_cast<double>(friction_contributors);
+  }
+
+  // Goal (3) cohesion: topological attraction toward the k_att *nearest*
+  // members that have drifted beyond r0_att. Topological interaction is
+  // standard in flocking (it keeps the formation from fragmenting) and,
+  // unlike metric all-pairs attraction, produces no centripetal squeeze in
+  // dense swarms: there the nearest members are well inside r0_att.
+  std::sort(neighbours.begin(), neighbours.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const int k_att = std::min<int>(params_.k_att, static_cast<int>(neighbours.size()));
+  for (int k = 0; k < k_att; ++k) {
+    const auto& [dist, diff] = neighbours[static_cast<size_t>(k)];
+    if (dist > params_.r0_att) {
+      terms.attraction += diff * (-params_.p_att * (dist - params_.r0_att) / dist);
+    }
+  }
+  // Capped in total: one distant buddy pulls as hard as several.
+  terms.attraction = terms.attraction.clamped(params_.v_att_max);
+
+  // Goal (2), obstacle part: align with a shill agent sitting just outside
+  // the nearest obstacle surface, moving outward at v_shill. The braking
+  // curve makes the term negligible far away and dominant near the surface.
+  for (const sim::CylinderObstacle& obstacle : mission.obstacles.obstacles()) {
+    const double dist = math::distance_to_cylinder(self.gps_position,
+                                                   obstacle.center, obstacle.radius);
+    const Vec3 outward =
+        math::cylinder_outward_normal(self.gps_position, obstacle.center);
+    const Vec3 shill_velocity = outward * params_.v_shill;
+    const Vec3 vel_diff = shill_velocity - self.velocity;
+    const double vel_diff_norm = vel_diff.norm();
+    const double slack = braking_curve(dist - params_.r0_shill, params_.a_shill,
+                                       params_.p_shill);
+    if (vel_diff_norm > slack) {
+      terms.shill += vel_diff * ((vel_diff_norm - slack) / vel_diff_norm);
+    }
+  }
+
+  terms.altitude = Vec3{0.0, 0.0,
+                        params_.altitude_gain *
+                            (mission.cruise_altitude - self.gps_position.z)};
+  return terms;
+}
+
+Vec3 VasarhelyiController::desired_velocity(int self_index,
+                                            const WorldSnapshot& snapshot,
+                                            const MissionSpec& mission) const {
+  return compute_terms(self_index, snapshot, mission).total().clamped(params_.v_max);
+}
+
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,94 @@
+// The Vasarhelyi et al. flocking algorithm (Science Robotics 2018) - the
+// "Vicsek algorithm" the paper evaluates, as implemented by SwarmLab.
+//
+// Each drone's desired velocity is the sum of sub-velocities, one per
+// high-level goal (paper section II):
+//   goal (1) mission-driven      -> v_spp   : self-propulsion toward the
+//                                             destination at v_flock
+//   goal (2) collision-free      -> v_rep   : linear pairwise repulsion
+//                                             below r0_rep, plus shill-agent
+//                                             obstacle avoidance
+//   goal (3) cohesive formation  -> v_frict : velocity alignment whose slack
+//                                             shrinks with distance via the
+//                                             braking curve D(r, a, p)
+// The braking curve (eq. 7 of Vasarhelyi et al.):
+//   D(r, a, p) = 0                      for r <= 0
+//              = r * p                  for 0 < r*p <= a/p
+//              = sqrt(2*a*r - a^2/p^2)  otherwise
+// Altitude is held at the mission's cruise height with a proportional term.
+#pragma once
+
+#include "swarm/controller.h"
+
+namespace swarmfuzz::swarm {
+
+struct VasarhelyiParams {
+  double v_flock = 2.5;    // preferred speed toward the destination, m/s
+  double v_max = 4.5;      // clamp on the final desired velocity, m/s
+
+  // Pairwise repulsion (goal 2, inter-drone).
+  double r0_rep = 8.0;    // repulsion onset distance, m
+  double p_rep = 0.8;     // repulsion gain, 1/s
+
+  // Pairwise attraction (goal 3, cohesive formation): beyond r0_att the
+  // drone is pulled toward the distant member so the formation does not
+  // fragment. This is the sub-velocity the paper's motivating example
+  // exploits (Fig. 2-(c): spoofing increases the perceived inter-distance,
+  // generating attraction that drags the victim toward the obstacle).
+  double r0_att = 24.0;    // attraction onset distance, m
+  double p_att = 0.5;     // attraction gain, 1/s
+  double v_att_max = 3.0;  // cap on the total attraction sub-velocity, m/s
+  int k_att = 3;           // attract only toward the k nearest members
+
+  // Velocity alignment / friction (goal 3).
+  double r0_frict = 22.0;  // alignment slack onset, m
+  double c_frict = 0.3;   // alignment gain
+  double v_frict = 0.25;   // velocity-slack floor, m/s
+  double p_frict = 2.2;    // braking-curve linear gain
+  double a_frict = 2.0;    // braking-curve max deceleration, m/s^2
+
+  // Shill-agent obstacle avoidance (goal 2, obstacle).
+  double r0_shill = 0.5;   // distance of the shill from the surface, m
+  double v_shill = 4.6;    // shill agent speed, m/s
+  double p_shill = 1.2;    // braking-curve gain toward the shill velocity
+  double a_shill = 1.4;    // braking-curve max deceleration, m/s^2
+
+  double altitude_gain = 0.8;  // 1/s, proportional height hold
+};
+
+// The braking curve D(r, a, p); exposed for tests (monotone, continuous).
+[[nodiscard]] double braking_curve(double r, double a, double p);
+
+class VasarhelyiController final : public SwarmController {
+ public:
+  explicit VasarhelyiController(const VasarhelyiParams& params = {});
+
+  [[nodiscard]] Vec3 desired_velocity(int self_index, const WorldSnapshot& snapshot,
+                                      const MissionSpec& mission) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "vasarhelyi";
+  }
+
+  [[nodiscard]] const VasarhelyiParams& params() const noexcept { return params_; }
+
+  // Individual sub-velocities, exposed for tests and for the motivating
+  // example (Fig. 2 of the paper shows exactly this decomposition).
+  struct Terms {
+    Vec3 migration;   // v_spp, goal (1)
+    Vec3 repulsion;   // v_rep, goal (2) inter-drone
+    Vec3 attraction;  // v_att, goal (3) cohesion
+    Vec3 friction;    // v_frict, goal (3) alignment
+    Vec3 shill;       // obstacle avoidance, goal (2) obstacle
+    Vec3 altitude;    // height hold (simulation plumbing, not a paper goal)
+    [[nodiscard]] Vec3 total() const {
+      return migration + repulsion + attraction + friction + shill + altitude;
+    }
+  };
+  [[nodiscard]] Terms compute_terms(int self_index, const WorldSnapshot& snapshot,
+                                    const MissionSpec& mission) const;
+
+ private:
+  VasarhelyiParams params_;
+};
+
+}  // namespace swarmfuzz::swarm

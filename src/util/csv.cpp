@@ -1,0 +1,69 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace swarmfuzz::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path, char separator)
+    : owned_stream_(path), stream_(&owned_stream_), separator_(separator) {
+  if (!owned_stream_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+CsvWriter::CsvWriter(std::ostream& stream, char separator)
+    : stream_(&stream), separator_(separator) {}
+
+std::string CsvWriter::escape(std::string_view field, char separator) {
+  const bool needs_quotes =
+      field.find(separator) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_fields(std::span<const std::string> fields) {
+  bool first = true;
+  for (const std::string& field : fields) {
+    if (!first) *stream_ << separator_;
+    first = false;
+    *stream_ << escape(field, separator_);
+  }
+  *stream_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(std::span<const std::string> fields) {
+  write_fields(fields);
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> owned;
+  owned.reserve(fields.size());
+  for (const std::string_view f : fields) owned.emplace_back(f);
+  write_fields(owned);
+}
+
+void CsvWriter::write_numeric_row(std::span<const double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[32];
+  for (const double v : values) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    fields.emplace_back(buf);
+  }
+  write_fields(fields);
+}
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,51 @@
+// Tiny CSV writer used to dump trajectories and campaign results.
+//
+// Quoting follows RFC 4180: fields containing the separator, quotes or
+// newlines are quoted, embedded quotes are doubled.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swarmfuzz::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing (truncates). Throws std::runtime_error when the
+  // file cannot be opened.
+  explicit CsvWriter(const std::filesystem::path& path, char separator = ',');
+
+  // Writes straight into an externally owned stream (useful in tests).
+  explicit CsvWriter(std::ostream& stream, char separator = ',');
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  // Emits one row; each field is escaped independently.
+  void write_row(std::span<const std::string> fields);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+  // Convenience for numeric rows; doubles are formatted with %.9g.
+  void write_numeric_row(std::span<const double> values);
+
+  // Number of rows written so far (header included).
+  [[nodiscard]] int rows_written() const noexcept { return rows_; }
+
+  // Escapes a single field (exposed for testing).
+  [[nodiscard]] static std::string escape(std::string_view field, char separator);
+
+ private:
+  void write_fields(std::span<const std::string> fields);
+
+  std::ofstream owned_stream_;
+  std::ostream* stream_ = nullptr;
+  char separator_;
+  int rows_ = 0;
+};
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,100 @@
+// Minimal {}-style string formatting (subset of std::format, which is not
+// available on every toolchain we target).
+//
+// Supported placeholder forms:
+//   {}        default formatting via operator<<
+//   {:.Nf}    fixed precision for arithmetic types
+//   {:Nd}/{:N} minimum width (right-aligned) for arithmetic types
+//   {{ and }} literal braces
+// Excess placeholders render as-is; excess arguments are ignored. This keeps
+// logging formatting errors from ever throwing in production paths.
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace swarmfuzz::util {
+namespace detail {
+
+template <typename T>
+void append_value(std::ostringstream& out, std::string_view spec, const T& value) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    if (!spec.empty()) {
+      // Parse "[width][.precision][f]".
+      size_t pos = 0;
+      int width = 0;
+      while (pos < spec.size() && spec[pos] >= '0' && spec[pos] <= '9') {
+        width = width * 10 + (spec[pos] - '0');
+        ++pos;
+      }
+      if (width > 0) out << std::setw(width);
+      if (pos < spec.size() && spec[pos] == '.') {
+        ++pos;
+        int precision = 0;
+        while (pos < spec.size() && spec[pos] >= '0' && spec[pos] <= '9') {
+          precision = precision * 10 + (spec[pos] - '0');
+          ++pos;
+        }
+        out << std::fixed << std::setprecision(precision);
+      }
+    }
+  }
+  out << value;
+  // Reset stateful flags for the next placeholder.
+  out.unsetf(std::ios::fixed);
+  out << std::setprecision(6) << std::setw(0);
+}
+
+inline void format_step(std::ostringstream& out, std::string_view& fmt) {
+  // No arguments left: emit the remainder verbatim.
+  out << fmt;
+  fmt = {};
+}
+
+template <typename T, typename... Rest>
+void format_step(std::ostringstream& out, std::string_view& fmt, const T& value,
+                 const Rest&... rest) {
+  while (!fmt.empty()) {
+    const char c = fmt.front();
+    if (c == '{' && fmt.size() >= 2 && fmt[1] == '{') {
+      out << '{';
+      fmt.remove_prefix(2);
+      continue;
+    }
+    if (c == '}' && fmt.size() >= 2 && fmt[1] == '}') {
+      out << '}';
+      fmt.remove_prefix(2);
+      continue;
+    }
+    if (c == '{') {
+      const size_t close = fmt.find('}');
+      if (close == std::string_view::npos) {
+        out << fmt;  // malformed: emit as-is
+        fmt = {};
+        return;
+      }
+      std::string_view spec = fmt.substr(1, close - 1);
+      if (!spec.empty() && spec.front() == ':') spec.remove_prefix(1);
+      fmt.remove_prefix(close + 1);
+      append_value(out, spec, value);
+      format_step(out, fmt, rest...);
+      return;
+    }
+    out << c;
+    fmt.remove_prefix(1);
+  }
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::ostringstream out;
+  std::string_view remaining = fmt;
+  detail::format_step(out, remaining, args...);
+  return out.str();
+}
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,127 @@
+#include "util/json.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace swarmfuzz::util {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prepare_for_value() {
+  if (!stack_.empty() && stack_.back() == Scope::kObject && !expecting_value_) {
+    throw std::logic_error("JsonWriter: value in object requires a key");
+  }
+  if (!expecting_value_ && !stack_.empty() && has_items_.back()) {
+    out_.push_back(',');
+  }
+  if (expecting_value_) {
+    expecting_value_ = false;
+  } else if (!stack_.empty()) {
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  prepare_for_value();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || expecting_value_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  prepare_for_value();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject || expecting_value_) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  out_.push_back('"');
+  out_ += escape(name);
+  out_ += "\":";
+  expecting_value_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  prepare_for_value();
+  out_.push_back('"');
+  out_ += escape(text);
+  out_.push_back('"');
+}
+
+void JsonWriter::value(double number) {
+  prepare_for_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", number);
+  out_ += buf;
+}
+
+void JsonWriter::value(int number) {
+  prepare_for_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool boolean) {
+  prepare_for_value();
+  out_ += boolean ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  prepare_for_value();
+  out_ += "null";
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty() || expecting_value_) {
+    throw std::logic_error("JsonWriter: document not finished");
+  }
+  return out_;
+}
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,60 @@
+// Minimal JSON writer (no parsing) for exporting fuzzing results as
+// machine-readable artifacts. Writes UTF-8 with proper string escaping and
+// uses %.10g for numbers (round-trips doubles we care about).
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.key("found");    json.value(true);
+//   json.key("victims");  json.begin_array();
+//   json.value(3); json.value(4);
+//   json.end_array();
+//   json.end_object();
+//   std::string text = json.str();
+//
+// The writer validates nesting: mismatched begin/end or a value where a key
+// is required throws std::logic_error.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swarmfuzz::util {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object key; must be followed by exactly one value/container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view{text}); }
+  void value(double number);
+  void value(int number);
+  void value(bool boolean);
+  void null();
+
+  // Finished document text. Throws std::logic_error if containers are open.
+  [[nodiscard]] std::string str() const;
+
+  // Escapes a string per RFC 8259 (quotes, backslash, control characters).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void prepare_for_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // per scope: need a comma before next item
+  bool expecting_value_ = false; // a key was just written
+};
+
+}  // namespace swarmfuzz::util

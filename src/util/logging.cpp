@@ -1,0 +1,93 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace swarmfuzz::util {
+namespace {
+
+class StderrSink final : public LogSink {
+ public:
+  void write(LogLevel level, std::string_view message) override {
+    const std::scoped_lock lock(mutex_);
+    std::fprintf(stderr, "[swarmfuzz:%.*s] %.*s\n",
+                 static_cast<int>(log_level_name(level).size()),
+                 log_level_name(level).data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+StderrSink& default_sink() {
+  static StderrSink sink;
+  return sink;
+}
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink*> g_sink{nullptr};
+std::once_flag g_env_once;
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink* sink) noexcept {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  init_logging_from_env();
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  LogSink* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = &default_sink();
+  sink->write(level, message);
+}
+
+void init_logging_from_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("SWARMFUZZ_LOG_LEVEL")) {
+      g_level.store(parse_log_level(env), std::memory_order_relaxed);
+    }
+  });
+}
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,78 @@
+// Minimal leveled logging for the SwarmFuzz library.
+//
+// The library is used both interactively (examples) and in tight fuzzing
+// loops (benchmarks), so logging must be cheap when disabled: the macro form
+// skips message formatting entirely when the level is filtered out.
+//
+// Thread-safety: the sink pointer and level are plain globals set once at
+// startup; the default sink serializes writes with an internal mutex.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/format.h"
+
+namespace swarmfuzz::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Human-readable tag ("TRACE".."ERROR") for a level.
+std::string_view log_level_name(LogLevel level) noexcept;
+
+// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+// Returns kInfo for unrecognized input.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+// Abstract sink; implement to redirect library logs (e.g. into a test).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, std::string_view message) = 0;
+};
+
+// Global logger configuration.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+// Replaces the active sink; passing nullptr restores the default stderr sink.
+// The caller keeps ownership of the sink and must keep it alive while active.
+void set_log_sink(LogSink* sink) noexcept;
+
+// True when `level` would currently be emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+// Core emission routine used by the SWARMFUZZ_LOG macro.
+void log_message(LogLevel level, std::string_view message);
+
+// Initialise the level from the SWARMFUZZ_LOG_LEVEL environment variable.
+// Called lazily on first use; safe to call again.
+void init_logging_from_env();
+
+}  // namespace swarmfuzz::util
+
+// Formats lazily: arguments are not evaluated when the level is filtered.
+#define SWARMFUZZ_LOG(level, ...)                                                \
+  do {                                                                           \
+    if (::swarmfuzz::util::log_enabled(level)) {                                 \
+      ::swarmfuzz::util::log_message(level, ::swarmfuzz::util::format(__VA_ARGS__)); \
+    }                                                                            \
+  } while (false)
+
+#define SWARMFUZZ_TRACE(...) \
+  SWARMFUZZ_LOG(::swarmfuzz::util::LogLevel::kTrace, __VA_ARGS__)
+#define SWARMFUZZ_DEBUG(...) \
+  SWARMFUZZ_LOG(::swarmfuzz::util::LogLevel::kDebug, __VA_ARGS__)
+#define SWARMFUZZ_INFO(...) \
+  SWARMFUZZ_LOG(::swarmfuzz::util::LogLevel::kInfo, __VA_ARGS__)
+#define SWARMFUZZ_WARN(...) \
+  SWARMFUZZ_LOG(::swarmfuzz::util::LogLevel::kWarn, __VA_ARGS__)
+#define SWARMFUZZ_ERROR(...) \
+  SWARMFUZZ_LOG(::swarmfuzz::util::LogLevel::kError, __VA_ARGS__)

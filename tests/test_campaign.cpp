@@ -1,0 +1,129 @@
+#include "fuzz/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "fuzz/report.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+CampaignConfig small_campaign(int missions = 6) {
+  CampaignConfig config;
+  config.num_missions = missions;
+  config.mission.num_drones = 5;
+  config.fuzzer.spoof_distance = 10.0;
+  config.fuzzer.sim.dt = 0.05;
+  config.fuzzer.sim.gps.rate_hz = 20.0;
+  config.fuzzer.mission_budget = 12;  // keep tests fast
+  config.num_threads = 2;
+  return config;
+}
+
+TEST(Campaign, RejectsZeroMissions) {
+  CampaignConfig config = small_campaign(0);
+  EXPECT_THROW((void)run_campaign(config), std::invalid_argument);
+}
+
+TEST(Campaign, RunsAllMissions) {
+  const CampaignResult result = run_campaign(small_campaign());
+  EXPECT_EQ(result.outcomes.size(), 6u);
+  for (const MissionOutcome& o : result.outcomes) {
+    EXPECT_GT(o.mission_seed, 0u);
+    EXPECT_FALSE(o.result.clean_run_failed);  // retries resample failures
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  CampaignConfig config = small_campaign();
+  config.num_threads = 1;
+  const CampaignResult serial = run_campaign(config);
+  config.num_threads = 3;
+  const CampaignResult parallel = run_campaign(config);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i].mission_seed, parallel.outcomes[i].mission_seed);
+    EXPECT_EQ(serial.outcomes[i].result.found, parallel.outcomes[i].result.found);
+    EXPECT_EQ(serial.outcomes[i].result.iterations,
+              parallel.outcomes[i].result.iterations);
+  }
+}
+
+TEST(Campaign, AggregatesAreConsistent) {
+  const CampaignResult result = run_campaign(small_campaign());
+  EXPECT_EQ(result.num_fuzzable(), 6);
+  EXPECT_GE(result.num_found(), 0);
+  EXPECT_LE(result.num_found(), 6);
+  EXPECT_NEAR(result.success_rate(),
+              static_cast<double>(result.num_found()) / 6.0, 1e-12);
+  EXPECT_EQ(result.found_start_times().size(),
+            static_cast<size_t>(result.num_found()));
+  EXPECT_EQ(result.found_durations().size(),
+            static_cast<size_t>(result.num_found()));
+  EXPECT_EQ(result.mission_vdos().size(), 6u);
+}
+
+TEST(Campaign, CumulativeSuccessCurveIsWellFormed) {
+  const CampaignResult result = run_campaign(small_campaign());
+  const auto curve = result.cumulative_success_by_vdo();
+  ASSERT_FALSE(curve.empty());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);  // x sorted
+  }
+  for (const auto& [vdo, rate] : curve) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  // The final point covers all missions: rate equals overall success rate.
+  EXPECT_NEAR(curve.back().second, result.success_rate(), 1e-12);
+}
+
+TEST(Campaign, IterationAveragesBounded) {
+  CampaignConfig config = small_campaign();
+  const CampaignResult result = run_campaign(config);
+  EXPECT_GE(result.avg_iterations_all(), 0.0);
+  EXPECT_LE(result.avg_iterations_all(),
+            config.fuzzer.mission_budget + config.fuzzer.per_seed_budget);
+  if (result.num_found() > 0) {
+    EXPECT_GT(result.avg_iterations_successful(), 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(result.avg_iterations_successful(), 0.0);
+  }
+}
+
+TEST(Campaign, GridRunsEveryCell) {
+  GridConfig grid;
+  grid.swarm_sizes = {5};
+  grid.spoof_distances = {5.0, 10.0};
+  grid.base = small_campaign(3);
+  const auto cells = run_grid(grid);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].swarm_size, 5);
+  EXPECT_DOUBLE_EQ(cells[0].spoof_distance, 5.0);
+  EXPECT_DOUBLE_EQ(cells[1].spoof_distance, 10.0);
+  EXPECT_EQ(cells[0].result.outcomes.size(), 3u);
+  EXPECT_EQ(cell_label(cells[0]), "5d-5m");
+}
+
+TEST(Campaign, ReportFormattersProduceTables) {
+  GridConfig grid;
+  grid.swarm_sizes = {5};
+  grid.spoof_distances = {10.0};
+  grid.base = small_campaign(3);
+  const auto cells = run_grid(grid);
+  const std::string table1 = format_success_table(cells);
+  EXPECT_NE(table1.find("Table I"), std::string::npos);
+  EXPECT_NE(table1.find("5 drones"), std::string::npos);
+  EXPECT_NE(table1.find("10m spoofing"), std::string::npos);
+  const std::string table2 = format_iterations_table(cells);
+  EXPECT_NE(table2.find("Table II"), std::string::npos);
+  EXPECT_NE(table2.find("5-drone"), std::string::npos);
+
+  std::vector<CampaignResult> per_fuzzer{cells[0].result};
+  const std::string table3 = format_ablation_table(per_fuzzer);
+  EXPECT_NE(table3.find("Table III"), std::string::npos);
+  EXPECT_NE(table3.find("SwarmFuzz"), std::string::npos);
+  EXPECT_NE(table3.find("Success rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,78 @@
+#include "graph/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace swarmfuzz::graph {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(DegreeCentrality, InDegreeCountsIncomingWeight) {
+  Digraph g(3);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 0, 1.0);
+  const auto scores = in_degree_centrality(g);
+  EXPECT_NEAR(sum(scores), 1.0, 1e-12);
+  EXPECT_NEAR(scores[2], 0.8, 1e-12);
+  EXPECT_NEAR(scores[0], 0.2, 1e-12);
+  EXPECT_NEAR(scores[1], 0.0, 1e-12);
+}
+
+TEST(DegreeCentrality, OutDegreeCountsOutgoingWeight) {
+  Digraph g(3);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(0, 2, 1.0);
+  const auto scores = out_degree_centrality(g);
+  EXPECT_NEAR(scores[0], 1.0, 1e-12);
+  EXPECT_NEAR(scores[1], 0.0, 1e-12);
+}
+
+TEST(DegreeCentrality, EdgelessGraphAllZero) {
+  const auto scores = in_degree_centrality(Digraph(3));
+  for (const double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(EigenvectorCentrality, EmptyGraph) {
+  EXPECT_TRUE(eigenvector_centrality(Digraph(0)).empty());
+}
+
+TEST(EigenvectorCentrality, SumsToOne) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto scores = eigenvector_centrality(g);
+  EXPECT_NEAR(sum(scores), 1.0, 1e-9);
+  // Symmetric ring: uniform.
+  for (const double s : scores) EXPECT_NEAR(s, 0.25, 1e-6);
+}
+
+TEST(EigenvectorCentrality, HubReceivesHighestScore) {
+  Digraph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto scores = eigenvector_centrality(g);
+  EXPECT_GT(scores[3], scores[1]);
+  EXPECT_GT(scores[3], scores[2]);
+}
+
+TEST(EigenvectorCentrality, DisconnectedGraphConvergesViaTeleport) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  // Nodes 2 and 3 are isolated; the teleport term keeps them positive.
+  const auto scores = eigenvector_centrality(g);
+  EXPECT_NEAR(sum(scores), 1.0, 1e-9);
+  EXPECT_GT(scores[2], 0.0);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::graph

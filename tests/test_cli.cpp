@@ -1,0 +1,73 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include "swarm/controller.h"
+
+namespace swarmfuzz::cli {
+namespace {
+
+util::Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"swarmfuzz"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return util::Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+int run_dispatch(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"swarmfuzz"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return dispatch(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ControllerFactoryKnowsAllNames) {
+  EXPECT_EQ(make_controller("vasarhelyi")->name(), "vasarhelyi");
+  EXPECT_EQ(make_controller("vicsek")->name(), "vasarhelyi");
+  EXPECT_EQ(make_controller("olfati")->name(), "olfati_saber");
+  EXPECT_EQ(make_controller("olfati_saber")->name(), "olfati_saber");
+  EXPECT_EQ(make_controller("reynolds")->name(), "reynolds");
+  EXPECT_EQ(make_controller("boids")->name(), "reynolds");
+  EXPECT_EQ(make_controller("")->name(), "vasarhelyi");
+  EXPECT_THROW(make_controller("nonsense"), std::invalid_argument);
+}
+
+TEST(Cli, NoCommandPrintsUsage) {
+  EXPECT_EQ(run_dispatch({}), 64);
+}
+
+TEST(Cli, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(run_dispatch({"frobnicate"}), 64);
+}
+
+TEST(Cli, BadOptionValueReportsError) {
+  EXPECT_EQ(run_dispatch({"run", "--controller=nonsense"}), 1);
+}
+
+TEST(Cli, RunCommandCompletesCleanMission) {
+  EXPECT_EQ(cmd_run(parse({"run", "--seed=1013"})), 0);
+}
+
+TEST(Cli, RunCommandWithEachController) {
+  EXPECT_EQ(cmd_run(parse({"run", "--seed=1013", "--controller=olfati"})), 0);
+  EXPECT_EQ(cmd_run(parse({"run", "--seed=1013", "--controller=reynolds"})), 0);
+}
+
+TEST(Cli, SvgCommandPrintsSeedpool) {
+  EXPECT_EQ(cmd_svg(parse({"svg", "--seed=1013"})), 0);
+}
+
+TEST(Cli, ReplayCommandRunsPlan) {
+  EXPECT_EQ(cmd_replay(parse({"replay", "--seed=1013", "--target=1",
+                              "--start=20", "--duration=10", "--detect"})),
+            0);
+}
+
+TEST(Cli, FuzzCommandFindsSpvOnVulnerableMission) {
+  EXPECT_EQ(cmd_fuzz(parse({"fuzz", "--seed=1013", "--distance=10"})), 0);
+}
+
+TEST(Cli, CampaignCommandSmall) {
+  EXPECT_EQ(cmd_campaign(parse({"campaign", "--missions=2", "--budget=6"})), 0);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::cli

@@ -1,0 +1,88 @@
+#include "sim/collision.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+ObstacleField one_obstacle() {
+  return ObstacleField({CylinderObstacle{{10, 0, 0}, 2.0}});
+}
+
+std::vector<DroneState> states_at(std::initializer_list<Vec3> positions) {
+  std::vector<DroneState> states;
+  for (const Vec3& p : positions) states.push_back({p, {}});
+  return states;
+}
+
+TEST(Collision, RejectsNonPositiveRadius) {
+  EXPECT_THROW(CollisionMonitor(0.0), std::invalid_argument);
+}
+
+TEST(Collision, NoCollisionWhenClear) {
+  const CollisionMonitor monitor(0.3);
+  const auto states = states_at({{0, 0, 0}, {0, 5, 0}});
+  EXPECT_FALSE(monitor.check(states, {}, one_obstacle(), 1.0).has_value());
+}
+
+TEST(Collision, DroneObstacleContact) {
+  const CollisionMonitor monitor(0.3);
+  const auto states = states_at({{7.8, 0, 0}});  // 2.2 from centre, radius 2+0.3
+  const auto event = monitor.check(states, {}, one_obstacle(), 3.5);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, CollisionKind::kDroneObstacle);
+  EXPECT_EQ(event->drone, 0);
+  EXPECT_EQ(event->other, 0);
+  EXPECT_DOUBLE_EQ(event->time, 3.5);
+}
+
+TEST(Collision, JustOutsideThresholdIsSafe) {
+  const CollisionMonitor monitor(0.3);
+  const auto states = states_at({{7.69, 0, 0}});  // 2.31 > 2.3
+  EXPECT_FALSE(monitor.check(states, {}, one_obstacle(), 0.0).has_value());
+}
+
+TEST(Collision, SweptSegmentCatchesTunnelling) {
+  const CollisionMonitor monitor(0.3);
+  // Drone jumped from one side of the obstacle to the other in one step.
+  const auto states = states_at({{20, 0, 0}});
+  const std::vector<Vec3> prev{{0, 0, 0}};
+  const auto event = monitor.check(states, prev, one_obstacle(), 1.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, CollisionKind::kDroneObstacle);
+}
+
+TEST(Collision, NoSweepWithoutPreviousPositions) {
+  const CollisionMonitor monitor(0.3);
+  const auto states = states_at({{20, 0, 0}});
+  EXPECT_FALSE(monitor.check(states, {}, one_obstacle(), 1.0).has_value());
+}
+
+TEST(Collision, DroneDroneContact) {
+  const CollisionMonitor monitor(0.3);
+  const auto states = states_at({{0, 0, 0}, {0.5, 0, 0}, {5, 5, 5}});
+  const auto event = monitor.check(states, {}, ObstacleField{}, 2.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, CollisionKind::kDroneDrone);
+  EXPECT_EQ(event->drone, 0);
+  EXPECT_EQ(event->other, 1);
+}
+
+TEST(Collision, DroneDroneUsesFullDistance) {
+  const CollisionMonitor monitor(0.3);
+  // Horizontal overlap but 10 m apart vertically: no collision.
+  const auto states = states_at({{0, 0, 0}, {0.1, 0, 10}});
+  EXPECT_FALSE(monitor.check(states, {}, ObstacleField{}, 0.0).has_value());
+}
+
+TEST(Collision, ObstacleCheckedBeforeDroneDrone) {
+  const CollisionMonitor monitor(0.3);
+  // Both kinds present; obstacle contact is reported (checked first).
+  const auto states = states_at({{8, 0, 0}, {8.2, 0, 0}});
+  const auto event = monitor.check(states, {}, one_obstacle(), 0.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, CollisionKind::kDroneObstacle);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

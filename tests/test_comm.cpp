@@ -1,0 +1,102 @@
+#include "swarm/comm.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::swarm {
+namespace {
+
+sim::WorldSnapshot three_drone_broadcast() {
+  sim::WorldSnapshot snap;
+  snap.time = 1.0;
+  snap.drones = {
+      {0, {0, 0, 10}, {1, 0, 0}},
+      {1, {20, 0, 10}, {0, 1, 0}},
+      {2, {100, 0, 10}, {0, 0, 1}},
+  };
+  return snap;
+}
+
+TEST(Comm, RejectsInvalidConfig) {
+  EXPECT_THROW(CommModel(CommConfig{.range = 0.0}), std::invalid_argument);
+  EXPECT_THROW(CommModel(CommConfig{.drop_probability = 1.0}), std::invalid_argument);
+  EXPECT_THROW(CommModel(CommConfig{.drop_probability = -0.1}), std::invalid_argument);
+}
+
+TEST(Comm, PerfectCommDeliversEverything) {
+  CommModel comm;
+  comm.reset(1);
+  const auto view = comm.filter(three_drone_broadcast(), 0);
+  EXPECT_EQ(view.drones.size(), 3u);
+  EXPECT_DOUBLE_EQ(view.time, 1.0);
+}
+
+TEST(Comm, SelfIsAlwaysFirst) {
+  CommModel comm;
+  comm.reset(1);
+  const auto view = comm.filter(three_drone_broadcast(), 1);
+  ASSERT_FALSE(view.drones.empty());
+  EXPECT_EQ(view.drones[0].id, 1);
+}
+
+TEST(Comm, RangeLimitsNeighbours) {
+  CommModel comm(CommConfig{.range = 50.0});
+  comm.reset(1);
+  const auto view = comm.filter(three_drone_broadcast(), 0);
+  // Drone 2 at 100 m is out of range; drone 1 at 20 m is in.
+  ASSERT_EQ(view.drones.size(), 2u);
+  EXPECT_EQ(view.drones[1].id, 1);
+}
+
+TEST(Comm, RangeUsesBroadcastGps) {
+  // A spoofed fix can pull a drone out of perceived range.
+  CommModel comm(CommConfig{.range = 50.0});
+  comm.reset(1);
+  auto broadcast = three_drone_broadcast();
+  broadcast.drones[1].gps_position = {90, 0, 10};  // fix claims it is far
+  const auto view = comm.filter(broadcast, 0);
+  EXPECT_EQ(view.drones.size(), 1u);  // only self remains
+}
+
+TEST(Comm, DropsAreRandomButSeedDeterministic) {
+  CommModel a(CommConfig{.drop_probability = 0.5});
+  CommModel b(CommConfig{.drop_probability = 0.5});
+  a.reset(99);
+  b.reset(99);
+  const auto broadcast = three_drone_broadcast();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.filter(broadcast, 0).drones.size(),
+              b.filter(broadcast, 0).drones.size());
+  }
+}
+
+TEST(Comm, DropRateApproximatelyMatchesProbability) {
+  CommModel comm(CommConfig{.drop_probability = 0.3});
+  comm.reset(7);
+  const auto broadcast = three_drone_broadcast();
+  int delivered = 0;
+  const int rounds = 2000;
+  for (int i = 0; i < rounds; ++i) {
+    delivered += static_cast<int>(comm.filter(broadcast, 0).drones.size()) - 1;
+  }
+  const double rate = static_cast<double>(delivered) / (2.0 * rounds);
+  EXPECT_NEAR(rate, 0.7, 0.05);
+}
+
+TEST(Comm, SelfNeverDropped) {
+  CommModel comm(CommConfig{.drop_probability = 0.9});
+  comm.reset(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto view = comm.filter(three_drone_broadcast(), 2);
+    ASSERT_GE(view.drones.size(), 1u);
+    EXPECT_EQ(view.drones[0].id, 2);
+  }
+}
+
+TEST(Comm, UnknownSelfIdThrows) {
+  CommModel comm;
+  comm.reset(1);
+  EXPECT_THROW((void)comm.filter(three_drone_broadcast(), 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+namespace swarmfuzz::util {
+namespace {
+
+TEST(Csv, WritesSimpleRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  writer.write_row({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+  EXPECT_EQ(writer.rows_written(), 2);
+}
+
+TEST(Csv, EscapesSeparatorsQuotesAndNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain", ','), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b", ','), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\"", ','), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak", ','), "\"line\nbreak\"");
+}
+
+TEST(Csv, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter writer(out, ';');
+  writer.write_row({"a;b", "c"});
+  EXPECT_EQ(out.str(), "\"a;b\";c\n");
+}
+
+TEST(Csv, NumericRowsUseCompactFormatting) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::array<double, 3> values{1.5, -2.0, 0.125};
+  writer.write_numeric_row(values);
+  EXPECT_EQ(out.str(), "1.5,-2,0.125\n");
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "swarmfuzz_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row({"x", "y"});
+    writer.write_row({"1", "2"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter(std::filesystem::path{"/nonexistent-dir/file.csv"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::util

@@ -1,0 +1,130 @@
+#include "defense/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/spoofing.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::defense {
+namespace {
+
+TEST(InnovationDetector, RejectsInvalidConfig) {
+  EXPECT_THROW(InnovationDetector({.threshold = 0.0}), std::invalid_argument);
+  EXPECT_THROW(InnovationDetector({.threshold = 5.0, .required_hits = 0}),
+               std::invalid_argument);
+}
+
+TEST(InnovationDetector, ConsistentMotionRaisesNoAlarm) {
+  InnovationDetector detector({.threshold = 2.0, .required_hits = 1});
+  for (int i = 0; i < 100; ++i) {
+    const double t = i * 0.1;
+    // Moving at exactly the reported velocity: zero innovation.
+    EXPECT_FALSE(detector.observe({2.0 * t, 0, 10}, {2, 0, 0}, t));
+  }
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_LT(detector.peak_innovation(), 1e-9);
+}
+
+TEST(InnovationDetector, PositionJumpTriggersAlarm) {
+  InnovationDetector detector({.threshold = 2.0, .required_hits = 1});
+  EXPECT_FALSE(detector.observe({0, 0, 10}, {2, 0, 0}, 0.0));
+  // 10 m jump that the 2 m/s velocity cannot explain.
+  EXPECT_TRUE(detector.observe({10, 0, 10}, {2, 0, 0}, 0.1));
+  EXPECT_TRUE(detector.alarmed());
+  EXPECT_NEAR(detector.alarm_time(), 0.1, 1e-9);
+  EXPECT_GT(detector.peak_innovation(), 9.0);
+}
+
+TEST(InnovationDetector, SmallDeviationsBelowThresholdIgnored) {
+  // The paper's premise: deviations within the standard-GPS-offset band do
+  // not alarm the defense.
+  InnovationDetector detector({.threshold = 10.0, .required_hits = 1});
+  EXPECT_FALSE(detector.observe({0, 0, 10}, {2, 0, 0}, 0.0));
+  EXPECT_FALSE(detector.observe({0.2 + 5.0, 0, 10}, {2, 0, 0}, 0.1));  // 5 m jump
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_GT(detector.peak_innovation(), 4.0);
+}
+
+TEST(InnovationDetector, RequiredHitsSuppressSingleGlitch) {
+  InnovationDetector detector({.threshold = 2.0, .required_hits = 3});
+  (void)detector.observe({0, 0, 10}, {}, 0.0);
+  (void)detector.observe({5, 0, 10}, {}, 0.1);  // hit 1
+  (void)detector.observe({5, 0, 10}, {}, 0.2);  // innovation 0: reset
+  (void)detector.observe({10, 0, 10}, {}, 0.3); // hit 1 again
+  EXPECT_FALSE(detector.alarmed());
+  (void)detector.observe({15, 0, 10}, {}, 0.4); // hit 2
+  (void)detector.observe({20, 0, 10}, {}, 0.5); // hit 3 -> alarm
+  EXPECT_TRUE(detector.alarmed());
+}
+
+TEST(InnovationDetector, ResetClearsState) {
+  InnovationDetector detector({.threshold = 1.0, .required_hits = 1});
+  (void)detector.observe({0, 0, 0}, {}, 0.0);
+  (void)detector.observe({9, 0, 0}, {}, 0.1);
+  ASSERT_TRUE(detector.alarmed());
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_DOUBLE_EQ(detector.peak_innovation(), 0.0);
+}
+
+TEST(SwarmDetectionMonitor, RejectsEmptySwarm) {
+  EXPECT_THROW(SwarmDetectionMonitor(0), std::invalid_argument);
+}
+
+TEST(SwarmDetectionMonitor, CleanMissionNoFalsePositives) {
+  sim::MissionConfig mission_config;
+  mission_config.num_drones = 5;
+  const sim::MissionSpec mission = sim::generate_mission(mission_config, 1013);
+  auto system = swarm::make_vasarhelyi_system();
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  const sim::Simulator simulator(config);
+  SwarmDetectionMonitor monitor(5, {.threshold = 10.0});
+  (void)simulator.run(mission, *system, nullptr, &monitor);
+  EXPECT_FALSE(monitor.report().detected);
+}
+
+TEST(SwarmDetectionMonitor, SmallSpoofEvades_LargeSpoofDetected) {
+  // End-to-end version of the paper's stealthiness claim.
+  sim::MissionConfig mission_config;
+  mission_config.num_drones = 5;
+  const sim::MissionSpec mission = sim::generate_mission(mission_config, 1013);
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  const sim::Simulator simulator(config);
+
+  const auto run_with_distance = [&](double distance) {
+    auto system = swarm::make_vasarhelyi_system();
+    const attack::SpoofingPlan plan{.target = 1,
+                                    .direction = attack::SpoofDirection::kRight,
+                                    .start_time = 20.0,
+                                    .duration = 15.0,
+                                    .distance = distance};
+    const attack::GpsSpoofer spoofer(plan, mission);
+    SwarmDetectionMonitor monitor(5, {.threshold = 10.0});
+    (void)simulator.run(mission, *system, &spoofer, &monitor);
+    return monitor.report();
+  };
+
+  EXPECT_FALSE(run_with_distance(5.0).detected);   // inside the blind band
+  EXPECT_FALSE(run_with_distance(9.0).detected);
+  EXPECT_TRUE(run_with_distance(30.0).detected);   // far above the threshold
+}
+
+TEST(SwarmDetectionMonitor, ReportsFirstAlarmingDrone) {
+  SwarmDetectionMonitor monitor(2, {.threshold = 1.0, .required_hits = 1});
+  sim::WorldSnapshot snap;
+  snap.drones = {{0, {0, 0, 0}, {}}, {1, {10, 0, 0}, {}}};
+  monitor.on_step(0.0, snap, {});
+  snap.drones[1].gps_position = {25, 0, 0};  // drone 1 jumps
+  monitor.on_step(0.1, snap, {});
+  const DetectionReport report = monitor.report();
+  ASSERT_TRUE(report.detected);
+  EXPECT_EQ(report.drone, 1);
+  EXPECT_NEAR(report.time, 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::defense

@@ -1,0 +1,108 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  const Digraph g(0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Digraph, NegativeNodeCountThrows) {
+  EXPECT_THROW(Digraph(-1), std::invalid_argument);
+}
+
+TEST(Digraph, AddAndQueryEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2).value(), 1.0);
+  EXPECT_FALSE(g.edge_weight(2, 0).has_value());
+}
+
+TEST(Digraph, DuplicateEdgeReplacesWeight) {
+  Digraph g(2);
+  g.add_edge(0, 1, 0.3);
+  g.add_edge(0, 1, 0.9);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1).value(), 0.9);
+  // The flat edge list sees the update too.
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 0.9);
+}
+
+TEST(Digraph, RejectsSelfLoopsAndBadIds) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(Digraph, Degrees) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 1);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(1), 2);
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.out_degree(2), 0);
+}
+
+TEST(Digraph, OutWeightSumsEdgeWeights) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.25);
+  g.add_edge(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(g.out_weight(0), 0.75);
+  EXPECT_DOUBLE_EQ(g.out_weight(1), 0.0);
+}
+
+TEST(Digraph, OutEdgesOrderedByInsertion) {
+  Digraph g(3);
+  g.add_edge(0, 2, 0.1);
+  g.add_edge(0, 1, 0.2);
+  const auto edges = g.out_edges(0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].to, 2);
+  EXPECT_EQ(edges[1].to, 1);
+}
+
+TEST(Digraph, TransposeReversesEdgesAndKeepsWeights) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 0.7);
+  const Digraph t = g.transposed();
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.num_edges(), 2);
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_TRUE(t.has_edge(2, 1));
+  EXPECT_FALSE(t.has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(t.edge_weight(1, 0).value(), 0.5);
+}
+
+TEST(Digraph, DoubleTransposeIsIdentity) {
+  Digraph g(4);
+  g.add_edge(0, 3, 0.2);
+  g.add_edge(2, 1, 0.8);
+  const Digraph tt = g.transposed().transposed();
+  EXPECT_TRUE(tt.has_edge(0, 3));
+  EXPECT_TRUE(tt.has_edge(2, 1));
+  EXPECT_EQ(tt.num_edges(), g.num_edges());
+}
+
+TEST(Digraph, QueryOutOfRangeThrows) {
+  const Digraph g(2);
+  EXPECT_THROW((void)g.out_edges(2), std::out_of_range);
+  EXPECT_THROW((void)g.in_degree(-1), std::out_of_range);
+  EXPECT_THROW((void)g.edge_weight(0, 9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::graph

@@ -1,0 +1,57 @@
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::graph {
+namespace {
+
+TEST(Dot, EmptyGraphIsValidDot) {
+  const std::string dot = to_dot(Digraph(0));
+  EXPECT_NE(dot.find("digraph svg {"), std::string::npos);
+  EXPECT_NE(dot.find('}'), std::string::npos);
+}
+
+TEST(Dot, NodesAndEdgesEmitted) {
+  Digraph g(2);
+  g.add_edge(0, 1, 0.5);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("0 [label=\"n0\"]"), std::string::npos);
+  EXPECT_NE(dot.find("1 [label=\"n1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("0.500"), std::string::npos);
+}
+
+TEST(Dot, CustomLabelsAndScores) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  DotOptions options;
+  options.graph_name = "swarm";
+  options.node_labels = {"drone-A", "drone-B"};
+  options.node_scores = {0.75, 0.25};
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("digraph swarm"), std::string::npos);
+  EXPECT_NE(dot.find("drone-A"), std::string::npos);
+  EXPECT_NE(dot.find("0.750"), std::string::npos);
+}
+
+TEST(Dot, EdgeWeightsCanBeHidden) {
+  Digraph g(2);
+  g.add_edge(0, 1, 0.123);
+  DotOptions options;
+  options.show_edge_weights = false;
+  const std::string dot = to_dot(g, options);
+  EXPECT_EQ(dot.find("0.123"), std::string::npos);
+}
+
+TEST(Dot, MissingLabelsFallBackToIds) {
+  Digraph g(3);
+  DotOptions options;
+  options.node_labels = {"only-first"};
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("only-first"), std::string::npos);
+  EXPECT_NE(dot.find("n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::graph

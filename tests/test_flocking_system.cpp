@@ -1,0 +1,126 @@
+#include "swarm/flocking_system.h"
+
+#include <gtest/gtest.h>
+
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz::swarm {
+namespace {
+
+MissionSpec basic_mission() {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {15, 0, 10}};
+  mission.destination = {200, 0, 10};
+  return mission;
+}
+
+sim::WorldSnapshot broadcast_for(const MissionSpec& mission) {
+  sim::WorldSnapshot snap;
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    snap.drones.push_back(
+        {i, mission.initial_positions[static_cast<size_t>(i)], Vec3{}});
+  }
+  return snap;
+}
+
+TEST(FlockingSystem, NullControllerThrows) {
+  EXPECT_THROW(FlockingControlSystem(nullptr), std::invalid_argument);
+}
+
+TEST(FlockingSystem, ComputesOneVelocityPerDrone) {
+  auto system = make_vasarhelyi_system();
+  const MissionSpec mission = basic_mission();
+  system->reset(mission, 1);
+  std::vector<Vec3> desired(2);
+  system->compute(broadcast_for(mission), mission, desired);
+  // Both head broadly toward the destination.
+  EXPECT_GT(desired[0].x, 0.0);
+  EXPECT_GT(desired[1].x, 0.0);
+}
+
+TEST(FlockingSystem, SizeMismatchThrows) {
+  auto system = make_vasarhelyi_system();
+  const MissionSpec mission = basic_mission();
+  system->reset(mission, 1);
+  std::vector<Vec3> wrong(3);
+  EXPECT_THROW(system->compute(broadcast_for(mission), mission, wrong),
+               std::invalid_argument);
+}
+
+TEST(FlockingSystem, ProbeMatchesControllerDirectly) {
+  auto system = make_vasarhelyi_system();
+  const MissionSpec mission = basic_mission();
+  const auto snap = broadcast_for(mission);
+  const VasarhelyiController reference;
+  EXPECT_EQ(system->probe_desired_velocity(1, snap, mission),
+            reference.desired_velocity(1, snap, mission));
+}
+
+TEST(FlockingSystem, ProbeIsConstAndRepeatable) {
+  auto system = make_vasarhelyi_system();
+  const MissionSpec mission = basic_mission();
+  const auto snap = broadcast_for(mission);
+  const Vec3 a = system->probe_desired_velocity(0, snap, mission);
+  const Vec3 b = system->probe_desired_velocity(0, snap, mission);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FlockingSystem, ProbeUnknownIdThrows) {
+  auto system = make_vasarhelyi_system();
+  const MissionSpec mission = basic_mission();
+  EXPECT_THROW(
+      (void)system->probe_desired_velocity(5, broadcast_for(mission), mission),
+      std::invalid_argument);
+}
+
+TEST(FlockingSystem, ProbeDoesNotDisturbCommStream) {
+  // With packet drops enabled, interleaving probes must not change the
+  // compute() outcomes (probes bypass the comm model entirely).
+  const CommConfig comm{.drop_probability = 0.4};
+  auto with_probes = make_vasarhelyi_system(comm);
+  auto without_probes = make_vasarhelyi_system(comm);
+  const MissionSpec mission = basic_mission();
+  with_probes->reset(mission, 5);
+  without_probes->reset(mission, 5);
+  const auto snap = broadcast_for(mission);
+  std::vector<Vec3> a(2), b(2);
+  for (int i = 0; i < 20; ++i) {
+    (void)with_probes->probe_desired_velocity(0, snap, mission);
+    with_probes->compute(snap, mission, a);
+    without_probes->compute(snap, mission, b);
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_EQ(a[1], b[1]);
+  }
+}
+
+TEST(FlockingSystem, CommDropsAffectComputedVelocities) {
+  // With certain drops the neighbour vanishes; at 15 m separation the
+  // repulsion/attraction/friction contributions disappear.
+  const MissionSpec mission = basic_mission();
+  auto lossless = make_vasarhelyi_system();
+  lossless->reset(mission, 1);
+  CommConfig lossy_config{.drop_probability = 0.999999};
+  // drop_probability must stay < 1; emulate certain loss via zero range.
+  lossy_config = CommConfig{.range = 1.0};
+  auto lossy = std::make_unique<FlockingControlSystem>(
+      std::make_shared<VasarhelyiController>(), lossy_config);
+  lossy->reset(mission, 1);
+  auto snap = broadcast_for(mission);
+  // Give the neighbour a big velocity difference so friction matters.
+  snap.drones[1].velocity = {3, 0, 0};
+  std::vector<Vec3> a(2), b(2);
+  lossless->compute(snap, mission, a);
+  lossy->compute(snap, mission, b);
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(FlockingSystem, WorksWithCustomController) {
+  VasarhelyiParams params;
+  params.v_flock = 1.0;
+  auto system = std::make_unique<FlockingControlSystem>(
+      std::make_shared<VasarhelyiController>(params));
+  EXPECT_EQ(system->controller().name(), "vasarhelyi");
+}
+
+}  // namespace
+}  // namespace swarmfuzz::swarm

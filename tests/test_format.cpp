@@ -1,0 +1,55 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::util {
+namespace {
+
+TEST(Format, PlainTextPassesThrough) {
+  EXPECT_EQ(format("no placeholders"), "no placeholders");
+}
+
+TEST(Format, SubstitutesInOrder) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, MixedTypes) {
+  EXPECT_EQ(format("{}/{}/{}", "a", 2, 3.5), "a/2/3.5");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.71), "3");
+}
+
+TEST(Format, PrecisionResetsBetweenPlaceholders) {
+  EXPECT_EQ(format("{:.1f} {}", 1.25, 2.5), "1.2 2.5");
+}
+
+TEST(Format, WidthRightAligns) {
+  EXPECT_EQ(format("{:4}", 7), "   7");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(format("{{literal}} {}", 1), "{literal} 1");
+}
+
+TEST(Format, ExcessPlaceholdersRenderVerbatim) {
+  EXPECT_EQ(format("{} {}", 1), "1 {}");
+}
+
+TEST(Format, ExcessArgumentsIgnored) {
+  EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+TEST(Format, MalformedPlaceholderEmittedAsIs) {
+  EXPECT_EQ(format("tail {", 1), "tail {");
+}
+
+TEST(Format, NegativeNumbersAndZero) {
+  EXPECT_EQ(format("{} {}", -5, 0), "-5 0");
+  EXPECT_EQ(format("{:.1f}", -0.25), "-0.2");
+}
+
+}  // namespace
+}  // namespace swarmfuzz::util

@@ -1,0 +1,146 @@
+#include "fuzz/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+FuzzerConfig fast_config(double spoof_distance = 10.0) {
+  FuzzerConfig config;
+  config.spoof_distance = spoof_distance;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  return config;
+}
+
+sim::MissionSpec mission_with(std::uint64_t seed, int drones = 5) {
+  sim::MissionConfig config;
+  config.num_drones = drones;
+  return sim::generate_mission(config, seed);
+}
+
+TEST(Fuzzer, KindNames) {
+  EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kSwarmFuzz), "SwarmFuzz");
+  EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kRandom), "R_Fuzz");
+  EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kGradientOnly), "G_Fuzz");
+  EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kSvgOnly), "S_Fuzz");
+}
+
+TEST(Fuzzer, FactoryBuildsEachKind) {
+  const FuzzerConfig config = fast_config();
+  EXPECT_EQ(make_fuzzer(FuzzerKind::kSwarmFuzz, config)->name(), "SwarmFuzz");
+  EXPECT_EQ(make_fuzzer(FuzzerKind::kRandom, config)->name(), "R_Fuzz");
+  EXPECT_EQ(make_fuzzer(FuzzerKind::kGradientOnly, config)->name(), "G_Fuzz");
+  EXPECT_EQ(make_fuzzer(FuzzerKind::kSvgOnly, config)->name(), "S_Fuzz");
+}
+
+TEST(Fuzzer, SwarmFuzzFindsKnownVulnerableMission) {
+  // Mission seed 1013 is attackable at 10 m spoofing (established by
+  // exhaustive grid search during development).
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(10.0));
+  const FuzzResult result = fuzzer->fuzz(mission_with(1013));
+  ASSERT_TRUE(result.found);
+  EXPECT_GE(result.victim, 0);
+  EXPECT_NE(result.victim, result.plan.target);
+  EXPECT_GT(result.plan.duration, 0.0);
+  EXPECT_GE(result.plan.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.plan.distance, 10.0);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.simulations, result.iterations);  // stencil costs included
+}
+
+TEST(Fuzzer, FoundPlanReproducesTheCollision) {
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(10.0));
+  const sim::MissionSpec mission = mission_with(1013);
+  const FuzzResult result = fuzzer->fuzz(mission);
+  ASSERT_TRUE(result.found);
+
+  // Replay the reported plan in a fresh simulator: the reported victim must
+  // crash into the obstacle (paper: all found SPVs validate as TPs).
+  auto system = swarm::make_vasarhelyi_system();
+  const sim::Simulator simulator(fast_config().sim);
+  const attack::GpsSpoofer spoofer(result.plan, mission);
+  const sim::RunResult replay = simulator.run(mission, *system, &spoofer);
+  ASSERT_TRUE(replay.first_collision.has_value());
+  EXPECT_EQ(replay.first_collision->kind, sim::CollisionKind::kDroneObstacle);
+  EXPECT_EQ(replay.first_collision->drone, result.victim);
+}
+
+TEST(Fuzzer, ReportsNoFindingOnRobustMission) {
+  // Mission seed 1000 resisted the exhaustive grid at 10 m spoofing.
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(10.0));
+  const FuzzResult result = fuzzer->fuzz(mission_with(1000));
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.clean_run_failed);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_FALSE(result.attempts.empty());
+}
+
+TEST(Fuzzer, RespectsMissionBudget) {
+  FuzzerConfig config = fast_config(5.0);
+  config.mission_budget = 10;
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, config);
+  const FuzzResult result = fuzzer->fuzz(mission_with(1000));
+  EXPECT_LE(result.iterations, 10 + config.per_seed_budget);
+}
+
+TEST(Fuzzer, RandomFuzzerUsesBudgetAndIsDeterministic) {
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 8;
+  auto a = make_fuzzer(FuzzerKind::kRandom, config);
+  auto b = make_fuzzer(FuzzerKind::kRandom, config);
+  const sim::MissionSpec mission = mission_with(1002);
+  const FuzzResult ra = a->fuzz(mission);
+  const FuzzResult rb = b->fuzz(mission);
+  EXPECT_EQ(ra.found, rb.found);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  EXPECT_LE(ra.iterations, 8);
+}
+
+TEST(Fuzzer, SvgOnlyFuzzerStopsWithoutSeeds) {
+  FuzzerConfig config = fast_config(10.0);
+  auto fuzzer = make_fuzzer(FuzzerKind::kSvgOnly, config);
+  sim::MissionSpec mission = mission_with(1002);
+  mission.obstacles = sim::ObstacleField{};  // no obstacle: no seeds
+  const FuzzResult result = fuzzer->fuzz(mission);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(Fuzzer, GradientOnlyTriesRandomPairs) {
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 12;
+  auto fuzzer = make_fuzzer(FuzzerKind::kGradientOnly, config);
+  const FuzzResult result = fuzzer->fuzz(mission_with(1002));
+  EXPECT_GT(result.iterations, 0);
+  for (const SeedAttempt& attempt : result.attempts) {
+    EXPECT_NE(attempt.seed.target, attempt.seed.victim);
+    EXPECT_DOUBLE_EQ(attempt.seed.influence, 0.0);  // no SVG used
+  }
+}
+
+TEST(Fuzzer, MissionVdoIsMinOverDrones) {
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(5.0));
+  const FuzzResult result = fuzzer->fuzz(mission_with(1003));
+  EXPECT_GT(result.mission_vdo, 0.0);
+  for (const SeedAttempt& attempt : result.attempts) {
+    EXPECT_GE(attempt.seed.vdo, result.mission_vdo - 1e-9);
+  }
+}
+
+TEST(Fuzzer, CustomControllerIsHonoured) {
+  // An extremely timid controller parameterisation still runs end-to-end.
+  swarm::VasarhelyiParams params;
+  params.v_flock = 1.0;
+  auto controller = std::make_shared<swarm::VasarhelyiController>(params);
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 5;
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, config, controller);
+  const FuzzResult result = fuzzer->fuzz(mission_with(1001));
+  EXPECT_GE(result.simulations, 1);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

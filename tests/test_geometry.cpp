@@ -1,0 +1,101 @@
+#include "math/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::math {
+namespace {
+
+TEST(Geometry, DistanceToCylinderSigned) {
+  const Vec3 center{0, 0, 0};
+  EXPECT_DOUBLE_EQ(distance_to_cylinder({5, 0, 10}, center, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(distance_to_cylinder({1, 0, 0}, center, 2.0), -1.0);  // inside
+  EXPECT_DOUBLE_EQ(distance_to_cylinder({0, 2, 7}, center, 2.0), 0.0);   // surface
+}
+
+TEST(Geometry, DistanceIgnoresHeight) {
+  EXPECT_DOUBLE_EQ(distance_to_cylinder({3, 4, 100}, {0, 0, 0}, 1.0), 4.0);
+}
+
+TEST(Geometry, ClosestPointOnCylinderIsOnSurfaceAtQueryHeight) {
+  const Vec3 p{10, 0, 7};
+  const Vec3 c = closest_point_on_cylinder(p, {0, 0, 0}, 2.0);
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+  EXPECT_DOUBLE_EQ(c.z, 7.0);
+}
+
+TEST(Geometry, ClosestPointDegenerateAtAxisIsDeterministic) {
+  const Vec3 c1 = closest_point_on_cylinder({0, 0, 5}, {0, 0, 0}, 3.0);
+  const Vec3 c2 = closest_point_on_cylinder({0, 0, 5}, {0, 0, 0}, 3.0);
+  EXPECT_EQ(c1, c2);
+  EXPECT_DOUBLE_EQ((c1 - Vec3{0, 0, 5}).norm_xy(), 3.0);
+}
+
+TEST(Geometry, OutwardNormalIsUnitAndRadial) {
+  const Vec3 n = cylinder_outward_normal({3, 4, 9}, {0, 0, 0});
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(n.z, 0.0);
+}
+
+TEST(Geometry, LateralLeftIsPerpendicular) {
+  const Vec3 heading{1, 0, 0};
+  const Vec3 left = lateral_left(heading);
+  EXPECT_EQ(left, Vec3(0, 1, 0));
+  EXPECT_DOUBLE_EQ(left.dot(heading), 0.0);
+  // For a vertical heading there is no lateral direction.
+  EXPECT_EQ(lateral_left({0, 0, 1}), Vec3{});
+}
+
+TEST(Geometry, LateralLeftOfDiagonalHeading) {
+  const Vec3 left = lateral_left({1, 1, 0});
+  EXPECT_NEAR(left.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(left.x, -std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(left.y, std::sqrt(0.5), 1e-12);
+}
+
+TEST(Geometry, CosAngleXy) {
+  const Vec3 axis{0, 1, 0};
+  // Separation along the axis: |cos| = 1.
+  EXPECT_NEAR(cos_angle_xy({0, 5, 0}, {0, 0, 0}, axis), 1.0, 1e-12);
+  // Perpendicular separation: 0.
+  EXPECT_NEAR(cos_angle_xy({5, 0, 0}, {0, 0, 0}, axis), 0.0, 1e-12);
+  // 45 degrees.
+  EXPECT_NEAR(cos_angle_xy({1, 1, 0}, {0, 0, 0}, axis), std::sqrt(0.5), 1e-12);
+  // Sign-insensitive (absolute cosine).
+  EXPECT_NEAR(cos_angle_xy({0, -5, 0}, {0, 0, 0}, axis), 1.0, 1e-12);
+}
+
+TEST(Geometry, CosAngleDegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(cos_angle_xy({1, 1, 0}, {1, 1, 0}, {0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(cos_angle_xy({1, 0, 0}, {0, 0, 0}, {0, 0, 1}), 0.0);
+}
+
+TEST(Geometry, SegmentPointDistance) {
+  const Vec3 a{0, 0, 0}, b{10, 0, 0};
+  EXPECT_DOUBLE_EQ(segment_point_distance_xy(a, b, {5, 3, 0}), 3.0);   // mid
+  EXPECT_DOUBLE_EQ(segment_point_distance_xy(a, b, {-4, 3, 0}), 5.0);  // before a
+  EXPECT_DOUBLE_EQ(segment_point_distance_xy(a, b, {13, 4, 0}), 5.0);  // past b
+  EXPECT_DOUBLE_EQ(segment_point_distance_xy(a, a, {3, 4, 0}), 5.0);   // degenerate
+}
+
+TEST(Geometry, SegmentSweepCatchesTunnelling) {
+  // A point passing straight through the origin between two samples.
+  const Vec3 before{-5, 0.1, 0}, after{5, 0.1, 0};
+  EXPECT_NEAR(segment_point_distance_xy(before, after, {0, 0, 0}), 0.1, 1e-12);
+}
+
+TEST(Geometry, RadialSpeedSigns) {
+  const Vec3 center{0, 0, 0};
+  // Moving straight away: positive; straight toward: negative.
+  EXPECT_DOUBLE_EQ(radial_speed_xy({5, 0, 0}, center, {2, 0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(radial_speed_xy({5, 0, 0}, center, {-3, 0, 0}), -3.0);
+  // Tangential motion: zero.
+  EXPECT_DOUBLE_EQ(radial_speed_xy({5, 0, 0}, center, {0, 4, 0}), 0.0);
+  // At the centre: defined as zero.
+  EXPECT_DOUBLE_EQ(radial_speed_xy(center, center, {1, 1, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::math

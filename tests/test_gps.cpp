@@ -1,0 +1,100 @@
+#include "sim/gps.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+GpsSensor make_sensor(double rate_hz, double noise = 0.0) {
+  return GpsSensor(GpsConfig{.rate_hz = rate_hz, .noise_stddev = noise},
+                   math::Rng(42));
+}
+
+TEST(Gps, RejectsInvalidConfig) {
+  EXPECT_THROW(make_sensor(0.0), std::invalid_argument);
+  EXPECT_THROW(make_sensor(-10.0), std::invalid_argument);
+  EXPECT_THROW(make_sensor(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(Gps, NoiselessReadingTracksPosition) {
+  GpsSensor gps = make_sensor(100.0);
+  gps.reset();
+  EXPECT_EQ(gps.read({1, 2, 3}, {}, 0.0), Vec3(1, 2, 3));
+  EXPECT_EQ(gps.read({4, 5, 6}, {}, 0.01), Vec3(4, 5, 6));
+  EXPECT_EQ(gps.fix_count(), 2);
+}
+
+TEST(Gps, HoldsFixBetweenSamples) {
+  GpsSensor gps = make_sensor(10.0);  // 0.1 s period
+  gps.reset();
+  const Vec3 first = gps.read({1, 0, 0}, {}, 0.0);
+  // 0.05 s later: below the period, the old fix is held.
+  const Vec3 held = gps.read({99, 0, 0}, {}, 0.05);
+  EXPECT_EQ(held, first);
+  EXPECT_EQ(gps.fix_count(), 1);
+  // At 0.1 s a new fix is taken.
+  const Vec3 fresh = gps.read({99, 0, 0}, {}, 0.1);
+  EXPECT_EQ(fresh, Vec3(99, 0, 0));
+  EXPECT_EQ(gps.fix_count(), 2);
+}
+
+TEST(Gps, SamplingToleratesFloatAccumulation) {
+  GpsSensor gps = make_sensor(20.0);  // 0.05 s period
+  gps.reset();
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    (void)gps.read({static_cast<double>(i), 0, 0}, {}, t);
+    t += 0.05;  // accumulating floating point error
+  }
+  EXPECT_EQ(gps.fix_count(), 100);
+}
+
+TEST(Gps, SpoofOffsetAddedToFix) {
+  GpsSensor gps = make_sensor(100.0);
+  gps.reset();
+  const Vec3 reading = gps.read({10, 20, 30}, {0, 5, 0}, 0.0);
+  EXPECT_EQ(reading, Vec3(10, 25, 30));
+}
+
+TEST(Gps, SpoofOffsetOnlyAppliesAtSampleTime) {
+  GpsSensor gps = make_sensor(10.0);
+  gps.reset();
+  (void)gps.read({0, 0, 0}, {}, 0.0);
+  // Offset supplied mid-period does not alter the held fix.
+  const Vec3 held = gps.read({0, 0, 0}, {0, 99, 0}, 0.03);
+  EXPECT_EQ(held, Vec3(0, 0, 0));
+}
+
+TEST(Gps, ResetClearsState) {
+  GpsSensor gps = make_sensor(1.0);
+  gps.reset();
+  (void)gps.read({1, 1, 1}, {}, 0.0);
+  gps.reset();
+  EXPECT_EQ(gps.fix_count(), 0);
+  // After reset an immediate fix is taken even at the same timestamp.
+  EXPECT_EQ(gps.read({2, 2, 2}, {}, 0.0), Vec3(2, 2, 2));
+}
+
+TEST(Gps, NoiseIsZeroMeanish) {
+  GpsSensor gps = make_sensor(1000.0, 1.0);
+  gps.reset();
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += gps.read({0, 0, 0}, {}, i * 0.001).x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(Gps, NoiseIsDeterministicPerSeed) {
+  GpsSensor a(GpsConfig{.rate_hz = 100.0, .noise_stddev = 0.5}, math::Rng(7));
+  GpsSensor b(GpsConfig{.rate_hz = 100.0, .noise_stddev = 0.5}, math::Rng(7));
+  a.reset();
+  b.reset();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.read({0, 0, 0}, {}, i * 0.01), b.read({0, 0, 0}, {}, i * 0.01));
+  }
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,116 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::util {
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  JsonWriter obj;
+  obj.begin_object();
+  obj.end_object();
+  EXPECT_EQ(obj.str(), "{}");
+
+  JsonWriter arr;
+  arr.begin_array();
+  arr.end_array();
+  EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(Json, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name");
+  json.value("swarmfuzz");
+  json.key("count");
+  json.value(3);
+  json.key("rate");
+  json.value(0.5);
+  json.key("ok");
+  json.value(true);
+  json.key("missing");
+  json.null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"swarmfuzz","count":3,"rate":0.5,"ok":true,"missing":null})");
+}
+
+TEST(Json, ArrayCommas) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(1);
+  json.value(2);
+  json.value(3);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[1,2,3]");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("list");
+  json.begin_array();
+  json.begin_object();
+  json.key("a");
+  json.value(1);
+  json.end_object();
+  json.begin_object();
+  json.key("b");
+  json.value(2);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"list":[{"a":1},{"b":2}]})");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(Json, NumbersFormatCompactly) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(1.0);
+  json.value(-2.5);
+  json.value(1e9);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[1,-2.5,1000000000]");
+}
+
+TEST(Json, ValueInObjectWithoutKeyThrows) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.value(1), std::logic_error);
+}
+
+TEST(Json, KeyOutsideObjectThrows) {
+  JsonWriter json;
+  json.begin_array();
+  EXPECT_THROW(json.key("x"), std::logic_error);
+}
+
+TEST(Json, UnbalancedEndsThrow) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.end_array(), std::logic_error);
+  JsonWriter json2;
+  json2.begin_array();
+  EXPECT_THROW(json2.end_object(), std::logic_error);
+}
+
+TEST(Json, UnfinishedDocumentThrowsOnStr) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW((void)json.str(), std::logic_error);
+  JsonWriter json2;
+  json2.begin_object();
+  json2.key("dangling");
+  EXPECT_THROW((void)json2.str(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::util

@@ -1,0 +1,74 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swarmfuzz::util {
+namespace {
+
+class CaptureSink final : public LogSink {
+ public:
+  void write(LogLevel level, std::string_view message) override {
+    entries.emplace_back(level, std::string{message});
+  }
+  std::vector<std::pair<LogLevel, std::string>> entries;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink(&sink_);
+    set_log_level(LogLevel::kTrace);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  CaptureSink sink_;
+};
+
+TEST_F(LoggingTest, MessagesReachTheSink) {
+  SWARMFUZZ_INFO("hello {}", 42);
+  ASSERT_EQ(sink_.entries.size(), 1u);
+  EXPECT_EQ(sink_.entries[0].first, LogLevel::kInfo);
+  EXPECT_EQ(sink_.entries[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, FilteredLevelsAreDropped) {
+  set_log_level(LogLevel::kError);
+  SWARMFUZZ_DEBUG("dropped");
+  SWARMFUZZ_WARN("dropped too");
+  SWARMFUZZ_ERROR("kept");
+  ASSERT_EQ(sink_.entries.size(), 1u);
+  EXPECT_EQ(sink_.entries[0].second, "kept");
+}
+
+TEST_F(LoggingTest, AllLevelsHaveNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsAliases) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  // Unknown strings default to info rather than throwing.
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LogEnabledRespectsThreshold) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace swarmfuzz::util

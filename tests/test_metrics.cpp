@@ -1,0 +1,99 @@
+#include "swarm/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::swarm {
+namespace {
+
+using sim::DroneState;
+
+std::vector<DroneState> states_of(
+    std::initializer_list<std::pair<math::Vec3, math::Vec3>> list) {
+  std::vector<DroneState> states;
+  for (const auto& [p, v] : list) states.push_back({p, v});
+  return states;
+}
+
+TEST(Metrics, OrderParameterAligned) {
+  const auto states = states_of({
+      {{0, 0, 0}, {1, 0, 0}},
+      {{5, 0, 0}, {2, 0, 0}},
+      {{0, 5, 0}, {3, 0, 0}},
+  });
+  EXPECT_NEAR(order_parameter(states), 1.0, 1e-12);
+}
+
+TEST(Metrics, OrderParameterOpposed) {
+  const auto states = states_of({
+      {{0, 0, 0}, {1, 0, 0}},
+      {{5, 0, 0}, {-1, 0, 0}},
+  });
+  EXPECT_NEAR(order_parameter(states), -1.0, 1e-12);
+}
+
+TEST(Metrics, OrderParameterPerpendicularIsZero) {
+  const auto states = states_of({
+      {{0, 0, 0}, {1, 0, 0}},
+      {{5, 0, 0}, {0, 1, 0}},
+  });
+  EXPECT_NEAR(order_parameter(states), 0.0, 1e-12);
+}
+
+TEST(Metrics, OrderParameterIgnoresStationaryDrones) {
+  const auto states = states_of({
+      {{0, 0, 0}, {1, 0, 0}},
+      {{5, 0, 0}, {0, 0, 0}},  // no defined heading
+      {{0, 5, 0}, {2, 0, 0}},
+  });
+  EXPECT_NEAR(order_parameter(states), 1.0, 1e-12);
+}
+
+TEST(Metrics, DegenerateSwarms) {
+  EXPECT_DOUBLE_EQ(order_parameter({}), 1.0);
+  const auto single = states_of({{{1, 2, 3}, {1, 0, 0}}});
+  EXPECT_DOUBLE_EQ(order_parameter(single), 1.0);
+  const FlockMetrics metrics = flock_metrics(single);
+  EXPECT_DOUBLE_EQ(metrics.cohesion_radius, 0.0);
+  EXPECT_TRUE(std::isinf(metrics.min_separation));
+}
+
+TEST(Metrics, CohesionRadiusAndSeparation) {
+  const auto states = states_of({
+      {{-3, 0, 0}, {1, 0, 0}},
+      {{3, 0, 0}, {1, 0, 0}},
+  });
+  const FlockMetrics metrics = flock_metrics(states);
+  EXPECT_DOUBLE_EQ(metrics.cohesion_radius, 3.0);
+  EXPECT_DOUBLE_EQ(metrics.min_separation, 6.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_speed, 1.0);
+}
+
+TEST(Metrics, VasarhelyiFlockIsOrderedMidMission) {
+  // The controller must actually produce a flock: high velocity order and
+  // safe separations at cruise (sampled mid-mission, before the obstacle).
+  sim::MissionConfig mission_config;
+  mission_config.num_drones = 10;
+  const sim::MissionSpec mission = sim::generate_mission(mission_config, 1003);
+  auto system = make_vasarhelyi_system();
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  config.record_period = 0.0;
+  const sim::Simulator simulator(config);
+  const sim::RunResult result = simulator.run(mission, *system);
+  ASSERT_FALSE(result.collided);
+
+  const int sample = result.recorder.sample_index_at(30.0);
+  const auto states = result.recorder.sample(sample);
+  const FlockMetrics metrics = flock_metrics(states);
+  EXPECT_GT(metrics.order, 0.9);          // aligned cruise
+  EXPECT_GT(metrics.min_separation, 2.0); // no near-misses inside the flock
+  EXPECT_GT(metrics.mean_speed, 1.5);
+  EXPECT_LT(metrics.cohesion_radius, 60.0);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,154 @@
+// IMU model and GPS/IMU complementary navigation filter.
+#include <gtest/gtest.h>
+
+#include "attack/spoofing.h"
+#include "sim/imu.h"
+#include "sim/nav_filter.h"
+#include "sim/simulator.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::sim {
+namespace {
+
+TEST(Imu, RejectsNegativeNoise) {
+  EXPECT_THROW(ImuSensor({.accel_noise_stddev = -1.0}, math::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Imu, NoiselessUnbiasedIsExact) {
+  ImuSensor imu({.accel_noise_stddev = 0.0, .accel_bias_stddev = 0.0}, math::Rng(1));
+  EXPECT_EQ(imu.measure({1, 2, 3}), Vec3(1, 2, 3));
+  EXPECT_EQ(imu.bias(), Vec3{});
+}
+
+TEST(Imu, BiasIsConstantPerDevice) {
+  ImuSensor imu({.accel_noise_stddev = 0.0, .accel_bias_stddev = 0.5}, math::Rng(7));
+  const Vec3 first = imu.measure({0, 0, 0});
+  EXPECT_EQ(first, imu.bias());
+  EXPECT_EQ(imu.measure({0, 0, 0}), first);
+  EXPECT_NE(first, Vec3{});
+}
+
+TEST(Imu, NoiseIsZeroMeanAroundBias) {
+  ImuSensor imu({.accel_noise_stddev = 0.2, .accel_bias_stddev = 0.0}, math::Rng(3));
+  Vec3 sum;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += imu.measure({1, 0, 0});
+  EXPECT_NEAR(sum.x / n, 1.0, 0.02);
+  EXPECT_NEAR(sum.y / n, 0.0, 0.02);
+}
+
+TEST(NavFilter, RejectsInvalidGains) {
+  EXPECT_THROW(NavigationFilter({.position_gain = 0.0}), std::invalid_argument);
+  EXPECT_THROW(NavigationFilter({.position_gain = 1.5}), std::invalid_argument);
+  EXPECT_THROW(NavigationFilter({.position_gain = 0.1, .velocity_gain = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(NavFilter, PredictIntegratesAcceleration) {
+  NavigationFilter filter;
+  filter.reset({0, 0, 0}, {1, 0, 0});
+  filter.predict({0, 0, 0}, 0.5);  // constant velocity
+  EXPECT_EQ(filter.position(), Vec3(0.5, 0, 0));
+  filter.predict({2, 0, 0}, 0.5);  // accelerate
+  EXPECT_NEAR(filter.velocity().x, 2.0, 1e-12);
+}
+
+TEST(NavFilter, CorrectionPullsTowardGps) {
+  NavigationFilter filter({.position_gain = 0.5, .velocity_gain = 0.0});
+  filter.reset({0, 0, 0}, {});
+  filter.correct({10, 0, 0});
+  EXPECT_NEAR(filter.position().x, 5.0, 1e-12);
+  filter.correct({10, 0, 0});
+  EXPECT_NEAR(filter.position().x, 7.5, 1e-12);
+}
+
+TEST(NavFilter, RepeatedCorrectionsConvergeToFix) {
+  NavigationFilter filter;
+  filter.reset({0, 0, 0}, {});
+  for (int i = 0; i < 200; ++i) filter.correct({3, -4, 2});
+  EXPECT_NEAR((filter.position() - Vec3{3, -4, 2}).norm(), 0.0, 1e-6);
+}
+
+TEST(NavFilter, TracksTruthWhenFusedWithCleanSensors) {
+  // Closed loop: dead-reckon with biased IMU, correct with exact GPS; the
+  // estimate must stay near the true trajectory.
+  NavigationFilter filter;
+  ImuSensor imu({.accel_noise_stddev = 0.05, .accel_bias_stddev = 0.02},
+                math::Rng(5));
+  Vec3 position{0, 0, 0}, velocity{0, 0, 0};
+  filter.reset(position, velocity);
+  const double dt = 0.05;
+  for (int i = 0; i < 600; ++i) {
+    const Vec3 accel = i < 100 ? Vec3{0.5, 0.2, 0} : Vec3{};
+    velocity += accel * dt;
+    position += velocity * dt;
+    filter.predict(imu.measure(accel), dt);
+    filter.correct(position);  // exact GPS
+    EXPECT_LT((filter.position() - position).norm(), 1.5);
+  }
+  EXPECT_LT((filter.position() - position).norm(), 0.5);
+}
+
+TEST(NavFilter, SimulatorMissionStillCleanWithNavigationFilter) {
+  MissionConfig mission_config;
+  mission_config.num_drones = 5;
+  const MissionSpec mission = generate_mission(mission_config, 1013);
+  auto system = swarm::make_vasarhelyi_system();
+  SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  config.use_navigation_filter = true;
+  const Simulator simulator(config);
+  const RunResult result = simulator.run(mission, *system);
+  EXPECT_FALSE(result.collided);
+  EXPECT_TRUE(result.reached_destination);
+}
+
+TEST(NavFilter, SpoofingDragsEstimateGradually) {
+  // With fusion enabled, a spoofing step must not teleport the broadcast
+  // position: right after onset the observed offset is a fraction of d.
+  class CaptureObserver final : public StepObserver {
+   public:
+    void on_step(double time, const WorldSnapshot& snapshot,
+                 std::span<const DroneState> truth) override {
+      if (time >= 20.0 && time < 20.0 + 0.06 && first_offset < 0.0) {
+        first_offset =
+            math::distance(snapshot.drones[0].gps_position, truth[0].position);
+      }
+      if (time >= 34.0 && time < 34.0 + 0.06) {
+        late_offset =
+            math::distance(snapshot.drones[0].gps_position, truth[0].position);
+      }
+    }
+    double first_offset = -1.0;
+    double late_offset = -1.0;
+  };
+
+  MissionConfig mission_config;
+  mission_config.num_drones = 5;
+  const MissionSpec mission = generate_mission(mission_config, 1001);
+  auto system = swarm::make_vasarhelyi_system();
+  SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  config.use_navigation_filter = true;
+  config.stop_on_collision = false;
+  const Simulator simulator(config);
+  const attack::SpoofingPlan plan{.target = 0,
+                                  .direction = attack::SpoofDirection::kRight,
+                                  .start_time = 20.0,
+                                  .duration = 15.0,
+                                  .distance = 10.0};
+  const attack::GpsSpoofer spoofer(plan, mission);
+  CaptureObserver observer;
+  (void)simulator.run(mission, *system, &spoofer, &observer);
+
+  ASSERT_GE(observer.first_offset, 0.0);
+  EXPECT_LT(observer.first_offset, 5.0);  // far from the full 10 m step
+  // Well into the window the estimate has been dragged most of the way.
+  EXPECT_GT(observer.late_offset, 5.0);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

@@ -1,0 +1,133 @@
+#include "fuzz/objective.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : mission(sim::generate_mission(mission_config(), 1005)),
+        system(swarm::make_vasarhelyi_system()),
+        simulator(sim_config()),
+        clean(simulator.run(mission, *system)) {}
+
+  static sim::MissionConfig mission_config() {
+    sim::MissionConfig config;
+    config.num_drones = 5;
+    return config;
+  }
+  static sim::SimulationConfig sim_config() {
+    sim::SimulationConfig config;
+    config.dt = 0.05;
+    config.gps.rate_hz = 20.0;
+    return config;
+  }
+
+  Seed seed_for(int target, int victim) const {
+    return Seed{.target = target,
+                .victim = victim,
+                .direction = attack::SpoofDirection::kRight,
+                .vdo = clean.recorder.min_obstacle_distance(victim)};
+  }
+
+  sim::MissionSpec mission;
+  std::unique_ptr<swarm::FlockingControlSystem> system;
+  sim::Simulator simulator;
+  sim::RunResult clean;
+};
+
+TEST(Objective, RejectsInvalidSeeds) {
+  Fixture f;
+  EXPECT_THROW(Objective(f.mission, f.simulator, *f.system, f.seed_for(0, 0), 10.0,
+                         f.clean.end_time),
+               std::invalid_argument);
+  EXPECT_THROW(Objective(f.mission, f.simulator, *f.system, f.seed_for(-1, 1), 10.0,
+                         f.clean.end_time),
+               std::invalid_argument);
+  EXPECT_THROW(Objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 0.0,
+                         f.clean.end_time),
+               std::invalid_argument);
+  EXPECT_THROW(Objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                         0.0),
+               std::invalid_argument);
+}
+
+TEST(Objective, ZeroDurationMatchesCleanRun) {
+  Fixture f;
+  Objective objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                      f.clean.end_time);
+  // Duration projects up to one dt; the spoof is then a single-tick blip
+  // whose effect is negligible: f should be close to the clean clearance.
+  const ObjectiveEval eval = objective.evaluate(5.0, 0.0);
+  const double clean_f =
+      f.clean.recorder.min_obstacle_distance(1) - f.mission.drone_radius;
+  EXPECT_NEAR(eval.f, clean_f, 0.35);
+}
+
+TEST(Objective, ProjectionEnforcesTimingConstraints) {
+  Fixture f;
+  Objective objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                      100.0);
+  double t_s = -5.0, dt = 500.0;
+  objective.project(t_s, dt);
+  EXPECT_GE(t_s, 0.0);
+  EXPECT_GT(dt, 0.0);
+  EXPECT_LE(t_s + dt, 100.0 + 1e-9);
+
+  t_s = 99.0;
+  dt = 50.0;
+  objective.project(t_s, dt);
+  EXPECT_LE(t_s + dt, 100.0 + 1e-9);
+}
+
+TEST(Objective, CountsEvaluations) {
+  Fixture f;
+  Objective objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                      f.clean.end_time);
+  EXPECT_EQ(objective.evaluations(), 0);
+  (void)objective.evaluate(10.0, 5.0);
+  (void)objective.evaluate(20.0, 5.0);
+  EXPECT_EQ(objective.evaluations(), 2);
+}
+
+TEST(Objective, DeterministicEvaluation) {
+  Fixture f;
+  Objective a(f.mission, f.simulator, *f.system, f.seed_for(2, 1), 10.0,
+              f.clean.end_time);
+  Objective b(f.mission, f.simulator, *f.system, f.seed_for(2, 1), 10.0,
+              f.clean.end_time);
+  EXPECT_DOUBLE_EQ(a.evaluate(30.0, 15.0).f, b.evaluate(30.0, 15.0).f);
+}
+
+TEST(Objective, FIsClearanceAboveCollisionRadius) {
+  Fixture f;
+  Objective objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                      f.clean.end_time);
+  const ObjectiveEval eval = objective.evaluate(30.0, 10.0);
+  if (!eval.success) {
+    EXPECT_GT(eval.f, 0.0);
+  } else {
+    EXPECT_LE(eval.f, 1e-9);
+  }
+}
+
+TEST(Objective, SuccessNeverAttributedToTarget) {
+  // Sweep a few windows; whenever success is reported the crashed drone must
+  // not be the spoofed target (the paper's success metric).
+  Fixture f;
+  for (int target = 0; target < 3; ++target) {
+    Seed seed = f.seed_for(target, target == 1 ? 2 : 1);
+    Objective objective(f.mission, f.simulator, *f.system, seed, 10.0,
+                        f.clean.end_time);
+    for (double t_s = 20.0; t_s <= 50.0; t_s += 10.0) {
+      const ObjectiveEval eval = objective.evaluate(t_s, 15.0);
+      if (eval.success) {
+        EXPECT_NE(eval.crashed_drone, seed.target);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,70 @@
+#include "sim/obstacle.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+TEST(ObstacleField, EmptyField) {
+  const ObstacleField field;
+  EXPECT_TRUE(field.empty());
+  EXPECT_EQ(field.size(), 0);
+  EXPECT_FALSE(field.nearest({0, 0, 0}).has_value());
+  EXPECT_TRUE(std::isinf(field.min_surface_distance({0, 0, 0})));
+}
+
+TEST(ObstacleField, RejectsNonPositiveRadius) {
+  EXPECT_THROW(ObstacleField({CylinderObstacle{{0, 0, 0}, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(ObstacleField({CylinderObstacle{{0, 0, 0}, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(ObstacleField, NearestPicksClosestBySurfaceDistance) {
+  // Big obstacle farther away can still be nearest by surface distance.
+  const ObstacleField field({
+      CylinderObstacle{{10, 0, 0}, 1.0},   // surface at 9 from origin
+      CylinderObstacle{{20, 0, 0}, 15.0},  // surface at 5 from origin
+  });
+  const auto hit = field.nearest({0, 0, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->index, 1);
+  EXPECT_DOUBLE_EQ(hit->surface_distance, 5.0);
+}
+
+TEST(ObstacleField, HitGeometryIsConsistent) {
+  const ObstacleField field({CylinderObstacle{{10, 0, 0}, 2.0}});
+  const auto hit = field.nearest({0, 0, 7});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->surface_distance, 8.0);
+  EXPECT_DOUBLE_EQ(hit->closest_point.x, 8.0);
+  EXPECT_DOUBLE_EQ(hit->closest_point.z, 7.0);  // at query height
+  EXPECT_DOUBLE_EQ(hit->outward_normal.x, -1.0);
+  EXPECT_NEAR(hit->outward_normal.norm(), 1.0, 1e-12);
+}
+
+TEST(ObstacleField, NegativeDistanceInside) {
+  const ObstacleField field({CylinderObstacle{{0, 0, 0}, 5.0}});
+  EXPECT_DOUBLE_EQ(field.min_surface_distance({1, 0, 3}), -4.0);
+}
+
+TEST(ObstacleField, AtAccessorBoundsChecked) {
+  const ObstacleField field({CylinderObstacle{{0, 0, 0}, 1.0}});
+  EXPECT_NO_THROW((void)field.at(0));
+  EXPECT_THROW((void)field.at(1), std::out_of_range);
+  EXPECT_THROW((void)field.at(-1), std::out_of_range);
+}
+
+TEST(ObstacleField, MultipleObstaclesEnumerable) {
+  const ObstacleField field({
+      CylinderObstacle{{0, 0, 0}, 1.0},
+      CylinderObstacle{{50, 0, 0}, 2.0},
+      CylinderObstacle{{100, 0, 0}, 3.0},
+  });
+  EXPECT_EQ(field.size(), 3);
+  EXPECT_EQ(static_cast<int>(field.obstacles().size()), 3);
+  EXPECT_DOUBLE_EQ(field.at(2).radius, 3.0);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

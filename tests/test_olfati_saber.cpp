@@ -1,0 +1,160 @@
+#include "swarm/olfati_saber.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::swarm {
+namespace {
+
+using sim::DroneObservation;
+
+MissionSpec basic_mission() {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {10, 0, 10}};
+  mission.destination = {200, 0, 10};
+  mission.cruise_altitude = 10.0;
+  return mission;
+}
+
+WorldSnapshot snapshot_of(std::initializer_list<DroneObservation> drones) {
+  WorldSnapshot snap;
+  snap.drones = drones;
+  return snap;
+}
+
+TEST(SigmaNorm, ZeroAtZeroAndIncreasing) {
+  EXPECT_DOUBLE_EQ(sigma_norm(0.0, 0.1), 0.0);
+  double prev = 0.0;
+  for (double d = 0.0; d < 50.0; d += 0.5) {
+    const double s = sigma_norm(d, 0.1);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SigmaNorm, MatchesClosedForm) {
+  const double eps = 0.1, d = 10.0;
+  EXPECT_NEAR(sigma_norm(d, eps), (std::sqrt(1.0 + eps * d * d) - 1.0) / eps, 1e-12);
+}
+
+TEST(Bump, PlateauTransitionAndSupport) {
+  EXPECT_DOUBLE_EQ(bump(-0.1, 0.2), 0.0);
+  EXPECT_DOUBLE_EQ(bump(0.0, 0.2), 1.0);
+  EXPECT_DOUBLE_EQ(bump(0.1, 0.2), 1.0);   // inside the plateau
+  EXPECT_DOUBLE_EQ(bump(1.0, 0.2), 0.0);   // end of support
+  EXPECT_DOUBLE_EQ(bump(1.5, 0.2), 0.0);   // beyond support
+  const double mid = bump(0.6, 0.2);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(Bump, ContinuousAtPlateauEdge) {
+  EXPECT_NEAR(bump(0.2 - 1e-9, 0.2), bump(0.2 + 1e-9, 0.2), 1e-6);
+}
+
+TEST(OlfatiSaber, RejectsInvalidParams) {
+  OlfatiSaberParams params;
+  params.d = 0.0;
+  EXPECT_THROW(OlfatiSaberController{params}, std::invalid_argument);
+  params = {};
+  params.r_factor = 0.9;
+  EXPECT_THROW(OlfatiSaberController{params}, std::invalid_argument);
+  params = {};
+  params.b = params.a - 1.0;  // requires a <= b
+  EXPECT_THROW(OlfatiSaberController{params}, std::invalid_argument);
+}
+
+TEST(OlfatiSaber, LoneDroneHeadsToDestination) {
+  const OlfatiSaberController controller;
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {}}});
+  const Vec3 v = controller.desired_velocity(0, snap, basic_mission());
+  EXPECT_GT(v.x, 0.0);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+  EXPECT_LE(v.norm(), controller.params().v_max + 1e-12);
+}
+
+TEST(OlfatiSaber, CloseNeighboursRepel) {
+  const OlfatiSaberController controller;
+  const double close = controller.params().d / 3.0;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {close, 0, 10}, {}},
+  });
+  const Vec3 with = controller.desired_velocity(0, snap, basic_mission());
+  const auto alone = snapshot_of({{0, {0, 0, 10}, {}}});
+  const Vec3 without = controller.desired_velocity(0, alone, basic_mission());
+  // The close neighbour on +x pushes drone 0 backwards relative to solo.
+  EXPECT_LT(with.x, without.x);
+}
+
+TEST(OlfatiSaber, NeighboursNearSpacingAttractWhenBeyondD) {
+  const OlfatiSaberController controller;
+  const double beyond = controller.params().d * 1.3;  // inside range, beyond d
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {beyond, 0, 10}, {}},
+  });
+  const Vec3 with = controller.desired_velocity(0, snap, basic_mission());
+  const auto alone = snapshot_of({{0, {0, 0, 10}, {}}});
+  const Vec3 without = controller.desired_velocity(0, alone, basic_mission());
+  EXPECT_GT(with.x, without.x);  // pulled toward the distant neighbour
+}
+
+TEST(OlfatiSaber, OutOfRangeNeighbourIgnored) {
+  const OlfatiSaberController controller;
+  const double far = controller.params().r_factor * controller.params().d + 5.0;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {far, 0, 10}, {}},
+  });
+  const auto alone = snapshot_of({{0, {0, 0, 10}, {}}});
+  EXPECT_EQ(controller.desired_velocity(0, snap, basic_mission()),
+            controller.desired_velocity(0, alone, basic_mission()));
+}
+
+TEST(OlfatiSaber, VelocityConsensusDamping) {
+  const OlfatiSaberController controller;
+  // Same position geometry; neighbour moving fast should drag us forward.
+  const auto still = snapshot_of({
+      {0, {0, 0, 10}, {0, 0, 0}},
+      {1, {12, 0, 10}, {0, 0, 0}},
+  });
+  const auto moving = snapshot_of({
+      {0, {0, 0, 10}, {0, 0, 0}},
+      {1, {12, 0, 10}, {3, 0, 0}},
+  });
+  EXPECT_GT(controller.desired_velocity(0, moving, basic_mission()).x,
+            controller.desired_velocity(0, still, basic_mission()).x);
+}
+
+TEST(OlfatiSaber, ObstacleBetaAgentRepels) {
+  const OlfatiSaberController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{6, 0, 0}, 2.0}});
+  // Drone close to the obstacle, flying into it.
+  const auto snap = snapshot_of({{0, {2, 0, 10}, {2, 0, 0}}});
+  MissionSpec no_obstacle = basic_mission();
+  const Vec3 with = controller.desired_velocity(0, snap, mission);
+  const Vec3 without = controller.desired_velocity(0, snap, no_obstacle);
+  EXPECT_LT(with.x, without.x);  // braked/deflected by the beta agent
+}
+
+TEST(OlfatiSaber, AltitudeHeldViaZComponent) {
+  const OlfatiSaberController controller;
+  const auto low = snapshot_of({{0, {0, 0, 4}, {}}});
+  const Vec3 v = controller.desired_velocity(0, low, basic_mission());
+  EXPECT_GT(v.z, 0.0);
+}
+
+TEST(OlfatiSaber, SelfIndexOutOfRangeThrows) {
+  const OlfatiSaberController controller;
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {}}});
+  EXPECT_THROW((void)controller.desired_velocity(2, snap, basic_mission()),
+               std::out_of_range);
+}
+
+TEST(OlfatiSaber, NamedCorrectly) {
+  EXPECT_EQ(OlfatiSaberController{}.name(), "olfati_saber");
+}
+
+}  // namespace
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,158 @@
+#include "fuzz/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+// Synthetic convex landscape mimicking Fig. 5 of the paper: a paraboloid in
+// (t_s, dt) whose minimum value is configurable. Success when f <= 0.
+class Paraboloid final : public ObjectiveFunction {
+ public:
+  Paraboloid(double ts_opt, double dt_opt, double min_value, double t_mission = 120.0)
+      : ts_opt_(ts_opt), dt_opt_(dt_opt), min_value_(min_value),
+        t_mission_(t_mission) {}
+
+  ObjectiveEval evaluate(double t_start, double duration) override {
+    ++evaluations;
+    ObjectiveEval eval;
+    eval.f = min_value_ + 0.01 * (t_start - ts_opt_) * (t_start - ts_opt_) +
+             0.01 * (duration - dt_opt_) * (duration - dt_opt_);
+    eval.success = eval.f <= 0.0;
+    if (eval.success) eval.crashed_drone = 1;
+    return eval;
+  }
+
+  void project(double& t_start, double& duration) const override {
+    t_start = std::clamp(t_start, 0.0, t_mission_ - 0.05);
+    duration = std::clamp(duration, 0.05, t_mission_ - t_start);
+  }
+
+  int evaluations = 0;
+
+ private:
+  double ts_opt_, dt_opt_, min_value_, t_mission_;
+};
+
+// A landscape that is flat everywhere (spoofing has no effect).
+class Flat final : public ObjectiveFunction {
+ public:
+  ObjectiveEval evaluate(double, double) override {
+    ++evaluations;
+    return ObjectiveEval{.f = 5.0};
+  }
+  void project(double& t_start, double& duration) const override {
+    t_start = std::max(t_start, 0.0);
+    duration = std::max(duration, 0.05);
+  }
+  int evaluations = 0;
+};
+
+const StartPoint kStart{20.0, 20.0};
+
+TEST(Optimizer, FindsReachableMinimum) {
+  Paraboloid objective(40.0, 12.0, -0.5);
+  const auto result =
+      optimize(objective, std::span(&kStart, 1), 20, OptimizerConfig{});
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.crashed_drone, 1);
+  EXPECT_LE(result.best_f, 0.0);
+  EXPECT_LE(result.iterations, 20);
+}
+
+TEST(Optimizer, SucceedsImmediatelyAtStartPoint) {
+  Paraboloid objective(20.0, 20.0, -1.0);
+  const auto result =
+      optimize(objective, std::span(&kStart, 1), 20, OptimizerConfig{});
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.iterations, 1);
+}
+
+TEST(Optimizer, StallsOnPositiveMinimum) {
+  // Convex bowl whose floor is above zero: no collision exists; the search
+  // must converge, report stalled and not claim success.
+  Paraboloid objective(25.0, 18.0, 2.0);
+  const auto result =
+      optimize(objective, std::span(&kStart, 1), 20, OptimizerConfig{});
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.stalled);
+  EXPECT_NEAR(result.best_f, 2.0, 0.5);
+}
+
+TEST(Optimizer, FlatLandscapeAbandonsQuickly) {
+  Flat objective;
+  const auto result =
+      optimize(objective, std::span(&kStart, 1), 20, OptimizerConfig{});
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.stalled);
+  EXPECT_LE(result.iterations, 5);
+}
+
+TEST(Optimizer, RespectsBudget) {
+  // Distant minimum + tiny learning rate: budget is the binding constraint.
+  Paraboloid objective(200.0, 100.0, -1.0, 400.0);
+  OptimizerConfig config;
+  config.learning_rate = 0.1;
+  config.stall_tolerance = 0.0;  // never stall
+  const auto result = optimize(objective, std::span(&kStart, 1), 7, config);
+  EXPECT_LE(result.iterations, 7);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(Optimizer, MultiStartPicksBestBasin) {
+  // Two starts: one near the minimum, one far. The descent must proceed from
+  // the near one and succeed within a few iterations.
+  Paraboloid objective(60.0, 10.0, -0.2);
+  const std::vector<StartPoint> starts{{5.0, 50.0}, {58.0, 12.0}};
+  const auto result = optimize(objective, starts, 20, OptimizerConfig{});
+  EXPECT_TRUE(result.success);
+  EXPECT_NEAR(result.t_start, 60.0, 10.0);
+}
+
+TEST(Optimizer, MultiStartEvaluationCanSucceedDirectly) {
+  Paraboloid objective(60.0, 10.0, -5.0);
+  const std::vector<StartPoint> starts{{200.0, 1.0}, {60.0, 10.0}};
+  const auto result = optimize(objective, starts, 20, OptimizerConfig{});
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.iterations, 2);  // second start probe hit it
+  EXPECT_DOUBLE_EQ(result.t_start, 60.0);
+}
+
+TEST(Optimizer, EmptyStartsReturnsFailure) {
+  Paraboloid objective(10.0, 10.0, -1.0);
+  const auto result = optimize(objective, {}, 20, OptimizerConfig{});
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(objective.evaluations, 0);
+}
+
+TEST(Optimizer, ZeroBudgetDoesNothing) {
+  Paraboloid objective(10.0, 10.0, -1.0);
+  const auto result = optimize(objective, std::span(&kStart, 1), 0, OptimizerConfig{});
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(objective.evaluations, 0);
+}
+
+TEST(Optimizer, ParametersStayFeasible) {
+  Paraboloid objective(0.0, 0.0, 1.0);  // minimum at the boundary
+  OptimizerConfig config;
+  config.stall_tolerance = 0.0;
+  const auto result = optimize(objective, std::span(&kStart, 1), 20, config);
+  EXPECT_GE(result.t_start, 0.0);
+  EXPECT_GE(result.duration, 0.0);
+}
+
+TEST(Optimizer, BestFTracksLowestSeen) {
+  Paraboloid objective(40.0, 12.0, 1.5);
+  const auto result =
+      optimize(objective, std::span(&kStart, 1), 20, OptimizerConfig{});
+  // best_f must be <= the start evaluation.
+  Paraboloid fresh(40.0, 12.0, 1.5);
+  const double f0 = fresh.evaluate(kStart.t_start, kStart.duration).f;
+  EXPECT_LE(result.best_f, f0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,107 @@
+#include "graph/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "math/rng.h"
+
+namespace swarmfuzz::graph {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRank, EmptyGraph) {
+  const PageRankResult r = pagerank(Digraph(0));
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(PageRank, SingleNodeGetsAllMass) {
+  const PageRankResult r = pagerank(Digraph(1));
+  ASSERT_EQ(r.scores.size(), 1u);
+  EXPECT_NEAR(r.scores[0], 1.0, 1e-9);
+}
+
+TEST(PageRank, EdgelessGraphIsUniform) {
+  const PageRankResult r = pagerank(Digraph(4));
+  for (const double s : r.scores) EXPECT_NEAR(s, 0.25, 1e-9);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(PageRank, SinkNodeAccumulatesRank) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const PageRankResult r = pagerank(g);
+  EXPECT_GT(r.scores[2], r.scores[0]);
+  EXPECT_GT(r.scores[2], r.scores[1]);
+  EXPECT_NEAR(r.scores[0], r.scores[1], 1e-9);  // symmetric sources
+}
+
+TEST(PageRank, CycleIsUniform) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const PageRankResult r = pagerank(g);
+  for (const double s : r.scores) EXPECT_NEAR(s, 1.0 / 3.0, 1e-8);
+}
+
+TEST(PageRank, WeightsBiasDistribution) {
+  // Node 0 links to both 1 and 2, but 2 gets 9x the weight.
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 9.0);
+  const PageRankResult r = pagerank(g);
+  EXPECT_GT(r.scores[2], r.scores[1]);
+}
+
+TEST(PageRank, DampingOneHalfStillSums) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const PageRankResult r = pagerank(g, {.damping = 0.5});
+  EXPECT_NEAR(sum(r.scores), 1.0, 1e-9);
+}
+
+TEST(PageRank, ReportsIterationsAndConvergence) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const PageRankResult r = pagerank(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+  const PageRankResult capped = pagerank(g, {.max_iterations = 1});
+  EXPECT_EQ(capped.iterations, 1);
+}
+
+// Property: on random graphs the scores form a probability distribution and
+// every node keeps at least the teleport mass.
+class PageRankRandomGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageRankRandomGraphs, ScoresAreAProbabilityDistribution) {
+  const int n = GetParam();
+  math::Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  Digraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.3)) {
+        g.add_edge(i, j, rng.uniform(0.1, 1.0));
+      }
+    }
+  }
+  const PageRankResult r = pagerank(g);
+  EXPECT_NEAR(sum(r.scores), 1.0, 1e-8);
+  const double teleport_floor = (1.0 - 0.85) / n * 0.99;
+  for (const double s : r.scores) {
+    EXPECT_GE(s, teleport_floor);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageRankRandomGraphs,
+                         ::testing::Values(2, 3, 5, 10, 15, 50));
+
+}  // namespace
+}  // namespace swarmfuzz::graph

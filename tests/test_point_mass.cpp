@@ -1,0 +1,93 @@
+#include "sim/point_mass.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+TEST(PointMass, RejectsInvalidParams) {
+  EXPECT_THROW(PointMassModel({.max_acceleration = 0.0}), std::invalid_argument);
+  EXPECT_THROW(PointMassModel({.max_speed = -1.0}), std::invalid_argument);
+  EXPECT_THROW(PointMassModel({.time_constant = 0.0}), std::invalid_argument);
+}
+
+TEST(PointMass, ResetSetsState) {
+  PointMassModel model({});
+  model.reset({1, 2, 3}, {0.5, 0, 0});
+  EXPECT_EQ(model.state().position, Vec3(1, 2, 3));
+  EXPECT_EQ(model.state().velocity, Vec3(0.5, 0, 0));
+}
+
+TEST(PointMass, ResetClampsInitialVelocity) {
+  PointMassModel model({.max_speed = 2.0});
+  model.reset({}, {10, 0, 0});
+  EXPECT_NEAR(model.state().velocity.norm(), 2.0, 1e-12);
+}
+
+TEST(PointMass, ConvergesToDesiredVelocity) {
+  PointMassModel model({});
+  model.reset({}, {});
+  const Vec3 target{2, 1, 0};
+  for (int i = 0; i < 400; ++i) model.step(target, 0.01);
+  EXPECT_NEAR((model.state().velocity - target).norm(), 0.0, 1e-3);
+}
+
+TEST(PointMass, RespectsAccelerationLimit) {
+  PointMassModel model({.max_acceleration = 1.0, .time_constant = 0.01});
+  model.reset({}, {});
+  const Vec3 before = model.state().velocity;
+  model.step({100, 0, 0}, 0.1);
+  const double dv = (model.state().velocity - before).norm();
+  EXPECT_LE(dv, 1.0 * 0.1 + 1e-9);
+}
+
+TEST(PointMass, RespectsSpeedLimit) {
+  PointMassModel model({.max_speed = 3.0});
+  model.reset({}, {});
+  for (int i = 0; i < 1000; ++i) model.step({100, 100, 0}, 0.05);
+  EXPECT_LE(model.state().velocity.norm(), 3.0 + 1e-9);
+}
+
+TEST(PointMass, PositionIntegratesVelocity) {
+  PointMassModel model({.time_constant = 0.01});  // near-instant tracking
+  model.reset({}, {1, 0, 0});
+  for (int i = 0; i < 100; ++i) model.step({1, 0, 0}, 0.01);
+  EXPECT_NEAR(model.state().position.x, 1.0, 0.02);  // ~1 m at 1 m/s for 1 s
+}
+
+TEST(PointMass, HoldsStillWithZeroCommand) {
+  PointMassModel model({});
+  model.reset({5, 5, 5}, {});
+  for (int i = 0; i < 100; ++i) model.step({}, 0.05);
+  EXPECT_EQ(model.state().position, Vec3(5, 5, 5));
+}
+
+TEST(PointMass, RejectsNonPositiveDt) {
+  PointMassModel model({});
+  model.reset({}, {});
+  EXPECT_THROW(model.step({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.step({}, -0.01), std::invalid_argument);
+}
+
+TEST(PointMass, FactoryBuildsPointMass) {
+  const auto vehicle = make_vehicle(VehicleType::kPointMass);
+  vehicle->reset({1, 0, 0}, {});
+  vehicle->step({1, 0, 0}, 0.1);
+  EXPECT_GT(vehicle->state().velocity.x, 0.0);
+}
+
+// Property: tracking converges for a range of time constants.
+class PointMassTauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PointMassTauSweep, TracksStepCommand) {
+  PointMassModel model({.time_constant = GetParam()});
+  model.reset({}, {});
+  for (int i = 0; i < 2000; ++i) model.step({1.5, -0.5, 0.2}, 0.01);
+  EXPECT_NEAR((model.state().velocity - Vec3{1.5, -0.5, 0.2}).norm(), 0.0, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeConstants, PointMassTauSweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 1.0));
+
+}  // namespace
+}  // namespace swarmfuzz::sim

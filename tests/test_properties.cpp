@@ -1,0 +1,181 @@
+// Cross-cutting property sweeps over the full pipeline: invariants that must
+// hold for any mission seed, fuzzer kind or spoofing parameter choice.
+#include <gtest/gtest.h>
+
+#include "attack/spoofing.h"
+#include "fuzz/fuzzer.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz {
+namespace {
+
+sim::SimulationConfig fast_sim() {
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  return config;
+}
+
+sim::MissionSpec mission_of(std::uint64_t seed, int drones = 5) {
+  sim::MissionConfig config;
+  config.num_drones = drones;
+  return sim::generate_mission(config, seed);
+}
+
+// Property: every SPV any fuzzer reports must validate on replay - a
+// victim-obstacle collision in which the spoofed target is not involved.
+// (The paper manually validated all findings as true positives.)
+class FoundSpvsValidate : public ::testing::TestWithParam<fuzz::FuzzerKind> {};
+
+TEST_P(FoundSpvsValidate, ReportedPlansReproduceOnReplay) {
+  fuzz::FuzzerConfig config;
+  config.sim = fast_sim();
+  config.spoof_distance = 10.0;
+  config.mission_budget = 30;
+  auto fuzzer = fuzz::make_fuzzer(GetParam(), config);
+
+  int validated = 0;
+  for (const std::uint64_t seed : {1009ull, 1013ull, 1024ull}) {
+    const sim::MissionSpec mission = mission_of(seed);
+    const fuzz::FuzzResult result = fuzzer->fuzz(mission);
+    if (!result.found) continue;
+
+    auto system = swarm::make_vasarhelyi_system();
+    const sim::Simulator simulator(fast_sim());
+    const attack::GpsSpoofer spoofer(result.plan, mission);
+    const sim::RunResult replay = simulator.run(mission, *system, &spoofer);
+    ASSERT_TRUE(replay.first_collision.has_value())
+        << fuzz::fuzzer_kind_name(GetParam()) << " seed " << seed;
+    EXPECT_EQ(replay.first_collision->kind, sim::CollisionKind::kDroneObstacle);
+    EXPECT_NE(replay.first_collision->drone, result.plan.target);
+    EXPECT_EQ(replay.first_collision->drone, result.victim);
+    ++validated;
+  }
+  // SwarmFuzz must find at least one of these known-vulnerable missions;
+  // the weaker fuzzers may legitimately find none within this budget.
+  if (GetParam() == fuzz::FuzzerKind::kSwarmFuzz) EXPECT_GE(validated, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFuzzers, FoundSpvsValidate,
+                         ::testing::Values(fuzz::FuzzerKind::kSwarmFuzz,
+                                           fuzz::FuzzerKind::kRandom,
+                                           fuzz::FuzzerKind::kGradientOnly,
+                                           fuzz::FuzzerKind::kSvgOnly));
+
+// Property: fuzzing is deterministic - same mission, same config, same
+// outcome, for every fuzzer kind.
+class FuzzerDeterminism : public ::testing::TestWithParam<fuzz::FuzzerKind> {};
+
+TEST_P(FuzzerDeterminism, RepeatedFuzzingIsIdentical) {
+  fuzz::FuzzerConfig config;
+  config.sim = fast_sim();
+  config.mission_budget = 15;
+  const sim::MissionSpec mission = mission_of(1010);
+  auto a = fuzz::make_fuzzer(GetParam(), config);
+  auto b = fuzz::make_fuzzer(GetParam(), config);
+  const fuzz::FuzzResult ra = a->fuzz(mission);
+  const fuzz::FuzzResult rb = b->fuzz(mission);
+  EXPECT_EQ(ra.found, rb.found);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  EXPECT_EQ(ra.simulations, rb.simulations);
+  EXPECT_EQ(ra.attempts.size(), rb.attempts.size());
+  if (ra.found) {
+    EXPECT_EQ(ra.plan.target, rb.plan.target);
+    EXPECT_DOUBLE_EQ(ra.plan.start_time, rb.plan.start_time);
+    EXPECT_DOUBLE_EQ(ra.plan.duration, rb.plan.duration);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFuzzers, FuzzerDeterminism,
+                         ::testing::Values(fuzz::FuzzerKind::kSwarmFuzz,
+                                           fuzz::FuzzerKind::kRandom,
+                                           fuzz::FuzzerKind::kGradientOnly,
+                                           fuzz::FuzzerKind::kSvgOnly));
+
+// Property: the spoofed drone's broadcast GPS equals truth outside the
+// attack window and truth + d laterally inside it, for several windows.
+class SpoofWindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpoofWindowSweep, OffsetAppliedExactlyInWindow) {
+  const double start = GetParam();
+  const sim::MissionSpec mission = mission_of(1001);
+  const attack::SpoofingPlan plan{.target = 2,
+                                  .direction = attack::SpoofDirection::kLeft,
+                                  .start_time = start,
+                                  .duration = 10.0,
+                                  .distance = 7.0};
+  const attack::GpsSpoofer spoofer(plan, mission);
+
+  class Check final : public sim::StepObserver {
+   public:
+    explicit Check(const attack::SpoofingPlan& plan) : plan_(plan) {}
+    void on_step(double time, const sim::WorldSnapshot& snapshot,
+                 std::span<const sim::DroneState> truth) override {
+      const double offset = math::distance(
+          snapshot.drones[static_cast<size_t>(plan_.target)].gps_position,
+          truth[static_cast<size_t>(plan_.target)].position);
+      // GPS fixes are held between samples; allow one sample of lag at the
+      // window edges (dt == GPS period here).
+      if (time > plan_.start_time + 0.1 &&
+          time < plan_.start_time + plan_.duration - 0.1) {
+        EXPECT_NEAR(offset, plan_.distance, 1e-6) << "t=" << time;
+      } else if (time < plan_.start_time - 0.1 ||
+                 time > plan_.start_time + plan_.duration + 0.1) {
+        EXPECT_NEAR(offset, 0.0, 1e-6) << "t=" << time;
+      }
+    }
+
+   private:
+    attack::SpoofingPlan plan_;
+  };
+
+  auto system = swarm::make_vasarhelyi_system();
+  sim::SimulationConfig config = fast_sim();
+  config.stop_on_collision = false;
+  const sim::Simulator simulator(config);
+  Check check(plan);
+  (void)simulator.run(mission, *system, &spoofer, &check);
+}
+
+INSTANTIATE_TEST_SUITE_P(StartTimes, SpoofWindowSweep,
+                         ::testing::Values(0.0, 12.3, 40.0, 77.7));
+
+// Property: the simulator's trajectory is invariant to the recorder's
+// sampling period (recording must not feed back into dynamics).
+TEST(Properties, RecordPeriodDoesNotAffectDynamics) {
+  const sim::MissionSpec mission = mission_of(1004);
+  sim::SimulationConfig coarse = fast_sim();
+  coarse.record_period = 1.0;
+  sim::SimulationConfig fine = fast_sim();
+  fine.record_period = 0.0;
+  auto sys_a = swarm::make_vasarhelyi_system();
+  auto sys_b = swarm::make_vasarhelyi_system();
+  const sim::RunResult a = sim::Simulator(coarse).run(mission, *sys_a);
+  const sim::RunResult b = sim::Simulator(fine).run(mission, *sys_b);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vdo(i), b.vdo(i));
+  }
+}
+
+// Property: a zero-distance "attack" is a no-op - identical VDOs to clean.
+TEST(Properties, ZeroDistanceSpoofIsNoop) {
+  const sim::MissionSpec mission = mission_of(1006);
+  const attack::SpoofingPlan plan{.target = 1,
+                                  .direction = attack::SpoofDirection::kRight,
+                                  .start_time = 20.0,
+                                  .duration = 30.0,
+                                  .distance = 0.0};
+  const attack::GpsSpoofer spoofer(plan, mission);
+  auto sys_a = swarm::make_vasarhelyi_system();
+  auto sys_b = swarm::make_vasarhelyi_system();
+  const sim::Simulator simulator(fast_sim());
+  const sim::RunResult clean = simulator.run(mission, *sys_a);
+  const sim::RunResult attacked = simulator.run(mission, *sys_b, &spoofer);
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    EXPECT_DOUBLE_EQ(clean.vdo(i), attacked.vdo(i));
+  }
+}
+
+}  // namespace
+}  // namespace swarmfuzz

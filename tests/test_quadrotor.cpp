@@ -1,0 +1,97 @@
+#include "sim/quadrotor.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+TEST(Quadrotor, RejectsInvalidParams) {
+  QuadrotorParams bad;
+  bad.mass = 0.0;
+  EXPECT_THROW(QuadrotorModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_thrust_factor = 1.0;
+  EXPECT_THROW(QuadrotorModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.inertia_yy = -1.0;
+  EXPECT_THROW(QuadrotorModel{bad}, std::invalid_argument);
+}
+
+TEST(Quadrotor, HoversWithZeroCommand) {
+  QuadrotorModel quad({});
+  quad.reset({0, 0, 10}, {});
+  for (int i = 0; i < 1000; ++i) quad.step({}, 0.01);
+  // Stays near the initial hover point: altitude and horizontal drift small.
+  EXPECT_NEAR(quad.state().position.z, 10.0, 0.5);
+  EXPECT_LT(quad.state().position.norm_xy(), 0.5);
+  // Thrust approximately balances gravity.
+  EXPECT_NEAR(quad.thrust(), 0.296 * 9.81, 0.2);
+}
+
+TEST(Quadrotor, TracksForwardVelocityCommand) {
+  QuadrotorModel quad({});
+  quad.reset({0, 0, 10}, {});
+  for (int i = 0; i < 3000; ++i) quad.step({2, 0, 0}, 0.005);
+  EXPECT_NEAR(quad.state().velocity.x, 2.0, 0.25);
+  EXPECT_NEAR(quad.state().velocity.y, 0.0, 0.1);
+  EXPECT_GT(quad.state().position.x, 10.0);
+  // Pitched forward (positive pitch tilts thrust toward +x).
+  EXPECT_GT(quad.attitude().y, 0.0);
+}
+
+TEST(Quadrotor, TracksLateralVelocityCommand) {
+  QuadrotorModel quad({});
+  quad.reset({0, 0, 10}, {});
+  for (int i = 0; i < 3000; ++i) quad.step({0, 1.5, 0}, 0.005);
+  EXPECT_NEAR(quad.state().velocity.y, 1.5, 0.25);
+  // Rolled toward -roll for +y acceleration.
+  EXPECT_LT(quad.attitude().x, 0.0);
+}
+
+TEST(Quadrotor, ClimbsOnVerticalCommand) {
+  QuadrotorModel quad({});
+  quad.reset({0, 0, 10}, {});
+  for (int i = 0; i < 2000; ++i) quad.step({0, 0, 1}, 0.005);
+  EXPECT_GT(quad.state().position.z, 10.5);
+  EXPECT_NEAR(quad.state().velocity.z, 1.0, 0.3);
+}
+
+TEST(Quadrotor, TiltIsBounded) {
+  QuadrotorModel quad({});
+  quad.reset({0, 0, 10}, {});
+  for (int i = 0; i < 2000; ++i) {
+    quad.step({100, 0, 0}, 0.005);  // absurd command
+    EXPECT_LE(std::abs(quad.attitude().x), quad.params().max_tilt + 0.2);
+    EXPECT_LE(std::abs(quad.attitude().y), quad.params().max_tilt + 0.2);
+  }
+}
+
+TEST(Quadrotor, LargeStepIsInternallySubstepped) {
+  // Stepping at 50 ms must stay stable (substeps cap at 5 ms internally).
+  QuadrotorModel quad({});
+  quad.reset({0, 0, 10}, {});
+  for (int i = 0; i < 400; ++i) quad.step({1, 1, 0}, 0.05);
+  EXPECT_LT(quad.state().velocity.norm(), quad.params().max_speed * 1.5 + 1e-9);
+  EXPECT_NEAR(quad.state().velocity.x, 1.0, 0.4);
+}
+
+TEST(Quadrotor, RejectsNonPositiveDt) {
+  QuadrotorModel quad({});
+  quad.reset({}, {});
+  EXPECT_THROW(quad.step({}, 0.0), std::invalid_argument);
+}
+
+TEST(Quadrotor, FactoryBuildsQuadrotor) {
+  const auto vehicle = make_vehicle(VehicleType::kQuadrotor);
+  vehicle->reset({0, 0, 5}, {});
+  for (int i = 0; i < 200; ++i) vehicle->step({0.5, 0, 0}, 0.01);
+  EXPECT_GT(vehicle->state().velocity.x, 0.05);
+}
+
+TEST(Quadrotor, DefaultMassMatchesPaper) {
+  // The paper's SwarmLab quadcopter weighs 0.296 kg by default.
+  EXPECT_DOUBLE_EQ(QuadrotorParams{}.mass, 0.296);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

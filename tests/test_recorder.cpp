@@ -1,0 +1,105 @@
+#include "sim/recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+ObstacleField one_obstacle() {
+  return ObstacleField({CylinderObstacle{{10, 0, 0}, 2.0}});
+}
+
+std::vector<DroneState> states_at(std::initializer_list<Vec3> positions) {
+  std::vector<DroneState> states;
+  for (const Vec3& p : positions) states.push_back({p, {}});
+  return states;
+}
+
+TEST(Recorder, RejectsInvalidConstruction) {
+  EXPECT_THROW(Recorder(0, ObstacleField{}), std::invalid_argument);
+  EXPECT_THROW(Recorder(1, ObstacleField{}, -0.1), std::invalid_argument);
+}
+
+TEST(Recorder, RecordsSamplesAndTimes) {
+  Recorder rec(2, one_obstacle());
+  rec.record(0.0, states_at({{0, 0, 0}, {1, 0, 0}}));
+  rec.record(0.1, states_at({{0.5, 0, 0}, {1.5, 0, 0}}));
+  EXPECT_EQ(rec.num_samples(), 2);
+  EXPECT_DOUBLE_EQ(rec.times()[1], 0.1);
+  EXPECT_EQ(rec.sample(1)[0].position, Vec3(0.5, 0, 0));
+  EXPECT_DOUBLE_EQ(rec.duration(), 0.1);
+}
+
+TEST(Recorder, StateCountMismatchThrows) {
+  Recorder rec(2, one_obstacle());
+  EXPECT_THROW(rec.record(0.0, states_at({{0, 0, 0}})), std::invalid_argument);
+}
+
+TEST(Recorder, RecordPeriodDecimatesSamples) {
+  Recorder rec(1, one_obstacle(), 0.1);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(i * 0.05, states_at({{static_cast<double>(i), 0, 0}}));
+  }
+  // Every other call kept: 0.0, 0.1, 0.2, 0.3, 0.4.
+  EXPECT_EQ(rec.num_samples(), 5);
+}
+
+TEST(Recorder, VdoExactEvenForSkippedSamples) {
+  // The minimum-distance pass must see every record() call, including those
+  // not kept as trajectory samples.
+  Recorder rec(1, one_obstacle(), 10.0);  // keeps almost nothing
+  rec.record(0.0, states_at({{0, 0, 0}}));    // dist 8
+  rec.record(0.05, states_at({{9, 0, 0}}));   // dist -1 (skipped sample)
+  rec.record(0.1, states_at({{0, 5, 0}}));
+  EXPECT_DOUBLE_EQ(rec.min_obstacle_distance(0), -1.0);
+  EXPECT_DOUBLE_EQ(rec.time_of_min_obstacle_distance(0), 0.05);
+}
+
+TEST(Recorder, MinDistanceInfiniteWithoutObstacles) {
+  Recorder rec(1, ObstacleField{});
+  rec.record(0.0, states_at({{0, 0, 0}}));
+  EXPECT_TRUE(std::isinf(rec.min_obstacle_distance(0)));
+}
+
+TEST(Recorder, AvgInterDistance) {
+  Recorder rec(3, one_obstacle());
+  rec.record(0.0, states_at({{0, 0, 0}, {3, 0, 0}, {0, 4, 0}}));
+  // Pairs: 3, 4, 5 -> avg 4.
+  EXPECT_DOUBLE_EQ(rec.avg_inter_distance(0), 4.0);
+}
+
+TEST(Recorder, ClosestTimeFindsMinAvgInterDistance) {
+  Recorder rec(2, one_obstacle());
+  rec.record(0.0, states_at({{0, 0, 0}, {10, 0, 0}}));
+  rec.record(1.0, states_at({{0, 0, 0}, {2, 0, 0}}));  // closest here
+  rec.record(2.0, states_at({{0, 0, 0}, {6, 0, 0}}));
+  EXPECT_DOUBLE_EQ(rec.closest_time(), 1.0);
+}
+
+TEST(Recorder, SampleIndexAtClampsAndRounds) {
+  Recorder rec(1, one_obstacle());
+  rec.record(0.0, states_at({{0, 0, 0}}));
+  rec.record(1.0, states_at({{1, 0, 0}}));
+  rec.record(2.0, states_at({{2, 0, 0}}));
+  EXPECT_EQ(rec.sample_index_at(-5.0), 0);
+  EXPECT_EQ(rec.sample_index_at(0.4), 0);
+  EXPECT_EQ(rec.sample_index_at(0.6), 1);
+  EXPECT_EQ(rec.sample_index_at(99.0), 2);
+}
+
+TEST(Recorder, OutOfRangeQueriesThrow) {
+  Recorder rec(1, one_obstacle());
+  EXPECT_THROW((void)rec.sample(0), std::out_of_range);
+  EXPECT_THROW((void)rec.sample_index_at(0.0), std::out_of_range);
+  EXPECT_THROW((void)rec.min_obstacle_distance(1), std::out_of_range);
+  EXPECT_THROW((void)rec.time_of_min_obstacle_distance(-1), std::out_of_range);
+}
+
+TEST(Recorder, SingleDroneAvgInterDistanceIsZero) {
+  Recorder rec(1, one_obstacle());
+  rec.record(0.0, states_at({{0, 0, 0}}));
+  EXPECT_DOUBLE_EQ(rec.avg_inter_distance(0), 0.0);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

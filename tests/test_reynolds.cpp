@@ -1,0 +1,122 @@
+#include "swarm/reynolds.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "swarm/flocking_system.h"
+
+namespace swarmfuzz::swarm {
+namespace {
+
+using sim::DroneObservation;
+
+MissionSpec basic_mission() {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {10, 0, 10}};
+  mission.destination = {200, 0, 10};
+  return mission;
+}
+
+WorldSnapshot snapshot_of(std::initializer_list<DroneObservation> drones) {
+  WorldSnapshot snap;
+  snap.drones = drones;
+  return snap;
+}
+
+TEST(Reynolds, RejectsInvalidParams) {
+  ReynoldsParams params;
+  params.v_cruise = 0.0;
+  EXPECT_THROW(ReynoldsController{params}, std::invalid_argument);
+  params = {};
+  params.avoid_radius = -1.0;
+  EXPECT_THROW(ReynoldsController{params}, std::invalid_argument);
+}
+
+TEST(Reynolds, LoneDroneCruisesToDestination) {
+  const ReynoldsController controller;
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {}}});
+  const Vec3 v = controller.desired_velocity(0, snap, basic_mission());
+  EXPECT_NEAR(v.x, controller.params().v_cruise, 1e-9);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+}
+
+TEST(Reynolds, SeparationPushesApart) {
+  const ReynoldsController controller;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {3, 0, 10}, {}},  // well inside separation radius
+  });
+  const auto alone = snapshot_of({{0, {0, 0, 10}, {}}});
+  EXPECT_LT(controller.desired_velocity(0, snap, basic_mission()).x,
+            controller.desired_velocity(0, alone, basic_mission()).x);
+}
+
+TEST(Reynolds, CohesionPullsTowardDistantNeighbours) {
+  const ReynoldsController controller;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {0, 20, 10}, {}},  // within neighbourhood, beyond deadzone
+  });
+  const Vec3 v = controller.desired_velocity(0, snap, basic_mission());
+  EXPECT_GT(v.y, 0.0);
+}
+
+TEST(Reynolds, AlignmentMatchesNeighbourVelocity) {
+  const ReynoldsController controller;
+  const auto moving = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {0, 15, 10}, {3, 0, 0}},
+  });
+  const auto still = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {0, 15, 10}, {}},
+  });
+  EXPECT_GT(controller.desired_velocity(0, moving, basic_mission()).x,
+            controller.desired_velocity(0, still, basic_mission()).x);
+}
+
+TEST(Reynolds, ObstacleAvoidancePushesOutward) {
+  const ReynoldsController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{8, 0, 0}, 3.0}});
+  const auto snap = snapshot_of({{0, {2, 0, 10}, {2, 0, 0}}});
+  MissionSpec no_obstacle = basic_mission();
+  EXPECT_LT(controller.desired_velocity(0, snap, mission).x,
+            controller.desired_velocity(0, snap, no_obstacle).x);
+}
+
+TEST(Reynolds, OutputClampedToVmax) {
+  const ReynoldsController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{1, 0, 0}, 0.5}});
+  const auto snap = snapshot_of({
+      {0, {0, 0, 5}, {}},
+      {1, {0.5, 0, 5}, {}},
+  });
+  EXPECT_LE(controller.desired_velocity(0, snap, mission).norm(),
+            controller.params().v_max + 1e-12);
+}
+
+TEST(Reynolds, FliesStandardMissionCleanly) {
+  sim::MissionConfig mission_config;
+  mission_config.num_drones = 5;
+  const sim::MissionSpec mission = sim::generate_mission(mission_config, 1013);
+  auto system = std::make_unique<FlockingControlSystem>(
+      std::make_shared<ReynoldsController>());
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  const sim::Simulator simulator(config);
+  const sim::RunResult result = simulator.run(mission, *system);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(Reynolds, SelfIndexOutOfRangeThrows) {
+  const ReynoldsController controller;
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {}}});
+  EXPECT_THROW((void)controller.desired_velocity(1, snap, basic_mission()),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::swarm

@@ -1,0 +1,136 @@
+#include "fuzz/seeds.h"
+
+#include <gtest/gtest.h>
+
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+struct Fixture {
+  Fixture() : system(swarm::make_vasarhelyi_system()), simulator(make_config()) {}
+
+  static sim::SimulationConfig make_config() {
+    sim::SimulationConfig config;
+    config.dt = 0.05;
+    config.gps.rate_hz = 20.0;
+    return config;
+  }
+
+  sim::RunResult clean_run(const sim::MissionSpec& mission) {
+    return simulator.run(mission, *system);
+  }
+
+  std::unique_ptr<swarm::FlockingControlSystem> system;
+  sim::Simulator simulator;
+};
+
+sim::MissionSpec standard_mission(int drones = 5, std::uint64_t seed = 1005) {
+  sim::MissionConfig config;
+  config.num_drones = drones;
+  return sim::generate_mission(config, seed);
+}
+
+TEST(Seeds, EmptyForMissionWithoutObstacles) {
+  Fixture f;
+  sim::MissionSpec mission = standard_mission();
+  mission.obstacles = sim::ObstacleField{};
+  const auto clean = f.clean_run(mission);
+  EXPECT_TRUE(schedule_seeds(clean, mission, *f.system, 10.0).empty());
+}
+
+TEST(Seeds, SeedsAreValidPairs) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission();
+  const auto clean = f.clean_run(mission);
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0);
+  ASSERT_FALSE(seeds.empty());
+  for (const Seed& seed : seeds) {
+    EXPECT_GE(seed.target, 0);
+    EXPECT_LT(seed.target, mission.num_drones());
+    EXPECT_GE(seed.victim, 0);
+    EXPECT_LT(seed.victim, mission.num_drones());
+    EXPECT_NE(seed.target, seed.victim);
+    EXPECT_GT(seed.influence, 0.0);
+    EXPECT_DOUBLE_EQ(seed.vdo, clean.recorder.min_obstacle_distance(seed.victim));
+  }
+}
+
+TEST(Seeds, VictimsOrderedByAscendingVdo) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission();
+  const auto clean = f.clean_run(mission);
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0);
+  ASSERT_GE(seeds.size(), 2u);
+  for (size_t i = 1; i < seeds.size(); ++i) {
+    EXPECT_GE(seeds[i].vdo, seeds[i - 1].vdo - 1e-9);
+  }
+}
+
+TEST(Seeds, FirstVictimIsClosestToObstacle) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission();
+  const auto clean = f.clean_run(mission);
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0);
+  ASSERT_FALSE(seeds.empty());
+  double min_vdo = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    min_vdo = std::min(min_vdo, clean.recorder.min_obstacle_distance(i));
+  }
+  EXPECT_DOUBLE_EQ(seeds.front().vdo, min_vdo);
+}
+
+TEST(Seeds, MaxSeedsRespected) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission(10);
+  const auto clean = f.clean_run(mission);
+  SeedScheduleConfig config;
+  config.max_seeds = 3;
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0, config);
+  EXPECT_LE(seeds.size(), 3u);
+}
+
+TEST(Seeds, TargetsPerVictimRespected) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission(10);
+  const auto clean = f.clean_run(mission);
+  SeedScheduleConfig config;
+  config.targets_per_victim = 1;
+  config.max_seeds = 100;
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0, config);
+  // With one target per (victim, direction), a victim appears at most twice.
+  std::map<int, int> victim_count;
+  for (const Seed& seed : seeds) ++victim_count[seed.victim];
+  for (const auto& [victim, count] : victim_count) EXPECT_LE(count, 2);
+}
+
+TEST(Seeds, SameVictimOrderedByInfluence) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission(10);
+  const auto clean = f.clean_run(mission);
+  SeedScheduleConfig config;
+  config.max_seeds = 100;
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0, config);
+  for (size_t i = 1; i < seeds.size(); ++i) {
+    if (seeds[i].victim == seeds[i - 1].victim) {
+      EXPECT_LE(seeds[i].influence, seeds[i - 1].influence + 1e-12);
+    }
+  }
+}
+
+TEST(Seeds, DeterministicScheduling) {
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission();
+  const auto clean = f.clean_run(mission);
+  const auto a = schedule_seeds(clean, mission, *f.system, 10.0);
+  const auto b = schedule_seeds(clean, mission, *f.system, 10.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].victim, b[i].victim);
+    EXPECT_EQ(a[i].direction, b[i].direction);
+  }
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,178 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+// Drives every drone straight toward the destination at fixed speed.
+class StraightLineControl final : public ControlSystem {
+ public:
+  explicit StraightLineControl(double speed = 2.0) : speed_(speed) {}
+
+  void reset(const MissionSpec&, std::uint64_t) override { ++resets; }
+
+  void compute(const WorldSnapshot& snapshot, const MissionSpec& mission,
+               std::span<Vec3> desired) override {
+    for (size_t i = 0; i < snapshot.drones.size(); ++i) {
+      desired[i] = (mission.destination - snapshot.drones[i].gps_position)
+                       .normalized() * speed_;
+    }
+    last_snapshot = snapshot;
+  }
+
+  int resets = 0;
+  WorldSnapshot last_snapshot;
+
+ private:
+  double speed_;
+};
+
+// Constant-offset spoofer for one drone.
+class FixedSpoofer final : public GpsOffsetProvider {
+ public:
+  FixedSpoofer(int target, Vec3 offset) : target_(target), offset_(offset) {}
+  Vec3 offset(int drone_id, double) const override {
+    return drone_id == target_ ? offset_ : Vec3{};
+  }
+
+ private:
+  int target_;
+  Vec3 offset_;
+};
+
+MissionSpec two_drone_mission() {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {0, 10, 10}};
+  mission.destination = {60, 5, 10};
+  mission.max_time = 120.0;
+  mission.arrival_radius = 5.0;
+  mission.seed = 17;
+  return mission;
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  SimulationConfig config;
+  config.dt = 0.0;
+  EXPECT_THROW(Simulator{config}, std::invalid_argument);
+}
+
+TEST(Simulator, RejectsEmptyMission) {
+  Simulator simulator;
+  StraightLineControl control;
+  EXPECT_THROW((void)simulator.run(MissionSpec{}, control), std::invalid_argument);
+}
+
+TEST(Simulator, StraightMissionReachesDestination) {
+  Simulator simulator;
+  StraightLineControl control;
+  const RunResult result = simulator.run(two_drone_mission(), control);
+  EXPECT_TRUE(result.reached_destination);
+  EXPECT_FALSE(result.collided);
+  EXPECT_GT(result.end_time, 10.0);
+  EXPECT_LT(result.end_time, 60.0);
+  EXPECT_EQ(control.resets, 1);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  Simulator simulator;
+  StraightLineControl c1, c2;
+  const MissionSpec mission = two_drone_mission();
+  const RunResult a = simulator.run(mission, c1);
+  const RunResult b = simulator.run(mission, c2);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.recorder.num_samples(), b.recorder.num_samples());
+  const auto sa = a.recorder.sample(a.recorder.num_samples() - 1);
+  const auto sb = b.recorder.sample(b.recorder.num_samples() - 1);
+  EXPECT_EQ(sa[0].position, sb[0].position);
+}
+
+TEST(Simulator, StopsAtMaxTimeWithoutArrival) {
+  MissionSpec mission = two_drone_mission();
+  mission.destination = {10000, 0, 10};
+  mission.max_time = 5.0;
+  Simulator simulator;
+  StraightLineControl control;
+  const RunResult result = simulator.run(mission, control);
+  EXPECT_FALSE(result.reached_destination);
+  EXPECT_NEAR(result.end_time, 5.0, 0.1);
+}
+
+TEST(Simulator, DetectsObstacleCollisionAndStops) {
+  MissionSpec mission = two_drone_mission();
+  // Obstacle dead ahead of drone 0's straight path.
+  mission.initial_positions = {{0, 5, 10}, {0, 50, 10}};
+  mission.obstacles = ObstacleField({CylinderObstacle{{30, 5, 0}, 3.0}});
+  Simulator simulator;
+  StraightLineControl control;
+  const RunResult result = simulator.run(mission, control);
+  ASSERT_TRUE(result.collided);
+  ASSERT_TRUE(result.first_collision.has_value());
+  EXPECT_EQ(result.first_collision->kind, CollisionKind::kDroneObstacle);
+  EXPECT_EQ(result.first_collision->drone, 0);
+  EXPECT_LE(result.vdo(0), mission.drone_radius + 1e-6);
+}
+
+TEST(Simulator, StopOnCollisionCanBeDisabled) {
+  MissionSpec mission = two_drone_mission();
+  mission.initial_positions = {{0, 5, 10}, {0, 50, 10}};
+  mission.obstacles = ObstacleField({CylinderObstacle{{30, 5, 0}, 3.0}});
+  SimulationConfig config;
+  config.stop_on_collision = false;
+  Simulator simulator(config);
+  StraightLineControl control;
+  const RunResult result = simulator.run(mission, control);
+  EXPECT_TRUE(result.collided);
+  // Mission keeps going after the contact (straight-line control flies
+  // through), so the run lasts longer than the collision time.
+  EXPECT_GT(result.end_time, result.first_collision->time + 1.0);
+}
+
+TEST(Simulator, SpooferShiftsObservedGps) {
+  Simulator simulator;
+  StraightLineControl control;
+  const FixedSpoofer spoofer(0, {0, 7, 0});
+  MissionSpec mission = two_drone_mission();
+  mission.max_time = 0.5;  // a few ticks are enough
+  (void)simulator.run(mission, control, &spoofer);
+  ASSERT_EQ(control.last_snapshot.drones.size(), 2u);
+  // Drone 0 starts at y=0 and moves little in 0.5 s; the observed y must
+  // carry the 7 m offset. Drone 1 is unspoofed.
+  EXPECT_NEAR(control.last_snapshot.drones[0].gps_position.y, 7.0, 1.0);
+  EXPECT_NEAR(control.last_snapshot.drones[1].gps_position.y, 10.0, 1.0);
+}
+
+TEST(Simulator, RecorderCoversWholeRun) {
+  Simulator simulator;
+  StraightLineControl control;
+  const RunResult result = simulator.run(two_drone_mission(), control);
+  EXPECT_GT(result.recorder.num_samples(), 10);
+  EXPECT_NEAR(result.recorder.duration(), result.end_time, 1e-9);
+  EXPECT_GE(result.t_clo(), 0.0);
+  EXPECT_LE(result.t_clo(), result.end_time);
+}
+
+TEST(Simulator, GpsNoisePreservesDeterminismPerSeed) {
+  SimulationConfig config;
+  config.gps.noise_stddev = 0.5;
+  Simulator simulator(config);
+  StraightLineControl c1, c2;
+  const MissionSpec mission = two_drone_mission();
+  const RunResult a = simulator.run(mission, c1);
+  const RunResult b = simulator.run(mission, c2);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+}
+
+TEST(Simulator, QuadrotorVehicleCompletesMission) {
+  SimulationConfig config;
+  config.vehicle = VehicleType::kQuadrotor;
+  config.dt = 0.02;
+  Simulator simulator(config);
+  StraightLineControl control;
+  const RunResult result = simulator.run(two_drone_mission(), control);
+  EXPECT_TRUE(result.reached_destination);
+  EXPECT_FALSE(result.collided);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim

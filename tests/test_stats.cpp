@@ -1,0 +1,158 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace swarmfuzz::math {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyInputsGiveNanOrZero) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(mean(empty)));
+  EXPECT_TRUE(std::isnan(min_value(empty)));
+  EXPECT_TRUE(std::isnan(max_value(empty)));
+  EXPECT_TRUE(std::isnan(percentile(empty, 50)));
+  EXPECT_DOUBLE_EQ(stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Stats, PercentileClampsQuantile) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 2.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> v{3.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 73), 3.5);
+  EXPECT_DOUBLE_EQ(median(v), 3.5);
+}
+
+TEST(Stats, BoxStatsFiveNumbers) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxStats box = box_stats(v);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 9.0);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.q1, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 7.0);
+  EXPECT_DOUBLE_EQ(box.mean, 5.0);
+  EXPECT_EQ(box.count, 9);
+}
+
+TEST(Stats, BoxStatsEmpty) {
+  const BoxStats box = box_stats(std::vector<double>{});
+  EXPECT_EQ(box.count, 0);
+}
+
+TEST(Stats, EcdfMonotoneAndBounded) {
+  const std::vector<double> v{1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(ecdf(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(v, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(v, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(v, 10.0), 1.0);
+}
+
+TEST(Stats, EcdfCurveSpansDataAndEndsAtOne) {
+  const std::vector<double> v{1, 5, 3, 2, 4};
+  const auto curve = ecdf_curve(v, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 5.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);  // monotone
+  }
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> v{-1, 0.5, 1.5, 2.5, 99};
+  const auto counts = histogram(v, 0.0, 3.0, 3);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);  // -1 clamps into bin 0, 0.5 lands there
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 2);  // 2.5 plus clamped 99
+}
+
+TEST(Stats, HistogramDegenerateRange) {
+  const std::vector<double> v{1, 2};
+  const auto counts = histogram(v, 5.0, 5.0, 4);
+  for (const int c : counts) EXPECT_EQ(c, 0);
+}
+
+TEST(Stats, WilsonIntervalBasics) {
+  const ProportionInterval ci = wilson_interval(49, 100);
+  EXPECT_LT(ci.low, 0.49);
+  EXPECT_GT(ci.high, 0.49);
+  EXPECT_GT(ci.low, 0.38);
+  EXPECT_LT(ci.high, 0.60);
+}
+
+TEST(Stats, WilsonIntervalEdgeCases) {
+  const ProportionInterval none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_DOUBLE_EQ(none.high, 1.0);
+  const ProportionInterval zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  const ProportionInterval all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  EXPECT_LT(all.low, 1.0);
+}
+
+TEST(Stats, WilsonIntervalNarrowsWithSamples) {
+  const ProportionInterval small = wilson_interval(5, 10);
+  const ProportionInterval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+// Property: percentile(50) equals median for random inputs of many sizes.
+class StatsSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsSizeSweep, MedianMatchesPercentile50AndBoundsHold) {
+  std::vector<double> v;
+  unsigned state = 12345 + static_cast<unsigned>(GetParam());
+  for (int i = 0; i < GetParam(); ++i) {
+    state = state * 1664525u + 1013904223u;
+    v.push_back(static_cast<double>(state % 1000) / 10.0);
+  }
+  EXPECT_DOUBLE_EQ(median(v), percentile(v, 50));
+  EXPECT_LE(min_value(v), median(v));
+  EXPECT_GE(max_value(v), median(v));
+  const BoxStats box = box_stats(v);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatsSizeSweep, ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+}  // namespace
+}  // namespace swarmfuzz::math

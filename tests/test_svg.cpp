@@ -1,0 +1,133 @@
+#include "fuzz/svg.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/pagerank.h"
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+using attack::SpoofDirection;
+using sim::DroneObservation;
+using sim::MissionSpec;
+using sim::WorldSnapshot;
+
+MissionSpec mission_with_obstacle(const math::Vec3& obstacle_center,
+                                  double radius = 3.0) {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {0, 12, 10}, {5, -8, 10}};
+  mission.destination = {200, 0, 10};  // axis +x, left = +y, right = -y
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{obstacle_center, radius}});
+  return mission;
+}
+
+WorldSnapshot cruising_snapshot(const MissionSpec& mission) {
+  WorldSnapshot snap;
+  snap.time = 40.0;
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    snap.drones.push_back(DroneObservation{
+        .id = i,
+        .gps_position = mission.initial_positions[static_cast<size_t>(i)] +
+                        math::Vec3{40, 0, 0},
+        .velocity = {2.5, 0, 0},
+    });
+  }
+  return snap;
+}
+
+class SvgTest : public ::testing::Test {
+ protected:
+  SvgTest() : system_(swarm::make_vasarhelyi_system()) {}
+  std::unique_ptr<swarm::FlockingControlSystem> system_;
+};
+
+TEST_F(SvgTest, NodeCountMatchesSwarm) {
+  const MissionSpec mission = mission_with_obstacle({60, 0, 0});
+  const auto snap = cruising_snapshot(mission);
+  const graph::Digraph svg =
+      build_svg(snap, mission, *system_, SpoofDirection::kRight, 10.0);
+  EXPECT_EQ(svg.num_nodes(), 3);
+}
+
+TEST_F(SvgTest, NoObstaclesMeansNoEdges) {
+  MissionSpec mission = mission_with_obstacle({60, 0, 0});
+  mission.obstacles = sim::ObstacleField{};
+  const auto snap = cruising_snapshot(mission);
+  const graph::Digraph svg =
+      build_svg(snap, mission, *system_, SpoofDirection::kRight, 10.0);
+  EXPECT_EQ(svg.num_edges(), 0);
+}
+
+TEST_F(SvgTest, EdgesHaveWeightsInUnitInterval) {
+  const MissionSpec mission = mission_with_obstacle({60, -5, 0});
+  const auto snap = cruising_snapshot(mission);
+  for (const SpoofDirection dir : {SpoofDirection::kRight, SpoofDirection::kLeft}) {
+    const graph::Digraph svg = build_svg(snap, mission, *system_, dir, 10.0);
+    for (const graph::Edge& e : svg.edges()) {
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_LE(e.weight, 1.0);
+      EXPECT_NE(e.from, e.to);
+    }
+  }
+}
+
+TEST_F(SvgTest, DeterministicConstruction) {
+  const MissionSpec mission = mission_with_obstacle({60, -5, 0});
+  const auto snap = cruising_snapshot(mission);
+  const graph::Digraph a =
+      build_svg(snap, mission, *system_, SpoofDirection::kRight, 10.0);
+  const graph::Digraph b =
+      build_svg(snap, mission, *system_, SpoofDirection::kRight, 10.0);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (const graph::Edge& e : a.edges()) {
+    EXPECT_TRUE(b.has_edge(e.from, e.to));
+    EXPECT_DOUBLE_EQ(b.edge_weight(e.from, e.to).value(), e.weight);
+  }
+}
+
+TEST_F(SvgTest, MaliciousInfluenceDetectedInCraftedGeometry) {
+  // Drone 0 at y=0, drone 1 at y=12 (just beyond repulsion range 8).
+  // Obstacle ahead and below drone 0's path. Spoofing drone 1 to the right
+  // (-y) brings its reported fix within repulsion range of drone 0, pushing
+  // drone 0 further toward -y, i.e. toward the obstacle: edge 0 -> 1.
+  const MissionSpec mission = mission_with_obstacle({60, -6, 0});
+  WorldSnapshot snap;
+  snap.time = 40.0;
+  snap.drones = {
+      {0, {40, 0, 10}, {2.5, 0, 0}},
+      {1, {40, 12, 10}, {2.5, 0, 0}},
+  };
+  MissionSpec two = mission;
+  two.initial_positions = {{0, 0, 10}, {0, 12, 10}};
+  const graph::Digraph svg =
+      build_svg(snap, two, *system_, SpoofDirection::kRight, 10.0);
+  EXPECT_TRUE(svg.has_edge(0, 1));
+}
+
+TEST_F(SvgTest, InfluenceThresholdFiltersWeakEdges) {
+  const MissionSpec mission = mission_with_obstacle({60, -5, 0});
+  const auto snap = cruising_snapshot(mission);
+  const graph::Digraph loose = build_svg(snap, mission, *system_,
+                                         SpoofDirection::kRight, 10.0,
+                                         SvgConfig{.influence_threshold = 1e-6});
+  const graph::Digraph strict = build_svg(snap, mission, *system_,
+                                          SpoofDirection::kRight, 10.0,
+                                          SvgConfig{.influence_threshold = 1e3});
+  EXPECT_EQ(strict.num_edges(), 0);
+  EXPECT_GE(loose.num_edges(), strict.num_edges());
+}
+
+TEST_F(SvgTest, PageRankOnSvgIsProbabilityDistribution) {
+  const MissionSpec mission = mission_with_obstacle({60, -5, 0});
+  const auto snap = cruising_snapshot(mission);
+  const graph::Digraph svg =
+      build_svg(snap, mission, *system_, SpoofDirection::kLeft, 10.0);
+  const auto result = graph::pagerank(svg);
+  double sum = 0.0;
+  for (const double s : result.scores) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

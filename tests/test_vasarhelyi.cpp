@@ -1,0 +1,238 @@
+#include "swarm/vasarhelyi.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::swarm {
+namespace {
+
+using sim::DroneObservation;
+
+MissionSpec basic_mission() {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {10, 0, 10}};
+  mission.destination = {200, 0, 10};
+  mission.cruise_altitude = 10.0;
+  return mission;
+}
+
+WorldSnapshot snapshot_of(std::initializer_list<DroneObservation> drones) {
+  WorldSnapshot snap;
+  snap.drones = drones;
+  return snap;
+}
+
+TEST(BrakingCurve, PiecewiseDefinition) {
+  EXPECT_DOUBLE_EQ(braking_curve(-1.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(braking_curve(0.0, 2.0, 3.0), 0.0);
+  // Linear branch: r*p <= a/p -> r <= a/p^2 = 2/9.
+  EXPECT_DOUBLE_EQ(braking_curve(0.2, 2.0, 3.0), 0.6);
+  // Sqrt branch.
+  EXPECT_DOUBLE_EQ(braking_curve(5.0, 2.0, 3.0), std::sqrt(2.0 * 2.0 * 5.0 - 4.0 / 9.0));
+}
+
+TEST(BrakingCurve, MonotoneNonDecreasing) {
+  double prev = 0.0;
+  for (double r = 0.0; r < 50.0; r += 0.1) {
+    const double d = braking_curve(r, 1.4, 1.2);
+    EXPECT_GE(d, prev - 1e-12);
+    prev = d;
+  }
+}
+
+TEST(BrakingCurve, ContinuousAtBranchPoint) {
+  const double a = 2.0, p = 3.0;
+  const double r_switch = a / (p * p);
+  EXPECT_NEAR(braking_curve(r_switch - 1e-9, a, p), braking_curve(r_switch + 1e-9, a, p),
+              1e-6);
+}
+
+TEST(Vasarhelyi, RejectsInvalidParams) {
+  VasarhelyiParams params;
+  params.v_flock = 0.0;
+  EXPECT_THROW(VasarhelyiController{params}, std::invalid_argument);
+  params = {};
+  params.a_shill = -1.0;
+  EXPECT_THROW(VasarhelyiController{params}, std::invalid_argument);
+}
+
+TEST(Vasarhelyi, MigrationPointsToDestinationAtFlockSpeed) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {}}});
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_NEAR(terms.migration.norm(), controller.params().v_flock, 1e-12);
+  EXPECT_GT(terms.migration.x, 0.0);
+  EXPECT_NEAR(terms.migration.y, 0.0, 1e-12);
+}
+
+TEST(Vasarhelyi, RepulsionPushesApartBelowR0) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const double close = controller.params().r0_rep / 2.0;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {close, 0, 10}, {}},
+  });
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_LT(terms.repulsion.x, 0.0);  // pushed away from the neighbour (-x)
+  const auto terms1 = controller.compute_terms(1, snap, mission);
+  EXPECT_GT(terms1.repulsion.x, 0.0);  // symmetric
+}
+
+TEST(Vasarhelyi, NoRepulsionBeyondR0) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {controller.params().r0_rep + 1.0, 0, 10}, {}},
+  });
+  EXPECT_EQ(controller.compute_terms(0, snap, mission).repulsion, Vec3{});
+}
+
+TEST(Vasarhelyi, AttractionPullsTowardDistantMember) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const double far = controller.params().r0_att + 5.0;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {far, 0, 10}, {}},
+  });
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_GT(terms.attraction.x, 0.0);
+  EXPECT_LE(terms.attraction.norm(), controller.params().v_att_max + 1e-12);
+}
+
+TEST(Vasarhelyi, AttractionOnlyForKNearest) {
+  VasarhelyiParams params;
+  params.k_att = 1;
+  const VasarhelyiController controller(params);
+  const MissionSpec mission = basic_mission();
+  const double far = params.r0_att + 5.0;
+  // Nearest neighbour is close (no attraction); the far one is outside the
+  // k=1 topological neighbourhood so it must be ignored.
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {5.0, 0, 10}, {}},
+      {2, {far, 0, 10}, {}},
+  });
+  EXPECT_EQ(controller.compute_terms(0, snap, mission).attraction, Vec3{});
+}
+
+TEST(Vasarhelyi, AttractionTotalIsCapped) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const double far = controller.params().r0_att + 50.0;
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {far, 0, 10}, {}},
+      {2, {far, 10, 10}, {}},
+      {3, {far, -10, 10}, {}},
+  });
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_LE(terms.attraction.norm(), controller.params().v_att_max + 1e-12);
+}
+
+TEST(Vasarhelyi, FrictionAlignsWithFastNeighbour) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {0, 0, 0}},
+      {1, {5, 0, 10}, {3, 0, 0}},  // big velocity difference, close by
+  });
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_GT(terms.friction.x, 0.0);  // pulled toward the neighbour's velocity
+}
+
+TEST(Vasarhelyi, FrictionIsAveragedOverNeighbours) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  // One fast neighbour vs. four identical fast neighbours: the averaged
+  // friction term must not scale with the neighbour count.
+  const auto one = snapshot_of({
+      {0, {0, 0, 10}, {}},
+      {1, {5, 0, 10}, {3, 0, 0}},
+  });
+  auto many = one;
+  many.drones.push_back({2, {5, 1, 10}, {3, 0, 0}});
+  many.drones.push_back({3, {5, -1, 10}, {3, 0, 0}});
+  many.drones.push_back({4, {5, 2, 10}, {3, 0, 0}});
+  const double f_one = controller.compute_terms(0, one, mission).friction.norm();
+  const double f_many = controller.compute_terms(0, many, mission).friction.norm();
+  EXPECT_LT(f_many, 1.5 * f_one);
+}
+
+TEST(Vasarhelyi, ShillPushesAwayFromNearObstacle) {
+  const VasarhelyiController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{10, 0, 0}, 3.0}});
+  // Drone just left of the obstacle, flying into it.
+  const auto snap = snapshot_of({{0, {5, 0, 10}, {2.5, 0, 0}}});
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_LT(terms.shill.x, 0.0);  // pushed away (-x)
+}
+
+TEST(Vasarhelyi, ShillNegligibleFarFromObstacle) {
+  const VasarhelyiController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{100, 0, 0}, 3.0}});
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {2.5, 0, 0}}});
+  const auto terms = controller.compute_terms(0, snap, mission);
+  EXPECT_LT(terms.shill.norm(), 0.5);
+}
+
+TEST(Vasarhelyi, AltitudeHoldCorrectsHeight) {
+  const VasarhelyiController controller;
+  const MissionSpec mission = basic_mission();
+  const auto low = snapshot_of({{0, {0, 0, 5}, {}}});
+  EXPECT_GT(controller.compute_terms(0, low, mission).altitude.z, 0.0);
+  const auto high = snapshot_of({{0, {0, 0, 15}, {}}});
+  EXPECT_LT(controller.compute_terms(0, high, mission).altitude.z, 0.0);
+}
+
+TEST(Vasarhelyi, DesiredVelocityClampedToVmax) {
+  const VasarhelyiController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{1, 0, 0}, 0.5}});
+  const auto snap = snapshot_of({
+      {0, {0, 0, 10}, {4, 0, 0}},
+      {1, {0.5, 0, 10}, {}},
+  });
+  const Vec3 v = controller.desired_velocity(0, snap, mission);
+  EXPECT_LE(v.norm(), controller.params().v_max + 1e-12);
+}
+
+TEST(Vasarhelyi, TermsSumToTotal) {
+  const VasarhelyiController controller;
+  MissionSpec mission = basic_mission();
+  mission.obstacles = sim::ObstacleField({sim::CylinderObstacle{{20, 5, 0}, 3.0}});
+  const auto snap = snapshot_of({
+      {0, {0, 0, 9}, {1, 0, 0}},
+      {1, {6, 2, 10}, {2, 1, 0}},
+  });
+  const auto terms = controller.compute_terms(0, snap, mission);
+  const Vec3 total = terms.migration + terms.repulsion + terms.attraction +
+                     terms.friction + terms.shill + terms.altitude;
+  EXPECT_EQ(terms.total(), total);
+  EXPECT_EQ(controller.desired_velocity(0, snap, mission),
+            total.clamped(controller.params().v_max));
+}
+
+TEST(Vasarhelyi, SelfIndexOutOfRangeThrows) {
+  const VasarhelyiController controller;
+  const auto snap = snapshot_of({{0, {0, 0, 10}, {}}});
+  EXPECT_THROW((void)controller.desired_velocity(1, snap, basic_mission()),
+               std::out_of_range);
+}
+
+TEST(Vasarhelyi, CoincidentNeighbourFixIsIgnored) {
+  const VasarhelyiController controller;
+  const auto snap = snapshot_of({
+      {0, {3, 3, 10}, {}},
+      {1, {3, 3, 10}, {}},  // identical fix: no defined direction
+  });
+  const auto terms = controller.compute_terms(0, snap, basic_mission());
+  EXPECT_EQ(terms.repulsion, Vec3{});
+}
+
+}  // namespace
+}  // namespace swarmfuzz::swarm

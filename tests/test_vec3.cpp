@@ -1,0 +1,88 @@
+#include "math/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swarmfuzz::math {
+namespace {
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(b / 2.0, Vec3(2, 2.5, 3));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3{1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).dot(Vec3(4, 5, 6)), 32.0);
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3, Norms) {
+  const Vec3 v{3, 4, 12};
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 169.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 13.0);
+  EXPECT_DOUBLE_EQ(v.norm_xy(), 5.0);
+  EXPECT_EQ(v.horizontal(), Vec3(3, 4, 0));
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 v{3, -4, 0};
+  const Vec3 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, -0.8, 1e-12);
+}
+
+TEST(Vec3, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec3, ClampedLimitsNorm) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_EQ(v.clamped(10.0), v);  // under the limit: unchanged
+  const Vec3 c = v.clamped(1.0);
+  EXPECT_NEAR(c.norm(), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(c.x / c.y, v.x / v.y, 1e-12);
+}
+
+TEST(Vec3, DistanceHelpers) {
+  EXPECT_DOUBLE_EQ(distance(Vec3(0, 0, 0), Vec3(3, 4, 0)), 5.0);
+  EXPECT_DOUBLE_EQ(distance_xy(Vec3(0, 0, 10), Vec3(3, 4, -5)), 5.0);
+}
+
+TEST(Vec3, Lerp) {
+  const Vec3 a{0, 0, 0}, b{10, 20, 30};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Vec3(5, 10, 15));
+  // Not clamped: extrapolation allowed.
+  EXPECT_EQ(lerp(a, b, 2.0), Vec3(20, 40, 60));
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1, 2.5, -3};
+  EXPECT_EQ(os.str(), "(1, 2.5, -3)");
+}
+
+}  // namespace
+}  // namespace swarmfuzz::math

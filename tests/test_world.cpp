@@ -1,0 +1,69 @@
+#include "sim/world.h"
+
+#include <gtest/gtest.h>
+
+namespace swarmfuzz::sim {
+namespace {
+
+MissionSpec small_mission() {
+  MissionSpec mission;
+  mission.initial_positions = {{0, 0, 10}, {10, 0, 10}, {0, 10, 10}};
+  mission.destination = {100, 0, 10};
+  return mission;
+}
+
+TEST(World, InitialStateMatchesMission) {
+  const World world(small_mission(), VehicleType::kPointMass);
+  EXPECT_EQ(world.num_drones(), 3);
+  EXPECT_DOUBLE_EQ(world.time(), 0.0);
+  EXPECT_EQ(world.state(1).position, Vec3(10, 0, 10));
+  EXPECT_EQ(world.state(1).velocity, Vec3{});
+}
+
+TEST(World, StepAdvancesTimeAndStates) {
+  World world(small_mission(), VehicleType::kPointMass);
+  const std::vector<Vec3> desired{{1, 0, 0}, {0, 1, 0}, {0, 0, 0}};
+  world.step(desired, 0.05);
+  EXPECT_DOUBLE_EQ(world.time(), 0.05);
+  EXPECT_GT(world.state(0).velocity.x, 0.0);
+  EXPECT_GT(world.state(1).velocity.y, 0.0);
+  EXPECT_EQ(world.state(2).velocity, Vec3{});
+}
+
+TEST(World, StatesReturnsAllDrones) {
+  World world(small_mission(), VehicleType::kPointMass);
+  const auto states = world.states();
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[2].position, Vec3(0, 10, 10));
+}
+
+TEST(World, MismatchedDesiredSizeThrows) {
+  World world(small_mission(), VehicleType::kPointMass);
+  const std::vector<Vec3> wrong(2);
+  EXPECT_THROW(world.step(wrong, 0.05), std::invalid_argument);
+}
+
+TEST(World, BadDroneIdThrows) {
+  const World world(small_mission(), VehicleType::kPointMass);
+  EXPECT_THROW((void)world.state(3), std::out_of_range);
+  EXPECT_THROW((void)world.state(-1), std::out_of_range);
+}
+
+TEST(World, QuadrotorVehiclesSupported) {
+  World world(small_mission(), VehicleType::kQuadrotor);
+  const std::vector<Vec3> desired{{1, 0, 0}, {1, 0, 0}, {1, 0, 0}};
+  for (int i = 0; i < 100; ++i) world.step(desired, 0.01);
+  EXPECT_GT(world.state(0).velocity.x, 0.1);
+  EXPECT_NEAR(world.time(), 1.0, 1e-9);
+}
+
+TEST(World, DronesEvolveIndependently) {
+  World world(small_mission(), VehicleType::kPointMass);
+  const std::vector<Vec3> desired{{2, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (int i = 0; i < 50; ++i) world.step(desired, 0.05);
+  EXPECT_GT(world.state(0).position.x, 1.0);
+  EXPECT_EQ(world.state(1).position, Vec3(10, 0, 10));
+}
+
+}  // namespace
+}  // namespace swarmfuzz::sim
