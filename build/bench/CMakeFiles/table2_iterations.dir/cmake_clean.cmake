@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_iterations.dir/table2_iterations.cpp.o"
+  "CMakeFiles/table2_iterations.dir/table2_iterations.cpp.o.d"
+  "table2_iterations"
+  "table2_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

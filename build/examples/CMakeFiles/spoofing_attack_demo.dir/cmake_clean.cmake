@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofing_attack_demo.dir/spoofing_attack_demo.cpp.o"
+  "CMakeFiles/spoofing_attack_demo.dir/spoofing_attack_demo.cpp.o.d"
+  "spoofing_attack_demo"
+  "spoofing_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofing_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_explorer.dir/svg_explorer.cpp.o"
+  "CMakeFiles/svg_explorer.dir/svg_explorer.cpp.o.d"
+  "svg_explorer"
+  "svg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

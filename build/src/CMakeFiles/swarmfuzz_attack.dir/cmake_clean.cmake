@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_attack.dir/attack/spoofing.cpp.o"
+  "CMakeFiles/swarmfuzz_attack.dir/attack/spoofing.cpp.o.d"
+  "libswarmfuzz_attack.a"
+  "libswarmfuzz_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

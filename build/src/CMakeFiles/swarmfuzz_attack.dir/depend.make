@@ -1,0 +1,2 @@
+# Empty dependencies file for swarmfuzz_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_cli.dir/cli/main.cpp.o"
+  "CMakeFiles/swarmfuzz_cli.dir/cli/main.cpp.o.d"
+  "swarmfuzz"
+  "swarmfuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

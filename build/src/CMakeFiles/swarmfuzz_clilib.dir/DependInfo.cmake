@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/commands.cpp" "src/CMakeFiles/swarmfuzz_clilib.dir/cli/commands.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_clilib.dir/cli/commands.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_clilib.dir/cli/commands.cpp.o"
+  "CMakeFiles/swarmfuzz_clilib.dir/cli/commands.cpp.o.d"
+  "libswarmfuzz_clilib.a"
+  "libswarmfuzz_clilib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_clilib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for swarmfuzz_clilib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_defense.dir/defense/detector.cpp.o"
+  "CMakeFiles/swarmfuzz_defense.dir/defense/detector.cpp.o.d"
+  "libswarmfuzz_defense.a"
+  "libswarmfuzz_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

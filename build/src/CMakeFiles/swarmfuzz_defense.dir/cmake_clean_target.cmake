@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswarmfuzz_defense.a"
+)

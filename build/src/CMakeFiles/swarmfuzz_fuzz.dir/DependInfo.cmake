@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/campaign.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/campaign.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/campaign.cpp.o.d"
+  "/root/repo/src/fuzz/fuzzer.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/fuzzer.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/fuzzer.cpp.o.d"
+  "/root/repo/src/fuzz/objective.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/objective.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/objective.cpp.o.d"
+  "/root/repo/src/fuzz/optimizer.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/optimizer.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/optimizer.cpp.o.d"
+  "/root/repo/src/fuzz/report.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/report.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/report.cpp.o.d"
+  "/root/repo/src/fuzz/seeds.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/seeds.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/seeds.cpp.o.d"
+  "/root/repo/src/fuzz/serialize.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/serialize.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/serialize.cpp.o.d"
+  "/root/repo/src/fuzz/svg.cpp" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/svg.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_fuzz.dir/fuzz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/campaign.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/campaign.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/fuzzer.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/fuzzer.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/objective.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/objective.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/optimizer.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/optimizer.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/report.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/report.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/seeds.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/seeds.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/serialize.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/serialize.cpp.o.d"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/svg.cpp.o"
+  "CMakeFiles/swarmfuzz_fuzz.dir/fuzz/svg.cpp.o.d"
+  "libswarmfuzz_fuzz.a"
+  "libswarmfuzz_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

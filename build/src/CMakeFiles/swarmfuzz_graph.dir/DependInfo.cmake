@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cpp" "src/CMakeFiles/swarmfuzz_graph.dir/graph/centrality.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_graph.dir/graph/centrality.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/swarmfuzz_graph.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_graph.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/swarmfuzz_graph.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_graph.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/pagerank.cpp" "src/CMakeFiles/swarmfuzz_graph.dir/graph/pagerank.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_graph.dir/graph/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

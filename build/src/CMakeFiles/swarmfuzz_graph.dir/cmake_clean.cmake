@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_graph.dir/graph/centrality.cpp.o"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/centrality.cpp.o.d"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/dot.cpp.o"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/dot.cpp.o.d"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/pagerank.cpp.o"
+  "CMakeFiles/swarmfuzz_graph.dir/graph/pagerank.cpp.o.d"
+  "libswarmfuzz_graph.a"
+  "libswarmfuzz_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

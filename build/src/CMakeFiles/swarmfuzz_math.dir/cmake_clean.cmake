@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_math.dir/math/geometry.cpp.o"
+  "CMakeFiles/swarmfuzz_math.dir/math/geometry.cpp.o.d"
+  "CMakeFiles/swarmfuzz_math.dir/math/rng.cpp.o"
+  "CMakeFiles/swarmfuzz_math.dir/math/rng.cpp.o.d"
+  "CMakeFiles/swarmfuzz_math.dir/math/stats.cpp.o"
+  "CMakeFiles/swarmfuzz_math.dir/math/stats.cpp.o.d"
+  "libswarmfuzz_math.a"
+  "libswarmfuzz_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

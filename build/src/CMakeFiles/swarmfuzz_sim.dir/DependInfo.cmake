@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collision.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/collision.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/collision.cpp.o.d"
+  "/root/repo/src/sim/dynamics.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/dynamics.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/dynamics.cpp.o.d"
+  "/root/repo/src/sim/gps.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/gps.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/gps.cpp.o.d"
+  "/root/repo/src/sim/imu.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/imu.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/imu.cpp.o.d"
+  "/root/repo/src/sim/mission.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/mission.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/mission.cpp.o.d"
+  "/root/repo/src/sim/nav_filter.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/nav_filter.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/nav_filter.cpp.o.d"
+  "/root/repo/src/sim/obstacle.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/obstacle.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/obstacle.cpp.o.d"
+  "/root/repo/src/sim/pid.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/pid.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/pid.cpp.o.d"
+  "/root/repo/src/sim/point_mass.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/point_mass.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/point_mass.cpp.o.d"
+  "/root/repo/src/sim/quadrotor.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/quadrotor.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/quadrotor.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/recorder.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/recorder.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/swarmfuzz_sim.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_sim.dir/sim/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

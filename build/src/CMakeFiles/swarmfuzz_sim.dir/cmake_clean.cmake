@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_sim.dir/sim/collision.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/collision.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/dynamics.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/dynamics.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/gps.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/gps.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/imu.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/imu.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/mission.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/mission.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/nav_filter.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/nav_filter.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/obstacle.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/obstacle.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/pid.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/pid.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/point_mass.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/point_mass.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/quadrotor.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/quadrotor.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/recorder.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/recorder.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/world.cpp.o"
+  "CMakeFiles/swarmfuzz_sim.dir/sim/world.cpp.o.d"
+  "libswarmfuzz_sim.a"
+  "libswarmfuzz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

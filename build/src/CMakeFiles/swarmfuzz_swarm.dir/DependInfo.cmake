@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swarm/comm.cpp" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/comm.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/comm.cpp.o.d"
+  "/root/repo/src/swarm/flocking_system.cpp" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/flocking_system.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/flocking_system.cpp.o.d"
+  "/root/repo/src/swarm/metrics.cpp" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/metrics.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/metrics.cpp.o.d"
+  "/root/repo/src/swarm/olfati_saber.cpp" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/olfati_saber.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/olfati_saber.cpp.o.d"
+  "/root/repo/src/swarm/reynolds.cpp" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/reynolds.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/reynolds.cpp.o.d"
+  "/root/repo/src/swarm/vasarhelyi.cpp" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/vasarhelyi.cpp.o" "gcc" "src/CMakeFiles/swarmfuzz_swarm.dir/swarm/vasarhelyi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/comm.cpp.o"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/comm.cpp.o.d"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/flocking_system.cpp.o"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/flocking_system.cpp.o.d"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/metrics.cpp.o"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/metrics.cpp.o.d"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/olfati_saber.cpp.o"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/olfati_saber.cpp.o.d"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/reynolds.cpp.o"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/reynolds.cpp.o.d"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/vasarhelyi.cpp.o"
+  "CMakeFiles/swarmfuzz_swarm.dir/swarm/vasarhelyi.cpp.o.d"
+  "libswarmfuzz_swarm.a"
+  "libswarmfuzz_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswarmfuzz_swarm.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarmfuzz_util.dir/util/csv.cpp.o"
+  "CMakeFiles/swarmfuzz_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/swarmfuzz_util.dir/util/json.cpp.o"
+  "CMakeFiles/swarmfuzz_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/swarmfuzz_util.dir/util/logging.cpp.o"
+  "CMakeFiles/swarmfuzz_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/swarmfuzz_util.dir/util/options.cpp.o"
+  "CMakeFiles/swarmfuzz_util.dir/util/options.cpp.o.d"
+  "CMakeFiles/swarmfuzz_util.dir/util/table.cpp.o"
+  "CMakeFiles/swarmfuzz_util.dir/util/table.cpp.o.d"
+  "libswarmfuzz_util.a"
+  "libswarmfuzz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarmfuzz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_commands.dir/test_cli.cpp.o"
+  "CMakeFiles/test_cli_commands.dir/test_cli.cpp.o.d"
+  "test_cli_commands"
+  "test_cli_commands.pdb"
+  "test_cli_commands[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

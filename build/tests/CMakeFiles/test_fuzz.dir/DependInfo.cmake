@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/test_fuzz.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_fuzzer.cpp" "tests/CMakeFiles/test_fuzz.dir/test_fuzzer.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_fuzzer.cpp.o.d"
+  "/root/repo/tests/test_objective.cpp" "tests/CMakeFiles/test_fuzz.dir/test_objective.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_objective.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/test_fuzz.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_seeds.cpp" "tests/CMakeFiles/test_fuzz.dir/test_seeds.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_seeds.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_fuzz.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_svg.cpp" "tests/CMakeFiles/test_fuzz.dir/test_svg.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/test_svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz.dir/test_campaign.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_campaign.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/test_fuzzer.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_fuzzer.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/test_objective.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_objective.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/test_optimizer.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/test_seeds.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_seeds.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_serialize.cpp.o.d"
+  "CMakeFiles/test_fuzz.dir/test_svg.cpp.o"
+  "CMakeFiles/test_fuzz.dir/test_svg.cpp.o.d"
+  "test_fuzz"
+  "test_fuzz.pdb"
+  "test_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/test_centrality.cpp.o"
+  "CMakeFiles/test_graph.dir/test_centrality.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_digraph.cpp.o"
+  "CMakeFiles/test_graph.dir/test_digraph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_dot.cpp.o"
+  "CMakeFiles/test_graph.dir/test_dot.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_pagerank.cpp.o"
+  "CMakeFiles/test_graph.dir/test_pagerank.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

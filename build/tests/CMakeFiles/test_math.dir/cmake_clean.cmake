@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/test_geometry.cpp.o"
+  "CMakeFiles/test_math.dir/test_geometry.cpp.o.d"
+  "CMakeFiles/test_math.dir/test_rng.cpp.o"
+  "CMakeFiles/test_math.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_math.dir/test_stats.cpp.o"
+  "CMakeFiles/test_math.dir/test_stats.cpp.o.d"
+  "CMakeFiles/test_math.dir/test_vec3.cpp.o"
+  "CMakeFiles/test_math.dir/test_vec3.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_collision.cpp" "tests/CMakeFiles/test_sim.dir/test_collision.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_collision.cpp.o.d"
+  "/root/repo/tests/test_gps.cpp" "tests/CMakeFiles/test_sim.dir/test_gps.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_gps.cpp.o.d"
+  "/root/repo/tests/test_mission.cpp" "tests/CMakeFiles/test_sim.dir/test_mission.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_mission.cpp.o.d"
+  "/root/repo/tests/test_nav.cpp" "tests/CMakeFiles/test_sim.dir/test_nav.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_nav.cpp.o.d"
+  "/root/repo/tests/test_obstacle.cpp" "tests/CMakeFiles/test_sim.dir/test_obstacle.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_obstacle.cpp.o.d"
+  "/root/repo/tests/test_pid.cpp" "tests/CMakeFiles/test_sim.dir/test_pid.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_pid.cpp.o.d"
+  "/root/repo/tests/test_point_mass.cpp" "tests/CMakeFiles/test_sim.dir/test_point_mass.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_point_mass.cpp.o.d"
+  "/root/repo/tests/test_quadrotor.cpp" "tests/CMakeFiles/test_sim.dir/test_quadrotor.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_quadrotor.cpp.o.d"
+  "/root/repo/tests/test_recorder.cpp" "tests/CMakeFiles/test_sim.dir/test_recorder.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_recorder.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/test_sim.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

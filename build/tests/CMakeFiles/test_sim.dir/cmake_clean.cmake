@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_collision.cpp.o"
+  "CMakeFiles/test_sim.dir/test_collision.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_gps.cpp.o"
+  "CMakeFiles/test_sim.dir/test_gps.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_mission.cpp.o"
+  "CMakeFiles/test_sim.dir/test_mission.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_nav.cpp.o"
+  "CMakeFiles/test_sim.dir/test_nav.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_obstacle.cpp.o"
+  "CMakeFiles/test_sim.dir/test_obstacle.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_pid.cpp.o"
+  "CMakeFiles/test_sim.dir/test_pid.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_point_mass.cpp.o"
+  "CMakeFiles/test_sim.dir/test_point_mass.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_quadrotor.cpp.o"
+  "CMakeFiles/test_sim.dir/test_quadrotor.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_recorder.cpp.o"
+  "CMakeFiles/test_sim.dir/test_recorder.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_world.cpp.o"
+  "CMakeFiles/test_sim.dir/test_world.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/test_swarm.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_swarm.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_flocking_system.cpp" "tests/CMakeFiles/test_swarm.dir/test_flocking_system.cpp.o" "gcc" "tests/CMakeFiles/test_swarm.dir/test_flocking_system.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_swarm.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_swarm.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_olfati_saber.cpp" "tests/CMakeFiles/test_swarm.dir/test_olfati_saber.cpp.o" "gcc" "tests/CMakeFiles/test_swarm.dir/test_olfati_saber.cpp.o.d"
+  "/root/repo/tests/test_reynolds.cpp" "tests/CMakeFiles/test_swarm.dir/test_reynolds.cpp.o" "gcc" "tests/CMakeFiles/test_swarm.dir/test_reynolds.cpp.o.d"
+  "/root/repo/tests/test_vasarhelyi.cpp" "tests/CMakeFiles/test_swarm.dir/test_vasarhelyi.cpp.o" "gcc" "tests/CMakeFiles/test_swarm.dir/test_vasarhelyi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

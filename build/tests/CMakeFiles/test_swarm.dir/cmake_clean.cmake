@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swarm.dir/test_comm.cpp.o"
+  "CMakeFiles/test_swarm.dir/test_comm.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/test_flocking_system.cpp.o"
+  "CMakeFiles/test_swarm.dir/test_flocking_system.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_swarm.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/test_olfati_saber.cpp.o"
+  "CMakeFiles/test_swarm.dir/test_olfati_saber.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/test_reynolds.cpp.o"
+  "CMakeFiles/test_swarm.dir/test_reynolds.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/test_vasarhelyi.cpp.o"
+  "CMakeFiles/test_swarm.dir/test_vasarhelyi.cpp.o.d"
+  "test_swarm"
+  "test_swarm.pdb"
+  "test_swarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

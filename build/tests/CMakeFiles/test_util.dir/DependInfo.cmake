@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/test_util.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/test_util.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/test_util.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/test_util.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/test_util.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/swarmfuzz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_format.cpp.o"
+  "CMakeFiles/test_util.dir/test_format.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_json.cpp.o"
+  "CMakeFiles/test_util.dir/test_json.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_logging.cpp.o"
+  "CMakeFiles/test_util.dir/test_logging.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_options.cpp.o"
+  "CMakeFiles/test_util.dir/test_options.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
