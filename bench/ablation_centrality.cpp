@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     config.mission.num_drones = 5;
     config.fuzzer.spoof_distance = 10.0;
     config.fuzzer.seeds.centrality = variant.kind;
+    bench::enable_checkpoint(config, options, std::string{"centrality-"} + variant.name);
     const fuzz::CampaignResult result = fuzz::run_campaign(config);
     table.add_row({variant.name, util::format_percent(result.success_rate(), 0),
                    util::format_double(result.avg_iterations_all()),

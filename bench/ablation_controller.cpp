@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     config.controller_factory = [controller] {
       return cli::make_controller(controller);
     };
+    bench::enable_checkpoint(config, options, "controller-" + controller);
     const fuzz::CampaignResult result = fuzz::run_campaign(config);
     table.add_row({name,
                    std::to_string(result.num_fuzzable()) + "/" +

@@ -1,19 +1,26 @@
 // Shared plumbing for the table/figure benchmark binaries.
 //
 // Every binary accepts:
-//   --missions=N   missions per configuration (env SWARMFUZZ_MISSIONS)
-//   --threads=N    worker threads             (env SWARMFUZZ_THREADS)
-//   --budget=N     search-iteration budget per mission (env SWARMFUZZ_BUDGET)
-//   --seed=N       campaign base seed         (env SWARMFUZZ_SEED)
+//   --missions=N        missions per configuration (env SWARMFUZZ_MISSIONS)
+//   --threads=N         worker threads             (env SWARMFUZZ_THREADS)
+//   --budget=N          search-iteration budget per mission (env SWARMFUZZ_BUDGET)
+//   --seed=N            campaign base seed         (env SWARMFUZZ_SEED)
+//   --checkpoint-dir=D  checkpoint campaigns to D/<label>.jsonl and resume
+//                       interrupted runs            (env SWARMFUZZ_CHECKPOINT_DIR)
+//   --fresh             ignore existing checkpoints, start over
+//   --telemetry=FILE    stream per-mission JSONL telemetry to FILE
 // The paper runs 100 missions per configuration; the defaults here are
 // smaller so the whole harness completes in minutes on one core.
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 
 #include "fuzz/campaign.h"
 #include "fuzz/report.h"
+#include "fuzz/telemetry.h"
 #include "util/options.h"
 
 namespace swarmfuzz::bench {
@@ -23,6 +30,9 @@ struct BenchOptions {
   int threads = 0;   // 0 = hardware concurrency
   int budget = 60;
   std::uint64_t seed = 1000;
+  std::string checkpoint_dir;  // empty = no checkpointing
+  bool fresh = false;          // true = discard existing checkpoints
+  std::string telemetry_path;  // empty = no telemetry stream
 };
 
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
@@ -33,7 +43,19 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   bench.threads = opts.get_int("threads", 0);
   bench.budget = opts.get_int("budget", 60);
   bench.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1000));
+  bench.checkpoint_dir = opts.get("checkpoint-dir", "");
+  bench.fresh = opts.get_bool("fresh", false);
+  bench.telemetry_path = opts.get("telemetry", "");
   return bench;
+}
+
+// Optional shared telemetry sink; keep it alive for the whole run and pass
+// its .get() as CampaignConfig::telemetry / GridConfig::base.telemetry.
+inline std::unique_ptr<fuzz::JsonlTelemetrySink> make_telemetry(
+    const BenchOptions& bench) {
+  if (bench.telemetry_path.empty()) return nullptr;
+  return std::make_unique<fuzz::JsonlTelemetrySink>(bench.telemetry_path,
+                                                    /*append=*/true);
 }
 
 // Campaign configuration matching the paper's experimental setup
@@ -46,21 +68,40 @@ inline fuzz::CampaignConfig paper_campaign(const BenchOptions& bench) {
   config.fuzzer.sim.dt = 0.05;
   config.fuzzer.sim.gps.rate_hz = 20.0;
   config.fuzzer.mission_budget = bench.budget;
+  config.resume = !bench.fresh;
   return config;
+}
+
+// Checkpoints `config` at <checkpoint-dir>/<label>.jsonl (creating the
+// directory) so the campaign resumes if the binary is re-run after an
+// interruption. No-op when --checkpoint-dir is unset.
+inline void enable_checkpoint(fuzz::CampaignConfig& config,
+                              const BenchOptions& bench,
+                              const std::string& label) {
+  if (bench.checkpoint_dir.empty()) return;
+  std::filesystem::create_directories(bench.checkpoint_dir);
+  config.checkpoint_path =
+      (std::filesystem::path{bench.checkpoint_dir} / (label + ".jsonl")).string();
 }
 
 // The paper's configuration grid: {5, 10, 15} drones x {5, 10} m spoofing.
 inline fuzz::GridConfig paper_grid(const BenchOptions& bench) {
   fuzz::GridConfig grid;
   grid.base = paper_campaign(bench);
+  grid.checkpoint_dir = bench.checkpoint_dir;
   return grid;
 }
 
 inline void print_header(const char* experiment, const BenchOptions& bench) {
   std::printf("=== SwarmFuzz reproduction: %s ===\n", experiment);
-  std::printf("missions/config=%d budget=%d base_seed=%llu (paper: 100 missions)\n\n",
+  std::printf("missions/config=%d budget=%d base_seed=%llu (paper: 100 missions)\n",
               bench.missions, bench.budget,
               static_cast<unsigned long long>(bench.seed));
+  if (!bench.checkpoint_dir.empty()) {
+    std::printf("checkpoints: %s (%s)\n", bench.checkpoint_dir.c_str(),
+                bench.fresh ? "fresh start" : "resuming completed missions");
+  }
+  std::printf("\n");
 }
 
 }  // namespace swarmfuzz::bench

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
     fuzz::CampaignConfig config = bench::paper_campaign(options);
     config.mission.num_drones = 5;
     config.fuzzer.spoof_distance = distance;
+    bench::enable_checkpoint(config, options,
+                             "tradeoff-" + util::format_double(distance, 0) + "m");
     const fuzz::CampaignResult campaign = fuzz::run_campaign(config);
 
     // Replay every found SPV under the detector; also run the clean mission

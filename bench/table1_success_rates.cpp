@@ -10,7 +10,10 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_bench_options(argc, argv, 50);
   bench::print_header("Table I (success rates)", options);
 
-  const std::vector<fuzz::GridCell> grid = fuzz::run_grid(bench::paper_grid(options));
+  const auto telemetry = bench::make_telemetry(options);
+  fuzz::GridConfig grid_config = bench::paper_grid(options);
+  grid_config.base.telemetry = telemetry.get();
+  const std::vector<fuzz::GridCell> grid = fuzz::run_grid(grid_config);
   std::printf("%s\n", fuzz::format_success_table(grid).c_str());
 
   std::printf("Paper reference:\n");

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   // The paper caps every fuzzer at 20 search iterations per seed; give all
   // variants the same mission-level budget so the comparison is fair.
+  const auto telemetry = bench::make_telemetry(options);
   std::vector<fuzz::CampaignResult> results;
   for (const fuzz::FuzzerKind kind :
        {fuzz::FuzzerKind::kSwarmFuzz, fuzz::FuzzerKind::kRandom,
@@ -28,6 +29,9 @@ int main(int argc, char** argv) {
     config.kind = kind;
     config.mission.num_drones = 5;
     config.fuzzer.spoof_distance = 10.0;
+    config.telemetry = telemetry.get();
+    bench::enable_checkpoint(config, options,
+                             std::string{fuzz::fuzzer_kind_name(kind)});
     results.push_back(fuzz::run_campaign(config));
   }
 

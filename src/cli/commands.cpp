@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "attack/spoofing.h"
@@ -123,6 +124,32 @@ int cmd_campaign(const util::Options& options) {
     config.controller_factory = [name] { return make_controller(name); };
   }
 
+  // Durability/observability: --checkpoint=PATH appends one JSONL record per
+  // completed mission; with --resume, records already at PATH satisfy their
+  // missions and only the remainder runs. --telemetry=PATH streams the same
+  // records to a separate file (useful when the checkpoint is per-run).
+  config.checkpoint_path = options.get("checkpoint", "");
+  config.resume = options.get_bool("resume", false);
+  std::unique_ptr<fuzz::JsonlTelemetrySink> telemetry;
+  const std::string telemetry_path = options.get("telemetry", "");
+  if (!telemetry_path.empty()) {
+    telemetry = std::make_unique<fuzz::JsonlTelemetrySink>(telemetry_path,
+                                                           /*append=*/true);
+    config.telemetry = telemetry.get();
+  }
+  if (options.get_bool("progress", true)) {
+    config.on_progress = [](const fuzz::CampaignProgress& p) {
+      // Live status line; ETA extrapolates from missions done *this run*.
+      const int fresh = p.completed - p.resumed;
+      const double eta =
+          fresh > 0 ? p.elapsed_s / fresh * (p.total - p.completed) : 0.0;
+      std::fprintf(stderr, "\r%d/%d missions  %d SPVs  %.0fs elapsed  ETA %.0fs ",
+                   p.completed, p.total, p.found, p.elapsed_s, eta);
+      if (p.completed == p.total) std::fputc('\n', stderr);
+      std::fflush(stderr);
+    };
+  }
+
   const fuzz::CampaignResult result = fuzz::run_campaign(config);
   if (options.get_bool("json", false)) {
     std::printf("%s\n", fuzz::to_json(result).c_str());
@@ -219,6 +246,8 @@ int print_usage() {
       "  run        fly one mission without attack\n"
       "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
       "  campaign   evaluate a configuration over many missions\n"
+      "             [--telemetry=FILE] [--checkpoint=FILE [--resume]]\n"
+      "             [--progress=false]\n"
       "  svg        print the Swarm Vulnerability Graph seedpool\n"
       "  replay     execute an explicit spoofing plan (--target --direction\n"
       "             --start --duration --distance) [--detect]\n\n"

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
+
+int CampaignResult::num_completed() const {
+  int completed = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.completed) ++completed;
+  }
+  return completed;
+}
 
 double CampaignResult::success_rate() const {
   const int fuzzable = num_fuzzable();
@@ -17,7 +28,7 @@ double CampaignResult::success_rate() const {
 int CampaignResult::num_found() const {
   int found = 0;
   for (const MissionOutcome& o : outcomes) {
-    if (o.result.found) ++found;
+    if (o.completed && o.result.found) ++found;
   }
   return found;
 }
@@ -25,7 +36,7 @@ int CampaignResult::num_found() const {
 int CampaignResult::num_fuzzable() const {
   int fuzzable = 0;
   for (const MissionOutcome& o : outcomes) {
-    if (!o.result.clean_run_failed) ++fuzzable;
+    if (o.completed && !o.result.clean_run_failed) ++fuzzable;
   }
   return fuzzable;
 }
@@ -34,7 +45,7 @@ double CampaignResult::avg_iterations_successful() const {
   double sum = 0.0;
   int count = 0;
   for (const MissionOutcome& o : outcomes) {
-    if (o.result.found) {
+    if (o.completed && o.result.found) {
       sum += o.result.iterations;
       ++count;
     }
@@ -46,7 +57,7 @@ double CampaignResult::avg_iterations_all() const {
   double sum = 0.0;
   int count = 0;
   for (const MissionOutcome& o : outcomes) {
-    if (!o.result.clean_run_failed) {
+    if (o.completed && !o.result.clean_run_failed) {
       sum += o.result.iterations;
       ++count;
     }
@@ -57,7 +68,7 @@ double CampaignResult::avg_iterations_all() const {
 std::vector<double> CampaignResult::found_start_times() const {
   std::vector<double> values;
   for (const MissionOutcome& o : outcomes) {
-    if (o.result.found) values.push_back(o.result.plan.start_time);
+    if (o.completed && o.result.found) values.push_back(o.result.plan.start_time);
   }
   return values;
 }
@@ -65,7 +76,7 @@ std::vector<double> CampaignResult::found_start_times() const {
 std::vector<double> CampaignResult::found_durations() const {
   std::vector<double> values;
   for (const MissionOutcome& o : outcomes) {
-    if (o.result.found) values.push_back(o.result.plan.duration);
+    if (o.completed && o.result.found) values.push_back(o.result.plan.duration);
   }
   return values;
 }
@@ -73,7 +84,9 @@ std::vector<double> CampaignResult::found_durations() const {
 std::vector<double> CampaignResult::mission_vdos() const {
   std::vector<double> values;
   for (const MissionOutcome& o : outcomes) {
-    if (!o.result.clean_run_failed) values.push_back(o.result.mission_vdo);
+    if (o.completed && !o.result.clean_run_failed) {
+      values.push_back(o.result.mission_vdo);
+    }
   }
   return values;
 }
@@ -87,7 +100,7 @@ std::vector<std::pair<double, double>> CampaignResult::cumulative_success_by_vdo
   };
   std::vector<Point> points;
   for (const MissionOutcome& o : outcomes) {
-    if (!o.result.clean_run_failed) {
+    if (o.completed && !o.result.clean_run_failed) {
       points.push_back({o.result.mission_vdo, o.result.found});
     }
   }
@@ -106,6 +119,128 @@ std::vector<std::pair<double, double>> CampaignResult::cumulative_success_by_vdo
   return curve;
 }
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mission_seed(std::uint64_t base_seed, int index,
+                           int attempt) noexcept {
+  // Each input is fed through a full splitmix64 round before mixing in the
+  // next, so neighbouring (base, index, attempt) tuples land in unrelated
+  // parts of the seed space. With the naive `base + index` scheme two
+  // campaigns at adjacent base seeds shared nearly all of their missions.
+  std::uint64_t z = splitmix64(base_seed);
+  z = splitmix64(z ^ (static_cast<std::uint64_t>(static_cast<unsigned>(index)) +
+                      0x517cc1b727220a95ull));
+  z = splitmix64(z ^ (static_cast<std::uint64_t>(static_cast<unsigned>(attempt)) +
+                      0x2545f4914f6cdd1dull));
+  return z;
+}
+
+namespace {
+
+bool plans_equal(const attack::SpoofingPlan& a,
+                 const attack::SpoofingPlan& b) noexcept {
+  return a.target == b.target && a.direction == b.direction &&
+         a.start_time == b.start_time && a.duration == b.duration &&
+         a.distance == b.distance;
+}
+
+bool attempts_equal(const SeedAttempt& a, const SeedAttempt& b) noexcept {
+  return a.seed.target == b.seed.target && a.seed.victim == b.seed.victim &&
+         a.seed.direction == b.seed.direction && a.seed.vdo == b.seed.vdo &&
+         a.seed.influence == b.seed.influence &&
+         a.outcome.success == b.outcome.success &&
+         a.outcome.stalled == b.outcome.stalled &&
+         a.outcome.t_start == b.outcome.t_start &&
+         a.outcome.duration == b.outcome.duration &&
+         a.outcome.best_f == b.outcome.best_f &&
+         a.outcome.crashed_drone == b.outcome.crashed_drone &&
+         a.outcome.iterations == b.outcome.iterations;
+}
+
+}  // namespace
+
+bool deterministic_equal(const MissionOutcome& a,
+                         const MissionOutcome& b) noexcept {
+  if (a.mission_index != b.mission_index || a.completed != b.completed ||
+      a.mission_seed != b.mission_seed) {
+    return false;
+  }
+  const FuzzResult& ra = a.result;
+  const FuzzResult& rb = b.result;
+  if (ra.clean_run_failed != rb.clean_run_failed || ra.found != rb.found ||
+      ra.victim != rb.victim || ra.victim_vdo != rb.victim_vdo ||
+      ra.iterations != rb.iterations || ra.simulations != rb.simulations ||
+      ra.mission_vdo != rb.mission_vdo ||
+      ra.clean_mission_time != rb.clean_mission_time ||
+      !plans_equal(ra.plan, rb.plan) ||
+      ra.attempts.size() != rb.attempts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ra.attempts.size(); ++i) {
+    if (!attempts_equal(ra.attempts[i], rb.attempts[i])) return false;
+  }
+  return true;
+}
+
+bool deterministic_equal(const CampaignResult& a,
+                         const CampaignResult& b) noexcept {
+  if (a.outcomes.size() != b.outcomes.size()) return false;
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    if (!deterministic_equal(a.outcomes[i], b.outcomes[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Checks a checkpoint record against the campaign it is being replayed
+// into; a mismatch means the file belongs to a different configuration and
+// resuming from it would fabricate results.
+void validate_record(const TelemetryRecord& record, const CampaignConfig& config) {
+  if (record.mission_index < 0 || record.mission_index >= config.num_missions) {
+    throw std::runtime_error(
+        "checkpoint: mission index " + std::to_string(record.mission_index) +
+        " outside campaign of " + std::to_string(config.num_missions));
+  }
+  if (record.fuzzer != fuzzer_kind_name(config.kind)) {
+    throw std::runtime_error("checkpoint: fuzzer '" + record.fuzzer +
+                             "' does not match campaign fuzzer '" +
+                             std::string{fuzzer_kind_name(config.kind)} + "'");
+  }
+  for (int attempt = 0; attempt <= config.clean_failure_retries; ++attempt) {
+    if (record.mission_seed ==
+        mission_seed(config.base_seed, record.mission_index, attempt)) {
+      return;
+    }
+  }
+  throw std::runtime_error(
+      "checkpoint: mission " + std::to_string(record.mission_index) +
+      " seed does not derive from base seed " + std::to_string(config.base_seed) +
+      " (different campaign?)");
+}
+
+TelemetryRecord make_record(const CampaignConfig& config,
+                            const MissionOutcome& outcome) {
+  TelemetryRecord record;
+  record.mission_index = outcome.mission_index;
+  record.fuzzer = std::string{fuzzer_kind_name(config.kind)};
+  record.mission_seed = outcome.mission_seed;
+  record.wall_time_s = outcome.wall_time_s;
+  record.result = outcome.result;
+  return record;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const CampaignConfig& config) {
   if (config.num_missions < 1) {
     throw std::invalid_argument("run_campaign: num_missions < 1");
@@ -113,14 +248,61 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   CampaignResult result;
   result.config = config;
   result.outcomes.resize(static_cast<size_t>(config.num_missions));
+  for (int i = 0; i < config.num_missions; ++i) {
+    result.outcomes[static_cast<size_t>(i)].mission_index = i;
+  }
+
+  // Replay the checkpoint, then reopen it truncated and re-emit the records
+  // we kept: this normalizes away torn trailing lines and duplicates while
+  // preserving crash safety for the missions that follow.
+  int resumed = 0;
+  std::unique_ptr<JsonlTelemetrySink> checkpoint;
+  if (!config.checkpoint_path.empty()) {
+    std::vector<TelemetryRecord> records;
+    if (config.resume) {
+      records = load_telemetry(config.checkpoint_path);
+    }
+    // Validate every record before truncating the file: a checkpoint from a
+    // different campaign must be rejected with its contents intact.
+    for (const TelemetryRecord& record : records) {
+      validate_record(record, config);
+    }
+    checkpoint = std::make_unique<JsonlTelemetrySink>(config.checkpoint_path,
+                                                      /*append=*/false);
+    for (const TelemetryRecord& record : records) {
+      MissionOutcome& outcome =
+          result.outcomes[static_cast<size_t>(record.mission_index)];
+      if (outcome.completed) continue;  // duplicate line; keep the first
+      outcome.completed = true;
+      outcome.mission_seed = record.mission_seed;
+      outcome.wall_time_s = record.wall_time_s;
+      outcome.result = record.result;
+      checkpoint->record(record);
+      ++resumed;
+    }
+    if (resumed > 0) {
+      SWARMFUZZ_INFO("campaign [{}]: resumed {}/{} missions from {}",
+                     fuzzer_kind_name(config.kind), resumed, config.num_missions,
+                     config.checkpoint_path);
+    }
+  }
 
   int threads = config.num_threads > 0
                     ? config.num_threads
                     : static_cast<int>(std::thread::hardware_concurrency());
   threads = std::clamp(threads, 1, config.num_missions);
 
+  const auto campaign_start = std::chrono::steady_clock::now();
   std::atomic<int> next{0};
-  std::atomic<int> completed{0};
+  std::atomic<int> completed{resumed};
+  std::atomic<int> found{0};
+  std::atomic<int> new_budget{config.max_new_missions > 0 ? config.max_new_missions
+                                                          : config.num_missions};
+  for (const MissionOutcome& o : result.outcomes) {
+    if (o.completed && o.result.found) found.fetch_add(1);
+  }
+  std::mutex observer_mutex;  // serializes checkpoint order + progress callbacks
+
   const auto worker = [&] {
     // One fuzzer per worker: fuzzers are stateful but mission outcomes only
     // depend on per-mission seeds, so sharding is deterministic.
@@ -132,18 +314,44 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       const int index = next.fetch_add(1);
       if (index >= config.num_missions) break;
       MissionOutcome& outcome = result.outcomes[static_cast<size_t>(index)];
+      if (outcome.completed) continue;  // satisfied by the checkpoint
+      if (new_budget.fetch_sub(1) <= 0) break;  // max_new_missions reached
+      const auto mission_start = std::chrono::steady_clock::now();
       for (int attempt = 0; attempt <= config.clean_failure_retries; ++attempt) {
         // Salted re-draws keep retried missions deterministic and distinct
         // from every base seed.
-        const std::uint64_t seed =
-            config.base_seed + static_cast<std::uint64_t>(index) +
-            static_cast<std::uint64_t>(attempt) * 0x9e3779b9ull;
+        const std::uint64_t seed = mission_seed(config.base_seed, index, attempt);
         const sim::MissionSpec mission = sim::generate_mission(config.mission, seed);
         outcome.mission_seed = seed;
         outcome.result = fuzzer->fuzz(mission);
         if (!outcome.result.clean_run_failed) break;
       }
+      outcome.wall_time_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        mission_start)
+              .count();
+      outcome.completed = true;
+      if (outcome.result.found) found.fetch_add(1);
       const int done = completed.fetch_add(1) + 1;
+
+      {
+        const std::lock_guard<std::mutex> lock(observer_mutex);
+        const TelemetryRecord record = make_record(config, outcome);
+        if (checkpoint) checkpoint->record(record);
+        if (config.telemetry) config.telemetry->record(record);
+        if (config.on_progress) {
+          CampaignProgress progress;
+          progress.completed = done;
+          progress.resumed = resumed;
+          progress.total = config.num_missions;
+          progress.found = found.load();
+          progress.elapsed_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            campaign_start)
+                  .count();
+          config.on_progress(progress);
+        }
+      }
       if (config.num_missions >= 10 && done % (config.num_missions / 10) == 0) {
         SWARMFUZZ_INFO("campaign [{}]: {}/{} missions",
                        fuzzer_kind_name(config.kind), done, config.num_missions);
@@ -155,6 +363,17 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    campaign_start)
+          .count();
+  SWARMFUZZ_INFO(
+      "campaign [{}] {}: {}/{} missions, {} SPVs over {} fuzzable, {:.1f}s",
+      fuzzer_kind_name(config.kind),
+      result.num_completed() == config.num_missions ? "complete" : "interrupted",
+      result.num_completed(), config.num_missions, result.num_found(),
+      result.num_fuzzable(), elapsed);
   return result;
 }
 

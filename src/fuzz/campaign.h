@@ -5,22 +5,42 @@
 // Missions are embarrassingly parallel; the runner shards them over a thread
 // pool. Results are bit-for-bit deterministic in (config, base_seed)
 // regardless of thread count, because every mission derives its own streams.
+// The single exception is MissionOutcome::wall_time_s, which is measured.
+//
+// Durability: when `checkpoint_path` is set, every completed mission is
+// appended to a JSONL checkpoint (write + flush per record). A restarted
+// campaign replays the file, skips finished mission indices, and
+// reconstructs a CampaignResult identical to an uninterrupted run's.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
+#include "fuzz/telemetry.h"
 #include "sim/mission.h"
 
 namespace swarmfuzz::fuzz {
+
+// Point-in-time campaign progress, delivered to CampaignConfig::on_progress
+// after each completed mission (serialized; callbacks never run
+// concurrently).
+struct CampaignProgress {
+  int completed = 0;   // missions done, including those replayed on resume
+  int resumed = 0;     // missions satisfied from the checkpoint
+  int total = 0;       // config.num_missions
+  int found = 0;       // SPVs discovered so far
+  double elapsed_s = 0.0;  // wall-clock since this run_campaign() call
+};
 
 struct CampaignConfig {
   sim::MissionConfig mission{};
   FuzzerConfig fuzzer{};
   FuzzerKind kind = FuzzerKind::kSwarmFuzz;
   int num_missions = 60;
-  std::uint64_t base_seed = 1000;  // mission i uses seed base_seed + i
+  std::uint64_t base_seed = 1000;  // mission i's seed is mission_seed(base, i, 0)
   int num_threads = 0;             // 0 = hardware concurrency
   // The paper's missions never collide without an attack (section V-A); a
   // small fraction of our randomly generated ones do. When > 0, such
@@ -29,16 +49,41 @@ struct CampaignConfig {
   int clean_failure_retries = 5;
   // Optional custom controller factory (per worker); null = Vasarhelyi.
   std::function<std::shared_ptr<const swarm::SwarmController>()> controller_factory;
+
+  // JSONL checkpoint file; empty disables checkpointing. With `resume` set,
+  // records already in the file satisfy their mission indices (after
+  // validation against this config) and only missing missions run;
+  // otherwise the file is truncated and the campaign starts over.
+  std::string checkpoint_path;
+  bool resume = true;
+  // Optional additional sink (live dashboards, tests). Not owned; must stay
+  // alive for the duration of run_campaign(). Receives one record per
+  // mission completed *in this run* (resumed missions are not re-emitted).
+  TelemetrySink* telemetry = nullptr;
+  // Optional progress observer; see CampaignProgress.
+  std::function<void(const CampaignProgress&)> on_progress;
+  // When > 0, at most this many *new* missions are executed in this call
+  // (resumed missions don't count); the result is partial unless combined
+  // with a checkpoint and re-run. Used for incremental/batched operation
+  // and for exercising interruption in tests.
+  int max_new_missions = 0;
 };
 
 struct MissionOutcome {
+  int mission_index = -1;
+  bool completed = false;         // false only in partial (interrupted) results
   std::uint64_t mission_seed = 0;
+  double wall_time_s = 0.0;       // measured; the one non-deterministic field
   FuzzResult result;
 };
 
 struct CampaignResult {
   CampaignConfig config;
   std::vector<MissionOutcome> outcomes;
+
+  // Missions actually executed or replayed (equals outcomes.size() except
+  // in a max_new_missions-limited partial run).
+  [[nodiscard]] int num_completed() const;
 
   // Success rate over fuzzable missions (clean-run failures excluded, as in
   // the paper where no mission collides without attack).
@@ -64,8 +109,23 @@ struct CampaignResult {
       const;
 };
 
-// Runs the campaign. Progress (one line per 10% of missions) is logged at
-// info level.
+// Derives mission `index`'s seed (attempt > 0 for clean-failure re-draws)
+// from the campaign base seed via splitmix64-style mixing, so adjacent base
+// seeds produce disjoint mission sets.
+[[nodiscard]] std::uint64_t mission_seed(std::uint64_t base_seed, int index,
+                                         int attempt) noexcept;
+
+// Equality over every deterministic field (everything but wall_time_s).
+// This is the invariant behind both thread-count independence and
+// checkpoint/resume: an interrupted-and-resumed campaign must compare equal
+// to an uninterrupted one.
+[[nodiscard]] bool deterministic_equal(const MissionOutcome& a,
+                                       const MissionOutcome& b) noexcept;
+[[nodiscard]] bool deterministic_equal(const CampaignResult& a,
+                                       const CampaignResult& b) noexcept;
+
+// Runs the campaign. Progress (one line per 10% of missions when there are
+// at least 10) is logged at info level; completion is always logged.
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
 
 }  // namespace swarmfuzz::fuzz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
 #include "util/table.h"
 
@@ -17,17 +18,24 @@ std::string distance_label(double metres) {
 }  // namespace
 
 std::vector<GridCell> run_grid(const GridConfig& config) {
+  if (!config.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(config.checkpoint_dir);
+  }
   std::vector<GridCell> grid;
   for (const double distance : config.spoof_distances) {
     for (const int size : config.swarm_sizes) {
       CampaignConfig campaign = config.base;
       campaign.mission.num_drones = size;
       campaign.fuzzer.spoof_distance = distance;
-      grid.push_back(GridCell{
-          .swarm_size = size,
-          .spoof_distance = distance,
-          .result = run_campaign(campaign),
-      });
+      GridCell cell{.swarm_size = size, .spoof_distance = distance, .result = {}};
+      if (!config.checkpoint_dir.empty()) {
+        campaign.checkpoint_path =
+            (std::filesystem::path{config.checkpoint_dir} /
+             (cell_label(cell) + ".jsonl"))
+                .string();
+      }
+      cell.result = run_campaign(campaign);
+      grid.push_back(std::move(cell));
     }
   }
   return grid;

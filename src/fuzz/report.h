@@ -20,6 +20,11 @@ struct GridConfig {
   std::vector<int> swarm_sizes{5, 10, 15};
   std::vector<double> spoof_distances{5.0, 10.0};
   CampaignConfig base{};  // mission.num_drones / fuzzer.spoof_distance overridden
+  // When set, each cell's campaign checkpoints to
+  // `<checkpoint_dir>/<cell_label>.jsonl` (the directory is created), so an
+  // interrupted grid run resumes mid-cell. base.resume / base.telemetry
+  // apply to every cell.
+  std::string checkpoint_dir;
 };
 
 // Runs one campaign per (size, distance) cell, in declaration order.

@@ -108,8 +108,15 @@ std::string to_json(const CampaignResult& result) {
   json.begin_array();
   for (const MissionOutcome& outcome : result.outcomes) {
     json.begin_object();
+    json.key("index");
+    json.value(outcome.mission_index);
+    // Seeds are 64-bit; JSON numbers only guarantee 53 bits, so stringify.
     json.key("seed");
-    json.value(static_cast<double>(outcome.mission_seed));
+    json.value(std::to_string(outcome.mission_seed));
+    json.key("completed");
+    json.value(outcome.completed);
+    json.key("wall_time_s");
+    json.value(outcome.wall_time_s);
     write_result_fields(json, outcome.result);
     json.end_object();
   }

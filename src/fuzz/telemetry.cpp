@@ -1,0 +1,236 @@
+#include "fuzz/telemetry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+attack::SpoofDirection direction_from_name(std::string_view name) {
+  if (name == attack::direction_name(attack::SpoofDirection::kRight)) {
+    return attack::SpoofDirection::kRight;
+  }
+  if (name == attack::direction_name(attack::SpoofDirection::kLeft)) {
+    return attack::SpoofDirection::kLeft;
+  }
+  throw std::invalid_argument("telemetry: unknown spoof direction: " +
+                              std::string{name});
+}
+
+void write_plan(util::JsonWriter& json, const attack::SpoofingPlan& plan) {
+  json.begin_object();
+  json.key("target");
+  json.value(plan.target);
+  json.key("direction");
+  json.value(attack::direction_name(plan.direction));
+  json.key("start_time");
+  json.value_exact(plan.start_time);
+  json.key("duration");
+  json.value_exact(plan.duration);
+  json.key("distance");
+  json.value_exact(plan.distance);
+  json.end_object();
+}
+
+attack::SpoofingPlan plan_from(const util::JsonValue& node) {
+  attack::SpoofingPlan plan;
+  plan.target = node.at("target").as_int();
+  plan.direction = direction_from_name(node.at("direction").as_string());
+  plan.start_time = node.at("start_time").as_double();
+  plan.duration = node.at("duration").as_double();
+  plan.distance = node.at("distance").as_double();
+  return plan;
+}
+
+void write_attempt(util::JsonWriter& json, const SeedAttempt& attempt) {
+  json.begin_object();
+  json.key("target");
+  json.value(attempt.seed.target);
+  json.key("victim");
+  json.value(attempt.seed.victim);
+  json.key("direction");
+  json.value(attack::direction_name(attempt.seed.direction));
+  json.key("vdo");
+  json.value_exact(attempt.seed.vdo);
+  json.key("influence");
+  json.value_exact(attempt.seed.influence);
+  json.key("success");
+  json.value(attempt.outcome.success);
+  json.key("stalled");
+  json.value(attempt.outcome.stalled);
+  json.key("t_start");
+  json.value_exact(attempt.outcome.t_start);
+  json.key("duration");
+  json.value_exact(attempt.outcome.duration);
+  json.key("best_f");
+  json.value_exact(attempt.outcome.best_f);
+  json.key("crashed_drone");
+  json.value(attempt.outcome.crashed_drone);
+  json.key("iterations");
+  json.value(attempt.outcome.iterations);
+  json.end_object();
+}
+
+SeedAttempt attempt_from(const util::JsonValue& node) {
+  SeedAttempt attempt;
+  attempt.seed.target = node.at("target").as_int();
+  attempt.seed.victim = node.at("victim").as_int();
+  attempt.seed.direction = direction_from_name(node.at("direction").as_string());
+  attempt.seed.vdo = node.at("vdo").as_double();
+  attempt.seed.influence = node.at("influence").as_double();
+  attempt.outcome.success = node.at("success").as_bool();
+  attempt.outcome.stalled = node.at("stalled").as_bool();
+  attempt.outcome.t_start = node.at("t_start").as_double();
+  attempt.outcome.duration = node.at("duration").as_double();
+  attempt.outcome.best_f = node.at("best_f").as_double();
+  attempt.outcome.crashed_drone = node.at("crashed_drone").as_int();
+  attempt.outcome.iterations = node.at("iterations").as_int();
+  return attempt;
+}
+
+void write_result(util::JsonWriter& json, const FuzzResult& result) {
+  json.begin_object();
+  json.key("clean_run_failed");
+  json.value(result.clean_run_failed);
+  json.key("found");
+  json.value(result.found);
+  json.key("victim");
+  json.value(result.victim);
+  json.key("victim_vdo");
+  json.value_exact(result.victim_vdo);
+  json.key("iterations");
+  json.value(result.iterations);
+  json.key("simulations");
+  json.value(result.simulations);
+  json.key("mission_vdo");
+  json.value_exact(result.mission_vdo);
+  json.key("clean_mission_time");
+  json.value_exact(result.clean_mission_time);
+  json.key("plan");
+  write_plan(json, result.plan);
+  json.key("attempts");
+  json.begin_array();
+  for (const SeedAttempt& attempt : result.attempts) write_attempt(json, attempt);
+  json.end_array();
+  json.end_object();
+}
+
+FuzzResult result_from(const util::JsonValue& node) {
+  FuzzResult result;
+  result.clean_run_failed = node.at("clean_run_failed").as_bool();
+  result.found = node.at("found").as_bool();
+  result.victim = node.at("victim").as_int();
+  result.victim_vdo = node.at("victim_vdo").as_double();
+  result.iterations = node.at("iterations").as_int();
+  result.simulations = node.at("simulations").as_int();
+  result.mission_vdo = node.at("mission_vdo").as_double();
+  result.clean_mission_time = node.at("clean_mission_time").as_double();
+  result.plan = plan_from(node.at("plan"));
+  const util::JsonValue& attempts = node.at("attempts");
+  result.attempts.reserve(attempts.size());
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    result.attempts.push_back(attempt_from(attempts.at(i)));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string to_jsonl(const TelemetryRecord& record) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("v");
+  json.value(record.schema_version);
+  json.key("index");
+  json.value(record.mission_index);
+  json.key("fuzzer");
+  json.value(record.fuzzer);
+  // Seeds are 64-bit; JSON numbers only guarantee 53 bits, so stringify.
+  json.key("seed");
+  json.value(std::to_string(record.mission_seed));
+  json.key("wall_time_s");
+  json.value_exact(record.wall_time_s);
+  json.key("result");
+  write_result(json, record.result);
+  json.end_object();
+  return json.str();
+}
+
+TelemetryRecord telemetry_record_from_json(std::string_view line) {
+  const util::JsonValue root = util::parse_json(line);
+  TelemetryRecord record;
+  record.schema_version = root.at("v").as_int();
+  if (record.schema_version != 1) {
+    throw std::invalid_argument("telemetry: unsupported schema version " +
+                                std::to_string(record.schema_version));
+  }
+  record.mission_index = root.at("index").as_int();
+  record.fuzzer = root.at("fuzzer").as_string();
+  const std::string& seed_text = root.at("seed").as_string();
+  record.mission_seed = std::stoull(seed_text);
+  record.wall_time_s = root.at("wall_time_s").as_double();
+  record.result = result_from(root.at("result"));
+  return record;
+}
+
+JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path, bool append)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("telemetry: cannot open " + path + " for writing");
+  }
+}
+
+JsonlTelemetrySink::~JsonlTelemetrySink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlTelemetrySink::record(const TelemetryRecord& record) {
+  const std::string line = to_jsonl(record);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+std::vector<TelemetryRecord> load_telemetry(const std::string& path) {
+  std::vector<TelemetryRecord> records;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return records;
+
+  std::string content;
+  char buffer[1 << 14];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+
+  std::size_t start = 0;
+  while (start < content.size()) {
+    std::size_t end = content.find('\n', start);
+    const bool complete_line = end != std::string::npos;
+    if (!complete_line) end = content.size();
+    const std::string_view line{content.data() + start, end - start};
+    start = end + 1;
+    if (line.empty()) continue;
+    try {
+      records.push_back(telemetry_record_from_json(line));
+    } catch (const std::exception& e) {
+      // Records never contain a raw newline, so a crash mid-write can only
+      // tear the newline-terminated suffix of the file: a malformed final
+      // line without '\n' is the expected crash signature and is skipped.
+      // A malformed *complete* line means the file is corrupt, and resuming
+      // from it would silently drop missions.
+      if (complete_line) {
+        throw std::runtime_error("telemetry: corrupt record in " + path + ": " +
+                                 e.what());
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,81 @@
+// Campaign telemetry: one machine-readable record per completed mission.
+//
+// Records serve two purposes:
+//   1. Observability — a campaign is no longer a black box; every mission
+//      outcome (seed, fuzzer, status, iterations, simulations, wall-clock)
+//      streams to a JSONL sink as it completes.
+//   2. Durability — when `CampaignConfig.checkpoint_path` is set the same
+//      records double as a crash-safe checkpoint: each line is written and
+//      flushed atomically-enough that a killed campaign can be resumed by
+//      replaying the file and running only the missing mission indices.
+//
+// Serialization is exact: doubles are written with %.17g (see
+// JsonWriter::value_exact) so a record parsed back reconstructs the
+// original FuzzResult bit-for-bit. The only non-deterministic field is
+// wall_time_s, which is measured, not computed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace swarmfuzz::fuzz {
+
+// One completed mission, as persisted to a telemetry/checkpoint stream.
+struct TelemetryRecord {
+  int schema_version = 1;
+  int mission_index = -1;         // index within the campaign [0, num_missions)
+  std::string fuzzer;             // fuzzer_kind_name() of the campaign's kind
+  std::uint64_t mission_seed = 0; // final (possibly retried) mission seed
+  double wall_time_s = 0.0;       // wall-clock spent on this mission
+  FuzzResult result;              // full outcome, including seed attempts
+};
+
+// One JSONL line (no trailing newline). Doubles round-trip exactly.
+[[nodiscard]] std::string to_jsonl(const TelemetryRecord& record);
+
+// Parses one JSONL line. Throws std::invalid_argument on malformed input.
+[[nodiscard]] TelemetryRecord telemetry_record_from_json(std::string_view line);
+
+// Receives completed-mission records; implementations must be thread-safe
+// (campaign workers call record() concurrently).
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void record(const TelemetryRecord& record) = 0;
+};
+
+// Thread-safe JSONL file sink. Every record() appends one line and flushes,
+// so a crash loses at most the line being written — never a completed one.
+class JsonlTelemetrySink final : public TelemetrySink {
+ public:
+  // Opens `path` for writing; `append` keeps existing records (resume),
+  // otherwise the file is truncated. Throws std::runtime_error on failure.
+  explicit JsonlTelemetrySink(const std::string& path, bool append = true);
+  ~JsonlTelemetrySink() override;
+
+  JsonlTelemetrySink(const JsonlTelemetrySink&) = delete;
+  JsonlTelemetrySink& operator=(const JsonlTelemetrySink&) = delete;
+
+  void record(const TelemetryRecord& record) override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+// Loads every well-formed record from a JSONL file. A malformed or
+// incomplete *last* line (the write a crash interrupted) is skipped
+// silently; a malformed line elsewhere throws std::runtime_error. A missing
+// file yields an empty vector.
+[[nodiscard]] std::vector<TelemetryRecord> load_telemetry(const std::string& path);
+
+}  // namespace swarmfuzz::fuzz

@@ -1,6 +1,8 @@
-// Minimal JSON writer (no parsing) for exporting fuzzing results as
-// machine-readable artifacts. Writes UTF-8 with proper string escaping and
-// uses %.10g for numbers (round-trips doubles we care about).
+// Minimal JSON writer and reader for exporting fuzzing results as
+// machine-readable artifacts and reading them back (campaign checkpoints).
+// Writes UTF-8 with proper string escaping; numbers use %.10g by default
+// (round-trips doubles we care about) or %.17g via value_exact() when
+// bit-exact round-trips are required.
 //
 // Usage:
 //   JsonWriter json;
@@ -16,8 +18,11 @@
 // is required throws std::logic_error.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace swarmfuzz::util {
@@ -41,6 +46,11 @@ class JsonWriter {
   void value(bool boolean);
   void null();
 
+  // Writes a double with %.17g so that parsing it back (strtod) recovers the
+  // exact same bit pattern. Used by checkpoint records, where resumed
+  // campaigns must reproduce results bit-for-bit.
+  void value_exact(double number);
+
   // Finished document text. Throws std::logic_error if containers are open.
   [[nodiscard]] std::string str() const;
 
@@ -56,5 +66,63 @@ class JsonWriter {
   std::vector<bool> has_items_;  // per scope: need a comma before next item
   bool expecting_value_ = false; // a key was just written
 };
+
+// Parsed JSON document node. Object member order is preserved; duplicate
+// keys keep the first occurrence on lookup. Numbers are stored both as a
+// double and as their raw source text so 64-bit integers (mission seeds)
+// survive a round-trip unmangled.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] int as_int() const;                 // rejects non-integral values
+  [[nodiscard]] std::uint64_t as_uint64() const;    // from the raw number text
+  [[nodiscard]] const std::string& as_string() const;
+
+  // Raw source text of a number ("1e-3", "18446744073709551615", ...).
+  [[nodiscard]] const std::string& number_text() const;
+
+  // Containers.
+  [[nodiscard]] std::size_t size() const;           // array/object element count
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;  // array element
+  [[nodiscard]] bool has(std::string_view key) const;
+  // Object member; throws std::invalid_argument when the key is absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  // Object member or nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  [[nodiscard]] static JsonValue make_null();
+  [[nodiscard]] static JsonValue make_bool(bool value);
+  [[nodiscard]] static JsonValue make_number(double value, std::string text);
+  [[nodiscard]] static JsonValue make_string(std::string value);
+  [[nodiscard]] static JsonValue make_array(std::vector<JsonValue> items);
+  [[nodiscard]] static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string text_;  // string value, or raw number text
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses one complete JSON document (RFC 8259 subset: no comments, strict
+// literals, \uXXXX escapes decoded to UTF-8 including surrogate pairs).
+// Trailing whitespace is allowed; any other trailing content, or malformed
+// input, throws std::invalid_argument with an offset-bearing message.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace swarmfuzz::util

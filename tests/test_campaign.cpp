@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "fuzz/report.h"
+#include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
 namespace {
@@ -22,6 +25,68 @@ CampaignConfig small_campaign(int missions = 6) {
 TEST(Campaign, RejectsZeroMissions) {
   CampaignConfig config = small_campaign(0);
   EXPECT_THROW((void)run_campaign(config), std::invalid_argument);
+}
+
+TEST(Campaign, MissionSeedsAreWellMixed) {
+  // Adjacent base seeds must produce disjoint mission sets; the naive
+  // `base + index` derivation shared all but one mission between base seeds
+  // b and b+1.
+  std::set<std::uint64_t> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.insert(mission_seed(1000, i, 0));
+    b.insert(mission_seed(1001, i, 0));
+  }
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(b.size(), 100u);
+  for (const std::uint64_t seed : a) EXPECT_EQ(b.count(seed), 0u);
+  // Retry attempts get fresh seeds too.
+  EXPECT_NE(mission_seed(1000, 3, 0), mission_seed(1000, 3, 1));
+  // And the derivation is a pure function.
+  EXPECT_EQ(mission_seed(1000, 3, 1), mission_seed(1000, 3, 1));
+}
+
+TEST(Campaign, SmallCampaignStillLogsCompletion) {
+  class CaptureSink final : public util::LogSink {
+   public:
+    void write(util::LogLevel, std::string_view message) override {
+      messages.emplace_back(message);
+    }
+    std::vector<std::string> messages;
+  };
+  CaptureSink sink;
+  util::set_log_sink(&sink);
+  util::set_log_level(util::LogLevel::kInfo);
+  // 2 missions is below the old `num_missions >= 10` progress guard, which
+  // used to suppress every line of campaign output.
+  (void)run_campaign(small_campaign(2));
+  util::set_log_sink(nullptr);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  bool saw_completion = false;
+  for (const std::string& message : sink.messages) {
+    if (message.find("complete") != std::string::npos &&
+        message.find("2/2 missions") != std::string::npos) {
+      saw_completion = true;
+    }
+  }
+  EXPECT_TRUE(saw_completion);
+}
+
+TEST(Campaign, ProgressCallbackReportsEveryMission) {
+  CampaignConfig config = small_campaign();
+  std::vector<CampaignProgress> updates;
+  config.num_threads = 1;
+  config.on_progress = [&updates](const CampaignProgress& p) {
+    updates.push_back(p);
+  };
+  (void)run_campaign(config);
+  ASSERT_EQ(updates.size(), 6u);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].completed, static_cast<int>(i) + 1);
+    EXPECT_EQ(updates[i].total, 6);
+    EXPECT_EQ(updates[i].resumed, 0);
+    EXPECT_GE(updates[i].elapsed_s, 0.0);
+  }
 }
 
 TEST(Campaign, RunsAllMissions) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fuzz/telemetry.h"
 #include "swarm/controller.h"
 
 namespace swarmfuzz::cli {
@@ -67,6 +72,36 @@ TEST(Cli, FuzzCommandFindsSpvOnVulnerableMission) {
 
 TEST(Cli, CampaignCommandSmall) {
   EXPECT_EQ(cmd_campaign(parse({"campaign", "--missions=2", "--budget=6"})), 0);
+}
+
+TEST(Cli, CampaignCheckpointAndTelemetryFlags) {
+  const std::string dir = ::testing::TempDir();
+  const std::string checkpoint =
+      (std::filesystem::path{dir} / "cli_checkpoint.jsonl").string();
+  const std::string telemetry =
+      (std::filesystem::path{dir} / "cli_telemetry.jsonl").string();
+  std::remove(checkpoint.c_str());
+  std::remove(telemetry.c_str());
+
+  const std::string checkpoint_flag = "--checkpoint=" + checkpoint;
+  const std::string telemetry_flag = "--telemetry=" + telemetry;
+  EXPECT_EQ(cmd_campaign(parse({"campaign", "--missions=3", "--budget=6",
+                                checkpoint_flag.c_str(), telemetry_flag.c_str(),
+                                "--progress=false"})),
+            0);
+  EXPECT_EQ(fuzz::load_telemetry(checkpoint).size(), 3u);
+  EXPECT_EQ(fuzz::load_telemetry(telemetry).size(), 3u);
+
+  // Re-running with --resume replays the checkpoint instead of re-fuzzing:
+  // the telemetry stream (which only sees fresh missions) gains no records.
+  EXPECT_EQ(cmd_campaign(parse({"campaign", "--missions=3", "--budget=6",
+                                checkpoint_flag.c_str(), telemetry_flag.c_str(),
+                                "--resume", "--progress=false"})),
+            0);
+  EXPECT_EQ(fuzz::load_telemetry(checkpoint).size(), 3u);
+  EXPECT_EQ(fuzz::load_telemetry(telemetry).size(), 3u);
+  std::remove(checkpoint.c_str());
+  std::remove(telemetry.c_str());
 }
 
 }  // namespace

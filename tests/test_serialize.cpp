@@ -54,12 +54,20 @@ TEST(Serialize, CampaignResultAggregatesAndRows) {
   campaign.config.kind = FuzzerKind::kSwarmFuzz;
   campaign.config.mission.num_drones = 5;
   campaign.config.fuzzer.spoof_distance = 10.0;
-  campaign.outcomes.push_back(MissionOutcome{1000, sample_result()});
+  campaign.outcomes.push_back(MissionOutcome{.mission_index = 0,
+                                             .completed = true,
+                                             .mission_seed = 1000,
+                                             .wall_time_s = 0.5,
+                                             .result = sample_result()});
   FuzzResult miss;
   miss.found = false;
   miss.iterations = 60;
   miss.mission_vdo = 5.0;
-  campaign.outcomes.push_back(MissionOutcome{1001, miss});
+  campaign.outcomes.push_back(MissionOutcome{.mission_index = 1,
+                                             .completed = true,
+                                             .mission_seed = 1001,
+                                             .wall_time_s = 0.5,
+                                             .result = miss});
 
   const std::string json = to_json(campaign);
   EXPECT_NE(json.find("\"fuzzer\":\"SwarmFuzz\""), std::string::npos);
@@ -67,7 +75,7 @@ TEST(Serialize, CampaignResultAggregatesAndRows) {
   EXPECT_NE(json.find("\"success_rate\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"success_rate_ci95\":["), std::string::npos);
   EXPECT_NE(json.find("\"missions\":["), std::string::npos);
-  EXPECT_NE(json.find("\"seed\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":\"1000\""), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
 }

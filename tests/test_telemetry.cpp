@@ -1,0 +1,317 @@
+#include "fuzz/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "fuzz/campaign.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path{::testing::TempDir()} /
+          ("swarmfuzz_telemetry_" + name))
+      .string();
+}
+
+// Awkward doubles (non-terminating binary fractions, negatives, tiny
+// magnitudes) that %.10g would mangle; %.17g must round-trip them exactly.
+TelemetryRecord sample_record() {
+  TelemetryRecord record;
+  record.mission_index = 7;
+  record.fuzzer = "SwarmFuzz";
+  record.mission_seed = 0xdeadbeefcafebabeull;
+  record.wall_time_s = 1.0 / 3.0;
+  record.result.found = true;
+  record.result.victim = 4;
+  record.result.victim_vdo = 0.1 + 0.2;
+  record.result.iterations = 9;
+  record.result.simulations = 41;
+  record.result.mission_vdo = 2.2250738585072014e-305;
+  record.result.clean_mission_time = 98.30000000000001;
+  record.result.plan = attack::SpoofingPlan{.target = 1,
+                                            .direction = attack::SpoofDirection::kLeft,
+                                            .start_time = 12.700000000000001,
+                                            .duration = 1.0 / 7.0,
+                                            .distance = 10.0};
+  record.result.attempts.push_back(SeedAttempt{
+      Seed{.target = 1, .victim = 4, .direction = attack::SpoofDirection::kLeft,
+           .vdo = 2.25, .influence = 0.45000000000000007},
+      OptimizationResult{.success = true, .stalled = false, .t_start = 12.5,
+                         .duration = 8.0, .best_f = -0.010000000000000002,
+                         .crashed_drone = 4, .iterations = 7}});
+  record.result.attempts.push_back(SeedAttempt{
+      Seed{.target = 3, .victim = 0, .direction = attack::SpoofDirection::kRight,
+           .vdo = 1.0 / 3.0, .influence = -0.0},
+      OptimizationResult{.success = false, .stalled = true, .t_start = 0.0,
+                         .duration = 0.0, .best_f = 3.5, .crashed_drone = -1,
+                         .iterations = 20}});
+  return record;
+}
+
+MissionOutcome outcome_from(const TelemetryRecord& record) {
+  return MissionOutcome{.mission_index = record.mission_index,
+                        .completed = true,
+                        .mission_seed = record.mission_seed,
+                        .wall_time_s = record.wall_time_s,
+                        .result = record.result};
+}
+
+TEST(Telemetry, JsonlRoundTripIsExact) {
+  const TelemetryRecord original = sample_record();
+  const std::string line = to_jsonl(original);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const TelemetryRecord parsed = telemetry_record_from_json(line);
+  EXPECT_EQ(parsed.schema_version, original.schema_version);
+  EXPECT_EQ(parsed.mission_index, original.mission_index);
+  EXPECT_EQ(parsed.fuzzer, original.fuzzer);
+  EXPECT_EQ(parsed.mission_seed, original.mission_seed);
+  EXPECT_EQ(parsed.wall_time_s, original.wall_time_s);
+  // deterministic_equal compares every FuzzResult field with exact ==.
+  EXPECT_TRUE(deterministic_equal(outcome_from(original), outcome_from(parsed)));
+  // And the round-trip is a fixed point at the text level too.
+  EXPECT_EQ(to_jsonl(parsed), line);
+}
+
+TEST(Telemetry, MalformedLineThrows) {
+  EXPECT_THROW((void)telemetry_record_from_json("{\"v\":1"), std::invalid_argument);
+  EXPECT_THROW((void)telemetry_record_from_json("{}"), std::invalid_argument);
+  EXPECT_THROW((void)telemetry_record_from_json("{\"v\":99}"),
+               std::invalid_argument);
+}
+
+TEST(Telemetry, SinkWritesOneLinePerRecord) {
+  const std::string path = temp_path("sink.jsonl");
+  {
+    JsonlTelemetrySink sink(path, /*append=*/false);
+    TelemetryRecord record = sample_record();
+    sink.record(record);
+    record.mission_index = 8;
+    sink.record(record);
+  }
+  const auto records = load_telemetry(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].mission_index, 7);
+  EXPECT_EQ(records[1].mission_index, 8);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, SinkIsThreadSafe) {
+  const std::string path = temp_path("concurrent.jsonl");
+  {
+    JsonlTelemetrySink sink(path, /*append=*/false);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+      writers.emplace_back([&sink, t] {
+        TelemetryRecord record = sample_record();
+        for (int i = 0; i < 25; ++i) {
+          record.mission_index = t * 25 + i;
+          sink.record(record);
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  // Interleaved writers must still produce 100 individually parseable lines.
+  EXPECT_EQ(load_telemetry(path).size(), 100u);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, LoadSkipsTornTrailingLine) {
+  const std::string path = temp_path("torn.jsonl");
+  {
+    std::ofstream out(path);
+    out << to_jsonl(sample_record()) << "\n";
+    const std::string full = to_jsonl(sample_record());
+    out << full.substr(0, full.size() / 2);  // crash mid-write: no newline
+  }
+  const auto records = load_telemetry(path);
+  EXPECT_EQ(records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, LoadThrowsOnCorruptCompleteLine) {
+  const std::string path = temp_path("corrupt.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"not a record\":true}\n";
+    out << to_jsonl(sample_record()) << "\n";
+  }
+  EXPECT_THROW((void)load_telemetry(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, LoadOfMissingFileIsEmpty) {
+  EXPECT_TRUE(load_telemetry(temp_path("does_not_exist.jsonl")).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume through run_campaign.
+
+CampaignConfig checkpoint_campaign(int missions = 6) {
+  CampaignConfig config;
+  config.num_missions = missions;
+  config.mission.num_drones = 5;
+  config.fuzzer.spoof_distance = 10.0;
+  config.fuzzer.sim.dt = 0.05;
+  config.fuzzer.sim.gps.rate_hz = 20.0;
+  config.fuzzer.mission_budget = 12;  // keep tests fast
+  config.num_threads = 2;
+  return config;
+}
+
+TEST(Checkpoint, EmitsOneRecordPerMission) {
+  const std::string path = temp_path("emit.jsonl");
+  std::remove(path.c_str());
+  CampaignConfig config = checkpoint_campaign();
+  config.checkpoint_path = path;
+  const CampaignResult result = run_campaign(config);
+  EXPECT_EQ(result.num_completed(), config.num_missions);
+
+  const auto records = load_telemetry(path);
+  ASSERT_EQ(records.size(), static_cast<size_t>(config.num_missions));
+  std::vector<bool> seen(static_cast<size_t>(config.num_missions), false);
+  for (const TelemetryRecord& record : records) {
+    ASSERT_GE(record.mission_index, 0);
+    ASSERT_LT(record.mission_index, config.num_missions);
+    EXPECT_FALSE(seen[static_cast<size_t>(record.mission_index)]);
+    seen[static_cast<size_t>(record.mission_index)] = true;
+    EXPECT_EQ(record.fuzzer, fuzzer_kind_name(config.kind));
+    EXPECT_GT(record.wall_time_s, 0.0);
+    EXPECT_TRUE(deterministic_equal(
+        outcome_from(record),
+        result.outcomes[static_cast<size_t>(record.mission_index)]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, InterruptedThenResumedEqualsUninterrupted) {
+  const std::string path = temp_path("resume.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig config = checkpoint_campaign();
+  const CampaignResult uninterrupted = run_campaign(config);
+
+  // "Kill" the campaign after 2 of 6 missions...
+  CampaignConfig partial = config;
+  partial.checkpoint_path = path;
+  partial.max_new_missions = 2;
+  const CampaignResult killed = run_campaign(partial);
+  EXPECT_EQ(killed.num_completed(), 2);
+  EXPECT_EQ(load_telemetry(path).size(), 2u);
+
+  // ...then resume at a different thread count: the merged result must be
+  // bit-for-bit identical to the uninterrupted run's deterministic fields.
+  CampaignConfig resumed_config = config;
+  resumed_config.checkpoint_path = path;
+  resumed_config.num_threads = 3;
+  const CampaignResult resumed = run_campaign(resumed_config);
+  EXPECT_EQ(resumed.num_completed(), config.num_missions);
+  EXPECT_TRUE(deterministic_equal(resumed, uninterrupted));
+
+  // The checkpoint now covers the full campaign; a further resume runs
+  // nothing new and still reconstructs the same result.
+  const CampaignResult replayed = run_campaign(resumed_config);
+  EXPECT_TRUE(deterministic_equal(replayed, uninterrupted));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeToleratesTornTrailingLine) {
+  const std::string path = temp_path("resume_torn.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig config = checkpoint_campaign();
+  const CampaignResult uninterrupted = run_campaign(config);
+
+  CampaignConfig partial = config;
+  partial.checkpoint_path = path;
+  partial.max_new_missions = 3;
+  (void)run_campaign(partial);
+  {
+    // Simulate a crash that tore the next record mid-write.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"v\":1,\"index\":5,\"fuzz";
+  }
+
+  CampaignConfig resumed_config = config;
+  resumed_config.checkpoint_path = path;
+  const CampaignResult resumed = run_campaign(resumed_config);
+  EXPECT_TRUE(deterministic_equal(resumed, uninterrupted));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedCampaignIsRejected) {
+  const std::string path = temp_path("mismatch.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig config = checkpoint_campaign();
+  config.checkpoint_path = path;
+  config.max_new_missions = 2;
+  (void)run_campaign(config);
+
+  // Same file, different base seed: the records cannot belong to this
+  // campaign and resuming must fail loudly instead of fabricating results.
+  CampaignConfig other = config;
+  other.base_seed = config.base_seed + 1;
+  EXPECT_THROW((void)run_campaign(other), std::runtime_error);
+
+  // The rejected resume must not have truncated the checkpoint: the original
+  // campaign's records are still there and the original config still resumes.
+  EXPECT_EQ(load_telemetry(path).size(), 2u);
+  config.max_new_missions = 0;
+  const CampaignResult resumed = run_campaign(config);
+  EXPECT_EQ(resumed.num_completed(), config.num_missions);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FreshStartTruncatesExistingRecords) {
+  const std::string path = temp_path("fresh.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig config = checkpoint_campaign();
+  config.checkpoint_path = path;
+  config.max_new_missions = 2;
+  (void)run_campaign(config);
+  EXPECT_EQ(load_telemetry(path).size(), 2u);
+
+  config.resume = false;
+  config.max_new_missions = 3;
+  (void)run_campaign(config);
+  // Old records were discarded: only this run's three missions remain.
+  EXPECT_EQ(load_telemetry(path).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SecondarySinkSeesOnlyFreshMissions) {
+  class CountingSink final : public TelemetrySink {
+   public:
+    void record(const TelemetryRecord&) override { ++count; }
+    int count = 0;
+  };
+  const std::string path = temp_path("secondary.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig config = checkpoint_campaign();
+  config.checkpoint_path = path;
+  config.max_new_missions = 2;
+  CountingSink first;
+  config.telemetry = &first;
+  (void)run_campaign(config);
+  EXPECT_EQ(first.count, 2);
+
+  CountingSink second;
+  config.telemetry = &second;
+  config.max_new_missions = 0;
+  (void)run_campaign(config);
+  // Replayed missions are not re-emitted to the secondary sink.
+  EXPECT_EQ(second.count, config.num_missions - 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz
