@@ -3,11 +3,15 @@
 // whole-mission runs, SVG construction and PageRank.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "fuzz/fuzzer.h"
 #include "fuzz/seeds.h"
 #include "fuzz/svg.h"
 #include "graph/pagerank.h"
 #include "math/rng.h"
 #include "sim/simulator.h"
+#include "swarm/comm.h"
 #include "swarm/vasarhelyi.h"
 
 namespace {
@@ -42,6 +46,41 @@ void BM_ControllerEvaluation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * drones);
 }
 BENCHMARK(BM_ControllerEvaluation)->Arg(5)->Arg(10)->Arg(15);
+
+// One control tick's worth of communication filtering: every drone's view
+// of the broadcast under range-limited, lossy comms (the non-trivial path
+// that cannot take the batch shortcut).
+void BM_CommFilter(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const sim::MissionSpec mission = mission_of(drones);
+  const sim::WorldSnapshot snap = snapshot_of(mission);
+  swarm::CommModel comm({.range = 40.0, .drop_probability = 0.1});
+  comm.reset(42);
+  std::vector<int> members;
+  for (auto _ : state) {
+    for (int i = 0; i < drones; ++i) {
+      benchmark::DoNotOptimize(comm.filter_into(snap, i, members));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * drones);
+}
+BENCHMARK(BM_CommFilter)->Arg(5)->Arg(15);
+
+// End-to-end fuzzing of one mission — the unit a campaign repeats hundreds
+// of times; tracks how hot-path changes compound at campaign scale.
+void BM_CampaignMission(benchmark::State& state) {
+  const sim::MissionSpec mission = mission_of(static_cast<int>(state.range(0)));
+  fuzz::FuzzerConfig config;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  config.spoof_distance = 10.0;
+  config.mission_budget = 12;
+  const auto fuzzer = fuzz::make_fuzzer(fuzz::FuzzerKind::kSwarmFuzz, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzzer->fuzz(mission));
+  }
+}
+BENCHMARK(BM_CampaignMission)->Arg(5)->Unit(benchmark::kMillisecond);
 
 void BM_QuadrotorStep(benchmark::State& state) {
   const auto vehicle = sim::make_vehicle(sim::VehicleType::kQuadrotor);

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Runs the micro-benchmark suite and writes machine-readable results to
+# BENCH_micro.json at the repo root (or $1 if given). Assumes the benchmarks
+# were built into ./build (cmake -B build -S . && cmake --build build -j).
+#
+# Compare against a saved baseline to catch hot-path regressions; the
+# headline series is BM_FullMission (whole-mission wall time, the unit a
+# fuzzing campaign repeats hundreds of times).
+set -eu
+
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+bench_bin="$repo_root/build/bench/bench_micro"
+out="${1:-$repo_root/BENCH_micro.json}"
+
+if [ ! -x "$bench_bin" ]; then
+  echo "error: $bench_bin not found; build first: cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+echo "wrote $out"

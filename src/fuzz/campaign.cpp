@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -100,7 +101,12 @@ std::vector<std::pair<double, double>> CampaignResult::cumulative_success_by_vdo
   };
   std::vector<Point> points;
   for (const MissionOutcome& o : outcomes) {
-    if (o.completed && !o.result.clean_run_failed) {
+    // Non-finite VDOs (obstacle-free or otherwise degenerate clean runs)
+    // have no place on a VDO axis; worse, a NaN poisons the adjacent-dedup
+    // comparison below (NaN - x < 1e-9 is false either way, so the NaN
+    // point itself would be emitted). Drop them up front.
+    if (o.completed && !o.result.clean_run_failed &&
+        std::isfinite(o.result.mission_vdo)) {
       points.push_back({o.result.mission_vdo, o.result.found});
     }
   }

@@ -19,16 +19,19 @@ graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
   const math::Vec3 spoof_offset =
       left * (-static_cast<double>(attack::direction_sign(direction)) * distance);
 
-  // Baseline: what every drone would do right now, unspoofed.
+  // Baseline: what every drone would do right now, unspoofed. Probes are
+  // index-based: drone i is snapshot.drones[i] here by construction, so no
+  // per-probe id rescan is needed.
   std::vector<math::Vec3> base_velocity(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    base_velocity[static_cast<size_t>(i)] = system.probe_desired_velocity(
-        snapshot.drones[static_cast<size_t>(i)].id, snapshot, mission);
+    base_velocity[static_cast<size_t>(i)] =
+        system.probe_desired_velocity_at(i, snapshot, mission);
   }
 
+  // One reusable counterfactual snapshot: spoof drone j's broadcast position
+  // in place, probe, then restore — instead of re-copying the snapshot per j.
+  sim::WorldSnapshot spoofed = snapshot;
   for (int j = 0; j < n; ++j) {
-    // Counterfactual: drone j's broadcast position is spoofed.
-    sim::WorldSnapshot spoofed = snapshot;
     spoofed.drones[static_cast<size_t>(j)].gps_position += spoof_offset;
 
     for (int i = 0; i < n; ++i) {
@@ -38,7 +41,7 @@ graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
       if (!hit) continue;
 
       const math::Vec3 spoofed_velocity =
-          system.probe_desired_velocity(obs_i.id, spoofed, mission);
+          system.probe_desired_velocity_at(i, spoofed, mission);
       const double base_rate =
           math::radial_speed_xy(obs_i.gps_position, mission.obstacles.at(hit->index).center,
                                 base_velocity[static_cast<size_t>(i)]);
@@ -55,6 +58,8 @@ graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
         svg.add_edge(i, j, std::max(weight, 1e-3));
       }
     }
+    spoofed.drones[static_cast<size_t>(j)].gps_position =
+        snapshot.drones[static_cast<size_t>(j)].gps_position;
   }
   return svg;
 }

@@ -32,11 +32,18 @@ std::optional<CollisionEvent> CollisionMonitor::check(
     }
   }
 
+  const double thr = 2.0 * drone_radius_;
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      const double dist = math::distance(states[static_cast<size_t>(i)].position,
-                                         states[static_cast<size_t>(j)].position);
-      if (dist <= 2.0 * drone_radius_) {
+      const Vec3 d = states[static_cast<size_t>(i)].position -
+                     states[static_cast<size_t>(j)].position;
+      // Cheap squared pre-reject with a 2x margin: well-separated pairs
+      // (the overwhelming majority) skip the sqrt. The margin is far beyond
+      // any rounding of d.norm(), so pairs that could possibly satisfy
+      // `dist <= thr` always fall through to the exact original test.
+      if (d.norm_sq() > 4.0 * thr * thr) continue;
+      const double dist = d.norm();
+      if (dist <= thr) {
         return CollisionEvent{CollisionKind::kDroneDrone, time, i, j};
       }
     }

@@ -13,9 +13,10 @@ Recorder::Recorder(int num_drones, ObstacleField obstacles, double record_period
       record_period_(record_period) {
   if (num_drones < 1) throw std::invalid_argument("Recorder: num_drones < 1");
   if (record_period < 0.0) throw std::invalid_argument("Recorder: negative period");
-  min_obstacle_dist_.assign(static_cast<size_t>(num_drones),
-                            std::numeric_limits<double>::infinity());
-  min_obstacle_time_.assign(static_cast<size_t>(num_drones), 0.0);
+  const size_t cells =
+      static_cast<size_t>(num_drones) * static_cast<size_t>(obstacles_.size());
+  min_center_d2_.assign(cells, std::numeric_limits<double>::infinity());
+  min_center_time_.assign(cells, 0.0);
 }
 
 void Recorder::record(double t, std::span<const DroneState> states) {
@@ -24,12 +25,16 @@ void Recorder::record(double t, std::span<const DroneState> states) {
   }
   last_time_ = t;
 
+  const int m = obstacles_.size();
   for (int i = 0; i < num_drones_; ++i) {
-    const double dist =
-        obstacles_.min_surface_distance(states[static_cast<size_t>(i)].position);
-    if (dist < min_obstacle_dist_[static_cast<size_t>(i)]) {
-      min_obstacle_dist_[static_cast<size_t>(i)] = dist;
-      min_obstacle_time_[static_cast<size_t>(i)] = t;
+    const Vec3& pos = states[static_cast<size_t>(i)].position;
+    const size_t row = static_cast<size_t>(i) * static_cast<size_t>(m);
+    for (int k = 0; k < m; ++k) {
+      const double d2 = (pos - obstacles_.at(k).center).norm_xy_sq();
+      if (d2 < min_center_d2_[row + static_cast<size_t>(k)]) {
+        min_center_d2_[row + static_cast<size_t>(k)] = d2;
+        min_center_time_[row + static_cast<size_t>(k)] = t;
+      }
     }
   }
 
@@ -63,14 +68,34 @@ double Recorder::min_obstacle_distance(int drone) const {
   if (drone < 0 || drone >= num_drones_) {
     throw std::out_of_range("Recorder: drone id out of range");
   }
-  return min_obstacle_dist_[static_cast<size_t>(drone)];
+  const size_t row =
+      static_cast<size_t>(drone) * static_cast<size_t>(obstacles_.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < obstacles_.size(); ++k) {
+    const double dist = std::sqrt(min_center_d2_[row + static_cast<size_t>(k)]) -
+                        obstacles_.at(k).radius;
+    if (dist < best) best = dist;
+  }
+  return best;
 }
 
 double Recorder::time_of_min_obstacle_distance(int drone) const {
   if (drone < 0 || drone >= num_drones_) {
     throw std::out_of_range("Recorder: drone id out of range");
   }
-  return min_obstacle_time_[static_cast<size_t>(drone)];
+  const size_t row =
+      static_cast<size_t>(drone) * static_cast<size_t>(obstacles_.size());
+  double best = std::numeric_limits<double>::infinity();
+  double best_time = 0.0;
+  for (int k = 0; k < obstacles_.size(); ++k) {
+    const double dist = std::sqrt(min_center_d2_[row + static_cast<size_t>(k)]) -
+                        obstacles_.at(k).radius;
+    if (dist < best) {
+      best = dist;
+      best_time = min_center_time_[row + static_cast<size_t>(k)];
+    }
+  }
+  return best_time;
 }
 
 double Recorder::avg_inter_distance(int index) const {

@@ -42,6 +42,8 @@ class Recorder {
 
   // Minimum distance from drone `i` to any obstacle surface over the whole
   // mission (exact over all record() calls). Infinity with no obstacles.
+  // Computed lazily from per-obstacle squared center-distance minima so the
+  // per-step hot path performs no square roots (DESIGN.md §9).
   [[nodiscard]] double min_obstacle_distance(int drone) const;
   // Time at which that minimum was attained.
   [[nodiscard]] double time_of_min_obstacle_distance(int drone) const;
@@ -68,8 +70,14 @@ class Recorder {
 
   std::vector<double> times_;
   std::vector<DroneState> states_;  // num_samples * num_drones, row-major
-  std::vector<double> min_obstacle_dist_;
-  std::vector<double> min_obstacle_time_;
+
+  // Per (drone, obstacle) minimum squared XY center distance and the time it
+  // was attained, row-major num_drones * obstacles. sqrt is monotone, so
+  // minimising the squared center distance per obstacle and taking
+  // sqrt(min) - radius lazily in the accessors yields the exact same
+  // minimum-distance bits as the per-step sqrt the recorder used to do.
+  std::vector<double> min_center_d2_;
+  std::vector<double> min_center_time_;
 };
 
 }  // namespace swarmfuzz::sim

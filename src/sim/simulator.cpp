@@ -45,12 +45,18 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
 
   RunResult result{.recorder = Recorder(n, mission.obstacles, config_.record_period)};
 
-  std::vector<DroneState> states = world.states();
+  // `states` tracks World's internal buffer: step() refreshes it in place,
+  // so the loop below never copies the state vector. Pre-step state needed
+  // later in the tick (collision sweep, IMU acceleration) is kept in
+  // preallocated scratch, making the whole sense→exchange→control loop
+  // allocation-free in steady state (DESIGN.md §9).
+  const std::vector<DroneState>& states = world.states();
   result.recorder.record(0.0, states);
 
   WorldSnapshot snapshot;
   snapshot.drones.resize(static_cast<size_t>(n));
   std::vector<Vec3> desired(static_cast<size_t>(n));
+  std::vector<DroneState> prev_states(static_cast<size_t>(n));
   std::vector<Vec3> prev_positions(static_cast<size_t>(n));
 
   double t = 0.0;
@@ -81,16 +87,15 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
 
     // 4. Physics.
     for (int i = 0; i < n; ++i) {
+      prev_states[static_cast<size_t>(i)] = states[static_cast<size_t>(i)];
       prev_positions[static_cast<size_t>(i)] = states[static_cast<size_t>(i)].position;
     }
-    world.step(desired, config_.dt);
+    world.step(desired, config_.dt);  // refreshes `states` in place
     t = world.time();
-    const std::vector<DroneState> previous_states = std::move(states);
-    states = world.states();
     if (config_.use_navigation_filter) {
       for (int i = 0; i < n; ++i) {
         const Vec3 true_accel = (states[static_cast<size_t>(i)].velocity -
-                                 previous_states[static_cast<size_t>(i)].velocity) /
+                                 prev_states[static_cast<size_t>(i)].velocity) /
                                 config_.dt;
         filters[static_cast<size_t>(i)].predict(
             imus[static_cast<size_t>(i)].measure(true_accel), config_.dt);

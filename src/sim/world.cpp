@@ -7,9 +7,11 @@ namespace swarmfuzz::sim {
 World::World(const MissionSpec& mission, VehicleType vehicle_type,
              const PointMassParams& point_mass, const QuadrotorParams& quadrotor) {
   vehicles_.reserve(mission.initial_positions.size());
+  states_.reserve(mission.initial_positions.size());
   for (const Vec3& position : mission.initial_positions) {
     auto vehicle = make_vehicle(vehicle_type, point_mass, quadrotor);
     vehicle->reset(position, Vec3{});
+    states_.push_back(vehicle->state());
     vehicles_.push_back(std::move(vehicle));
   }
 }
@@ -18,14 +20,7 @@ DroneState World::state(int drone) const {
   if (drone < 0 || drone >= num_drones()) {
     throw std::out_of_range("World: drone id out of range");
   }
-  return vehicles_[static_cast<size_t>(drone)]->state();
-}
-
-std::vector<DroneState> World::states() const {
-  std::vector<DroneState> all;
-  all.reserve(vehicles_.size());
-  for (const auto& vehicle : vehicles_) all.push_back(vehicle->state());
-  return all;
+  return states_[static_cast<size_t>(drone)];
 }
 
 void World::step(std::span<const Vec3> desired, double dt) {
@@ -34,6 +29,7 @@ void World::step(std::span<const Vec3> desired, double dt) {
   }
   for (size_t i = 0; i < vehicles_.size(); ++i) {
     vehicles_[i]->step(desired[i], dt);
+    states_[i] = vehicles_[i]->state();
   }
   time_ += dt;
 }

@@ -23,9 +23,14 @@ class World {
   }
   [[nodiscard]] double time() const noexcept { return time_; }
 
-  // Ground-truth state of one drone / all drones.
+  // Ground-truth state of one drone / all drones. states() returns a
+  // reference to an internal buffer refreshed by step(): the reference
+  // stays valid (and current) across steps, so per-step callers need no
+  // copy. Callers that want a stable pre-step snapshot must copy.
   [[nodiscard]] DroneState state(int drone) const;
-  [[nodiscard]] std::vector<DroneState> states() const;
+  [[nodiscard]] const std::vector<DroneState>& states() const noexcept {
+    return states_;
+  }
 
   // Advances every vehicle by dt tracking its desired velocity.
   // `desired.size()` must equal num_drones().
@@ -33,6 +38,7 @@ class World {
 
  private:
   std::vector<std::unique_ptr<VehicleModel>> vehicles_;
+  std::vector<DroneState> states_;  // cache of vehicles_[i]->state()
   double time_ = 0.0;
 };
 

@@ -13,23 +13,24 @@ CommModel::CommModel(const CommConfig& config) : config_(config), rng_(0) {
 
 void CommModel::reset(std::uint64_t seed) { rng_ = math::Rng(seed); }
 
-sim::WorldSnapshot CommModel::filter(const sim::WorldSnapshot& broadcast,
-                                     int self_id) {
-  sim::WorldSnapshot view;
-  view.time = broadcast.time;
-  view.drones.reserve(broadcast.drones.size());
+NeighborView CommModel::filter_into(const sim::WorldSnapshot& broadcast,
+                                    int self_id, std::vector<int>& members) {
+  members.clear();
 
   const sim::DroneObservation* self = nullptr;
-  for (const sim::DroneObservation& obs : broadcast.drones) {
-    if (obs.id == self_id) {
-      self = &obs;
+  int self_broadcast_index = -1;
+  for (int i = 0; i < static_cast<int>(broadcast.drones.size()); ++i) {
+    if (broadcast.drones[static_cast<size_t>(i)].id == self_id) {
+      self = &broadcast.drones[static_cast<size_t>(i)];
+      self_broadcast_index = i;
       break;
     }
   }
   if (self == nullptr) throw std::invalid_argument("CommModel: unknown self_id");
-  view.drones.push_back(*self);
+  members.push_back(self_broadcast_index);
 
-  for (const sim::DroneObservation& obs : broadcast.drones) {
+  for (int i = 0; i < static_cast<int>(broadcast.drones.size()); ++i) {
+    const sim::DroneObservation& obs = broadcast.drones[static_cast<size_t>(i)];
     if (obs.id == self_id) continue;
     // Range is measured between broadcast GPS fixes: a spoofed target also
     // distorts who appears in range, exactly as in a real swarm where links
@@ -40,9 +41,21 @@ sim::WorldSnapshot CommModel::filter(const sim::WorldSnapshot& broadcast,
     if (config_.drop_probability > 0.0 && rng_.bernoulli(config_.drop_probability)) {
       continue;
     }
-    view.drones.push_back(obs);
+    members.push_back(i);
   }
-  return view;
+  return NeighborView(broadcast, members, /*self_index=*/0);
+}
+
+sim::WorldSnapshot CommModel::filter(const sim::WorldSnapshot& broadcast,
+                                     int self_id) {
+  std::vector<int> members;
+  const NeighborView view = filter_into(broadcast, self_id, members);
+
+  sim::WorldSnapshot result;
+  result.time = broadcast.time;
+  result.drones.reserve(static_cast<size_t>(view.size()));
+  for (int k = 0; k < view.size(); ++k) result.drones.push_back(view[k]);
+  return result;
 }
 
 }  // namespace swarmfuzz::swarm

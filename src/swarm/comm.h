@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "math/rng.h"
@@ -17,6 +18,56 @@ namespace swarmfuzz::swarm {
 struct CommConfig {
   double range = std::numeric_limits<double>::infinity();  // m
   double drop_probability = 0.0;  // per-link, per-tick
+};
+
+// A drone's perceived picture of the swarm: a non-owning view over the
+// shared broadcast snapshot. Two flavours share one type:
+//   - whole-broadcast view: every drone visible, self at `self_index`
+//     (counterfactual probes, tests);
+//   - filtered view: `members` lists the visible drones as indices into
+//     `broadcast.drones`, in broadcast order with the receiver first
+//     (the hot path; see CommModel::filter_into).
+// The view borrows both the snapshot and the member-index buffer: neither
+// may be mutated or destroyed while the view is alive. Controllers consume
+// the view within one call, so in practice lifetimes are a single control
+// tick.
+class NeighborView {
+ public:
+  // Whole-broadcast view over `broadcast` with self at `self_index`
+  // (caller must guarantee 0 <= self_index < broadcast.drones.size()).
+  NeighborView(const sim::WorldSnapshot& broadcast, int self_index) noexcept
+      : broadcast_(&broadcast),
+        members_(nullptr),
+        count_(static_cast<int>(broadcast.drones.size())),
+        self_index_(self_index) {}
+
+  // Filtered view: position k maps to broadcast.drones[members[k]]; self is
+  // at view position `self_index`. `members` must stay alive with the view.
+  NeighborView(const sim::WorldSnapshot& broadcast, std::span<const int> members,
+               int self_index) noexcept
+      : broadcast_(&broadcast),
+        members_(members.data()),
+        count_(static_cast<int>(members.size())),
+        self_index_(self_index) {}
+
+  [[nodiscard]] double time() const noexcept { return broadcast_->time; }
+  [[nodiscard]] int size() const noexcept { return count_; }
+  [[nodiscard]] int self_index() const noexcept { return self_index_; }
+
+  [[nodiscard]] const sim::DroneObservation& operator[](int k) const noexcept {
+    const size_t i =
+        members_ ? static_cast<size_t>(members_[k]) : static_cast<size_t>(k);
+    return broadcast_->drones[i];
+  }
+  [[nodiscard]] const sim::DroneObservation& self() const noexcept {
+    return (*this)[self_index_];
+  }
+
+ private:
+  const sim::WorldSnapshot* broadcast_;
+  const int* members_;  // nullptr = identity mapping (whole broadcast)
+  int count_;
+  int self_index_;  // position within the view, not within the broadcast
 };
 
 class CommModel {
@@ -31,6 +82,17 @@ class CommModel {
   // drone's own entry is always present and is first in the result.
   [[nodiscard]] sim::WorldSnapshot filter(const sim::WorldSnapshot& broadcast,
                                           int self_id);
+
+  // Allocation-free equivalent of filter(): writes the indices (into
+  // `broadcast.drones`) of the visible drones into the caller-owned scratch
+  // `members` — self first, then surviving neighbours in broadcast order —
+  // and returns a view with self at position 0. Consumes packet-loss
+  // randomness in exactly the same order as filter(), so the two are
+  // interchangeable mid-stream. `members` is clear()ed and refilled; its
+  // capacity is reused across calls, so steady state performs no heap
+  // allocation.
+  [[nodiscard]] NeighborView filter_into(const sim::WorldSnapshot& broadcast,
+                                         int self_id, std::vector<int>& members);
 
   [[nodiscard]] const CommConfig& config() const noexcept { return config_; }
 

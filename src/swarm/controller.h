@@ -8,10 +8,13 @@
 // without re-running the mission.
 #pragma once
 
+#include <span>
+#include <stdexcept>
 #include <string_view>
 
 #include "sim/mission.h"
 #include "sim/types.h"
+#include "swarm/comm.h"
 
 namespace swarmfuzz::swarm {
 
@@ -23,12 +26,41 @@ class SwarmController {
  public:
   virtual ~SwarmController() = default;
 
-  // Desired velocity for the drone at `self_index` in `snapshot.drones`.
-  // The snapshot contains the drone itself plus every neighbour it can hear
-  // (communication filtering happens in FlockingControlSystem).
-  [[nodiscard]] virtual Vec3 desired_velocity(int self_index,
-                                              const WorldSnapshot& snapshot,
+  // Desired velocity for the view's own drone. The view contains the drone
+  // itself plus every neighbour it can hear (communication filtering
+  // happens in FlockingControlSystem); it borrows the broadcast snapshot,
+  // so implementations must not retain it past the call. This is the hot
+  // path: implementations must not allocate in steady state.
+  [[nodiscard]] virtual Vec3 desired_velocity(const NeighborView& view,
                                               const MissionSpec& mission) const = 0;
+
+  // Snapshot adapter, equivalent to a whole-broadcast view with self at
+  // `self_index`. Kept for tests and counterfactual probes; derived classes
+  // re-export it with `using SwarmController::desired_velocity;`.
+  [[nodiscard]] Vec3 desired_velocity(int self_index, const WorldSnapshot& snapshot,
+                                      const MissionSpec& mission) const {
+    if (self_index < 0 ||
+        self_index >= static_cast<int>(snapshot.drones.size())) {
+      throw std::out_of_range("SwarmController: self_index out of range");
+    }
+    return desired_velocity(NeighborView(snapshot, self_index), mission);
+  }
+
+  // Batch evaluation over the whole broadcast under *trivial* communication
+  // (every drone hears every other: infinite range, no packet loss — the
+  // paper's evaluation default). Fills desired[i] for snapshot.drones[i];
+  // `desired.size()` must equal `snapshot.drones.size()`. Semantically
+  // identical to one whole-broadcast desired_velocity call per drone;
+  // controllers may override it with a bit-identical faster equivalent
+  // (VasarhelyiController computes each symmetric pair once).
+  virtual void desired_velocity_all(const WorldSnapshot& snapshot,
+                                    const MissionSpec& mission,
+                                    std::span<Vec3> desired) const {
+    for (int i = 0; i < static_cast<int>(snapshot.drones.size()); ++i) {
+      desired[static_cast<size_t>(i)] =
+          desired_velocity(NeighborView(snapshot, i), mission);
+    }
+  }
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };

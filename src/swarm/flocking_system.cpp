@@ -1,5 +1,6 @@
 #include "swarm/flocking_system.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "swarm/vasarhelyi.h"
@@ -25,23 +26,50 @@ void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,
   if (desired.size() != snapshot.drones.size()) {
     throw std::invalid_argument("FlockingControlSystem: desired size mismatch");
   }
+  // Trivial communication (the paper's evaluation default): every view is
+  // the whole broadcast and the zero drop probability consumes no packet-
+  // loss randomness, so dispatching to the controller's batch entry point
+  // is observationally identical to the per-drone loop below — including
+  // the RNG stream — while letting the controller share work across drones.
+  if (std::isinf(comm_.config().range) && comm_.config().drop_probability == 0.0) {
+    controller_->desired_velocity_all(snapshot, mission, desired);
+    return;
+  }
   for (size_t i = 0; i < snapshot.drones.size(); ++i) {
     const int id = snapshot.drones[i].id;
-    const sim::WorldSnapshot view = comm_.filter(snapshot, id);
-    // filter() puts the receiving drone first in its own view.
-    desired[i] = controller_->desired_velocity(0, view, mission);
+    // filter_into() puts the receiving drone first in its own view; the
+    // member-index scratch is reused, so this loop is allocation-free in
+    // steady state.
+    const NeighborView view = comm_.filter_into(snapshot, id, members_);
+    desired[i] = controller_->desired_velocity(view, mission);
   }
 }
 
 Vec3 FlockingControlSystem::probe_desired_velocity(
     int drone_id, const sim::WorldSnapshot& snapshot,
     const sim::MissionSpec& mission) const {
-  for (size_t i = 0; i < snapshot.drones.size(); ++i) {
-    if (snapshot.drones[i].id == drone_id) {
-      return controller_->desired_velocity(static_cast<int>(i), snapshot, mission);
+  // Canonical broadcast layout: drone with id i sits at index i. Hit it
+  // without scanning; fall back to a scan for synthetic snapshots.
+  const int n = static_cast<int>(snapshot.drones.size());
+  if (drone_id >= 0 && drone_id < n &&
+      snapshot.drones[static_cast<size_t>(drone_id)].id == drone_id) {
+    return probe_desired_velocity_at(drone_id, snapshot, mission);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (snapshot.drones[static_cast<size_t>(i)].id == drone_id) {
+      return probe_desired_velocity_at(i, snapshot, mission);
     }
   }
   throw std::invalid_argument("FlockingControlSystem: unknown drone id in probe");
+}
+
+Vec3 FlockingControlSystem::probe_desired_velocity_at(
+    int self_index, const sim::WorldSnapshot& snapshot,
+    const sim::MissionSpec& mission) const {
+  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
+    throw std::out_of_range("FlockingControlSystem: probe index out of range");
+  }
+  return controller_->desired_velocity(NeighborView(snapshot, self_index), mission);
 }
 
 std::unique_ptr<FlockingControlSystem> make_vasarhelyi_system(const CommConfig& comm) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "sim/control.h"
 #include "swarm/comm.h"
@@ -33,14 +34,25 @@ class FlockingControlSystem final : public sim::ControlSystem {
 
   // Counterfactual probe: desired velocity of `drone_id` given the full
   // broadcast `snapshot`, with perfect communication. const and
-  // deterministic - does not touch the packet-loss stream.
+  // deterministic - does not touch the packet-loss stream. Resolves the id
+  // in O(1) for the canonical layout (drone i at index i, as the simulator
+  // broadcasts); callers that already hold the index should prefer
+  // probe_desired_velocity_at and skip resolution entirely.
   [[nodiscard]] Vec3 probe_desired_velocity(int drone_id,
                                             const sim::WorldSnapshot& snapshot,
                                             const sim::MissionSpec& mission) const;
 
+  // Index-based probe: same counterfactual for the drone at `self_index` in
+  // `snapshot.drones`, with no id lookup. The per-snapshot batch probes of
+  // SVG construction use this.
+  [[nodiscard]] Vec3 probe_desired_velocity_at(int self_index,
+                                               const sim::WorldSnapshot& snapshot,
+                                               const sim::MissionSpec& mission) const;
+
  private:
   std::shared_ptr<const SwarmController> controller_;
   CommModel comm_;
+  std::vector<int> members_;  // filter_into scratch, reused across ticks
 };
 
 // Convenience factory for the common case.

@@ -48,21 +48,16 @@ double OlfatiSaberController::phi_alpha(double z) const {
   return bump(z / r_alpha_, params_.h_alpha) * phi;
 }
 
-Vec3 OlfatiSaberController::desired_velocity(int self_index,
-                                             const WorldSnapshot& snapshot,
+Vec3 OlfatiSaberController::desired_velocity(const NeighborView& view,
                                              const MissionSpec& mission) const {
-  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
-    throw std::out_of_range("OlfatiSaberController: self_index out of range");
-  }
-  const sim::DroneObservation& self =
-      snapshot.drones[static_cast<size_t>(self_index)];
+  const sim::DroneObservation& self = view.self();
   const Vec3 xi = self.gps_position;
   const Vec3 vi = self.velocity;
 
   Vec3 u_alpha;
-  for (int k = 0; k < static_cast<int>(snapshot.drones.size()); ++k) {
-    if (k == self_index) continue;
-    const sim::DroneObservation& other = snapshot.drones[static_cast<size_t>(k)];
+  for (int k = 0; k < view.size(); ++k) {
+    if (k == view.self_index()) continue;
+    const sim::DroneObservation& other = view[k];
     const Vec3 diff = (other.gps_position - xi).horizontal();
     const double dist = diff.norm();
     if (dist < 1e-9 || dist > params_.r_factor * params_.d) continue;

@@ -46,7 +46,8 @@ class OlfatiSaberController final : public SwarmController {
  public:
   explicit OlfatiSaberController(const OlfatiSaberParams& params = {});
 
-  [[nodiscard]] Vec3 desired_velocity(int self_index, const WorldSnapshot& snapshot,
+  using SwarmController::desired_velocity;
+  [[nodiscard]] Vec3 desired_velocity(const NeighborView& view,
                                       const MissionSpec& mission) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "olfati_saber";

@@ -15,14 +15,9 @@ ReynoldsController::ReynoldsController(const ReynoldsParams& params)
   }
 }
 
-Vec3 ReynoldsController::desired_velocity(int self_index,
-                                          const WorldSnapshot& snapshot,
+Vec3 ReynoldsController::desired_velocity(const NeighborView& view,
                                           const MissionSpec& mission) const {
-  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
-    throw std::out_of_range("ReynoldsController: self_index out of range");
-  }
-  const sim::DroneObservation& self =
-      snapshot.drones[static_cast<size_t>(self_index)];
+  const sim::DroneObservation& self = view.self();
 
   // Migration urge.
   Vec3 desired = (mission.destination - self.gps_position).horizontal().normalized() *
@@ -31,9 +26,9 @@ Vec3 ReynoldsController::desired_velocity(int self_index,
   // Boids rules over the neighbourhood.
   Vec3 separation, velocity_sum, centroid;
   int neighbours = 0;
-  for (int k = 0; k < static_cast<int>(snapshot.drones.size()); ++k) {
-    if (k == self_index) continue;
-    const sim::DroneObservation& other = snapshot.drones[static_cast<size_t>(k)];
+  for (int k = 0; k < view.size(); ++k) {
+    if (k == view.self_index()) continue;
+    const sim::DroneObservation& other = view[k];
     const Vec3 diff = (self.gps_position - other.gps_position).horizontal();
     const double dist = diff.norm();
     if (dist < 1e-9 || dist > params_.neighbour_radius) continue;

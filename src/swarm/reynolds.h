@@ -31,7 +31,8 @@ class ReynoldsController final : public SwarmController {
  public:
   explicit ReynoldsController(const ReynoldsParams& params = {});
 
-  [[nodiscard]] Vec3 desired_velocity(int self_index, const WorldSnapshot& snapshot,
+  using SwarmController::desired_velocity;
+  [[nodiscard]] Vec3 desired_velocity(const NeighborView& view,
                                       const MissionSpec& mission) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "reynolds"; }
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "math/geometry.h"
 
@@ -24,100 +25,300 @@ VasarhelyiController::VasarhelyiController(const VasarhelyiParams& params)
   }
 }
 
-VasarhelyiController::Terms VasarhelyiController::compute_terms(
-    int self_index, const WorldSnapshot& snapshot, const MissionSpec& mission) const {
-  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
-    throw std::out_of_range("VasarhelyiController: self_index out of range");
-  }
-  const sim::DroneObservation& self =
-      snapshot.drones[static_cast<size_t>(self_index)];
-  Terms terms;
+namespace {
 
-  // Goal (1): self-propulsion toward the destination at the preferred speed.
-  terms.migration =
-      (mission.destination - self.gps_position).horizontal().normalized() *
-      params_.v_flock;
+using Terms = VasarhelyiController::Terms;
+
+// The pairwise sub-velocity terms, factored out so the per-view path and the
+// symmetric batch path below share bit-identical arithmetic. `diff` is
+// (self - other) GPS fixes, horizontal; `dist` its norm.
+
+// Goal (2) inter-drone: linear repulsion below r0_rep.
+inline bool repulsion_term(const VasarhelyiParams& prm, const math::Vec3& diff,
+                           double dist, math::Vec3& out) {
+  if (!(dist < prm.r0_rep)) return false;
+  out = diff * (prm.p_rep * (prm.r0_rep - dist) / dist);
+  return true;
+}
+
+// Goal (3) alignment: velocity slack from the braking curve. `vel_diff` is
+// (other - self) velocity. The norm's sqrt is skipped when the squared norm
+// is safely below the slack (0.9^2 margin: rounding error is ~1e-16
+// relative, so the original `vel_diff_norm > slack` test could not have
+// passed); when the guard is inconclusive the original expressions run
+// unchanged, so accepted pairs produce the exact same bits.
+inline bool friction_term(const VasarhelyiParams& prm, const math::Vec3& vel_diff,
+                          double dist, math::Vec3& out) {
+  const double norm_sq = vel_diff.norm_sq();
+  // slack >= v_frict always, so a well-aligned pair skips the braking-curve
+  // sqrt too, not just the norm's.
+  if (norm_sq <= 0.81 * prm.v_frict * prm.v_frict) return false;
+  const double slack =
+      std::max(prm.v_frict,
+               braking_curve(dist - prm.r0_frict, prm.a_frict, prm.p_frict));
+  if (norm_sq <= 0.81 * slack * slack) return false;
+  const double vel_diff_norm = std::sqrt(norm_sq);
+  if (!(vel_diff_norm > slack)) return false;
+  out = vel_diff * (prm.c_frict * (vel_diff_norm - slack) / vel_diff_norm);
+  return true;
+}
+
+// Goal (3) cohesion: topological attraction toward the k_att *nearest*
+// members that have drifted beyond r0_att. Topological interaction is
+// standard in flocking (it keeps the formation from fragmenting) and,
+// unlike metric all-pairs attraction, produces no centripetal squeeze in
+// dense swarms: there the nearest members are well inside r0_att.
+//
+// Only the k nearest are needed, ascending: an O(count*k) insertion
+// selection beats heap-based partial_sort at flocking sizes and, being
+// shared by the per-view and batch paths (comparisons depend only on the
+// distance values, first-seen wins ties), keeps their selections
+// identical. `dist_at(j)` returns candidate j's distance; `top` receives
+// the selected candidate indices in ascending distance order.
+template <typename DistAt>
+inline void select_nearest(int count, int k, DistAt dist_at, std::vector<int>& top) {
+  top.clear();
+  if (k <= 0) return;
+  for (int j = 0; j < count; ++j) {
+    const double d = dist_at(j);
+    if (static_cast<int>(top.size()) < k) {
+      top.push_back(j);
+    } else if (d < dist_at(top.back())) {
+      top.back() = j;
+    } else {
+      continue;
+    }
+    for (size_t q = top.size() - 1;
+         q > 0 && d < dist_at(top[q - 1]); --q) {
+      std::swap(top[q], top[q - 1]);
+    }
+  }
+}
+
+inline math::Vec3 attraction_sum(const VasarhelyiParams& prm,
+                                 const std::vector<std::pair<double, math::Vec3>>& nbrs,
+                                 std::vector<int>& top) {
+  const int k_att = std::min<int>(prm.k_att, static_cast<int>(nbrs.size()));
+  select_nearest(
+      static_cast<int>(nbrs.size()), k_att,
+      [&](int j) { return nbrs[static_cast<size_t>(j)].first; }, top);
+  math::Vec3 attraction;
+  for (const int idx : top) {
+    const auto& [dist, diff] = nbrs[static_cast<size_t>(idx)];
+    if (dist > prm.r0_att) {
+      attraction += diff * (-prm.p_att * (dist - prm.r0_att) / dist);
+    }
+  }
+  // Capped in total: one distant buddy pulls as hard as several.
+  return attraction.clamped(prm.v_att_max);
+}
+
+// Goal (2), obstacle part: align with a shill agent sitting just outside
+// the nearest obstacle surface, moving outward at v_shill. The braking
+// curve makes the term negligible far away and dominant near the surface.
+inline math::Vec3 shill_sum(const VasarhelyiParams& prm,
+                            const sim::DroneObservation& self,
+                            const sim::MissionSpec& mission) {
+  math::Vec3 shill;
+  for (const sim::CylinderObstacle& obstacle : mission.obstacles.obstacles()) {
+    const double dist = math::distance_to_cylinder(self.gps_position,
+                                                   obstacle.center, obstacle.radius);
+    const double slack =
+        braking_curve(dist - prm.r0_shill, prm.a_shill, prm.p_shill);
+    // Far from the surface the slack is huge; skip the normal/velocity
+    // sqrts when even the triangle-inequality bound on |vel_diff|
+    // ((a+b)^2 <= 2a^2 + 2b^2, |shill_velocity| <= v_shill) sits safely
+    // below it. The 0.81 margin dwarfs rounding, so whenever the original
+    // `vel_diff_norm > slack` could pass we fall through unchanged.
+    if (2.0 * (prm.v_shill * prm.v_shill + self.velocity.norm_sq()) <=
+        0.81 * slack * slack) {
+      continue;
+    }
+    const math::Vec3 outward =
+        math::cylinder_outward_normal(self.gps_position, obstacle.center);
+    const math::Vec3 shill_velocity = outward * prm.v_shill;
+    const math::Vec3 vel_diff = shill_velocity - self.velocity;
+    const double vel_diff_norm = vel_diff.norm();
+    if (vel_diff_norm > slack) {
+      shill += vel_diff * ((vel_diff_norm - slack) / vel_diff_norm);
+    }
+  }
+  return shill;
+}
+
+// Goal (1): self-propulsion toward the destination at the preferred speed.
+inline math::Vec3 migration_term(const VasarhelyiParams& prm,
+                                 const sim::DroneObservation& self,
+                                 const sim::MissionSpec& mission) {
+  return (mission.destination - self.gps_position).horizontal().normalized() *
+         prm.v_flock;
+}
+
+// Alignment is averaged, not summed: a drone surrounded by many
+// like-moving neighbours should feel one consensus pull, not an O(N) force
+// that can bulldoze it through an obstacle in large swarms.
+inline void average_friction(Terms& terms, int contributors) {
+  if (contributors > 1) {
+    terms.friction = terms.friction / static_cast<double>(contributors);
+  }
+}
+
+// Per-thread scratch buffers, reused across calls so the hot path performs
+// no heap allocation in steady state; thread_local (not mutable members)
+// because campaign workers may share one controller instance.
+struct Scratch {
+  std::vector<std::pair<double, math::Vec3>> neighbours;  // (dist, self-other)
+  std::vector<int> top;  // select_nearest output
+  // Batch path: pairwise distance cache (row-major n*n, diagonal unused)
+  // and per-drone accumulators.
+  std::vector<double> dist;
+  std::vector<Terms> terms;
+  std::vector<int> contributors;
+  std::vector<int> sel;  // attraction candidates of one drone (broadcast idx)
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+}  // namespace
+
+VasarhelyiController::Terms VasarhelyiController::compute_terms(
+    const NeighborView& view, const MissionSpec& mission) const {
+  const sim::DroneObservation& self = view.self();
+  Terms terms;
+  terms.migration = migration_term(params_, self, mission);
 
   // Goals (2) and (3): pairwise terms over every heard neighbour.
-  std::vector<std::pair<double, Vec3>> neighbours;  // (distance, self - other)
-  neighbours.reserve(snapshot.drones.size());
+  std::vector<std::pair<double, Vec3>>& neighbours = scratch().neighbours;
+  neighbours.clear();
+  neighbours.reserve(static_cast<size_t>(view.size()));
   int friction_contributors = 0;
-  for (int k = 0; k < static_cast<int>(snapshot.drones.size()); ++k) {
-    if (k == self_index) continue;
-    const sim::DroneObservation& other = snapshot.drones[static_cast<size_t>(k)];
+  for (int k = 0; k < view.size(); ++k) {
+    if (k == view.self_index()) continue;
+    const sim::DroneObservation& other = view[k];
     const Vec3 diff = (self.gps_position - other.gps_position).horizontal();
     const double dist = diff.norm();
     if (dist < 1e-9) continue;  // coincident fixes: no defined direction
     neighbours.emplace_back(dist, diff);
 
-    if (dist < params_.r0_rep) {
-      terms.repulsion += diff * (params_.p_rep * (params_.r0_rep - dist) / dist);
-    }
-
-    const Vec3 vel_diff = other.velocity - self.velocity;
-    const double vel_diff_norm = vel_diff.norm();
-    const double slack =
-        std::max(params_.v_frict,
-                 braking_curve(dist - params_.r0_frict, params_.a_frict,
-                               params_.p_frict));
-    if (vel_diff_norm > slack) {
-      terms.friction +=
-          vel_diff * (params_.c_frict * (vel_diff_norm - slack) / vel_diff_norm);
+    Vec3 term;
+    if (repulsion_term(params_, diff, dist, term)) terms.repulsion += term;
+    if (friction_term(params_, other.velocity - self.velocity, dist, term)) {
+      terms.friction += term;
       ++friction_contributors;
     }
   }
-  // Alignment is averaged, not summed: a drone surrounded by many
-  // like-moving neighbours should feel one consensus pull, not an O(N) force
-  // that can bulldoze it through an obstacle in large swarms.
-  if (friction_contributors > 1) {
-    terms.friction = terms.friction / static_cast<double>(friction_contributors);
-  }
-
-  // Goal (3) cohesion: topological attraction toward the k_att *nearest*
-  // members that have drifted beyond r0_att. Topological interaction is
-  // standard in flocking (it keeps the formation from fragmenting) and,
-  // unlike metric all-pairs attraction, produces no centripetal squeeze in
-  // dense swarms: there the nearest members are well inside r0_att.
-  std::sort(neighbours.begin(), neighbours.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  const int k_att = std::min<int>(params_.k_att, static_cast<int>(neighbours.size()));
-  for (int k = 0; k < k_att; ++k) {
-    const auto& [dist, diff] = neighbours[static_cast<size_t>(k)];
-    if (dist > params_.r0_att) {
-      terms.attraction += diff * (-params_.p_att * (dist - params_.r0_att) / dist);
-    }
-  }
-  // Capped in total: one distant buddy pulls as hard as several.
-  terms.attraction = terms.attraction.clamped(params_.v_att_max);
-
-  // Goal (2), obstacle part: align with a shill agent sitting just outside
-  // the nearest obstacle surface, moving outward at v_shill. The braking
-  // curve makes the term negligible far away and dominant near the surface.
-  for (const sim::CylinderObstacle& obstacle : mission.obstacles.obstacles()) {
-    const double dist = math::distance_to_cylinder(self.gps_position,
-                                                   obstacle.center, obstacle.radius);
-    const Vec3 outward =
-        math::cylinder_outward_normal(self.gps_position, obstacle.center);
-    const Vec3 shill_velocity = outward * params_.v_shill;
-    const Vec3 vel_diff = shill_velocity - self.velocity;
-    const double vel_diff_norm = vel_diff.norm();
-    const double slack = braking_curve(dist - params_.r0_shill, params_.a_shill,
-                                       params_.p_shill);
-    if (vel_diff_norm > slack) {
-      terms.shill += vel_diff * ((vel_diff_norm - slack) / vel_diff_norm);
-    }
-  }
-
+  average_friction(terms, friction_contributors);
+  terms.attraction = attraction_sum(params_, neighbours, scratch().top);
+  terms.shill = shill_sum(params_, self, mission);
   terms.altitude = Vec3{0.0, 0.0,
                         params_.altitude_gain *
                             (mission.cruise_altitude - self.gps_position.z)};
   return terms;
 }
 
-Vec3 VasarhelyiController::desired_velocity(int self_index,
-                                            const WorldSnapshot& snapshot,
+VasarhelyiController::Terms VasarhelyiController::compute_terms(
+    int self_index, const WorldSnapshot& snapshot, const MissionSpec& mission) const {
+  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
+    throw std::out_of_range("VasarhelyiController: self_index out of range");
+  }
+  return compute_terms(NeighborView(snapshot, self_index), mission);
+}
+
+Vec3 VasarhelyiController::desired_velocity(const NeighborView& view,
                                             const MissionSpec& mission) const {
-  return compute_terms(self_index, snapshot, mission).total().clamped(params_.v_max);
+  return compute_terms(view, mission).total().clamped(params_.v_max);
+}
+
+void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
+                                                const MissionSpec& mission,
+                                                std::span<Vec3> desired) const {
+  // Symmetric batch path: with trivial communication every drone sees the
+  // same broadcast, so each unordered pair's distance and velocity-gap norm
+  // are computed once and scattered to both members. This is bit-identical
+  // to the per-view path: diff_ji = -diff_ij and the squared norms agree
+  // exactly (IEEE negation and multiplication), subtraction of a term
+  // equals addition of its exact negation, and the scatter order (outer
+  // i ascending, inner j ascending) accumulates into each drone's sums in
+  // exactly the neighbour order the per-view loop uses.
+  const int n = static_cast<int>(snapshot.drones.size());
+  Scratch& s = scratch();
+  s.dist.resize(static_cast<size_t>(n) * static_cast<size_t>(n));
+  s.terms.assign(static_cast<size_t>(n), Terms{});
+  s.contributors.assign(static_cast<size_t>(n), 0);
+
+  const auto& drones = snapshot.drones;
+  for (int i = 0; i < n; ++i) {
+    const sim::DroneObservation& di = drones[static_cast<size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      const sim::DroneObservation& dj = drones[static_cast<size_t>(j)];
+      const Vec3 diff = (di.gps_position - dj.gps_position).horizontal();
+      const double dist = diff.norm();
+      s.dist[static_cast<size_t>(i) * static_cast<size_t>(n) +
+             static_cast<size_t>(j)] = dist;
+      s.dist[static_cast<size_t>(j) * static_cast<size_t>(n) +
+             static_cast<size_t>(i)] = dist;
+      if (dist < 1e-9) continue;  // coincident fixes: no defined direction
+
+      Vec3 term;
+      if (repulsion_term(params_, diff, dist, term)) {
+        s.terms[static_cast<size_t>(i)].repulsion += term;
+        s.terms[static_cast<size_t>(j)].repulsion -= term;
+      }
+      if (friction_term(params_, dj.velocity - di.velocity, dist, term)) {
+        s.terms[static_cast<size_t>(i)].friction += term;
+        s.terms[static_cast<size_t>(j)].friction -= term;
+        ++s.contributors[static_cast<size_t>(i)];
+        ++s.contributors[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const sim::DroneObservation& self = drones[static_cast<size_t>(i)];
+    Terms& terms = s.terms[static_cast<size_t>(i)];
+    terms.migration = migration_term(params_, self, mission);
+    average_friction(terms, s.contributors[static_cast<size_t>(i)]);
+
+    // Attraction from the cached distance row; the (self - other) diff is
+    // recomputed for just the selected few. fl(b - a) = -fl(a - b)
+    // componentwise, so recomputing in self's orientation matches the
+    // per-view bits regardless of which triangle the pair loop walked.
+    const size_t row = static_cast<size_t>(i) * static_cast<size_t>(n);
+    s.sel.clear();
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (s.dist[row + static_cast<size_t>(j)] < 1e-9) continue;
+      s.sel.push_back(j);
+    }
+    const int k_att = std::min<int>(params_.k_att, static_cast<int>(s.sel.size()));
+    select_nearest(
+        static_cast<int>(s.sel.size()), k_att,
+        [&](int q) {
+          return s.dist[row + static_cast<size_t>(s.sel[static_cast<size_t>(q)])];
+        },
+        s.top);
+    Vec3 attraction;
+    for (const int q : s.top) {
+      const int j = s.sel[static_cast<size_t>(q)];
+      const double dist = s.dist[row + static_cast<size_t>(j)];
+      if (dist > params_.r0_att) {
+        const Vec3 diff =
+            (self.gps_position - drones[static_cast<size_t>(j)].gps_position)
+                .horizontal();
+        attraction += diff * (-params_.p_att * (dist - params_.r0_att) / dist);
+      }
+    }
+    terms.attraction = attraction.clamped(params_.v_att_max);
+
+    terms.shill = shill_sum(params_, self, mission);
+    terms.altitude = Vec3{0.0, 0.0,
+                          params_.altitude_gain *
+                              (mission.cruise_altitude - self.gps_position.z)};
+    desired[static_cast<size_t>(i)] = terms.total().clamped(params_.v_max);
+  }
 }
 
 }  // namespace swarmfuzz::swarm

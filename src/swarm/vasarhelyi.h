@@ -63,8 +63,14 @@ class VasarhelyiController final : public SwarmController {
  public:
   explicit VasarhelyiController(const VasarhelyiParams& params = {});
 
-  [[nodiscard]] Vec3 desired_velocity(int self_index, const WorldSnapshot& snapshot,
+  using SwarmController::desired_velocity;
+  [[nodiscard]] Vec3 desired_velocity(const NeighborView& view,
                                       const MissionSpec& mission) const override;
+  // Bit-identical batch fast path: computes each symmetric pair's distance
+  // and velocity gap once and scatters the terms to both members.
+  void desired_velocity_all(const WorldSnapshot& snapshot,
+                            const MissionSpec& mission,
+                            std::span<Vec3> desired) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "vasarhelyi";
   }
@@ -84,6 +90,9 @@ class VasarhelyiController final : public SwarmController {
       return migration + repulsion + attraction + friction + shill + altitude;
     }
   };
+  [[nodiscard]] Terms compute_terms(const NeighborView& view,
+                                    const MissionSpec& mission) const;
+  // Snapshot adapter mirroring SwarmController::desired_velocity's.
   [[nodiscard]] Terms compute_terms(int self_index, const WorldSnapshot& snapshot,
                                     const MissionSpec& mission) const;
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "fuzz/report.h"
@@ -140,6 +142,44 @@ TEST(Campaign, CumulativeSuccessCurveIsWellFormed) {
   }
   // The final point covers all missions: rate equals overall success rate.
   EXPECT_NEAR(curve.back().second, result.success_rate(), 1e-12);
+}
+
+TEST(Campaign, CumulativeSuccessCurveDropsNonFiniteVdos) {
+  // Obstacle-free or degenerate clean runs produce infinite (or, through
+  // downstream arithmetic, NaN) mission VDOs. They must not appear on the
+  // VDO axis, and a NaN must not poison the adjacent-point dedup sweep.
+  auto outcome = [](int index, double vdo, bool found) {
+    MissionOutcome o;
+    o.mission_index = index;
+    o.completed = true;
+    o.result.found = found;
+    o.result.mission_vdo = vdo;
+    return o;
+  };
+  CampaignResult result;
+  result.outcomes.push_back(outcome(0, 2.0, true));
+  result.outcomes.push_back(outcome(1, std::numeric_limits<double>::quiet_NaN(),
+                                    true));
+  result.outcomes.push_back(outcome(2, 5.0, false));
+  result.outcomes.push_back(outcome(3, std::numeric_limits<double>::infinity(),
+                                    false));
+  result.outcomes.push_back(outcome(4, 3.5, true));
+
+  const auto curve = result.cumulative_success_by_vdo();
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& [vdo, rate] : curve) EXPECT_TRUE(std::isfinite(vdo));
+  EXPECT_DOUBLE_EQ(curve[0].first, 2.0);
+  EXPECT_DOUBLE_EQ(curve[0].second, 1.0);  // 1 success of 1
+  EXPECT_DOUBLE_EQ(curve[1].first, 3.5);
+  EXPECT_DOUBLE_EQ(curve[1].second, 1.0);  // 2 of 2
+  EXPECT_DOUBLE_EQ(curve[2].first, 5.0);
+  EXPECT_DOUBLE_EQ(curve[2].second, 2.0 / 3.0);
+
+  // All-non-finite input degenerates to an empty curve, not a crash.
+  CampaignResult degenerate;
+  degenerate.outcomes.push_back(
+      outcome(0, std::numeric_limits<double>::quiet_NaN(), true));
+  EXPECT_TRUE(degenerate.cumulative_success_by_vdo().empty());
 }
 
 TEST(Campaign, IterationAveragesBounded) {
