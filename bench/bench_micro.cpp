@@ -3,9 +3,12 @@
 // whole-mission runs, SVG construction and PageRank.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
+#include "fuzz/objective.h"
 #include "fuzz/seeds.h"
 #include "fuzz/svg.h"
 #include "graph/pagerank.h"
@@ -81,6 +84,67 @@ void BM_CampaignMission(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignMission)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// Full default-budget fuzz of one mission, the headline unit of SwarmFuzz
+// throughput. Arg is prefix reuse: 0 = every objective evaluation simulates
+// from t=0 (--no-prefix-reuse), 1 = evaluations resume from clean-run
+// checkpoints. Results are bit-identical between the two.
+void BM_FuzzMission(benchmark::State& state) {
+  const sim::MissionSpec mission = mission_of(5);
+  fuzz::FuzzerConfig config;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  config.spoof_distance = 10.0;
+  config.prefix_reuse = state.range(0) != 0;
+  const auto fuzzer = fuzz::make_fuzzer(fuzz::FuzzerKind::kSwarmFuzz, config);
+  std::int64_t executed = 0, reused = 0;
+  for (auto _ : state) {
+    const fuzz::FuzzResult result = fuzzer->fuzz(mission);
+    benchmark::DoNotOptimize(result);
+    executed += result.sim_steps_executed;
+    reused += result.prefix_steps_reused;
+  }
+  state.counters["sim_steps"] =
+      benchmark::Counter(static_cast<double>(executed), benchmark::Counter::kAvgIterations);
+  state.counters["steps_reused"] =
+      benchmark::Counter(static_cast<double>(reused), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FuzzMission)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// One late-window objective evaluation — the inner loop of the gradient
+// search, where prefix reuse pays the most (the spoofing window sits near
+// the clean closest approach, so most of the mission is reusable prefix).
+// Arg 0/1 as in BM_FuzzMission.
+void BM_ObjectiveEval(benchmark::State& state) {
+  const bool reuse = state.range(0) != 0;
+  const sim::MissionSpec mission = mission_of(5);
+  sim::SimulationConfig sim_config;
+  sim_config.dt = 0.05;
+  sim_config.gps.rate_hz = 20.0;
+  const sim::Simulator simulator(sim_config);
+  auto system = swarm::make_vasarhelyi_system();
+
+  fuzz::PrefixCache prefix;
+  sim::RunHooks hooks;
+  if (reuse) hooks.checkpoints = &prefix;
+  const sim::RunResult clean = simulator.run(mission, *system, hooks);
+  if (reuse) prefix.set_source(clean.recorder);
+
+  const fuzz::Seed seed{.target = 0,
+                        .victim = 1,
+                        .direction = attack::SpoofDirection::kRight,
+                        .vdo = clean.recorder.min_obstacle_distance(1)};
+  const double t_ca = clean.recorder.time_of_min_obstacle_distance(1);
+  const double t_s = std::max(t_ca - 15.0, 0.0);
+  for (auto _ : state) {
+    // A fresh Objective per iteration keeps the memo from short-circuiting
+    // the simulation; construction itself is trivial.
+    fuzz::Objective objective(mission, simulator, *system, seed, 10.0,
+                              clean.end_time, reuse ? &prefix : nullptr);
+    benchmark::DoNotOptimize(objective.evaluate(t_s, 20.0));
+  }
+}
+BENCHMARK(BM_ObjectiveEval)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_QuadrotorStep(benchmark::State& state) {
   const auto vehicle = sim::make_vehicle(sim::VehicleType::kQuadrotor);

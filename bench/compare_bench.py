@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a saved baseline.
+
+Usage: compare_bench.py BASELINE_JSON FRESH_JSON
+
+Both inputs may be raw google-benchmark output or the repo's BENCH_micro.json
+(whose top-level "benchmarks" holds the most recent run). Prints a comparison
+table for every benchmark present in both files, then exits non-zero if any
+*guarded* series — BM_FullMission and BM_FuzzMission, the whole-mission and
+whole-fuzz wall times a campaign repeats hundreds of times — slowed down by
+more than the threshold. Other series are reported but never gate: they are
+too small/noisy for shared CI runners.
+
+Repetitions of the same benchmark name are reduced to the median, which is
+what google-benchmark itself recommends comparing.
+"""
+
+import json
+import statistics
+import sys
+
+GUARDED_PREFIXES = ("BM_FullMission", "BM_FuzzMission")
+THRESHOLD = 0.25  # fail on >25% slowdown of a guarded benchmark
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """name -> median real_time in ns, from raw or BENCH_micro.json layout."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip mean/median/stddev rows from --benchmark_repetitions runs;
+        # we aggregate the raw iterations ourselves.
+        if entry.get("run_type") == "aggregate":
+            continue
+        ns = entry["real_time"] * UNIT_TO_NS[entry.get("time_unit", "ns")]
+        times.setdefault(entry["name"], []).append(ns)
+    return {name: statistics.median(vals) for name, vals in times.items()}
+
+
+def fmt(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 64
+    baseline = load_benchmarks(argv[1])
+    fresh = load_benchmarks(argv[2])
+    common = [name for name in fresh if name in baseline]
+    if not common:
+        print("error: no common benchmarks between the two files", file=sys.stderr)
+        return 1
+
+    regressions = []
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'fresh':>10}  {'ratio':>6}")
+    for name in common:
+        ratio = fresh[name] / baseline[name]
+        guarded = name.startswith(GUARDED_PREFIXES)
+        flag = ""
+        if guarded and ratio > 1.0 + THRESHOLD:
+            flag = "  REGRESSION"
+            regressions.append((name, ratio))
+        elif guarded:
+            flag = "  (guarded)"
+        print(f"{name:<{width}}  {fmt(baseline[name]):>10}  {fmt(fresh[name]):>10}"
+              f"  {ratio:>5.2f}x{flag}")
+
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print(f"note: {len(missing)} baseline benchmark(s) absent from fresh run: "
+              + ", ".join(missing))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} guarded benchmark(s) slowed by more "
+              f"than {THRESHOLD:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nOK: no guarded benchmark slowed by more than {THRESHOLD:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

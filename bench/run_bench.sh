@@ -3,9 +3,10 @@
 # BENCH_micro.json at the repo root (or $1 if given). Assumes the benchmarks
 # were built into ./build (cmake -B build -S . && cmake --build build -j).
 #
-# Compare against a saved baseline to catch hot-path regressions; the
-# headline series is BM_FullMission (whole-mission wall time, the unit a
-# fuzzing campaign repeats hundreds of times).
+# Compare against a saved baseline with bench/compare_bench.py to catch
+# hot-path regressions; the headline series are BM_FullMission and
+# BM_FuzzMission (whole-mission wall time, the units a fuzzing campaign
+# repeats hundreds of times).
 set -eu
 
 repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"

@@ -85,6 +85,8 @@ int cmd_fuzz(const util::Options& options) {
   config.sim = sim_from(options);
   config.spoof_distance = options.get_double("distance", 10.0);
   config.mission_budget = options.get_int("budget", 60);
+  config.prefix_reuse = !options.get_bool("no-prefix-reuse", false);
+  config.checkpoint_period = options.get_double("checkpoint-period", 1.0);
   auto fuzzer = fuzz::make_fuzzer(fuzzer_kind_from(options), config,
                                   make_controller(options.get("controller", "")));
   const fuzz::FuzzResult result = fuzzer->fuzz(mission);
@@ -115,6 +117,8 @@ int cmd_campaign(const util::Options& options) {
   config.fuzzer.sim = sim_from(options);
   config.fuzzer.spoof_distance = options.get_double("distance", 10.0);
   config.fuzzer.mission_budget = options.get_int("budget", 60);
+  config.fuzzer.prefix_reuse = !options.get_bool("no-prefix-reuse", false);
+  config.fuzzer.checkpoint_period = options.get_double("checkpoint-period", 1.0);
   config.num_missions = options.get_int("missions", 30);
   config.base_seed = static_cast<std::uint64_t>(options.get_int("seed", 1000));
   config.num_threads = options.get_int("threads", 0);
@@ -165,6 +169,14 @@ int cmd_campaign(const util::Options& options) {
               result.avg_iterations_all(), result.avg_iterations_successful());
   const auto vdos = result.mission_vdos();
   std::printf("  mission VDO       median %.2f m\n", math::median(vdos));
+  const std::int64_t executed = result.total_sim_steps_executed();
+  const std::int64_t reused = result.total_prefix_steps_reused();
+  if (executed + reused > 0) {
+    std::printf("  prefix reuse      %.1f%% of %lld sim steps skipped\n",
+                100.0 * static_cast<double>(reused) /
+                    static_cast<double>(executed + reused),
+                static_cast<long long>(executed + reused));
+  }
   return 0;
 }
 
@@ -245,9 +257,10 @@ int print_usage() {
       "commands:\n"
       "  run        fly one mission without attack\n"
       "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
+      "             [--no-prefix-reuse] [--checkpoint-period=S]\n"
       "  campaign   evaluate a configuration over many missions\n"
       "             [--telemetry=FILE] [--checkpoint=FILE [--resume]]\n"
-      "             [--progress=false]\n"
+      "             [--progress=false] [--no-prefix-reuse] [--checkpoint-period=S]\n"
       "  svg        print the Swarm Vulnerability Graph seedpool\n"
       "  replay     execute an explicit spoofing plan (--target --direction\n"
       "             --start --duration --distance) [--detect]\n\n"

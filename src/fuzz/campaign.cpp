@@ -92,6 +92,18 @@ std::vector<double> CampaignResult::mission_vdos() const {
   return values;
 }
 
+std::int64_t CampaignResult::total_sim_steps_executed() const {
+  std::int64_t total = 0;
+  for (const MissionOutcome& o : outcomes) total += o.result.sim_steps_executed;
+  return total;
+}
+
+std::int64_t CampaignResult::total_prefix_steps_reused() const {
+  std::int64_t total = 0;
+  for (const MissionOutcome& o : outcomes) total += o.result.prefix_steps_reused;
+  return total;
+}
+
 std::vector<std::pair<double, double>> CampaignResult::cumulative_success_by_vdo()
     const {
   // Sort fuzzable missions by VDO; sweep, accumulating successes.

@@ -103,6 +103,12 @@ struct CampaignResult {
   // Clean-run mission VDOs, one per fuzzable mission (Fig. 6d series).
   [[nodiscard]] std::vector<double> mission_vdos() const;
 
+  // Prefix-reuse accounting, summed over all missions: control ticks
+  // actually simulated vs skipped by resuming from clean-run checkpoints.
+  // The reuse fraction is reused / (executed + reused).
+  [[nodiscard]] std::int64_t total_sim_steps_executed() const;
+  [[nodiscard]] std::int64_t total_prefix_steps_reused() const;
+
   // Cumulative success rate: for each x, the success rate over missions with
   // VDO <= x (Fig. 6a-6c). Returns (x, rate) points at each distinct VDO.
   [[nodiscard]] std::vector<std::pair<double, double>> cumulative_success_by_vdo()
@@ -115,10 +121,12 @@ struct CampaignResult {
 [[nodiscard]] std::uint64_t mission_seed(std::uint64_t base_seed, int index,
                                          int attempt) noexcept;
 
-// Equality over every deterministic field (everything but wall_time_s).
-// This is the invariant behind both thread-count independence and
-// checkpoint/resume: an interrupted-and-resumed campaign must compare equal
-// to an uninterrupted one.
+// Equality over every deterministic field (everything but wall_time_s and
+// the step counters, which are performance accounting and legitimately
+// differ between prefix-reuse configurations). This is the invariant behind
+// thread-count independence, checkpoint/resume, and prefix reuse: an
+// interrupted-and-resumed campaign — or one re-run with --no-prefix-reuse —
+// must compare equal to an uninterrupted one.
 [[nodiscard]] bool deterministic_equal(const MissionOutcome& a,
                                        const MissionOutcome& b) noexcept;
 [[nodiscard]] bool deterministic_equal(const CampaignResult& a,

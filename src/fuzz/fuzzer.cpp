@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fuzz/objective.h"
 #include "swarm/vasarhelyi.h"
 #include "util/logging.h"
 
@@ -22,8 +23,24 @@ class FuzzerBase : public Fuzzer {
 
   FuzzResult fuzz(const sim::MissionSpec& mission) final {
     FuzzResult result;
-    const sim::RunResult clean = simulator_.run(mission, system_);
+    // The clean run doubles as the prefix-recording run: with reuse enabled
+    // it emits checkpoints that every subsequent objective evaluation of
+    // this mission resumes from (the pre-spoof prefix is seed-independent),
+    // at zero extra simulation cost.
+    prefix_.clear();
+    sim::RunHooks hooks;
+    if (config_.prefix_reuse) {
+      hooks.checkpoints = &prefix_;
+      hooks.checkpoint_period = config_.checkpoint_period;
+    }
+    const sim::RunResult clean = simulator_.run(mission, system_, hooks);
+    if (config_.prefix_reuse) {
+      // Checkpoints carry no trajectory samples; resumes rebuild each
+      // prefix from the clean run's recorder.
+      prefix_.set_source(clean.recorder);
+    }
     result.simulations = 1;
+    result.sim_steps_executed = clean.steps_executed;
     result.clean_mission_time = clean.end_time;
     if (clean.collided) {
       // The paper's step (1): missions that fail without any attack are not
@@ -82,6 +99,7 @@ class FuzzerBase : public Fuzzer {
   std::shared_ptr<const swarm::SwarmController> controller_;
   swarm::FlockingControlSystem system_;
   sim::Simulator simulator_;
+  PrefixCache prefix_;  // clean-run checkpoints of the current mission
 };
 
 // Runs the gradient search over an ordered seed list (SwarmFuzz / G_Fuzz).
@@ -96,13 +114,16 @@ class GradientSearchFuzzer : public FuzzerBase {
       const int remaining = config_.mission_budget - result.iterations;
       if (remaining <= 0) break;
       Objective objective(mission, simulator_, system_, seed,
-                          config_.spoof_distance, clean.end_time);
+                          config_.spoof_distance, clean.end_time,
+                          config_.prefix_reuse ? &prefix_ : nullptr);
       const std::vector<StartPoint> starts = initial_guesses(clean, seed);
       const OptimizationResult outcome =
           optimize(objective, starts, std::min(remaining, config_.per_seed_budget),
                    config_.optimizer);
       result.iterations += outcome.iterations;
       result.simulations += objective.evaluations();
+      result.sim_steps_executed += objective.sim_steps_executed();
+      result.prefix_steps_reused += objective.prefix_steps_reused();
       result.attempts.push_back(SeedAttempt{seed, outcome});
       if (outcome.success) {
         record_success(result, seed, outcome, clean);
@@ -177,12 +198,15 @@ class RandomSearchFuzzer : public FuzzerBase {
   bool try_random_params(const sim::MissionSpec& mission, const sim::RunResult& clean,
                          const Seed& seed, math::Rng& rng, FuzzResult& result) {
     Objective objective(mission, simulator_, system_, seed, config_.spoof_distance,
-                        clean.end_time);
+                        clean.end_time,
+                        config_.prefix_reuse ? &prefix_ : nullptr);
     const double t_s = rng.uniform(0.0, clean.end_time);
     const double dt = rng.uniform(0.0, clean.end_time - t_s);
     const ObjectiveEval eval = objective.evaluate(t_s, dt);
     ++result.iterations;
     result.simulations += objective.evaluations();
+    result.sim_steps_executed += objective.sim_steps_executed();
+    result.prefix_steps_reused += objective.prefix_steps_reused();
     if (eval.success) {
       const OptimizationResult outcome{.success = true,
                                        .t_start = t_s,

@@ -10,6 +10,7 @@
 // their runtime is ~3x lower (Table III).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -45,6 +46,12 @@ struct FuzzerConfig {
   // closest approach, for `initial_duration` seconds.
   double lead_time = 15.0;
   double initial_duration = 20.0;
+  // Prefix reuse: checkpoint the clean run every `checkpoint_period` seconds
+  // of sim time and resume each objective evaluation from the latest
+  // checkpoint preceding its spoofing window. Bit-identical results either
+  // way (see sim/checkpoint.h); off only for benchmarking/debugging.
+  bool prefix_reuse = true;
+  double checkpoint_period = 1.0;
 };
 
 // One fuzzed seed's outcome (for diagnostics and the ablation bench).
@@ -63,6 +70,11 @@ struct FuzzResult {
   int simulations = 0;            // total mission simulations (incl. stencil)
   double mission_vdo = 0.0;       // min over drones of clean-run VDO
   double clean_mission_time = 0.0;
+  // Performance accounting (not part of the search outcome, and excluded
+  // from deterministic_equal like wall time): control ticks simulated vs
+  // skipped by resuming from clean-run prefix checkpoints.
+  std::int64_t sim_steps_executed = 0;
+  std::int64_t prefix_steps_reused = 0;
   std::vector<SeedAttempt> attempts;
 };
 

@@ -1,19 +1,46 @@
 #include "fuzz/objective.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace swarmfuzz::fuzz {
 
+void PrefixCache::on_checkpoint(sim::SimulationCheckpoint&& checkpoint) {
+  if (!checkpoints_.empty() && checkpoint.time <= checkpoints_.back().time) {
+    throw std::invalid_argument("PrefixCache: checkpoints must advance in time");
+  }
+  checkpoints_.push_back(std::move(checkpoint));
+}
+
+const sim::SimulationCheckpoint* PrefixCache::latest_at_or_before(
+    double t) const noexcept {
+  // Checkpoints are captured *before* sensing, so one taken exactly at the
+  // spoofing start is still a valid resume point; allow the simulator's
+  // cadence epsilon to avoid rejecting t == checkpoint.time by a rounding
+  // hair.
+  const sim::SimulationCheckpoint* best = nullptr;
+  for (const sim::SimulationCheckpoint& cp : checkpoints_) {
+    if (cp.time <= t + 1e-9) {
+      best = &cp;
+    } else {
+      break;  // ascending order: later entries are even further past t
+    }
+  }
+  return best;
+}
+
 Objective::Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
                      swarm::FlockingControlSystem& system, Seed seed,
-                     double spoof_distance, double t_mission)
+                     double spoof_distance, double t_mission,
+                     const PrefixCache* prefix)
     : mission_(mission),
       simulator_(simulator),
       system_(system),
       seed_(seed),
       spoof_distance_(spoof_distance),
-      t_mission_(t_mission) {
+      t_mission_(t_mission),
+      prefix_(prefix) {
   if (seed.target < 0 || seed.target >= mission.num_drones() || seed.victim < 0 ||
       seed.victim >= mission.num_drones() || seed.target == seed.victim) {
     throw std::invalid_argument("Objective: invalid seed pair");
@@ -31,6 +58,14 @@ void Objective::project(double& t_start, double& duration) const {
 
 ObjectiveEval Objective::evaluate(double t_start, double duration) {
   project(t_start, duration);
+
+  const std::pair<std::uint64_t, std::uint64_t> key{
+      std::bit_cast<std::uint64_t>(t_start), std::bit_cast<std::uint64_t>(duration)};
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+
   const attack::SpoofingPlan plan{
       .target = seed_.target,
       .direction = seed_.direction,
@@ -39,8 +74,24 @@ ObjectiveEval Objective::evaluate(double t_start, double duration) {
       .distance = spoof_distance_,
   };
   const attack::GpsSpoofer spoofer(plan, mission_);
-  const sim::RunResult run = simulator_.run(mission_, system_, &spoofer);
+
+  // Until t_start the attacked run is bit-identical to the clean run, so a
+  // clean-run checkpoint taken at or before t_start is a valid prefix.
+  const sim::SimulationCheckpoint* resume =
+      prefix_ != nullptr ? prefix_->latest_at_or_before(t_start) : nullptr;
+  if (resume != nullptr && prefix_->source() == nullptr) {
+    throw std::logic_error(
+        "Objective: prefix cache has checkpoints but no source recorder; "
+        "call PrefixCache::set_source(clean.recorder) after the clean run");
+  }
+  const sim::RunResult run =
+      resume != nullptr
+          ? simulator_.run_from(*resume, *prefix_->source(), mission_, system_,
+                                &spoofer)
+          : simulator_.run(mission_, system_, &spoofer);
   ++evaluations_;
+  sim_steps_executed_ += run.steps_executed;
+  prefix_steps_reused_ += run.steps_resumed;
 
   ObjectiveEval eval;
   eval.end_time = run.end_time;
@@ -66,6 +117,7 @@ ObjectiveEval Objective::evaluate(double t_start, double duration) {
       eval.target_caused = involves_target;
     }
   }
+  memo_.emplace(key, eval);
   return eval;
 }
 

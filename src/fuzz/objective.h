@@ -3,11 +3,22 @@
 // Given a seed <T-V, theta> and the spoofing deviation d, f(t_s, dt) is the
 // minimum distance between the victim drone and the obstacle over the
 // attacked mission, minus the drone's collision radius; a collision occurs
-// iff f <= 0. Each evaluation is one full mission simulation.
+// iff f <= 0. Each evaluation is one full mission simulation — unless the
+// prefix cache can supply a mid-mission checkpoint with time <= t_s, in
+// which case only the tail from that checkpoint is simulated (the attacked
+// run is bit-identical to the clean run until the spoofing window opens, so
+// the clean run's checkpoints are valid prefixes for every (t_s, dt)).
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "attack/spoofing.h"
 #include "fuzz/seeds.h"
+#include "sim/checkpoint.h"
 #include "sim/simulator.h"
 #include "swarm/flocking_system.h"
 
@@ -33,15 +44,52 @@ class ObjectiveFunction {
   virtual void project(double& t_start, double& duration) const = 0;
 };
 
+// Collects the clean run's checkpoints, ordered by capture time. One cache
+// per mission: the pre-spoof prefix is seed-independent, so every Objective
+// of that mission (any target-victim pair) can resume from it. After the
+// clean run finishes, hand its recorder to set_source(): checkpoints store
+// only accumulator state, and resume rebuilds each prefix's trajectory
+// samples from the source recorder (see sim/recorder.h). Not thread-safe;
+// confine to one fuzzing worker like the Objective itself.
+class PrefixCache final : public sim::CheckpointSink {
+ public:
+  void on_checkpoint(sim::SimulationCheckpoint&& checkpoint) override;
+
+  // Latest checkpoint with time <= t (within a small epsilon, matching the
+  // simulator's capture cadence); nullptr when none qualifies.
+  [[nodiscard]] const sim::SimulationCheckpoint* latest_at_or_before(
+      double t) const noexcept;
+
+  // Stores (a copy of) the recorder of the run that produced the collected
+  // checkpoints. Must be called before any resume; Objective throws
+  // std::logic_error on a cache with checkpoints but no source.
+  void set_source(const sim::Recorder& recorder) { source_ = recorder; }
+  [[nodiscard]] const sim::Recorder* source() const noexcept {
+    return source_ ? &*source_ : nullptr;
+  }
+
+  void clear() noexcept {
+    checkpoints_.clear();
+    source_.reset();
+  }
+  [[nodiscard]] size_t size() const noexcept { return checkpoints_.size(); }
+
+ private:
+  std::vector<sim::SimulationCheckpoint> checkpoints_;  // ascending time
+  std::optional<sim::Recorder> source_;
+};
+
 // Evaluates attacked missions for a fixed seed. Not thread-safe (owns the
 // control system it mutates); create one per worker.
 class Objective final : public ObjectiveFunction {
  public:
   // `system` must outlive the objective. `t_mission` (timing constraint
-  // t_s + dt < t_mission) is taken from the clean run's end time.
+  // t_s + dt < t_mission) is taken from the clean run's end time. `prefix`
+  // (optional, borrowed) supplies clean-run checkpoints for prefix reuse;
+  // results are bit-identical with or without it.
   Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
             swarm::FlockingControlSystem& system, Seed seed, double spoof_distance,
-            double t_mission);
+            double t_mission, const PrefixCache* prefix = nullptr);
 
   [[nodiscard]] ObjectiveEval evaluate(double t_start, double duration) override;
 
@@ -49,7 +97,20 @@ class Objective final : public ObjectiveFunction {
   // t_s + dt <= t_mission.
   void project(double& t_start, double& duration) const override;
 
+  // Simulations actually run. Memoised repeats of an already-evaluated
+  // projected (t_s, dt) are served from the memo and do not count.
   [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+  [[nodiscard]] int memo_hits() const noexcept { return memo_hits_; }
+
+  // Control ticks simulated vs skipped by resuming from prefix checkpoints,
+  // summed over all evaluations.
+  [[nodiscard]] std::int64_t sim_steps_executed() const noexcept {
+    return sim_steps_executed_;
+  }
+  [[nodiscard]] std::int64_t prefix_steps_reused() const noexcept {
+    return prefix_steps_reused_;
+  }
+
   [[nodiscard]] double t_mission() const noexcept { return t_mission_; }
   [[nodiscard]] const Seed& seed() const noexcept { return seed_; }
 
@@ -60,7 +121,16 @@ class Objective final : public ObjectiveFunction {
   Seed seed_;
   double spoof_distance_;
   double t_mission_;
+  const PrefixCache* prefix_;
   int evaluations_ = 0;
+  int memo_hits_ = 0;
+  std::int64_t sim_steps_executed_ = 0;
+  std::int64_t prefix_steps_reused_ = 0;
+  // Evaluation memo keyed on the exact bits of the *projected* (t_s, dt):
+  // the simulation is a pure function of those bits, so a repeat probe
+  // (e.g. the optimizer re-evaluating its multi-start winner) costs zero
+  // simulations.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, ObjectiveEval> memo_;
 };
 
 }  // namespace swarmfuzz::fuzz

@@ -104,6 +104,10 @@ void write_result(util::JsonWriter& json, const FuzzResult& result) {
   json.value(result.iterations);
   json.key("simulations");
   json.value(result.simulations);
+  json.key("sim_steps_executed");
+  json.value(result.sim_steps_executed);
+  json.key("prefix_steps_reused");
+  json.value(result.prefix_steps_reused);
   json.key("mission_vdo");
   json.value_exact(result.mission_vdo);
   json.key("clean_mission_time");
@@ -125,6 +129,13 @@ FuzzResult result_from(const util::JsonValue& node) {
   result.victim_vdo = node.at("victim_vdo").as_double();
   result.iterations = node.at("iterations").as_int();
   result.simulations = node.at("simulations").as_int();
+  // Step counters arrived after schema v1 shipped; records written before
+  // then simply lack them. Default to 0 instead of bumping the version —
+  // they are performance accounting, not search state.
+  const util::JsonValue* steps = node.find("sim_steps_executed");
+  result.sim_steps_executed = steps != nullptr ? steps->as_int64() : 0;
+  const util::JsonValue* reused = node.find("prefix_steps_reused");
+  result.prefix_steps_reused = reused != nullptr ? reused->as_int64() : 0;
   result.mission_vdo = node.at("mission_vdo").as_double();
   result.clean_mission_time = node.at("clean_mission_time").as_double();
   result.plan = plan_from(node.at("plan"));

@@ -18,6 +18,11 @@ namespace swarmfuzz::math {
 
 class Rng {
  public:
+  // The full xoshiro256++ engine state. Capturing it with state() and later
+  // feeding it back through set_state() resumes the stream bit-identically
+  // (simulation checkpoints depend on this; see sim/checkpoint.h).
+  using State = std::array<std::uint64_t, 4>;
+
   // Streams seeded with the same value are identical.
   explicit Rng(std::uint64_t seed = 0x5eedu);
 
@@ -33,6 +38,12 @@ class Rng {
   // Derives an independent stream; deterministic in (parent state, salt).
   // Does not advance this generator, so split() calls are order-insensitive.
   [[nodiscard]] Rng split(std::uint64_t salt) const;
+
+  // Engine state snapshot/restore. set_state() does not validate: the
+  // all-zero state is a fixed point of xoshiro256++, so only feed back
+  // states previously obtained from state().
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  void set_state(const State& state) noexcept { state_ = state; }
 
   // Uniform double in [0, 1).
   double uniform();

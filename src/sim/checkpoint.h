@@ -1,0 +1,64 @@
+// Mid-run simulation snapshots for prefix reuse.
+//
+// A SimulationCheckpoint captures everything Simulator::run evolves between
+// control ticks: ground-truth vehicle internals, every sensor's RNG stream
+// and fix/bias state, the navigation filters, the control system's opaque
+// state (e.g. the comm packet-drop RNG), the collision flags, the Recorder
+// accumulators, and the accumulated sim clock. Resuming from a checkpoint
+// via Simulator::run_from reproduces the uninterrupted run bit-for-bit,
+// which is what lets the fuzzer skip re-simulating the pre-spoof prefix on
+// every objective evaluation (fork-server-style throughput; see
+// fuzz/objective.h and DESIGN.md section 10).
+//
+// The one thing a checkpoint does not embed is the recorder's kept
+// trajectory samples: those are append-only, so run_from takes the source
+// run's (later) recorder alongside the checkpoint and rebuilds the prefix
+// from its first recorder_state.num_samples samples. That keeps capture
+// cost and retained memory per checkpoint at a few KB regardless of how
+// far into the mission it was taken.
+//
+// Checkpoints are captured at the top of the step loop, *before* sensing, so
+// a checkpoint with time <= t_start of a spoofing window is always safe to
+// resume with the spoofer attached: no sensor has consumed randomness for
+// that tick yet, and spoofing that begins exactly at the checkpoint time is
+// applied identically in both paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/collision.h"
+#include "sim/dynamics.h"
+#include "sim/gps.h"
+#include "sim/imu.h"
+#include "sim/nav_filter.h"
+#include "sim/recorder.h"
+
+namespace swarmfuzz::sim {
+
+struct SimulationCheckpoint {
+  double time = 0.0;        // accumulated sim clock at capture (loop-top)
+  std::int64_t steps = 0;   // control ticks executed from t=0 up to `time`
+
+  std::vector<VehicleCheckpoint> vehicles;  // one per drone, id order
+  std::vector<GpsSensorState> gps;          // one per drone, id order
+  std::vector<ImuSensorState> imus;         // empty unless nav filter enabled
+  std::vector<NavFilterState> filters;      // empty unless nav filter enabled
+  std::vector<std::uint64_t> control;       // ControlSystem::save_state blob
+
+  bool collided = false;
+  std::optional<CollisionEvent> first_collision;
+  RecorderCheckpoint recorder_state;  // accumulators only; samples live in
+                                      // the source run's recorder
+};
+
+// Receives checkpoints as the simulator captures them. The simulator moves
+// each checkpoint in; the sink owns it afterwards.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void on_checkpoint(SimulationCheckpoint&& checkpoint) = 0;
+};
+
+}  // namespace swarmfuzz::sim

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "sim/mission.h"
 #include "sim/types.h"
@@ -25,6 +26,17 @@ class ControlSystem {
   // `desired` has exactly snapshot.drones.size() entries, filled in id order.
   virtual void compute(const WorldSnapshot& snapshot, const MissionSpec& mission,
                        std::span<Vec3> desired) = 0;
+
+  // Mid-run state capture for simulation checkpoints (sim/checkpoint.h):
+  // save_state() serializes whatever compute() evolves between ticks (RNG
+  // streams, filters) into an opaque word blob; restore_state() — called
+  // after reset() with a blob from the same implementation — reinstates it
+  // so the next compute() behaves bit-identically to the uninterrupted run.
+  // Stateless systems (the default) save an empty blob and ignore restores.
+  virtual void save_state(std::vector<std::uint64_t>& out) const { out.clear(); }
+  virtual void restore_state(std::span<const std::uint64_t> state) {
+    (void)state;
+  }
 };
 
 }  // namespace swarmfuzz::sim

@@ -15,6 +15,21 @@
 
 namespace swarmfuzz::sim {
 
+using math::Vec3;
+
+// Complete internal state of one vehicle, as captured into a simulation
+// checkpoint (sim/checkpoint.h). The struct is the superset of every model's
+// state: a point mass uses only `state`; the quadrotor additionally carries
+// its rigid-body attitude, body rates, the velocity-loop PI integral and the
+// commanded thrust. save()/restore() round-trip it bit-exactly.
+struct VehicleCheckpoint {
+  DroneState state;        // ground-truth position + velocity
+  Vec3 attitude;           // quadrotor: roll, pitch, yaw (rad)
+  Vec3 body_rates;         // quadrotor: p, q, r (rad/s)
+  Vec3 velocity_integral;  // quadrotor: velocity-loop PI integral
+  double thrust = 0.0;     // quadrotor: last commanded total thrust, N
+};
+
 class VehicleModel {
  public:
   virtual ~VehicleModel() = default;
@@ -26,6 +41,11 @@ class VehicleModel {
   virtual void step(const Vec3& desired_velocity, double dt) = 0;
 
   [[nodiscard]] virtual DroneState state() const = 0;
+
+  // Captures / reinstates *all* state step() evolves, so that a restored
+  // vehicle continues bit-identically to one that was never interrupted.
+  virtual void save(VehicleCheckpoint& out) const = 0;
+  virtual void restore(const VehicleCheckpoint& in) = 0;
 };
 
 enum class VehicleType {

@@ -19,6 +19,22 @@ void GpsSensor::reset() {
   last_fix_ = Vec3{};
 }
 
+void GpsSensor::save(GpsSensorState& out) const {
+  out.rng = rng_.state();
+  out.last_fix = last_fix_;
+  out.last_fix_time = last_fix_time_;
+  out.has_fix = has_fix_;
+  out.fix_count = fix_count_;
+}
+
+void GpsSensor::restore(const GpsSensorState& in) {
+  rng_.set_state(in.rng);
+  last_fix_ = in.last_fix;
+  last_fix_time_ = in.last_fix_time;
+  has_fix_ = in.has_fix;
+  fix_count_ = in.fix_count;
+}
+
 Vec3 GpsSensor::read(const Vec3& true_position, const Vec3& spoof_offset, double t) {
   const double period = 1.0 / config_.rate_hz;
   // Small epsilon so a caller stepping at exactly the GPS period re-samples

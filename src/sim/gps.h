@@ -30,6 +30,16 @@ struct GpsConfig {
   double noise_stddev = 0.0;   // per-axis Gaussian noise on each fix, metres
 };
 
+// Everything a receiver carries between read() calls: the noise stream and
+// the held fix. Captured into simulation checkpoints (sim/checkpoint.h).
+struct GpsSensorState {
+  math::Rng::State rng{};
+  Vec3 last_fix;
+  double last_fix_time = 0.0;
+  bool has_fix = false;
+  int fix_count = 0;
+};
+
 // One receiver instance per drone. Not thread-safe (one drone = one owner).
 class GpsSensor {
  public:
@@ -47,6 +57,12 @@ class GpsSensor {
   [[nodiscard]] const GpsConfig& config() const noexcept { return config_; }
   // Number of fixes taken since reset (held readings don't count).
   [[nodiscard]] int fix_count() const noexcept { return fix_count_; }
+
+  // Snapshot/restore of the full receiver state (noise RNG phase included):
+  // a restored receiver produces the same fixes and draws as one that ran
+  // uninterrupted.
+  void save(GpsSensorState& out) const;
+  void restore(const GpsSensorState& in);
 
  private:
   GpsConfig config_;

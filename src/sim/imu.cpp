@@ -14,6 +14,16 @@ ImuSensor::ImuSensor(const ImuConfig& config, math::Rng rng)
                rng_.normal(0.0, config.accel_bias_stddev)};
 }
 
+void ImuSensor::save(ImuSensorState& out) const {
+  out.rng = rng_.state();
+  out.bias = bias_;
+}
+
+void ImuSensor::restore(const ImuSensorState& in) {
+  rng_.set_state(in.rng);
+  bias_ = in.bias;
+}
+
 Vec3 ImuSensor::measure(const Vec3& true_acceleration) {
   Vec3 reading = true_acceleration + bias_;
   if (config_.accel_noise_stddev > 0.0) {

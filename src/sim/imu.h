@@ -18,6 +18,14 @@ struct ImuConfig {
   double accel_bias_stddev = 0.02;   // m/s^2 per axis, constant per device
 };
 
+// Mutable IMU state for simulation checkpoints: the white-noise RNG phase
+// plus the per-device bias (constant, but restoring it explicitly keeps the
+// checkpoint self-contained rather than relying on reconstruction order).
+struct ImuSensorState {
+  math::Rng::State rng{};
+  Vec3 bias;
+};
+
 class ImuSensor {
  public:
   // The constant bias is drawn once from `rng` at construction.
@@ -28,6 +36,10 @@ class ImuSensor {
 
   [[nodiscard]] const Vec3& bias() const noexcept { return bias_; }
   [[nodiscard]] const ImuConfig& config() const noexcept { return config_; }
+
+  // Snapshot/restore so a resumed run draws the same noise sequence.
+  void save(ImuSensorState& out) const;
+  void restore(const ImuSensorState& in);
 
  private:
   ImuConfig config_;

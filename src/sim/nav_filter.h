@@ -20,6 +20,12 @@ struct NavFilterConfig {
   double velocity_gain = 0.04;  // Kv (1/s-ish), per correction
 };
 
+// The filter's whole mutable state, for simulation checkpoints.
+struct NavFilterState {
+  Vec3 position;
+  Vec3 velocity;
+};
+
 class NavigationFilter {
  public:
   explicit NavigationFilter(const NavFilterConfig& config = {});
@@ -35,6 +41,13 @@ class NavigationFilter {
   [[nodiscard]] const Vec3& position() const noexcept { return position_; }
   [[nodiscard]] const Vec3& velocity() const noexcept { return velocity_; }
   [[nodiscard]] const NavFilterConfig& config() const noexcept { return config_; }
+
+  // Snapshot/restore of the (position, velocity) estimate.
+  void save(NavFilterState& out) const {
+    out.position = position_;
+    out.velocity = velocity_;
+  }
+  void restore(const NavFilterState& in) { reset(in.position, in.velocity); }
 
  private:
   NavFilterConfig config_;

@@ -17,6 +17,10 @@ class PointMassModel final : public VehicleModel {
   void step(const Vec3& desired_velocity, double dt) override;
   [[nodiscard]] DroneState state() const override { return state_; }
 
+  // Position + velocity is the whole state of a point mass.
+  void save(VehicleCheckpoint& out) const override { out.state = state_; }
+  void restore(const VehicleCheckpoint& in) override { state_ = in.state; }
+
   [[nodiscard]] const PointMassParams& params() const noexcept { return params_; }
 
  private:

@@ -39,6 +39,23 @@ void QuadrotorModel::reset(const Vec3& position, const Vec3& velocity) {
 
 DroneState QuadrotorModel::state() const { return {position_, velocity_}; }
 
+void QuadrotorModel::save(VehicleCheckpoint& out) const {
+  out.state = {position_, velocity_};
+  out.attitude = attitude_;
+  out.body_rates = rates_;
+  out.velocity_integral = velocity_integral_;
+  out.thrust = thrust_;
+}
+
+void QuadrotorModel::restore(const VehicleCheckpoint& in) {
+  position_ = in.state.position;
+  velocity_ = in.state.velocity;
+  attitude_ = in.attitude;
+  rates_ = in.body_rates;
+  velocity_integral_ = in.velocity_integral;
+  thrust_ = in.thrust;
+}
+
 void QuadrotorModel::step(const Vec3& desired_velocity, double dt) {
   if (dt <= 0.0) throw std::invalid_argument("QuadrotorModel: dt <= 0");
   const int substeps = std::max(1, static_cast<int>(std::ceil(dt / kMaxSubstep)));

@@ -25,6 +25,8 @@ class QuadrotorModel final : public VehicleModel {
   void reset(const Vec3& position, const Vec3& velocity) override;
   void step(const Vec3& desired_velocity, double dt) override;
   [[nodiscard]] DroneState state() const override;
+  void save(VehicleCheckpoint& out) const override;
+  void restore(const VehicleCheckpoint& in) override;
 
   // Euler angles (roll, pitch, yaw) in radians; exposed for tests.
   [[nodiscard]] Vec3 attitude() const noexcept { return attitude_; }

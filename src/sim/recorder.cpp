@@ -44,6 +44,39 @@ void Recorder::record(double t, std::span<const DroneState> states) {
   states_.insert(states_.end(), states.begin(), states.end());
 }
 
+void Recorder::save(RecorderCheckpoint& out) const {
+  out.num_samples = num_samples();
+  out.last_kept = last_kept_;
+  out.last_time = last_time_;
+  out.min_center_d2 = min_center_d2_;
+  out.min_center_time = min_center_time_;
+}
+
+void Recorder::restore(const RecorderCheckpoint& state, const Recorder& source) {
+  if (source.num_drones_ != num_drones_ ||
+      state.min_center_d2.size() != min_center_d2_.size() ||
+      state.min_center_time.size() != min_center_time_.size()) {
+    throw std::invalid_argument("Recorder: restore shape mismatch");
+  }
+  const int k = state.num_samples;
+  if (k < 0 || k > source.num_samples()) {
+    throw std::invalid_argument("Recorder: restore source has too few samples");
+  }
+  if (k > 0 && source.times_[static_cast<size_t>(k) - 1] != state.last_kept) {
+    // The source's k-th kept sample is not the one this snapshot last kept:
+    // the source is from a different run (or a different record cadence).
+    throw std::invalid_argument("Recorder: restore source mismatch");
+  }
+  times_.assign(source.times_.begin(), source.times_.begin() + k);
+  states_.assign(source.states_.begin(),
+                 source.states_.begin() +
+                     static_cast<size_t>(k) * static_cast<size_t>(num_drones_));
+  min_center_d2_ = state.min_center_d2;
+  min_center_time_ = state.min_center_time;
+  last_kept_ = state.last_kept;
+  last_time_ = state.last_time;
+}
+
 std::span<const DroneState> Recorder::sample(int index) const {
   if (index < 0 || index >= num_samples()) {
     throw std::out_of_range("Recorder: sample index out of range");

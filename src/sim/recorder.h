@@ -17,6 +17,21 @@
 
 namespace swarmfuzz::sim {
 
+// Snapshot of a Recorder's accumulators, cheap enough to capture every
+// checkpoint (a few dozen bytes plus the per-(drone, obstacle) minima). The
+// kept trajectory samples are deliberately NOT stored: samples are
+// append-only, so the first `num_samples` samples of any later recorder of
+// the same run are exactly the samples this snapshot had — restore() copies
+// them out of that later recorder instead of every checkpoint retaining its
+// own multi-hundred-KB trajectory copy.
+struct RecorderCheckpoint {
+  int num_samples = 0;
+  double last_kept = -1.0;
+  double last_time = 0.0;
+  std::vector<double> min_center_d2;
+  std::vector<double> min_center_time;
+};
+
 class Recorder {
  public:
   // Samples are kept when at least `record_period` elapsed since the last
@@ -60,6 +75,17 @@ class Recorder {
 
   // Duration covered by the recording (last t seen).
   [[nodiscard]] double duration() const noexcept { return last_time_; }
+
+  // Captures the accumulator state (not the samples; see RecorderCheckpoint).
+  void save(RecorderCheckpoint& out) const;
+
+  // Restores accumulators from `state` and the first state.num_samples kept
+  // samples from `source`. `source` must be a recorder of the same run at
+  // the capture time or later — its sample prefix is then bit-for-bit the
+  // sample set this recorder held at capture. Shape or provenance
+  // mismatches (wrong drone count, too few samples, a prefix whose last
+  // kept time disagrees with the snapshot) throw std::invalid_argument.
+  void restore(const RecorderCheckpoint& state, const Recorder& source);
 
  private:
   int num_drones_;

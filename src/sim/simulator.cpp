@@ -1,12 +1,34 @@
 #include "sim/simulator.h"
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "math/rng.h"
 #include "util/logging.h"
 
 namespace swarmfuzz::sim {
+
+namespace {
+
+// Shape check before touching any state: a checkpoint from a different
+// mission size or sensing configuration must fail loudly, not resume into
+// silently wrong dynamics.
+void validate_checkpoint(const SimulationCheckpoint& cp, int n,
+                         bool use_navigation_filter) {
+  const auto drones = static_cast<size_t>(n);
+  if (cp.vehicles.size() != drones || cp.gps.size() != drones) {
+    throw std::invalid_argument("Simulator: checkpoint drone count mismatch");
+  }
+  const size_t fused = use_navigation_filter ? drones : 0;
+  if (cp.imus.size() != fused || cp.filters.size() != fused) {
+    throw std::invalid_argument(
+        "Simulator: checkpoint navigation-filter state mismatch");
+  }
+}
+
+}  // namespace
 
 Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
   if (config_.dt <= 0.0) throw std::invalid_argument("Simulator: dt <= 0");
@@ -15,8 +37,35 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
 RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
                          const GpsOffsetProvider* spoofer,
                          StepObserver* observer) const {
+  return run(mission, control, RunHooks{.spoofer = spoofer, .observer = observer});
+}
+
+RunResult Simulator::run_from(const SimulationCheckpoint& checkpoint,
+                              const Recorder& prefix_recorder,
+                              const MissionSpec& mission, ControlSystem& control,
+                              const GpsOffsetProvider* spoofer,
+                              StepObserver* observer) const {
+  return run(mission, control,
+             RunHooks{.spoofer = spoofer, .observer = observer,
+                      .resume_from = &checkpoint,
+                      .resume_recorder = &prefix_recorder});
+}
+
+RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
+                         const RunHooks& hooks) const {
   const int n = mission.num_drones();
   if (n < 1) throw std::invalid_argument("Simulator: empty mission");
+  const GpsOffsetProvider* spoofer = hooks.spoofer;
+  StepObserver* observer = hooks.observer;
+  const SimulationCheckpoint* resume = hooks.resume_from;
+  if (resume != nullptr) {
+    if (hooks.resume_recorder == nullptr) {
+      throw std::invalid_argument(
+          "Simulator: resume_from requires resume_recorder (the source run's "
+          "recorder, which supplies the trajectory-sample prefix)");
+    }
+    validate_checkpoint(*resume, n, config_.use_navigation_filter);
+  }
 
   World world(mission, config_.vehicle, config_.point_mass, config_.quadrotor);
   CollisionMonitor monitor(mission.drone_radius);
@@ -51,7 +100,35 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
   // preallocated scratch, making the whole sense→exchange→control loop
   // allocation-free in steady state (DESIGN.md §9).
   const std::vector<DroneState>& states = world.states();
-  result.recorder.record(0.0, states);
+
+  double t = 0.0;
+  std::int64_t total_steps = 0;  // ticks since t=0, including resumed ones
+  if (resume != nullptr) {
+    // Everything above ran exactly as in the original prefix (the RNG
+    // splits and control.reset() consume the same draws), and is now
+    // overwritten wholesale with the checkpoint's state; the loop below
+    // continues the original run bit-for-bit from `resume->time`.
+    world.restore(resume->vehicles, resume->time);
+    for (int i = 0; i < n; ++i) {
+      gps[static_cast<size_t>(i)].restore(resume->gps[static_cast<size_t>(i)]);
+    }
+    if (config_.use_navigation_filter) {
+      for (int i = 0; i < n; ++i) {
+        imus[static_cast<size_t>(i)].restore(resume->imus[static_cast<size_t>(i)]);
+        filters[static_cast<size_t>(i)].restore(
+            resume->filters[static_cast<size_t>(i)]);
+      }
+    }
+    control.restore_state(resume->control);
+    result.recorder.restore(resume->recorder_state, *hooks.resume_recorder);
+    result.collided = resume->collided;
+    result.first_collision = resume->first_collision;
+    t = resume->time;
+    total_steps = resume->steps;
+    result.steps_resumed = resume->steps;
+  } else {
+    result.recorder.record(0.0, states);
+  }
 
   WorldSnapshot snapshot;
   snapshot.drones.resize(static_cast<size_t>(n));
@@ -59,8 +136,38 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
   std::vector<DroneState> prev_states(static_cast<size_t>(n));
   std::vector<Vec3> prev_positions(static_cast<size_t>(n));
 
-  double t = 0.0;
+  double last_checkpoint = -std::numeric_limits<double>::infinity();
   while (t < mission.max_time) {
+    // 0. Checkpoint at loop-top, before any sensor consumes randomness for
+    // this tick, so resuming here replays the tick exactly (including a
+    // spoofing window that opens at this very t).
+    if (hooks.checkpoints != nullptr &&
+        t - last_checkpoint >= hooks.checkpoint_period - 1e-9) {
+      SimulationCheckpoint cp;
+      cp.time = t;
+      cp.steps = total_steps;
+      world.save(cp.vehicles);
+      cp.gps.resize(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        gps[static_cast<size_t>(i)].save(cp.gps[static_cast<size_t>(i)]);
+      }
+      if (config_.use_navigation_filter) {
+        cp.imus.resize(static_cast<size_t>(n));
+        cp.filters.resize(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          imus[static_cast<size_t>(i)].save(cp.imus[static_cast<size_t>(i)]);
+          filters[static_cast<size_t>(i)].save(
+              cp.filters[static_cast<size_t>(i)]);
+        }
+      }
+      control.save_state(cp.control);
+      cp.collided = result.collided;
+      cp.first_collision = result.first_collision;
+      result.recorder.save(cp.recorder_state);
+      hooks.checkpoints->on_checkpoint(std::move(cp));
+      last_checkpoint = t;
+    }
+
     // 1-2. Sense and exchange states.
     snapshot.time = t;
     for (int i = 0; i < n; ++i) {
@@ -92,6 +199,8 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
     }
     world.step(desired, config_.dt);  // refreshes `states` in place
     t = world.time();
+    ++total_steps;
+    ++result.steps_executed;
     if (config_.use_navigation_filter) {
       for (int i = 0; i < n; ++i) {
         const Vec3 true_accel = (states[static_cast<size_t>(i)].velocity -

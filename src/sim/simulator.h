@@ -8,8 +8,10 @@
 // then collisions are checked and the recorder updated.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
+#include "sim/checkpoint.h"
 #include "sim/collision.h"
 #include "sim/control.h"
 #include "sim/gps.h"
@@ -56,11 +58,42 @@ struct RunResult {
   double end_time = 0.0;           // mission duration t_mission
   Recorder recorder;               // trajectories + VDO + t_clo
 
+  // Performance accounting: control ticks this call actually simulated vs
+  // ticks inherited from the resume checkpoint (0 for from-scratch runs).
+  // steps_executed + steps_resumed = total ticks of the logical mission.
+  std::int64_t steps_executed = 0;
+  std::int64_t steps_resumed = 0;
+
   // Convenience accessors over the recorder.
   [[nodiscard]] double vdo(int drone) const {
     return recorder.min_obstacle_distance(drone);
   }
   [[nodiscard]] double t_clo() const { return recorder.closest_time(); }
+};
+
+// Optional attachments for a run. All pointers are borrowed and may be null.
+struct RunHooks {
+  const GpsOffsetProvider* spoofer = nullptr;  // injects GPS offsets
+  StepObserver* observer = nullptr;            // sees every control tick
+
+  // When set, the run emits a SimulationCheckpoint at loop-top (before
+  // sensing) every `checkpoint_period` seconds of sim time, starting at
+  // t = 0. Resuming from any emitted checkpoint reproduces the remainder
+  // of this run bit-for-bit (see sim/checkpoint.h). Captures cost a few µs
+  // each (checkpoints carry no trajectory samples), so a tight period is
+  // cheap and shortens the re-simulated gap between a resume point and the
+  // spoofing window it serves.
+  CheckpointSink* checkpoints = nullptr;
+  double checkpoint_period = 1.0;  // s of sim time between checkpoints
+
+  // When set, the run starts from this checkpoint instead of t = 0, and
+  // `resume_recorder` must point at the recorder of the run that captured
+  // it (at capture time or later — e.g. the finished clean run's recorder),
+  // which supplies the trajectory-sample prefix. The checkpoint must come
+  // from a run of the same mission under the same SimulationConfig and
+  // control-system type; shape mismatches throw.
+  const SimulationCheckpoint* resume_from = nullptr;
+  const Recorder* resume_recorder = nullptr;
 };
 
 class Simulator {
@@ -74,6 +107,23 @@ class Simulator {
   [[nodiscard]] RunResult run(const MissionSpec& mission, ControlSystem& control,
                               const GpsOffsetProvider* spoofer = nullptr,
                               StepObserver* observer = nullptr) const;
+
+  // Full-control entry point: spoofer/observer plus checkpoint emission
+  // and/or resumption via `hooks`.
+  [[nodiscard]] RunResult run(const MissionSpec& mission, ControlSystem& control,
+                              const RunHooks& hooks) const;
+
+  // Resumes `mission` from `checkpoint` (captured by an earlier run of the
+  // same mission/config); `prefix_recorder` is that run's recorder, which
+  // supplies the trajectory samples up to the checkpoint. The tail is
+  // bit-identical to the uninterrupted run, including with a spoofer whose
+  // window opens at or after checkpoint.time.
+  [[nodiscard]] RunResult run_from(const SimulationCheckpoint& checkpoint,
+                                   const Recorder& prefix_recorder,
+                                   const MissionSpec& mission,
+                                   ControlSystem& control,
+                                   const GpsOffsetProvider* spoofer = nullptr,
+                                   StepObserver* observer = nullptr) const;
 
   [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
 

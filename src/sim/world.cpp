@@ -23,6 +23,22 @@ DroneState World::state(int drone) const {
   return states_[static_cast<size_t>(drone)];
 }
 
+void World::save(std::vector<VehicleCheckpoint>& out) const {
+  out.resize(vehicles_.size());
+  for (size_t i = 0; i < vehicles_.size(); ++i) vehicles_[i]->save(out[i]);
+}
+
+void World::restore(std::span<const VehicleCheckpoint> vehicles, double time) {
+  if (vehicles.size() != vehicles_.size()) {
+    throw std::invalid_argument("World::restore: vehicle count mismatch");
+  }
+  for (size_t i = 0; i < vehicles_.size(); ++i) {
+    vehicles_[i]->restore(vehicles[i]);
+    states_[i] = vehicles_[i]->state();
+  }
+  time_ = time;
+}
+
 void World::step(std::span<const Vec3> desired, double dt) {
   if (static_cast<int>(desired.size()) != num_drones()) {
     throw std::invalid_argument("World::step: desired size mismatch");

@@ -36,6 +36,14 @@ class World {
   // `desired.size()` must equal num_drones().
   void step(std::span<const Vec3> desired, double dt);
 
+  // Captures every vehicle's internal state plus the sim clock into `out`
+  // (resized to num_drones()), and the inverse. `time` must be the exact
+  // accumulated clock of the run being restored: step() keeps adding dt to
+  // it, so restoring the recorded double continues the same float
+  // accumulation bit-identically.
+  void save(std::vector<VehicleCheckpoint>& out) const;
+  void restore(std::span<const VehicleCheckpoint> vehicles, double time);
+
  private:
   std::vector<std::unique_ptr<VehicleModel>> vehicles_;
   std::vector<DroneState> states_;  // cache of vehicles_[i]->state()

@@ -96,6 +96,16 @@ class CommModel {
 
   [[nodiscard]] const CommConfig& config() const noexcept { return config_; }
 
+  // Packet-loss RNG snapshot/restore, for simulation checkpoints: restoring
+  // a state captured mid-mission makes subsequent filter()/filter_into()
+  // calls consume the exact same bernoulli draws as the original run.
+  [[nodiscard]] const math::Rng::State& rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const math::Rng::State& state) noexcept {
+    rng_.set_state(state);
+  }
+
  private:
   CommConfig config_;
   math::Rng rng_;

@@ -1,5 +1,6 @@
 #include "swarm/flocking_system.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,6 +19,21 @@ FlockingControlSystem::FlockingControlSystem(
 void FlockingControlSystem::reset(const sim::MissionSpec& /*mission*/,
                                   std::uint64_t seed) {
   comm_.reset(seed);
+}
+
+void FlockingControlSystem::save_state(std::vector<std::uint64_t>& out) const {
+  const math::Rng::State& rng = comm_.rng_state();
+  out.assign(rng.begin(), rng.end());
+}
+
+void FlockingControlSystem::restore_state(std::span<const std::uint64_t> state) {
+  math::Rng::State rng{};
+  if (state.size() != rng.size()) {
+    throw std::invalid_argument(
+        "FlockingControlSystem: bad checkpoint state size");
+  }
+  std::copy(state.begin(), state.end(), rng.begin());
+  comm_.set_rng_state(rng);
 }
 
 void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,

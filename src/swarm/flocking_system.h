@@ -28,6 +28,11 @@ class FlockingControlSystem final : public sim::ControlSystem {
   void compute(const sim::WorldSnapshot& snapshot, const sim::MissionSpec& mission,
                std::span<Vec3> desired) override;
 
+  // Checkpoint hooks: the only mutable per-mission state is the comm
+  // packet-loss RNG, saved as its four xoshiro256++ words.
+  void save_state(std::vector<std::uint64_t>& out) const override;
+  void restore_state(std::span<const std::uint64_t> state) override;
+
   [[nodiscard]] const SwarmController& controller() const noexcept {
     return *controller_;
   }

@@ -110,6 +110,11 @@ void JsonWriter::value(int number) {
   out_ += std::to_string(number);
 }
 
+void JsonWriter::value(std::int64_t number) {
+  prepare_for_value();
+  out_ += std::to_string(number);
+}
+
 void JsonWriter::value(bool boolean) {
   prepare_for_value();
   out_ += boolean ? "true" : "false";
@@ -162,6 +167,17 @@ int JsonValue::as_int() const {
     throw std::invalid_argument("JsonValue: number is not a 32-bit integer");
   }
   return static_cast<int>(number_);
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (!is_number()) kind_error("number");
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text_.c_str(), &end, 10);
+  if (errno != 0 || end == text_.c_str() || *end != '\0') {
+    throw std::invalid_argument("JsonValue: number is not an int64: " + text_);
+  }
+  return static_cast<std::int64_t>(parsed);
 }
 
 std::uint64_t JsonValue::as_uint64() const {

@@ -43,6 +43,7 @@ class JsonWriter {
   void value(const char* text) { value(std::string_view{text}); }
   void value(double number);
   void value(int number);
+  void value(std::int64_t number);
   void value(bool boolean);
   void null();
 
@@ -87,6 +88,7 @@ class JsonValue {
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_double() const;
   [[nodiscard]] int as_int() const;                 // rejects non-integral values
+  [[nodiscard]] std::int64_t as_int64() const;      // from the raw number text
   [[nodiscard]] std::uint64_t as_uint64() const;    // from the raw number text
   [[nodiscard]] const std::string& as_string() const;
 

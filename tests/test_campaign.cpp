@@ -115,6 +115,23 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Campaign, PrefixReuseDoesNotChangeResults) {
+  // Prefix reuse is a pure performance optimization: a campaign run with it
+  // must compare deterministic_equal to one without, while actually skipping
+  // simulation work.
+  CampaignConfig config = small_campaign();
+  config.fuzzer.prefix_reuse = true;
+  const CampaignResult with_reuse = run_campaign(config);
+  config.fuzzer.prefix_reuse = false;
+  const CampaignResult without = run_campaign(config);
+
+  EXPECT_TRUE(deterministic_equal(with_reuse, without));
+  EXPECT_GT(with_reuse.total_prefix_steps_reused(), 0);
+  EXPECT_EQ(without.total_prefix_steps_reused(), 0);
+  EXPECT_LT(with_reuse.total_sim_steps_executed(),
+            without.total_sim_steps_executed());
+}
+
 TEST(Campaign, AggregatesAreConsistent) {
   const CampaignResult result = run_campaign(small_campaign());
   EXPECT_EQ(result.num_fuzzable(), 6);

@@ -1,0 +1,285 @@
+// Golden determinism for the checkpoint/resume subsystem (DESIGN.md §10).
+//
+// Prefix reuse claims that a run resumed from a mid-mission checkpoint is
+// *bit-identical* to the uninterrupted run — including every RNG-driven
+// subsystem (GPS noise, IMU noise, comm packet drop) and both vehicle
+// models, and including a spoofer whose window opens at or after the
+// checkpoint. These tests hold it to that, sample by recorded sample.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "attack/spoofing.h"
+#include "sim/checkpoint.h"
+#include "sim/quadrotor.h"
+#include "sim/simulator.h"
+#include "swarm/flocking_system.h"
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class VectorSink final : public sim::CheckpointSink {
+ public:
+  void on_checkpoint(sim::SimulationCheckpoint&& checkpoint) override {
+    checkpoints.push_back(std::move(checkpoint));
+  }
+  std::vector<sim::SimulationCheckpoint> checkpoints;
+};
+
+sim::MissionSpec test_mission() {
+  sim::MissionConfig config;
+  config.num_drones = 10;
+  return sim::generate_mission(config, 77);
+}
+
+sim::SimulationConfig test_config(sim::VehicleType vehicle, bool nav_filter) {
+  sim::SimulationConfig config;
+  config.vehicle = vehicle;
+  config.gps.noise_stddev = 0.4;  // nonzero so the GPS RNG stream matters
+  config.use_navigation_filter = nav_filter;
+  return config;
+}
+
+swarm::FlockingControlSystem make_system(const swarm::CommConfig& comm) {
+  return swarm::FlockingControlSystem(
+      std::make_shared<swarm::VasarhelyiController>(), comm);
+}
+
+void expect_bit_identical(const sim::RunResult& resumed,
+                          const sim::RunResult& reference) {
+  EXPECT_EQ(resumed.collided, reference.collided);
+  EXPECT_EQ(resumed.reached_destination, reference.reached_destination);
+  EXPECT_EQ(resumed.end_time, reference.end_time);
+  ASSERT_EQ(resumed.first_collision.has_value(),
+            reference.first_collision.has_value());
+  if (resumed.first_collision) {
+    EXPECT_EQ(resumed.first_collision->kind, reference.first_collision->kind);
+    EXPECT_EQ(resumed.first_collision->time, reference.first_collision->time);
+    EXPECT_EQ(resumed.first_collision->drone, reference.first_collision->drone);
+    EXPECT_EQ(resumed.first_collision->other, reference.first_collision->other);
+  }
+
+  const sim::Recorder& a = resumed.recorder;
+  const sim::Recorder& b = reference.recorder;
+  EXPECT_EQ(a.duration(), b.duration());
+  EXPECT_EQ(a.closest_time(), b.closest_time());
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  ASSERT_EQ(a.num_drones(), b.num_drones());
+  for (int i = 0; i < a.num_drones(); ++i) {
+    ASSERT_EQ(a.min_obstacle_distance(i), b.min_obstacle_distance(i))
+        << "drone " << i;
+    ASSERT_EQ(a.time_of_min_obstacle_distance(i),
+              b.time_of_min_obstacle_distance(i))
+        << "drone " << i;
+  }
+  for (int s = 0; s < a.num_samples(); ++s) {
+    ASSERT_EQ(a.times()[static_cast<size_t>(s)], b.times()[static_cast<size_t>(s)]);
+    const std::span<const sim::DroneState> sa = a.sample(s);
+    const std::span<const sim::DroneState> sb = b.sample(s);
+    for (int i = 0; i < a.num_drones(); ++i) {
+      const sim::DroneState& da = sa[static_cast<size_t>(i)];
+      const sim::DroneState& db = sb[static_cast<size_t>(i)];
+      ASSERT_EQ(da.position.x, db.position.x) << "sample " << s << " drone " << i;
+      ASSERT_EQ(da.position.y, db.position.y) << "sample " << s << " drone " << i;
+      ASSERT_EQ(da.position.z, db.position.z) << "sample " << s << " drone " << i;
+      ASSERT_EQ(da.velocity.x, db.velocity.x) << "sample " << s << " drone " << i;
+      ASSERT_EQ(da.velocity.y, db.velocity.y) << "sample " << s << " drone " << i;
+      ASSERT_EQ(da.velocity.z, db.velocity.z) << "sample " << s << " drone " << i;
+    }
+  }
+}
+
+// Runs the mission once with checkpointing, then resumes from every emitted
+// checkpoint and demands the uninterrupted result bit-for-bit.
+void run_resume_equivalence(sim::VehicleType vehicle, const swarm::CommConfig& comm,
+                            bool nav_filter) {
+  const sim::MissionSpec mission = test_mission();
+  const sim::Simulator simulator(test_config(vehicle, nav_filter));
+
+  swarm::FlockingControlSystem recording = make_system(comm);
+  VectorSink sink;
+  const sim::RunResult full = simulator.run(
+      mission, recording, sim::RunHooks{.checkpoints = &sink, .checkpoint_period = 10.0});
+  ASSERT_GE(sink.checkpoints.size(), 3u) << "mission too short to exercise resume";
+
+  for (const sim::SimulationCheckpoint& cp : sink.checkpoints) {
+    swarm::FlockingControlSystem resumed_system = make_system(comm);
+    const sim::RunResult resumed =
+        simulator.run_from(cp, full.recorder, mission, resumed_system);
+    SCOPED_TRACE("checkpoint at t=" + std::to_string(cp.time));
+    expect_bit_identical(resumed, full);
+    EXPECT_EQ(resumed.steps_resumed, cp.steps);
+    EXPECT_EQ(resumed.steps_executed + resumed.steps_resumed,
+              full.steps_executed);
+  }
+}
+
+TEST(SimCheckpoint, ResumePointMassGpsNoise) {
+  run_resume_equivalence(sim::VehicleType::kPointMass, {}, /*nav_filter=*/false);
+}
+
+TEST(SimCheckpoint, ResumePointMassPacketDrop) {
+  run_resume_equivalence(sim::VehicleType::kPointMass,
+                         {.range = kInf, .drop_probability = 0.3},
+                         /*nav_filter=*/false);
+}
+
+TEST(SimCheckpoint, ResumePointMassNavFilter) {
+  run_resume_equivalence(sim::VehicleType::kPointMass, {}, /*nav_filter=*/true);
+}
+
+TEST(SimCheckpoint, ResumeQuadrotorGpsNoise) {
+  run_resume_equivalence(sim::VehicleType::kQuadrotor, {}, /*nav_filter=*/false);
+}
+
+TEST(SimCheckpoint, ResumeQuadrotorNavFilterPacketDrop) {
+  run_resume_equivalence(sim::VehicleType::kQuadrotor,
+                         {.range = 40.0, .drop_probability = 0.15},
+                         /*nav_filter=*/true);
+}
+
+// The fuzzing use case: a spoofed run resumed from a clean-run checkpoint
+// captured at or before the spoofing window equals the from-scratch spoofed
+// run. The attacked run is bit-identical to the clean run until t_start, so
+// the *clean* prefix is a valid snapshot for *any* such window.
+TEST(SimCheckpoint, SpoofedResumeFromCleanPrefix) {
+  const sim::MissionSpec mission = test_mission();
+  const sim::Simulator simulator(
+      test_config(sim::VehicleType::kPointMass, /*nav_filter=*/true));
+
+  swarm::FlockingControlSystem recording = make_system({});
+  VectorSink sink;
+  const sim::RunResult clean = simulator.run(
+      mission, recording,
+      sim::RunHooks{.checkpoints = &sink, .checkpoint_period = 10.0});
+  ASSERT_GE(sink.checkpoints.size(), 2u);
+
+  const attack::SpoofingPlan plan{.target = 2,
+                                  .direction = attack::SpoofDirection::kRight,
+                                  .start_time = sink.checkpoints[1].time + 3.0,
+                                  .duration = 15.0,
+                                  .distance = 10.0};
+  const attack::GpsSpoofer spoofer(plan, mission);
+
+  swarm::FlockingControlSystem scratch_system = make_system({});
+  const sim::RunResult scratch = simulator.run(mission, scratch_system, &spoofer);
+
+  for (size_t k = 0; k < 2; ++k) {  // both checkpoints precede the window
+    ASSERT_LE(sink.checkpoints[k].time, plan.start_time);
+    swarm::FlockingControlSystem resumed_system = make_system({});
+    const sim::RunResult resumed = simulator.run_from(
+        sink.checkpoints[k], clean.recorder, mission, resumed_system, &spoofer);
+    SCOPED_TRACE("checkpoint at t=" + std::to_string(sink.checkpoints[k].time));
+    expect_bit_identical(resumed, scratch);
+  }
+}
+
+// A spoofing window opening exactly at the checkpoint time is the boundary
+// case the loop-top capture order guarantees: sensing at t == checkpoint.time
+// happens after capture, so the spoofer's first active tick replays exactly.
+TEST(SimCheckpoint, SpoofWindowOpeningAtCheckpointTime) {
+  const sim::MissionSpec mission = test_mission();
+  const sim::Simulator simulator(
+      test_config(sim::VehicleType::kPointMass, /*nav_filter=*/false));
+
+  swarm::FlockingControlSystem recording = make_system({});
+  VectorSink sink;
+  const sim::RunResult clean = simulator.run(
+      mission, recording,
+      sim::RunHooks{.checkpoints = &sink, .checkpoint_period = 10.0});
+  ASSERT_GE(sink.checkpoints.size(), 2u);
+  const sim::SimulationCheckpoint& cp = sink.checkpoints[1];
+
+  const attack::SpoofingPlan plan{.target = 1,
+                                  .direction = attack::SpoofDirection::kLeft,
+                                  .start_time = cp.time,
+                                  .duration = 12.0,
+                                  .distance = 10.0};
+  const attack::GpsSpoofer spoofer(plan, mission);
+
+  swarm::FlockingControlSystem scratch_system = make_system({});
+  const sim::RunResult scratch = simulator.run(mission, scratch_system, &spoofer);
+  swarm::FlockingControlSystem resumed_system = make_system({});
+  const sim::RunResult resumed =
+      simulator.run_from(cp, clean.recorder, mission, resumed_system, &spoofer);
+  expect_bit_identical(resumed, scratch);
+}
+
+TEST(SimCheckpoint, QuadrotorVehicleStateRoundTrip) {
+  sim::QuadrotorModel vehicle{sim::QuadrotorParams{}};
+  vehicle.reset(math::Vec3{1.0, 2.0, 10.0}, math::Vec3{});
+  const math::Vec3 desired{2.0, -1.0, 0.5};
+  for (int i = 0; i < 40; ++i) vehicle.step(desired, 0.05);
+
+  sim::VehicleCheckpoint saved;
+  vehicle.save(saved);
+  std::vector<sim::DroneState> expected;
+  for (int i = 0; i < 40; ++i) {
+    vehicle.step(desired, 0.05);
+    expected.push_back(vehicle.state());
+  }
+
+  vehicle.restore(saved);
+  for (int i = 0; i < 40; ++i) {
+    vehicle.step(desired, 0.05);
+    const sim::DroneState& want = expected[static_cast<size_t>(i)];
+    const sim::DroneState got = vehicle.state();
+    ASSERT_EQ(got.position.x, want.position.x) << "step " << i;
+    ASSERT_EQ(got.position.y, want.position.y) << "step " << i;
+    ASSERT_EQ(got.position.z, want.position.z) << "step " << i;
+    ASSERT_EQ(got.velocity.x, want.velocity.x) << "step " << i;
+    ASSERT_EQ(got.velocity.y, want.velocity.y) << "step " << i;
+    ASSERT_EQ(got.velocity.z, want.velocity.z) << "step " << i;
+  }
+}
+
+TEST(SimCheckpoint, MismatchedCheckpointThrows) {
+  const sim::MissionSpec mission = test_mission();
+  const sim::Simulator simulator(
+      test_config(sim::VehicleType::kPointMass, /*nav_filter=*/false));
+  swarm::FlockingControlSystem system = make_system({});
+
+  VectorSink sink;
+  swarm::FlockingControlSystem recording = make_system({});
+  const sim::RunResult clean = simulator.run(
+      mission, recording,
+      sim::RunHooks{.checkpoints = &sink, .checkpoint_period = 10.0});
+  ASSERT_FALSE(sink.checkpoints.empty());
+
+  sim::SimulationCheckpoint wrong_count;  // empty state vectors
+  EXPECT_THROW(
+      (void)simulator.run_from(wrong_count, clean.recorder, mission, system),
+      std::invalid_argument);
+
+  // Right drone count but captured without the navigation filter the
+  // simulator would need state for.
+  const sim::Simulator fused(
+      test_config(sim::VehicleType::kPointMass, /*nav_filter=*/true));
+  EXPECT_THROW((void)fused.run_from(sink.checkpoints.front(), clean.recorder,
+                                    mission, system),
+               std::invalid_argument);
+
+  // Resuming without the source recorder that supplies the sample prefix.
+  EXPECT_THROW(
+      (void)simulator.run(mission, system,
+                          sim::RunHooks{.resume_from = &sink.checkpoints.back()}),
+      std::invalid_argument);
+
+  // A source recorder shorter than the checkpoint's sample count cannot
+  // supply its prefix (e.g. a recorder from an earlier capture time).
+  const sim::SimulationCheckpoint& last = sink.checkpoints.back();
+  ASSERT_GT(last.recorder_state.num_samples, 0);
+  sim::Recorder empty_source(mission.num_drones(), mission.obstacles,
+                             simulator.config().record_period);
+  EXPECT_THROW((void)simulator.run_from(last, empty_source, mission, system),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swarmfuzz

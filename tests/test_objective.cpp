@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
+#include "fuzz/optimizer.h"
+
 namespace swarmfuzz::fuzz {
 namespace {
 
@@ -89,6 +93,74 @@ TEST(Objective, CountsEvaluations) {
   (void)objective.evaluate(10.0, 5.0);
   (void)objective.evaluate(20.0, 5.0);
   EXPECT_EQ(objective.evaluations(), 2);
+}
+
+TEST(Objective, MemoAbsorbsDuplicateEvaluations) {
+  Fixture f;
+  Objective objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                      f.clean.end_time);
+  const ObjectiveEval first = objective.evaluate(10.0, 5.0);
+  const ObjectiveEval repeat = objective.evaluate(10.0, 5.0);
+  EXPECT_EQ(objective.evaluations(), 1);  // the repeat cost no simulation
+  EXPECT_EQ(objective.memo_hits(), 1);
+  EXPECT_EQ(repeat.f, first.f);
+  EXPECT_EQ(repeat.success, first.success);
+  EXPECT_EQ(repeat.crashed_drone, first.crashed_drone);
+  EXPECT_EQ(repeat.end_time, first.end_time);
+
+  // Distinct raw inputs that project to the same feasible point also hit.
+  const double over = f.clean.end_time + 100.0;
+  (void)objective.evaluate(over, 5.0);
+  EXPECT_EQ(objective.evaluations(), 2);
+  (void)objective.evaluate(over + 50.0, 5.0);
+  EXPECT_EQ(objective.evaluations(), 2);
+  EXPECT_EQ(objective.memo_hits(), 2);
+}
+
+TEST(Objective, PrefixReuseIsBitIdentical) {
+  Fixture f;
+  // Record clean-run checkpoints for this mission once.
+  PrefixCache prefix;
+  const sim::RunResult recording = f.simulator.run(
+      f.mission, *f.system,
+      sim::RunHooks{.checkpoints = &prefix, .checkpoint_period = 5.0});
+  prefix.set_source(recording.recorder);
+  ASSERT_GE(prefix.size(), 2u);
+
+  Objective with_prefix(f.mission, f.simulator, *f.system, f.seed_for(2, 1), 10.0,
+                        f.clean.end_time, &prefix);
+  Objective without(f.mission, f.simulator, *f.system, f.seed_for(2, 1), 10.0,
+                    f.clean.end_time);
+  for (double t_s = 10.0; t_s <= 40.0; t_s += 10.0) {
+    const ObjectiveEval a = with_prefix.evaluate(t_s, 8.0);
+    const ObjectiveEval b = without.evaluate(t_s, 8.0);
+    EXPECT_EQ(a.f, b.f) << "t_s=" << t_s;
+    EXPECT_EQ(a.success, b.success) << "t_s=" << t_s;
+    EXPECT_EQ(a.crashed_drone, b.crashed_drone) << "t_s=" << t_s;
+    EXPECT_EQ(a.target_caused, b.target_caused) << "t_s=" << t_s;
+    EXPECT_EQ(a.end_time, b.end_time) << "t_s=" << t_s;
+  }
+  EXPECT_GT(with_prefix.prefix_steps_reused(), 0);
+  EXPECT_EQ(without.prefix_steps_reused(), 0);
+  EXPECT_LT(with_prefix.sim_steps_executed(), without.sim_steps_executed());
+}
+
+TEST(Objective, OptimizerDuplicateCostsNoSimulation) {
+  // The descent loop's first iteration re-evaluates the multi-start winner;
+  // the memo must serve it without a simulation. One start at (5, 2) with
+  // fd_step 1 puts the four stencil probes at distinct feasible points, so
+  // budget 2 costs exactly 1 (start) + 0 (memoised repeat) + 4 (stencil)
+  // simulations.
+  Fixture f;
+  Objective objective(f.mission, f.simulator, *f.system, f.seed_for(0, 1), 10.0,
+                      f.clean.end_time);
+  const StartPoint start{5.0, 2.0};
+  const OptimizationResult outcome =
+      optimize(objective, std::span<const StartPoint>{&start, 1}, 2, {});
+  ASSERT_FALSE(outcome.success);  // precondition: no early success return
+  EXPECT_EQ(outcome.iterations, 2);
+  EXPECT_EQ(objective.evaluations(), 5);
+  EXPECT_EQ(objective.memo_hits(), 1);
 }
 
 TEST(Objective, DeterministicEvaluation) {

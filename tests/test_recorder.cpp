@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace swarmfuzz::sim {
 namespace {
 
@@ -93,6 +95,105 @@ TEST(Recorder, OutOfRangeQueriesThrow) {
   EXPECT_THROW((void)rec.sample_index_at(0.0), std::out_of_range);
   EXPECT_THROW((void)rec.min_obstacle_distance(1), std::out_of_range);
   EXPECT_THROW((void)rec.time_of_min_obstacle_distance(-1), std::out_of_range);
+}
+
+TEST(Recorder, CopySnapshotResumesAccumulatorsBitIdentically) {
+  // Feeding the same tail of records into a copied recorder must reproduce
+  // every accumulator (samples, decimation phase, obstacle minima)
+  // bit-for-bit.
+  Recorder original(1, one_obstacle(), 0.25);
+  for (int i = 0; i < 7; ++i) {
+    const double t = 0.1 * i;
+    original.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+
+  Recorder resumed = original;  // the checkpoint
+  for (int i = 7; i < 40; ++i) {
+    const double t = 0.1 * i;
+    original.record(t, states_at({{0.5 * t, 0, 0}}));
+    resumed.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+
+  ASSERT_EQ(resumed.num_samples(), original.num_samples());
+  for (int s = 0; s < original.num_samples(); ++s) {
+    EXPECT_EQ(resumed.times()[static_cast<size_t>(s)],
+              original.times()[static_cast<size_t>(s)]);
+    EXPECT_EQ(resumed.sample(s)[0].position, original.sample(s)[0].position);
+  }
+  EXPECT_EQ(resumed.min_obstacle_distance(0), original.min_obstacle_distance(0));
+  EXPECT_EQ(resumed.time_of_min_obstacle_distance(0),
+            original.time_of_min_obstacle_distance(0));
+  EXPECT_EQ(resumed.closest_time(), original.closest_time());
+  EXPECT_EQ(resumed.duration(), original.duration());
+}
+
+TEST(Recorder, CheckpointRestoreFromLaterSourceIsBitIdentical) {
+  // Simulation checkpoints store only a RecorderCheckpoint (accumulators +
+  // sample count); restore() rebuilds the sample prefix from a *later*
+  // recorder of the same run. The restored recorder must continue exactly
+  // like one that never stopped recording at the capture point.
+  Recorder original(1, one_obstacle(), 0.25);
+  RecorderCheckpoint mid;
+  for (int i = 0; i < 40; ++i) {
+    const double t = 0.1 * i;
+    if (i == 7) original.save(mid);
+    original.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+
+  // `original` is now the end-of-run source; rebuild the state at i == 7.
+  Recorder resumed(1, one_obstacle(), 0.25);
+  resumed.restore(mid, original);
+  Recorder replay(1, one_obstacle(), 0.25);
+  for (int i = 0; i < 7; ++i) {
+    const double t = 0.1 * i;
+    replay.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+  for (int i = 7; i < 40; ++i) {
+    const double t = 0.1 * i;
+    resumed.record(t, states_at({{0.5 * t, 0, 0}}));
+    replay.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+
+  ASSERT_EQ(resumed.num_samples(), replay.num_samples());
+  for (int s = 0; s < replay.num_samples(); ++s) {
+    EXPECT_EQ(resumed.times()[static_cast<size_t>(s)],
+              replay.times()[static_cast<size_t>(s)]);
+    EXPECT_EQ(resumed.sample(s)[0].position, replay.sample(s)[0].position);
+  }
+  EXPECT_EQ(resumed.min_obstacle_distance(0), replay.min_obstacle_distance(0));
+  EXPECT_EQ(resumed.time_of_min_obstacle_distance(0),
+            replay.time_of_min_obstacle_distance(0));
+  EXPECT_EQ(resumed.closest_time(), replay.closest_time());
+  EXPECT_EQ(resumed.duration(), replay.duration());
+}
+
+TEST(Recorder, CheckpointRestoreRejectsMismatchedSource) {
+  Recorder original(1, one_obstacle(), 0.25);
+  RecorderCheckpoint mid;
+  for (int i = 0; i < 10; ++i) {
+    const double t = 0.1 * i;
+    if (i == 5) original.save(mid);
+    original.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+
+  // Wrong drone count.
+  Recorder two_drones(2, one_obstacle(), 0.25);
+  EXPECT_THROW(two_drones.restore(mid, original), std::invalid_argument);
+
+  // Source with fewer samples than the snapshot recorded.
+  Recorder short_source(1, one_obstacle(), 0.25);
+  short_source.record(0.0, states_at({{0, 0, 0}}));
+  Recorder target(1, one_obstacle(), 0.25);
+  EXPECT_THROW(target.restore(mid, short_source), std::invalid_argument);
+
+  // Source whose kept-sample times disagree with the snapshot (different
+  // record cadence).
+  Recorder offbeat(1, one_obstacle(), 0.2);
+  for (int i = 0; i < 10; ++i) {
+    const double t = 0.1 * i;
+    offbeat.record(t, states_at({{0.5 * t, 0, 0}}));
+  }
+  EXPECT_THROW(target.restore(mid, offbeat), std::invalid_argument);
 }
 
 TEST(Recorder, SingleDroneAvgInterDistanceIsZero) {

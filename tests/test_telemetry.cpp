@@ -31,6 +31,9 @@ TelemetryRecord sample_record() {
   record.result.victim_vdo = 0.1 + 0.2;
   record.result.iterations = 9;
   record.result.simulations = 41;
+  // Beyond 32 bits, to exercise the int64 JSON path.
+  record.result.sim_steps_executed = 123456789012345ll;
+  record.result.prefix_steps_reused = 98765432109876ll;
   record.result.mission_vdo = 2.2250738585072014e-305;
   record.result.clean_mission_time = 98.30000000000001;
   record.result.plan = attack::SpoofingPlan{.target = 1,
@@ -76,6 +79,31 @@ TEST(Telemetry, JsonlRoundTripIsExact) {
   EXPECT_TRUE(deterministic_equal(outcome_from(original), outcome_from(parsed)));
   // And the round-trip is a fixed point at the text level too.
   EXPECT_EQ(to_jsonl(parsed), line);
+}
+
+TEST(Telemetry, StepCountersRoundTrip) {
+  // deterministic_equal deliberately ignores the step counters (performance
+  // accounting), so pin their round-trip explicitly.
+  const TelemetryRecord original = sample_record();
+  const TelemetryRecord parsed = telemetry_record_from_json(to_jsonl(original));
+  EXPECT_EQ(parsed.result.sim_steps_executed, original.result.sim_steps_executed);
+  EXPECT_EQ(parsed.result.prefix_steps_reused, original.result.prefix_steps_reused);
+}
+
+TEST(Telemetry, LegacyRecordWithoutStepCountersParses) {
+  // Records written before the step counters existed lack the fields
+  // entirely; they must parse (same schema version) with both counters 0.
+  std::string line = to_jsonl(sample_record());
+  for (const std::string key : {"sim_steps_executed", "prefix_steps_reused"}) {
+    const size_t begin = line.find("\"" + key + "\":");
+    ASSERT_NE(begin, std::string::npos);
+    const size_t end = line.find(',', begin) + 1;  // through trailing comma
+    line.erase(begin, end - begin);
+  }
+  const TelemetryRecord parsed = telemetry_record_from_json(line);
+  EXPECT_EQ(parsed.result.sim_steps_executed, 0);
+  EXPECT_EQ(parsed.result.prefix_steps_reused, 0);
+  EXPECT_EQ(parsed.result.simulations, 41);  // neighbours unaffected
 }
 
 TEST(Telemetry, MalformedLineThrows) {
