@@ -9,6 +9,8 @@
 //                       interrupted runs            (env SWARMFUZZ_CHECKPOINT_DIR)
 //   --fresh             ignore existing checkpoints, start over
 //   --telemetry=FILE    stream per-mission JSONL telemetry to FILE
+//   --report=FILE       save the rendered tables to FILE atomically
+//                       (write-temp-then-rename; env SWARMFUZZ_REPORT)
 // The paper runs 100 missions per configuration; the defaults here are
 // smaller so the whole harness completes in minutes on one core.
 #pragma once
@@ -21,6 +23,7 @@
 #include "fuzz/campaign.h"
 #include "fuzz/report.h"
 #include "fuzz/telemetry.h"
+#include "util/fileio.h"
 #include "util/options.h"
 
 namespace swarmfuzz::bench {
@@ -33,6 +36,7 @@ struct BenchOptions {
   std::string checkpoint_dir;  // empty = no checkpointing
   bool fresh = false;          // true = discard existing checkpoints
   std::string telemetry_path;  // empty = no telemetry stream
+  std::string report_path;     // empty = stdout only
 };
 
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
@@ -46,7 +50,17 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   bench.checkpoint_dir = opts.get("checkpoint-dir", "");
   bench.fresh = opts.get_bool("fresh", false);
   bench.telemetry_path = opts.get("telemetry", "");
+  bench.report_path = opts.get("report", "");
   return bench;
+}
+
+// Persists the rendered report text atomically (write-temp-then-rename), so
+// an interrupted bench run never leaves a truncated report where a results
+// pipeline expects a complete one. No-op when --report is unset.
+inline void save_report(const BenchOptions& bench, const std::string& text) {
+  if (bench.report_path.empty()) return;
+  util::write_file_atomic(bench.report_path, text);
+  std::printf("report saved to %s\n", bench.report_path.c_str());
 }
 
 // Optional shared telemetry sink; keep it alive for the whole run and pass

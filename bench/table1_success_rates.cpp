@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   fuzz::GridConfig grid_config = bench::paper_grid(options);
   grid_config.base.telemetry = telemetry.get();
   const std::vector<fuzz::GridCell> grid = fuzz::run_grid(grid_config);
-  std::printf("%s\n", fuzz::format_success_table(grid).c_str());
+  const std::string table = fuzz::format_success_table(grid);
+  std::printf("%s\n", table.c_str());
+  bench::save_report(options, table);
 
   std::printf("Paper reference:\n");
   std::printf("  5m spoofing : 21%% / 36%% / 54%%\n");

@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   fuzz::GridConfig grid_config = bench::paper_grid(options);
   grid_config.base.telemetry = telemetry.get();
   const std::vector<fuzz::GridCell> grid = fuzz::run_grid(grid_config);
-  std::printf("%s\n", fuzz::format_iterations_table(grid).c_str());
+  const std::string successful_table = fuzz::format_iterations_table(grid);
+  std::printf("%s\n", successful_table.c_str());
 
   // Also show the all-missions average (successes + abandoned searches),
   // the runtime-overhead view used in Table III.
@@ -32,7 +33,9 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  std::printf("%s\n", table.render("Average iterations over all missions").c_str());
+  const std::string all_table = table.render("Average iterations over all missions");
+  std::printf("%s\n", all_table.c_str());
+  bench::save_report(options, successful_table + "\n" + all_table);
 
   std::printf("Paper reference (successful missions):\n");
   std::printf("  5m-spoofing : 6.33 / 9.30 / 12.65\n");

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
     results.push_back(fuzz::run_campaign(config));
   }
 
-  std::printf("%s\n", fuzz::format_ablation_table(results).c_str());
+  const std::string table = fuzz::format_ablation_table(results);
+  std::printf("%s\n", table.c_str());
+  bench::save_report(options, table);
 
   const double swarmfuzz_rate = results[0].success_rate();
   const double g_rate = results[2].success_rate();

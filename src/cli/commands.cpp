@@ -15,6 +15,7 @@
 #include "swarm/olfati_saber.h"
 #include "swarm/reynolds.h"
 #include "swarm/vasarhelyi.h"
+#include "util/fileio.h"
 #include "util/table.h"
 
 namespace swarmfuzz::cli {
@@ -87,6 +88,8 @@ int cmd_fuzz(const util::Options& options) {
   config.mission_budget = options.get_int("budget", 60);
   config.prefix_reuse = !options.get_bool("no-prefix-reuse", false);
   config.checkpoint_period = options.get_double("checkpoint-period", 1.0);
+  config.mission_timeout_s = options.get_double("mission-timeout", 0.0);
+  config.eval_max_steps = options.get_int("eval-max-steps", 0);
   auto fuzzer = fuzz::make_fuzzer(fuzzer_kind_from(options), config,
                                   make_controller(options.get("controller", "")));
   const fuzz::FuzzResult result = fuzzer->fuzz(mission);
@@ -123,6 +126,21 @@ int cmd_campaign(const util::Options& options) {
   config.base_seed = static_cast<std::uint64_t>(options.get_int("seed", 1000));
   config.num_threads = options.get_int("threads", 0);
   config.kind = fuzzer_kind_from(options);
+  // Fault containment: --mission-timeout bounds one mission's wall clock,
+  // --eval-max-steps bounds each simulation's ticks; tripping either (or any
+  // exception) retries the mission with a salted seed up to
+  // --max-fault-retries times before it is quarantined. --fail-fast stops
+  // the campaign at the first quarantined mission instead.
+  config.fuzzer.mission_timeout_s = options.get_double("mission-timeout", 0.0);
+  config.fuzzer.eval_max_steps = options.get_int("eval-max-steps", 0);
+  config.max_fault_retries = options.get_int("max-fault-retries", 2);
+  config.fail_fast = options.get_bool("fail-fast", false);
+  // Deterministic fault injection (tests/CI): also honoured from the
+  // SWARMFUZZ_FAULT_INJECT environment variable via the usual env fallback.
+  const std::string fault_plan = options.get("fault-inject", "");
+  if (!fault_plan.empty()) {
+    config.fault_injections = fuzz::parse_fault_plan(fault_plan);
+  }
   if (options.has("controller")) {
     const std::string name = options.get("controller", "vasarhelyi");
     config.controller_factory = [name] { return make_controller(name); };
@@ -134,6 +152,11 @@ int cmd_campaign(const util::Options& options) {
   // records to a separate file (useful when the checkpoint is per-run).
   config.checkpoint_path = options.get("checkpoint", "");
   config.resume = options.get_bool("resume", false);
+  // Quarantine defaults to riding alongside the checkpoint.
+  config.quarantine_path =
+      options.get("quarantine", config.checkpoint_path.empty()
+                                    ? ""
+                                    : config.checkpoint_path + ".quarantine");
   std::unique_ptr<fuzz::JsonlTelemetrySink> telemetry;
   const std::string telemetry_path = options.get("telemetry", "");
   if (!telemetry_path.empty()) {
@@ -147,14 +170,29 @@ int cmd_campaign(const util::Options& options) {
       const int fresh = p.completed - p.resumed;
       const double eta =
           fresh > 0 ? p.elapsed_s / fresh * (p.total - p.completed) : 0.0;
-      std::fprintf(stderr, "\r%d/%d missions  %d SPVs  %.0fs elapsed  ETA %.0fs ",
-                   p.completed, p.total, p.found, p.elapsed_s, eta);
+      if (p.faulted > 0) {
+        std::fprintf(stderr,
+                     "\r%d/%d missions  %d SPVs  %d faulted  %.0fs elapsed  "
+                     "ETA %.0fs ",
+                     p.completed, p.total, p.found, p.faulted, p.elapsed_s, eta);
+      } else {
+        std::fprintf(stderr,
+                     "\r%d/%d missions  %d SPVs  %.0fs elapsed  ETA %.0fs ",
+                     p.completed, p.total, p.found, p.elapsed_s, eta);
+      }
       if (p.completed == p.total) std::fputc('\n', stderr);
       std::fflush(stderr);
     };
   }
 
   const fuzz::CampaignResult result = fuzz::run_campaign(config);
+  // --summary=FILE persists the JSON report atomically (write-temp-then-
+  // rename), so a crash mid-write can never leave a half-written report
+  // where a dashboard or a later pipeline stage expects a complete one.
+  const std::string summary_path = options.get("summary", "");
+  if (!summary_path.empty()) {
+    util::write_file_atomic(summary_path, fuzz::to_json(result) + "\n");
+  }
   if (options.get_bool("json", false)) {
     std::printf("%s\n", fuzz::to_json(result).c_str());
     return 0;
@@ -176,6 +214,19 @@ int cmd_campaign(const util::Options& options) {
                 100.0 * static_cast<double>(reused) /
                     static_cast<double>(executed + reused),
                 static_cast<long long>(executed + reused));
+  }
+  if (result.num_faulted() > 0) {
+    std::printf(
+        "  faults            %d (%d divergence, %d timeout, %d exception, "
+        "%d clean-run failed)\n",
+        result.num_faulted(),
+        result.fault_count(sim::FaultKind::kNumericalDivergence),
+        result.fault_count(sim::FaultKind::kTimeout),
+        result.fault_count(sim::FaultKind::kException),
+        result.fault_count(sim::FaultKind::kCleanRunFailed));
+    if (!config.quarantine_path.empty()) {
+      std::printf("  quarantine        %s\n", config.quarantine_path.c_str());
+    }
   }
   return 0;
 }
@@ -258,9 +309,18 @@ int print_usage() {
       "  run        fly one mission without attack\n"
       "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
       "             [--no-prefix-reuse] [--checkpoint-period=S]\n"
+      "             [--mission-timeout=S] [--eval-max-steps=N]\n"
       "  campaign   evaluate a configuration over many missions\n"
       "             [--telemetry=FILE] [--checkpoint=FILE [--resume]]\n"
       "             [--progress=false] [--no-prefix-reuse] [--checkpoint-period=S]\n"
+      "             [--summary=FILE] (atomic JSON report)\n"
+      "             fault containment: [--mission-timeout=S] (wall-clock budget\n"
+      "             per mission) [--eval-max-steps=N] (sim-step budget per\n"
+      "             evaluation) [--max-fault-retries=N] (salted re-runs before\n"
+      "             quarantine, default 2) [--fail-fast] [--quarantine=FILE]\n"
+      "             (default <checkpoint>.quarantine)\n"
+      "             [--fault-inject=mode@idx[:t][xN],...] (nan|throw|hang; test\n"
+      "             hook, also read from SWARMFUZZ_FAULT_INJECT)\n"
       "  svg        print the Swarm Vulnerability Graph seedpool\n"
       "  replay     execute an explicit spoofing plan (--target --direction\n"
       "             --start --duration --distance) [--detect]\n\n"

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -37,9 +38,32 @@ int CampaignResult::num_found() const {
 int CampaignResult::num_fuzzable() const {
   int fuzzable = 0;
   for (const MissionOutcome& o : outcomes) {
-    if (o.completed && !o.result.clean_run_failed) ++fuzzable;
+    // Terminally-faulted missions never produced a trustworthy search
+    // outcome; counting them as fuzzable would deflate success rates with
+    // infrastructure noise. Fault-free campaigns are unaffected (every
+    // fault is kNone there).
+    if (o.completed && !o.result.clean_run_failed &&
+        o.fault == sim::FaultKind::kNone) {
+      ++fuzzable;
+    }
   }
   return fuzzable;
+}
+
+int CampaignResult::num_faulted() const {
+  int faulted = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.completed && o.fault != sim::FaultKind::kNone) ++faulted;
+  }
+  return faulted;
+}
+
+int CampaignResult::fault_count(sim::FaultKind kind) const {
+  int count = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.completed && o.fault == kind) ++count;
+  }
+  return count;
 }
 
 double CampaignResult::avg_iterations_successful() const {
@@ -58,7 +82,8 @@ double CampaignResult::avg_iterations_all() const {
   double sum = 0.0;
   int count = 0;
   for (const MissionOutcome& o : outcomes) {
-    if (o.completed && !o.result.clean_run_failed) {
+    if (o.completed && !o.result.clean_run_failed &&
+        o.fault == sim::FaultKind::kNone) {
       sum += o.result.iterations;
       ++count;
     }
@@ -85,7 +110,8 @@ std::vector<double> CampaignResult::found_durations() const {
 std::vector<double> CampaignResult::mission_vdos() const {
   std::vector<double> values;
   for (const MissionOutcome& o : outcomes) {
-    if (o.completed && !o.result.clean_run_failed) {
+    if (o.completed && !o.result.clean_run_failed &&
+        o.fault == sim::FaultKind::kNone) {
       values.push_back(o.result.mission_vdo);
     }
   }
@@ -118,7 +144,7 @@ std::vector<std::pair<double, double>> CampaignResult::cumulative_success_by_vdo
     // comparison below (NaN - x < 1e-9 is false either way, so the NaN
     // point itself would be emitted). Drop them up front.
     if (o.completed && !o.result.clean_run_failed &&
-        std::isfinite(o.result.mission_vdo)) {
+        o.fault == sim::FaultKind::kNone && std::isfinite(o.result.mission_vdo)) {
       points.push_back({o.result.mission_vdo, o.result.found});
     }
   }
@@ -162,6 +188,111 @@ std::uint64_t mission_seed(std::uint64_t base_seed, int index,
   return z;
 }
 
+std::vector<MissionFaultInjection> parse_fault_plan(std::string_view spec) {
+  std::vector<MissionFaultInjection> plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string item{spec.substr(
+        start, (comma == std::string_view::npos ? spec.size() : comma) - start)};
+    start = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const auto fail = [&item](const std::string& why) {
+      return std::invalid_argument("parse_fault_plan: " + why + " in '" + item +
+                                   "'");
+    };
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos) throw fail("missing '@<mission-index>'");
+    const std::string mode = item.substr(0, at);
+    MissionFaultInjection injection;
+    if (mode == "nan") {
+      injection.injection.mode = sim::FaultInjection::Mode::kNan;
+    } else if (mode == "throw") {
+      injection.injection.mode = sim::FaultInjection::Mode::kThrow;
+    } else if (mode == "hang") {
+      injection.injection.mode = sim::FaultInjection::Mode::kHang;
+    } else {
+      throw fail("unknown fault mode '" + mode + "' (nan|throw|hang)");
+    }
+    try {
+      std::string rest = item.substr(at + 1);
+      if (const std::size_t x = rest.find('x'); x != std::string::npos) {
+        injection.fail_attempts = std::stoi(rest.substr(x + 1));
+        rest.resize(x);
+      }
+      if (const std::size_t colon = rest.find(':'); colon != std::string::npos) {
+        injection.injection.at_time = std::stod(rest.substr(colon + 1));
+        rest.resize(colon);
+      }
+      injection.mission_index = std::stoi(rest);
+    } catch (const std::invalid_argument&) {
+      throw fail("malformed number");
+    } catch (const std::out_of_range&) {
+      throw fail("number out of range");
+    }
+    if (injection.mission_index < 0 || injection.fail_attempts < 1 ||
+        injection.injection.at_time < 0.0) {
+      throw fail("negative index/time or non-positive attempt count");
+    }
+    plan.push_back(injection);
+  }
+  return plan;
+}
+
+std::string campaign_config_hash(const CampaignConfig& config) {
+  // Canonical key=value rendering of the outcome-determining fields; doubles
+  // with %.17g so the hash moves iff a mission-affecting bit moves.
+  std::string canon;
+  const auto add = [&canon](std::string_view key, const std::string& value) {
+    canon.append(key);
+    canon.push_back('=');
+    canon.append(value);
+    canon.push_back(';');
+  };
+  const auto exact = [](double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return std::string{buffer};
+  };
+  add("kind", std::string{fuzzer_kind_name(config.kind)});
+  add("missions", std::to_string(config.num_missions));
+  add("base_seed", std::to_string(config.base_seed));
+  add("clean_retries", std::to_string(config.clean_failure_retries));
+  add("fault_retries", std::to_string(config.max_fault_retries));
+  const sim::MissionConfig& m = config.mission;
+  add("drones", std::to_string(m.num_drones));
+  add("spawn_range", exact(m.spawn_range));
+  add("min_sep", exact(m.min_spawn_separation));
+  add("length", exact(m.mission_length));
+  add("altitude", exact(m.cruise_altitude));
+  add("obstacles", std::to_string(m.num_obstacles));
+  add("obs_r", exact(m.obstacle_radius_min) + ":" + exact(m.obstacle_radius_max));
+  add("obs_jitter",
+      exact(m.obstacle_lateral_jitter) + ":" + exact(m.obstacle_along_jitter));
+  add("max_time", exact(m.max_time));
+  add("arrival", exact(m.arrival_radius));
+  add("drone_r", exact(m.drone_radius));
+  const FuzzerConfig& f = config.fuzzer;
+  add("distance", exact(f.spoof_distance));
+  add("budget", std::to_string(f.mission_budget));
+  add("seed_budget", std::to_string(f.per_seed_budget));
+  add("rng", std::to_string(f.rng_seed));
+  add("lead", exact(f.lead_time));
+  add("init_dur", exact(f.initial_duration));
+  add("dt", exact(f.sim.dt));
+  add("noise_seed", std::to_string(f.sim.noise_seed));
+
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const char ch : canon) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ull;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string{hex};
+}
+
 namespace {
 
 bool plans_equal(const attack::SpoofingPlan& a,
@@ -189,7 +320,7 @@ bool attempts_equal(const SeedAttempt& a, const SeedAttempt& b) noexcept {
 bool deterministic_equal(const MissionOutcome& a,
                          const MissionOutcome& b) noexcept {
   if (a.mission_index != b.mission_index || a.completed != b.completed ||
-      a.mission_seed != b.mission_seed) {
+      a.mission_seed != b.mission_seed || a.fault != b.fault) {
     return false;
   }
   const FuzzResult& ra = a.result;
@@ -234,7 +365,11 @@ void validate_record(const TelemetryRecord& record, const CampaignConfig& config
                              "' does not match campaign fuzzer '" +
                              std::string{fuzzer_kind_name(config.kind)} + "'");
   }
-  for (int attempt = 0; attempt <= config.clean_failure_retries; ++attempt) {
+  // Accept any salt the supervisor can have used: clean re-draws nested
+  // inside fault retries (see CampaignConfig::max_fault_retries).
+  const int max_salt =
+      (config.clean_failure_retries + 1) * (config.max_fault_retries + 1);
+  for (int attempt = 0; attempt < max_salt; ++attempt) {
     if (record.mission_seed ==
         mission_seed(config.base_seed, record.mission_index, attempt)) {
       return;
@@ -254,6 +389,9 @@ TelemetryRecord make_record(const CampaignConfig& config,
   record.mission_seed = outcome.mission_seed;
   record.wall_time_s = outcome.wall_time_s;
   record.result = outcome.result;
+  record.fault = outcome.fault;
+  record.fault_detail = outcome.fault_detail;
+  record.fault_attempts = outcome.fault_attempts;
   return record;
 }
 
@@ -295,6 +433,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       outcome.mission_seed = record.mission_seed;
       outcome.wall_time_s = record.wall_time_s;
       outcome.result = record.result;
+      outcome.fault = record.fault;
+      outcome.fault_detail = record.fault_detail;
+      outcome.fault_attempts = record.fault_attempts;
       checkpoint->record(record);
       ++resumed;
     }
@@ -314,66 +455,171 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::atomic<int> next{0};
   std::atomic<int> completed{resumed};
   std::atomic<int> found{0};
+  std::atomic<int> faulted{0};
+  std::atomic<bool> aborted{false};  // fail-fast or a dead worker
   std::atomic<int> new_budget{config.max_new_missions > 0 ? config.max_new_missions
                                                           : config.num_missions};
   for (const MissionOutcome& o : result.outcomes) {
     if (o.completed && o.result.found) found.fetch_add(1);
+    if (o.completed && o.fault != sim::FaultKind::kNone) faulted.fetch_add(1);
   }
   std::mutex observer_mutex;  // serializes checkpoint order + progress callbacks
+  const std::string config_hash = campaign_config_hash(config);
+
+  const int clean_attempts = config.clean_failure_retries + 1;
+  const auto injection_for = [&config](int index) -> const MissionFaultInjection* {
+    for (const MissionFaultInjection& injection : config.fault_injections) {
+      if (injection.mission_index == index) return &injection;
+    }
+    return nullptr;
+  };
+
+  // Supervised execution of one mission: clean-failure re-draws nested
+  // inside fault retries, every exception out of fuzz() classified into the
+  // FaultKind taxonomy. Leaves outcome.fault == kNone on success.
+  const auto run_supervised = [&](Fuzzer& fuzzer, MissionOutcome& outcome,
+                                  int index) {
+    const MissionFaultInjection* injected = injection_for(index);
+    for (int fault_attempt = 0;; ++fault_attempt) {
+      Fuzzer* active = &fuzzer;
+      std::unique_ptr<Fuzzer> armed;
+      if (injected != nullptr && fault_attempt < injected->fail_attempts) {
+        // One-off fuzzer with the injection armed, so the shared worker
+        // fuzzer stays pristine for every other mission.
+        FuzzerConfig armed_config = config.fuzzer;
+        armed_config.fault_injection = injected->injection;
+        armed = make_fuzzer(config.kind, armed_config,
+                            config.controller_factory ? config.controller_factory()
+                                                      : nullptr);
+        active = armed.get();
+      }
+      try {
+        for (int attempt = 0; attempt < clean_attempts; ++attempt) {
+          // Salted re-draws keep retried missions deterministic and distinct
+          // from every base seed; fault retries extend the same ladder.
+          const std::uint64_t seed = mission_seed(
+              config.base_seed, index, fault_attempt * clean_attempts + attempt);
+          const sim::MissionSpec mission =
+              sim::generate_mission(config.mission, seed);
+          outcome.mission_seed = seed;
+          outcome.result = active->fuzz(mission);
+          if (!outcome.result.clean_run_failed) {
+            outcome.fault = sim::FaultKind::kNone;
+            outcome.fault_detail.clear();
+            return;
+          }
+        }
+        // Every re-draw collided without an attack: a mission-generation
+        // failure, not an infrastructure fault; keep the last clean run's
+        // accounting (matches pre-taxonomy records, which derive this kind
+        // from result.clean_run_failed on load).
+        outcome.fault = sim::FaultKind::kCleanRunFailed;
+        outcome.fault_detail = "mission collided without attack on all " +
+                               std::to_string(clean_attempts) + " re-draws";
+        return;
+      } catch (const sim::RunFaultError& e) {
+        outcome.fault = e.fault().kind;
+        outcome.fault_detail = e.what();
+      } catch (const std::exception& e) {
+        outcome.fault = sim::FaultKind::kException;
+        outcome.fault_detail = e.what();
+      }
+      outcome.fault_attempts = fault_attempt + 1;
+      if (fault_attempt >= config.max_fault_retries) {
+        // Terminal: no trustworthy search outcome exists; a partial result
+        // must not masquerade as one.
+        outcome.result = FuzzResult{};
+        return;
+      }
+      SWARMFUZZ_WARN(
+          "campaign [{}]: mission {} faulted ({}: {}); retrying with salted "
+          "seed ({}/{})",
+          fuzzer_kind_name(config.kind), index, sim::fault_kind_name(outcome.fault),
+          outcome.fault_detail, fault_attempt + 1, config.max_fault_retries);
+    }
+  };
 
   const auto worker = [&] {
-    // One fuzzer per worker: fuzzers are stateful but mission outcomes only
-    // depend on per-mission seeds, so sharding is deterministic.
-    auto controller =
-        config.controller_factory ? config.controller_factory() : nullptr;
-    const std::unique_ptr<Fuzzer> fuzzer =
-        make_fuzzer(config.kind, config.fuzzer, std::move(controller));
-    while (true) {
-      const int index = next.fetch_add(1);
-      if (index >= config.num_missions) break;
-      MissionOutcome& outcome = result.outcomes[static_cast<size_t>(index)];
-      if (outcome.completed) continue;  // satisfied by the checkpoint
-      if (new_budget.fetch_sub(1) <= 0) break;  // max_new_missions reached
-      const auto mission_start = std::chrono::steady_clock::now();
-      for (int attempt = 0; attempt <= config.clean_failure_retries; ++attempt) {
-        // Salted re-draws keep retried missions deterministic and distinct
-        // from every base seed.
-        const std::uint64_t seed = mission_seed(config.base_seed, index, attempt);
-        const sim::MissionSpec mission = sim::generate_mission(config.mission, seed);
-        outcome.mission_seed = seed;
-        outcome.result = fuzzer->fuzz(mission);
-        if (!outcome.result.clean_run_failed) break;
-      }
-      outcome.wall_time_s =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        mission_start)
-              .count();
-      outcome.completed = true;
-      if (outcome.result.found) found.fetch_add(1);
-      const int done = completed.fetch_add(1) + 1;
+    // The whole body is supervised: an exception anywhere outside the
+    // per-mission containment (fuzzer construction, checkpoint I/O) must
+    // stop the campaign cleanly instead of std::terminate-ing the process.
+    try {
+      // One fuzzer per worker: fuzzers are stateful but mission outcomes only
+      // depend on per-mission seeds, so sharding is deterministic.
+      auto controller =
+          config.controller_factory ? config.controller_factory() : nullptr;
+      const std::unique_ptr<Fuzzer> fuzzer =
+          make_fuzzer(config.kind, config.fuzzer, std::move(controller));
+      while (true) {
+        if (aborted.load()) break;  // fail-fast tripped elsewhere
+        const int index = next.fetch_add(1);
+        if (index >= config.num_missions) break;
+        MissionOutcome& outcome = result.outcomes[static_cast<size_t>(index)];
+        if (outcome.completed) continue;  // satisfied by the checkpoint
+        if (new_budget.fetch_sub(1) <= 0) break;  // max_new_missions reached
+        const auto mission_start = std::chrono::steady_clock::now();
+        run_supervised(*fuzzer, outcome, index);
+        outcome.wall_time_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          mission_start)
+                .count();
+        outcome.completed = true;
+        if (outcome.result.found) found.fetch_add(1);
+        if (outcome.fault != sim::FaultKind::kNone) {
+          faulted.fetch_add(1);
+          if (config.fail_fast) aborted.store(true);
+        }
+        const int done = completed.fetch_add(1) + 1;
 
-      {
-        const std::lock_guard<std::mutex> lock(observer_mutex);
-        const TelemetryRecord record = make_record(config, outcome);
-        if (checkpoint) checkpoint->record(record);
-        if (config.telemetry) config.telemetry->record(record);
-        if (config.on_progress) {
-          CampaignProgress progress;
-          progress.completed = done;
-          progress.resumed = resumed;
-          progress.total = config.num_missions;
-          progress.found = found.load();
-          progress.elapsed_s =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            campaign_start)
-                  .count();
-          config.on_progress(progress);
+        {
+          const std::lock_guard<std::mutex> lock(observer_mutex);
+          const TelemetryRecord record = make_record(config, outcome);
+          if (checkpoint) checkpoint->record(record);
+          if (config.telemetry) config.telemetry->record(record);
+          if (outcome.fault != sim::FaultKind::kNone &&
+              !config.quarantine_path.empty()) {
+            QuarantineRecord quarantine;
+            quarantine.mission_index = index;
+            quarantine.fuzzer = std::string{fuzzer_kind_name(config.kind)};
+            quarantine.mission_seed = outcome.mission_seed;
+            quarantine.config_hash = config_hash;
+            quarantine.fault = outcome.fault;
+            quarantine.detail = outcome.fault_detail;
+            quarantine.attempts = outcome.fault_attempts;
+            try {
+              append_jsonl_line(config.quarantine_path, to_jsonl(quarantine));
+            } catch (const std::exception& e) {
+              // Quarantine is observability; losing a record must not lose
+              // the campaign.
+              SWARMFUZZ_ERROR("campaign: cannot write quarantine record: {}",
+                              e.what());
+            }
+          }
+          if (config.on_progress) {
+            CampaignProgress progress;
+            progress.completed = done;
+            progress.resumed = resumed;
+            progress.total = config.num_missions;
+            progress.found = found.load();
+            progress.faulted = faulted.load();
+            progress.elapsed_s =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              campaign_start)
+                    .count();
+            config.on_progress(progress);
+          }
+        }
+        if (config.num_missions >= 10 && done % (config.num_missions / 10) == 0) {
+          SWARMFUZZ_INFO("campaign [{}]: {}/{} missions",
+                         fuzzer_kind_name(config.kind), done, config.num_missions);
         }
       }
-      if (config.num_missions >= 10 && done % (config.num_missions / 10) == 0) {
-        SWARMFUZZ_INFO("campaign [{}]: {}/{} missions",
-                       fuzzer_kind_name(config.kind), done, config.num_missions);
-      }
+    } catch (const std::exception& e) {
+      SWARMFUZZ_ERROR("campaign worker aborted: {}", e.what());
+      aborted.store(true);
+    } catch (...) {
+      SWARMFUZZ_ERROR("campaign worker aborted: unknown exception");
+      aborted.store(true);
     }
   };
 
@@ -387,11 +633,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                                     campaign_start)
           .count();
   SWARMFUZZ_INFO(
-      "campaign [{}] {}: {}/{} missions, {} SPVs over {} fuzzable, {:.1f}s",
+      "campaign [{}] {}: {}/{} missions, {} SPVs over {} fuzzable, {} faulted, "
+      "{:.1f}s",
       fuzzer_kind_name(config.kind),
       result.num_completed() == config.num_missions ? "complete" : "interrupted",
       result.num_completed(), config.num_missions, result.num_found(),
-      result.num_fuzzable(), elapsed);
+      result.num_fuzzable(), result.num_faulted(), elapsed);
+  if (result.num_faulted() > 0) {
+    SWARMFUZZ_WARN(
+        "campaign [{}]: faults — {} divergence, {} timeout, {} exception, {} "
+        "clean-run failed{}",
+        fuzzer_kind_name(config.kind),
+        result.fault_count(sim::FaultKind::kNumericalDivergence),
+        result.fault_count(sim::FaultKind::kTimeout),
+        result.fault_count(sim::FaultKind::kException),
+        result.fault_count(sim::FaultKind::kCleanRunFailed),
+        config.quarantine_path.empty()
+            ? ""
+            : std::string{"; quarantined to "} + config.quarantine_path);
+  }
   return result;
 }
 

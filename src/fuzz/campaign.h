@@ -8,14 +8,22 @@
 // The single exception is MissionOutcome::wall_time_s, which is measured.
 //
 // Durability: when `checkpoint_path` is set, every completed mission is
-// appended to a JSONL checkpoint (write + flush per record). A restarted
-// campaign replays the file, skips finished mission indices, and
+// appended to a JSONL checkpoint (write + flush per record, CRC-framed). A
+// restarted campaign replays the file, skips finished mission indices, and
 // reconstructs a CampaignResult identical to an uninterrupted run's.
+//
+// Fault containment (DESIGN.md section 11): a mission whose fuzz() raises —
+// sentinel divergence, watchdog timeout, or any other exception — is retried
+// with a salted seed up to `max_fault_retries` times; a mission that faults
+// on every attempt is recorded with its FaultKind, appended to the
+// quarantine file with repro information, and the campaign moves on.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
@@ -32,8 +40,27 @@ struct CampaignProgress {
   int resumed = 0;     // missions satisfied from the checkpoint
   int total = 0;       // config.num_missions
   int found = 0;       // SPVs discovered so far
+  int faulted = 0;     // missions recorded with a terminal fault so far
   double elapsed_s = 0.0;  // wall-clock since this run_campaign() call
 };
+
+// Deterministic fault injection for one mission of a campaign — test
+// machinery for the containment paths (see sim::FaultInjection).
+struct MissionFaultInjection {
+  int mission_index = -1;
+  sim::FaultInjection injection{};
+  // The injection fires on the first `fail_attempts` fault attempts of the
+  // mission, then stops — so tests can exercise a successful salted retry.
+  // Default: every attempt faults and the mission is quarantined.
+  int fail_attempts = std::numeric_limits<int>::max();
+};
+
+// Parses a fault plan of comma-separated `<mode>@<index>[:<time>][x<n>]`
+// items, e.g. "nan@2:10,throw@3,hang@4x1": inject `mode` (nan|throw|hang)
+// into mission `index` from sim time `time` (default 0) on its first `n`
+// attempts (default: all). Throws std::invalid_argument on malformed specs.
+[[nodiscard]] std::vector<MissionFaultInjection> parse_fault_plan(
+    std::string_view spec);
 
 struct CampaignConfig {
   sim::MissionConfig mission{};
@@ -67,7 +94,28 @@ struct CampaignConfig {
   // with a checkpoint and re-run. Used for incremental/batched operation
   // and for exercising interruption in tests.
   int max_new_missions = 0;
+
+  // Fault containment. A faulted mission (sentinel divergence, watchdog
+  // timeout, or any exception out of fuzz()) is re-run with a salted seed up
+  // to this many times; attempt a of fault retry f uses
+  // mission_seed(base, index, f * (clean_failure_retries + 1) + a), so fault
+  // salts extend the clean-failure ladder without colliding with it.
+  int max_fault_retries = 2;
+  // Stop claiming new missions as soon as any mission records a terminal
+  // fault (the default keeps going and quarantines).
+  bool fail_fast = false;
+  // JSONL file that receives one QuarantineRecord per terminally-faulted
+  // mission (seed, fuzzer, config hash, fault — enough to reproduce it
+  // offline). Empty disables quarantine output.
+  std::string quarantine_path;
+  // Deterministic per-mission fault injections (tests).
+  std::vector<MissionFaultInjection> fault_injections;
 };
+
+// Short stable hash (16 hex chars, FNV-1a over the outcome-determining
+// fields) identifying a campaign configuration in quarantine records, so a
+// quarantined seed can be matched back to the exact campaign that shed it.
+[[nodiscard]] std::string campaign_config_hash(const CampaignConfig& config);
 
 struct MissionOutcome {
   int mission_index = -1;
@@ -75,6 +123,13 @@ struct MissionOutcome {
   std::uint64_t mission_seed = 0;
   double wall_time_s = 0.0;       // measured; the one non-deterministic field
   FuzzResult result;
+  // Terminal fault classification. kNone: fuzzed normally. kCleanRunFailed:
+  // every clean re-draw collided (result keeps the last clean run's
+  // accounting). Anything else: every fault retry faulted; result is
+  // default-constructed and the mission is excluded from num_fuzzable().
+  sim::FaultKind fault = sim::FaultKind::kNone;
+  std::string fault_detail;
+  int fault_attempts = 0;         // fault retries consumed (0 when none)
 };
 
 struct CampaignResult {
@@ -90,6 +145,11 @@ struct CampaignResult {
   [[nodiscard]] double success_rate() const;
   [[nodiscard]] int num_found() const;
   [[nodiscard]] int num_fuzzable() const;
+
+  // Missions recorded with a terminal fault (any kind but kNone), and the
+  // count for one specific kind.
+  [[nodiscard]] int num_faulted() const;
+  [[nodiscard]] int fault_count(sim::FaultKind kind) const;
 
   // Average search iterations: over successful missions only (Table II's
   // "iterations taken to find SPVs") and over all fuzzable missions.
@@ -115,15 +175,18 @@ struct CampaignResult {
       const;
 };
 
-// Derives mission `index`'s seed (attempt > 0 for clean-failure re-draws)
+// Derives mission `index`'s seed (attempt > 0 for clean-failure re-draws and
+// fault retries; see CampaignConfig::max_fault_retries for the salt layout)
 // from the campaign base seed via splitmix64-style mixing, so adjacent base
 // seeds produce disjoint mission sets.
 [[nodiscard]] std::uint64_t mission_seed(std::uint64_t base_seed, int index,
                                          int attempt) noexcept;
 
-// Equality over every deterministic field (everything but wall_time_s and
-// the step counters, which are performance accounting and legitimately
-// differ between prefix-reuse configurations). This is the invariant behind
+// Equality over every deterministic field (everything but wall_time_s, the
+// step counters — performance accounting that legitimately differs between
+// prefix-reuse configurations — and the fault detail/attempt fields, whose
+// wording and count can vary for wall-clock timeouts; the fault *kind* is
+// compared). This is the invariant behind
 // thread-count independence, checkpoint/resume, and prefix reuse: an
 // interrupted-and-resumed campaign — or one re-run with --no-prefix-reuse —
 // must compare equal to an uninterrupted one.

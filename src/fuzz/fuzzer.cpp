@@ -23,12 +23,22 @@ class FuzzerBase : public Fuzzer {
 
   FuzzResult fuzz(const sim::MissionSpec& mission) final {
     FuzzResult result;
+    // Arm the execution guards for this whole fuzz() call: the wall-clock
+    // deadline is absolute, so the clean run and every objective evaluation
+    // draw from the same budget.
+    guards_.watchdog = config_.mission_timeout_s > 0.0
+                           ? sim::RunWatchdog::with_timeout(config_.mission_timeout_s)
+                           : sim::RunWatchdog{};
+    guards_.watchdog.max_steps = config_.eval_max_steps;
+    guards_.inject = config_.fault_injection;
     // The clean run doubles as the prefix-recording run: with reuse enabled
     // it emits checkpoints that every subsequent objective evaluation of
     // this mission resumes from (the pre-spoof prefix is seed-independent),
     // at zero extra simulation cost.
     prefix_.clear();
     sim::RunHooks hooks;
+    hooks.watchdog = guards_.watchdog;
+    hooks.inject_fault = guards_.inject;
     if (config_.prefix_reuse) {
       hooks.checkpoints = &prefix_;
       hooks.checkpoint_period = config_.checkpoint_period;
@@ -99,7 +109,8 @@ class FuzzerBase : public Fuzzer {
   std::shared_ptr<const swarm::SwarmController> controller_;
   swarm::FlockingControlSystem system_;
   sim::Simulator simulator_;
-  PrefixCache prefix_;  // clean-run checkpoints of the current mission
+  PrefixCache prefix_;   // clean-run checkpoints of the current mission
+  EvalGuards guards_{};  // armed at fuzz() entry, shared by all evaluations
 };
 
 // Runs the gradient search over an ordered seed list (SwarmFuzz / G_Fuzz).
@@ -115,7 +126,7 @@ class GradientSearchFuzzer : public FuzzerBase {
       if (remaining <= 0) break;
       Objective objective(mission, simulator_, system_, seed,
                           config_.spoof_distance, clean.end_time,
-                          config_.prefix_reuse ? &prefix_ : nullptr);
+                          config_.prefix_reuse ? &prefix_ : nullptr, &guards_);
       const std::vector<StartPoint> starts = initial_guesses(clean, seed);
       const OptimizationResult outcome =
           optimize(objective, starts, std::min(remaining, config_.per_seed_budget),
@@ -198,8 +209,8 @@ class RandomSearchFuzzer : public FuzzerBase {
   bool try_random_params(const sim::MissionSpec& mission, const sim::RunResult& clean,
                          const Seed& seed, math::Rng& rng, FuzzResult& result) {
     Objective objective(mission, simulator_, system_, seed, config_.spoof_distance,
-                        clean.end_time,
-                        config_.prefix_reuse ? &prefix_ : nullptr);
+                        clean.end_time, config_.prefix_reuse ? &prefix_ : nullptr,
+                        &guards_);
     const double t_s = rng.uniform(0.0, clean.end_time);
     const double dt = rng.uniform(0.0, clean.end_time - t_s);
     const ObjectiveEval eval = objective.evaluate(t_s, dt);

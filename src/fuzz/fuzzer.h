@@ -52,6 +52,16 @@ struct FuzzerConfig {
   // way (see sim/checkpoint.h); off only for benchmarking/debugging.
   bool prefix_reuse = true;
   double checkpoint_period = 1.0;
+  // Fault containment (see sim/fault.h and DESIGN.md section 11). The
+  // wall-clock budget covers one whole fuzz() call — the clean run and every
+  // objective evaluation share the same absolute deadline — so a mission
+  // cannot stall a campaign worker indefinitely. The step budget bounds each
+  // individual simulation. Zero disables a guard; a tripped guard raises
+  // sim::RunFaultError{kTimeout} out of fuzz().
+  double mission_timeout_s = 0.0;
+  std::int64_t eval_max_steps = 0;
+  // Deterministic fault injection for containment tests; kNone in production.
+  sim::FaultInjection fault_injection{};
 };
 
 // One fuzzed seed's outcome (for diagnostics and the ablation bench).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
 namespace swarmfuzz::fuzz {
@@ -33,14 +34,15 @@ const sim::SimulationCheckpoint* PrefixCache::latest_at_or_before(
 Objective::Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
                      swarm::FlockingControlSystem& system, Seed seed,
                      double spoof_distance, double t_mission,
-                     const PrefixCache* prefix)
+                     const PrefixCache* prefix, const EvalGuards* guards)
     : mission_(mission),
       simulator_(simulator),
       system_(system),
       seed_(seed),
       spoof_distance_(spoof_distance),
       t_mission_(t_mission),
-      prefix_(prefix) {
+      prefix_(prefix),
+      guards_(guards) {
   if (seed.target < 0 || seed.target >= mission.num_drones() || seed.victim < 0 ||
       seed.victim >= mission.num_drones() || seed.target == seed.victim) {
     throw std::invalid_argument("Objective: invalid seed pair");
@@ -84,11 +86,17 @@ ObjectiveEval Objective::evaluate(double t_start, double duration) {
         "Objective: prefix cache has checkpoints but no source recorder; "
         "call PrefixCache::set_source(clean.recorder) after the clean run");
   }
-  const sim::RunResult run =
-      resume != nullptr
-          ? simulator_.run_from(*resume, *prefix_->source(), mission_, system_,
-                                &spoofer)
-          : simulator_.run(mission_, system_, &spoofer);
+  sim::RunHooks hooks;
+  hooks.spoofer = &spoofer;
+  if (resume != nullptr) {
+    hooks.resume_from = resume;
+    hooks.resume_recorder = prefix_->source();
+  }
+  if (guards_ != nullptr) {
+    hooks.watchdog = guards_->watchdog;
+    hooks.inject_fault = guards_->inject;
+  }
+  const sim::RunResult run = simulator_.run(mission_, system_, hooks);
   ++evaluations_;
   sim_steps_executed_ += run.steps_executed;
   prefix_steps_reused_ += run.steps_resumed;
@@ -96,6 +104,16 @@ ObjectiveEval Objective::evaluate(double t_start, double duration) {
   ObjectiveEval eval;
   eval.end_time = run.end_time;
   eval.f = run.recorder.min_obstacle_distance(seed_.victim) - mission_.drone_radius;
+  // +inf is legitimate (obstacle-free victim path); NaN means the recorder
+  // ingested a non-finite sample the sentinel somehow let through — surface
+  // it as a fault rather than feeding NaN to the optimizer's comparisons.
+  if (std::isnan(eval.f)) {
+    throw sim::RunFaultError(
+        sim::RunFault{.kind = sim::FaultKind::kNumericalDivergence,
+                      .time = run.end_time,
+                      .drone = seed_.victim,
+                      .detail = "objective value is NaN"});
+  }
   if (run.first_collision) {
     const sim::CollisionEvent& event = *run.first_collision;
     const bool involves_target =

@@ -24,6 +24,16 @@
 
 namespace swarmfuzz::fuzz {
 
+// Execution guards applied to every simulation an Objective runs: the
+// per-evaluation watchdog (sim-step budget + wall-clock deadline, both
+// raising RunFaultError{kTimeout}) and the deterministic fault-injection
+// hook used by the containment tests. Borrowed by the Objective so the
+// fuzzer can tighten the deadline between evaluations.
+struct EvalGuards {
+  sim::RunWatchdog watchdog{};
+  sim::FaultInjection inject{};
+};
+
 struct ObjectiveEval {
   double f = 0.0;               // victim-obstacle clearance, m (<= 0: crash)
   bool success = false;         // a victim drone hit the obstacle
@@ -86,10 +96,13 @@ class Objective final : public ObjectiveFunction {
   // `system` must outlive the objective. `t_mission` (timing constraint
   // t_s + dt < t_mission) is taken from the clean run's end time. `prefix`
   // (optional, borrowed) supplies clean-run checkpoints for prefix reuse;
-  // results are bit-identical with or without it.
+  // results are bit-identical with or without it. `guards` (optional,
+  // borrowed) bounds each evaluation's execution; a tripped guard raises
+  // sim::RunFaultError from evaluate().
   Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
             swarm::FlockingControlSystem& system, Seed seed, double spoof_distance,
-            double t_mission, const PrefixCache* prefix = nullptr);
+            double t_mission, const PrefixCache* prefix = nullptr,
+            const EvalGuards* guards = nullptr);
 
   [[nodiscard]] ObjectiveEval evaluate(double t_start, double duration) override;
 
@@ -122,6 +135,7 @@ class Objective final : public ObjectiveFunction {
   double spoof_distance_;
   double t_mission_;
   const PrefixCache* prefix_;
+  const EvalGuards* guards_;
   int evaluations_ = 0;
   int memo_hits_ = 0;
   std::int64_t sim_steps_executed_ = 0;

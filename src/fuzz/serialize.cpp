@@ -104,6 +104,18 @@ std::string to_json(const CampaignResult& result) {
   json.key("avg_iterations_successful");
   json.value(result.avg_iterations_successful());
 
+  json.key("num_faulted");
+  json.value(result.num_faulted());
+  json.key("faults");
+  json.begin_object();
+  for (const sim::FaultKind kind :
+       {sim::FaultKind::kNumericalDivergence, sim::FaultKind::kTimeout,
+        sim::FaultKind::kException, sim::FaultKind::kCleanRunFailed}) {
+    json.key(sim::fault_kind_name(kind));
+    json.value(result.fault_count(kind));
+  }
+  json.end_object();
+
   json.key("missions");
   json.begin_array();
   for (const MissionOutcome& outcome : result.outcomes) {
@@ -117,6 +129,12 @@ std::string to_json(const CampaignResult& result) {
     json.value(outcome.completed);
     json.key("wall_time_s");
     json.value(outcome.wall_time_s);
+    if (outcome.fault != sim::FaultKind::kNone) {
+      json.key("fault");
+      json.value(sim::fault_kind_name(outcome.fault));
+      json.key("fault_detail");
+      json.value(outcome.fault_detail);
+    }
     write_result_fields(json, outcome.result);
     json.end_object();
   }

@@ -1,12 +1,64 @@
 #include "fuzz/telemetry.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
+#include "util/crc32.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
 namespace {
+
+// --- CRC-32 record framing ------------------------------------------------
+//
+// The checksum is spliced in as the line's final member, so a framed line is
+// `{...,"crc":"xxxxxxxx"}` and the checksummed payload is the same line with
+// the crc member removed (i.e. what to_jsonl produced before framing). The
+// suffix is matched positionally — exactly at the end of the line — so a
+// `"crc"` substring inside a detail string can never be mistaken for it.
+
+constexpr std::string_view kCrcPrefix = ",\"crc\":\"";
+constexpr std::size_t kCrcHexLen = 8;
+// ,"crc":" + 8 hex digits + "}
+constexpr std::size_t kCrcSuffixLen = kCrcPrefix.size() + kCrcHexLen + 2;
+
+std::string frame_with_crc(std::string line) {
+  char hex[kCrcHexLen + 1];
+  std::snprintf(hex, sizeof hex, "%08x", util::crc32(line));
+  std::string member{kCrcPrefix};
+  member.append(hex, kCrcHexLen);
+  member.push_back('"');
+  line.insert(line.size() - 1, member);
+  return line;
+}
+
+// Validates the trailing crc member when present; unframed lines (written
+// before framing existed) pass through. Throws on mismatch.
+void verify_crc_frame(std::string_view line) {
+  if (line.size() < kCrcSuffixLen ||
+      line.compare(line.size() - kCrcSuffixLen, kCrcPrefix.size(), kCrcPrefix) != 0 ||
+      line.compare(line.size() - 2, 2, "\"}") != 0) {
+    return;  // unframed legacy line; structural validity is the parser's job
+  }
+  const std::string_view hex =
+      line.substr(line.size() - kCrcHexLen - 2, kCrcHexLen);
+  std::uint32_t expected = 0;
+  for (const char ch : hex) {
+    const int digit = ch >= '0' && ch <= '9'   ? ch - '0'
+                      : ch >= 'a' && ch <= 'f' ? ch - 'a' + 10
+                                               : -1;
+    if (digit < 0) return;  // not a checksum after all (e.g. 8-char hash field)
+    expected = expected << 4 | static_cast<std::uint32_t>(digit);
+  }
+  const std::string_view body = line.substr(0, line.size() - kCrcSuffixLen);
+  const std::uint32_t actual =
+      util::crc32_final(util::crc32_update(util::crc32_update(util::crc32_init(), body), "}"));
+  if (actual != expected) {
+    throw std::invalid_argument("telemetry: record checksum mismatch");
+  }
+}
 
 attack::SpoofDirection direction_from_name(std::string_view name) {
   if (name == attack::direction_name(attack::SpoofDirection::kRight)) {
@@ -165,11 +217,22 @@ std::string to_jsonl(const TelemetryRecord& record) {
   json.value_exact(record.wall_time_s);
   json.key("result");
   write_result(json, record.result);
+  // Written only when faulted, so fault-free records stay byte-identical
+  // with files written before the fault schema existed.
+  if (record.fault != sim::FaultKind::kNone) {
+    json.key("fault");
+    json.value(sim::fault_kind_name(record.fault));
+    json.key("fault_detail");
+    json.value(record.fault_detail);
+    json.key("fault_attempts");
+    json.value(record.fault_attempts);
+  }
   json.end_object();
-  return json.str();
+  return frame_with_crc(json.str());
 }
 
 TelemetryRecord telemetry_record_from_json(std::string_view line) {
+  verify_crc_frame(line);
   const util::JsonValue root = util::parse_json(line);
   TelemetryRecord record;
   record.schema_version = root.at("v").as_int();
@@ -183,11 +246,105 @@ TelemetryRecord telemetry_record_from_json(std::string_view line) {
   record.mission_seed = std::stoull(seed_text);
   record.wall_time_s = root.at("wall_time_s").as_double();
   record.result = result_from(root.at("result"));
+  if (const util::JsonValue* fault = root.find("fault"); fault != nullptr) {
+    record.fault = sim::fault_kind_from_name(fault->as_string());
+    if (const util::JsonValue* detail = root.find("fault_detail");
+        detail != nullptr) {
+      record.fault_detail = detail->as_string();
+    }
+    if (const util::JsonValue* attempts = root.find("fault_attempts");
+        attempts != nullptr) {
+      record.fault_attempts = attempts->as_int();
+    }
+  } else if (record.result.clean_run_failed) {
+    // Pre-fault-schema records flagged clean failures inside the result
+    // only; lift them into the taxonomy so resumed campaigns aggregate
+    // identically whichever schema wrote the checkpoint.
+    record.fault = sim::FaultKind::kCleanRunFailed;
+  }
   return record;
 }
 
+std::string to_jsonl(const QuarantineRecord& record) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("index");
+  json.value(record.mission_index);
+  json.key("fuzzer");
+  json.value(record.fuzzer);
+  json.key("seed");
+  json.value(std::to_string(record.mission_seed));
+  json.key("config_hash");
+  json.value(record.config_hash);
+  json.key("fault");
+  json.value(sim::fault_kind_name(record.fault));
+  json.key("detail");
+  json.value(record.detail);
+  json.key("attempts");
+  json.value(record.attempts);
+  json.end_object();
+  return frame_with_crc(json.str());
+}
+
+QuarantineRecord quarantine_record_from_json(std::string_view line) {
+  verify_crc_frame(line);
+  const util::JsonValue root = util::parse_json(line);
+  QuarantineRecord record;
+  record.mission_index = root.at("index").as_int();
+  record.fuzzer = root.at("fuzzer").as_string();
+  record.mission_seed = std::stoull(root.at("seed").as_string());
+  record.config_hash = root.at("config_hash").as_string();
+  record.fault = sim::fault_kind_from_name(root.at("fault").as_string());
+  record.detail = root.at("detail").as_string();
+  record.attempts = root.at("attempts").as_int();
+  return record;
+}
+
+void append_jsonl_line(const std::string& path, std::string_view line) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw std::runtime_error("telemetry: cannot open " + path + " for append");
+  }
+  std::string framed{line};
+  framed.push_back('\n');
+  const bool ok =
+      std::fwrite(framed.data(), 1, framed.size(), file) == framed.size() &&
+      std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) {
+    throw std::runtime_error("telemetry: short write to " + path);
+  }
+}
+
+namespace {
+
+// Truncates an unterminated final line (a write the previous process never
+// finished) so appending resumes on a line boundary. Without this, the next
+// append would glue a fresh record onto the torn fragment, turning the
+// recoverable crash signature into an unrecoverable corrupt complete line.
+void heal_torn_tail(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return;  // nothing to heal
+  std::string content;
+  char buffer[1 << 14];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  if (content.empty() || content.back() == '\n') return;
+  const std::size_t last_newline = content.rfind('\n');
+  const std::size_t keep = last_newline == std::string::npos ? 0 : last_newline + 1;
+  SWARMFUZZ_WARN("telemetry: {} ends mid-record; truncating {} torn bytes",
+                 path, content.size() - keep);
+  std::filesystem::resize_file(path, keep);
+}
+
+}  // namespace
+
 JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path, bool append)
     : path_(path) {
+  if (append) heal_torn_tail(path);
   file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
   if (file_ == nullptr) {
     throw std::runtime_error("telemetry: cannot open " + path + " for writing");
@@ -199,15 +356,24 @@ JsonlTelemetrySink::~JsonlTelemetrySink() {
 }
 
 void JsonlTelemetrySink::record(const TelemetryRecord& record) {
-  const std::string line = to_jsonl(record);
+  // Line + newline go out in one fwrite: a crash between two calls cannot
+  // leave a record without its terminator (the torn-write signature the
+  // loader heals) the way a separate fputc('\n') could.
+  std::string line = to_jsonl(record);
+  line.push_back('\n');
   const std::lock_guard<std::mutex> lock(mutex_);
   std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
   std::fflush(file_);
 }
 
-std::vector<TelemetryRecord> load_telemetry(const std::string& path) {
-  std::vector<TelemetryRecord> records;
+namespace {
+
+// Shared JSONL replay loop: parses each line with `parse`, pushing results
+// into `records`. Torn final line → warn + skip; corrupt complete line →
+// throw (resuming past it would silently drop missions).
+template <typename Record, typename Parse>
+std::vector<Record> load_jsonl(const std::string& path, Parse parse) {
+  std::vector<Record> records;
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return records;
 
@@ -228,7 +394,7 @@ std::vector<TelemetryRecord> load_telemetry(const std::string& path) {
     start = end + 1;
     if (line.empty()) continue;
     try {
-      records.push_back(telemetry_record_from_json(line));
+      records.push_back(parse(line));
     } catch (const std::exception& e) {
       // Records never contain a raw newline, so a crash mid-write can only
       // tear the newline-terminated suffix of the file: a malformed final
@@ -239,9 +405,24 @@ std::vector<TelemetryRecord> load_telemetry(const std::string& path) {
         throw std::runtime_error("telemetry: corrupt record in " + path + ": " +
                                  e.what());
       }
+      SWARMFUZZ_WARN(
+          "telemetry: skipping torn final record in {} ({} bytes): {}", path,
+          line.size(), e.what());
     }
   }
   return records;
+}
+
+}  // namespace
+
+std::vector<TelemetryRecord> load_telemetry(const std::string& path) {
+  return load_jsonl<TelemetryRecord>(
+      path, [](std::string_view line) { return telemetry_record_from_json(line); });
+}
+
+std::vector<QuarantineRecord> load_quarantine(const std::string& path) {
+  return load_jsonl<QuarantineRecord>(
+      path, [](std::string_view line) { return quarantine_record_from_json(line); });
 }
 
 }  // namespace swarmfuzz::fuzz

@@ -2,12 +2,14 @@
 //
 // Records serve two purposes:
 //   1. Observability — a campaign is no longer a black box; every mission
-//      outcome (seed, fuzzer, status, iterations, simulations, wall-clock)
-//      streams to a JSONL sink as it completes.
+//      outcome (seed, fuzzer, status, fault, iterations, simulations,
+//      wall-clock) streams to a JSONL sink as it completes.
 //   2. Durability — when `CampaignConfig.checkpoint_path` is set the same
 //      records double as a crash-safe checkpoint: each line is written and
-//      flushed atomically-enough that a killed campaign can be resumed by
-//      replaying the file and running only the missing mission indices.
+//      flushed in a single call, carries a CRC-32 of its own payload (a
+//      trailing `"crc"` member), and a killed campaign resumes by replaying
+//      the file and running only the missing mission indices. A torn final
+//      line — the crash signature — is detected by the framing and skipped.
 //
 // Serialization is exact: doubles are written with %.17g (see
 // JsonWriter::value_exact) so a record parsed back reconstructs the
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "fuzz/fuzzer.h"
+#include "sim/fault.h"
 
 namespace swarmfuzz::fuzz {
 
@@ -34,13 +37,52 @@ struct TelemetryRecord {
   std::uint64_t mission_seed = 0; // final (possibly retried) mission seed
   double wall_time_s = 0.0;       // wall-clock spent on this mission
   FuzzResult result;              // full outcome, including seed attempts
+  // Fault containment (DESIGN.md section 11). kNone: the mission fuzzed
+  // normally. Any other kind: the supervisor exhausted its fault retries and
+  // recorded the mission as faulted (result is then default-constructed,
+  // except kCleanRunFailed which keeps the clean-run accounting). Written
+  // only when != kNone, so fault-free records are byte-identical with
+  // pre-fault-schema files; on parse, records without the field derive
+  // kCleanRunFailed from result.clean_run_failed.
+  sim::FaultKind fault = sim::FaultKind::kNone;
+  std::string fault_detail;       // human-readable cause (empty when kNone)
+  int fault_attempts = 0;         // fault retries consumed on this mission
 };
 
-// One JSONL line (no trailing newline). Doubles round-trip exactly.
+// One JSONL line (no trailing newline), CRC-framed: the final member is
+// `"crc":"<8 lowercase hex>"`, the CRC-32 of the line with that member
+// removed. Doubles round-trip exactly.
 [[nodiscard]] std::string to_jsonl(const TelemetryRecord& record);
 
-// Parses one JSONL line. Throws std::invalid_argument on malformed input.
+// Parses one JSONL line. Lines without a crc member (written before framing
+// existed) are accepted; a present-but-mismatching crc throws. Throws
+// std::invalid_argument on malformed input.
 [[nodiscard]] TelemetryRecord telemetry_record_from_json(std::string_view line);
+
+// A mission the campaign supervisor gave up on: every fault retry faulted
+// again. Quarantine records carry enough to reproduce the failure offline
+// (`swarmfuzz campaign --missions 1 ...` with the recorded seed/fuzzer).
+struct QuarantineRecord {
+  int mission_index = -1;
+  std::string fuzzer;
+  std::uint64_t mission_seed = 0;  // seed of the final faulted attempt
+  std::string config_hash;         // campaign_config_hash() of the campaign
+  sim::FaultKind fault = sim::FaultKind::kNone;
+  std::string detail;
+  int attempts = 0;                // attempts made (initial + retries)
+};
+
+// CRC-framed JSONL line for a quarantine record (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const QuarantineRecord& record);
+[[nodiscard]] QuarantineRecord quarantine_record_from_json(std::string_view line);
+
+// Loads every record from a quarantine JSONL file; same torn-tail tolerance
+// as load_telemetry. A missing file yields an empty vector.
+[[nodiscard]] std::vector<QuarantineRecord> load_quarantine(const std::string& path);
+
+// Appends one line + '\n' to `path` in a single flushed write, creating the
+// file if needed. Throws std::runtime_error on I/O failure.
+void append_jsonl_line(const std::string& path, std::string_view line);
 
 // Receives completed-mission records; implementations must be thread-safe
 // (campaign workers call record() concurrently).
@@ -50,8 +92,12 @@ class TelemetrySink {
   virtual void record(const TelemetryRecord& record) = 0;
 };
 
-// Thread-safe JSONL file sink. Every record() appends one line and flushes,
-// so a crash loses at most the line being written — never a completed one.
+// Thread-safe JSONL file sink. Every record() appends one line + newline in
+// a single fwrite and flushes, so a crash loses at most the line being
+// written — never a completed one. Opening in append mode first heals a
+// torn tail: an unterminated final line (the previous process died
+// mid-write) is truncated away so the next append starts on a line boundary
+// instead of corrupting a complete line.
 class JsonlTelemetrySink final : public TelemetrySink {
  public:
   // Opens `path` for writing; `append` keeps existing records (resume),
@@ -73,9 +119,9 @@ class JsonlTelemetrySink final : public TelemetrySink {
 };
 
 // Loads every well-formed record from a JSONL file. A malformed or
-// incomplete *last* line (the write a crash interrupted) is skipped
-// silently; a malformed line elsewhere throws std::runtime_error. A missing
-// file yields an empty vector.
+// incomplete *last* line (the write a crash interrupted) is skipped with a
+// warning; a malformed line elsewhere — including a CRC mismatch — throws
+// std::runtime_error. A missing file yields an empty vector.
 [[nodiscard]] std::vector<TelemetryRecord> load_telemetry(const std::string& path);
 
 }  // namespace swarmfuzz::fuzz

@@ -1,0 +1,45 @@
+#include "sim/fault.h"
+
+#include "util/format.h"
+
+namespace swarmfuzz::sim {
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kNumericalDivergence: return "numerical_divergence";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kException: return "exception";
+    case FaultKind::kCleanRunFailed: return "clean_run_failed";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_name(std::string_view name) {
+  for (const FaultKind kind :
+       {FaultKind::kNone, FaultKind::kNumericalDivergence, FaultKind::kTimeout,
+        FaultKind::kException, FaultKind::kCleanRunFailed}) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown fault kind: " + std::string{name});
+}
+
+RunFaultError::RunFaultError(RunFault fault)
+    : std::runtime_error(util::format("{} at t={:.2f}s{}: {}",
+                                      fault_kind_name(fault.kind), fault.time,
+                                      fault.drone >= 0
+                                          ? " drone=" + std::to_string(fault.drone)
+                                          : std::string{},
+                                      fault.detail)),
+      fault_(std::move(fault)) {}
+
+RunWatchdog RunWatchdog::with_timeout(double seconds) {
+  RunWatchdog watchdog;
+  watchdog.has_deadline = true;
+  watchdog.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(seconds));
+  return watchdog;
+}
+
+}  // namespace swarmfuzz::sim

@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,16 @@ void validate_checkpoint(const SimulationCheckpoint& cp, int n,
     throw std::invalid_argument(
         "Simulator: checkpoint navigation-filter state mismatch");
   }
+}
+
+// The negated comparisons below are deliberate: `!(x <= limit)` is true for
+// NaN as well as for a genuine blowup, so one branch per drone covers both
+// sentinel conditions.
+[[noreturn]] void raise_divergence(double t, int drone, const char* what) {
+  throw RunFaultError(RunFault{.kind = FaultKind::kNumericalDivergence,
+                               .time = t,
+                               .drone = drone,
+                               .detail = what});
 }
 
 }  // namespace
@@ -136,8 +148,35 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
   std::vector<DroneState> prev_states(static_cast<size_t>(n));
   std::vector<Vec3> prev_positions(static_cast<size_t>(n));
 
+  // Sentinel/watchdog setup. The position envelope doubles as the
+  // non-finite check: `!(norm_sq <= limit_sq)` is true for NaN too. With
+  // divergence_limit == 0 only non-finite states fault (limit_sq = inf).
+  const double divergence_limit_sq =
+      config_.divergence_limit > 0.0
+          ? config_.divergence_limit * config_.divergence_limit
+          : std::numeric_limits<double>::infinity();
+  const RunWatchdog& watchdog = hooks.watchdog;
+  const FaultInjection& inject = hooks.inject_fault;
+
   double last_checkpoint = -std::numeric_limits<double>::infinity();
   while (t < mission.max_time) {
+    // Watchdog: the step budget is a plain compare; the wall-clock deadline
+    // is checked every 64 ticks to keep the clock read off the hot path.
+    if (watchdog.max_steps > 0 && result.steps_executed >= watchdog.max_steps) {
+      throw RunFaultError(RunFault{
+          .kind = FaultKind::kTimeout,
+          .time = t,
+          .drone = -1,
+          .detail = "sim-step budget of " + std::to_string(watchdog.max_steps) +
+                    " steps exhausted"});
+    }
+    if (watchdog.has_deadline && (total_steps & 63) == 0 &&
+        std::chrono::steady_clock::now() >= watchdog.deadline) {
+      throw RunFaultError(RunFault{.kind = FaultKind::kTimeout,
+                                   .time = t,
+                                   .drone = -1,
+                                   .detail = "wall-clock deadline exceeded"});
+    }
     // 0. Checkpoint at loop-top, before any sensor consumes randomness for
     // this tick, so resuming here replays the tick exactly (including a
     // spoofing window that opens at this very t).
@@ -192,6 +231,30 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
     // 3. Swarm control.
     control.compute(snapshot, mission, desired);
 
+    if (inject.mode != FaultInjection::Mode::kNone && t >= inject.at_time) {
+      switch (inject.mode) {
+        case FaultInjection::Mode::kNan:
+          desired[0] = Vec3{std::numeric_limits<double>::quiet_NaN(), 0.0, 0.0};
+          break;
+        case FaultInjection::Mode::kThrow:
+          throw std::runtime_error("injected fault: throw at t=" +
+                                   std::to_string(t));
+        case FaultInjection::Mode::kHang:
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          break;
+        case FaultInjection::Mode::kNone: break;
+      }
+    }
+
+    // Sentinel: a non-finite control output would corrupt every downstream
+    // state; fault here with the offending drone identified.
+    for (int i = 0; i < n; ++i) {
+      if (!(desired[static_cast<size_t>(i)].norm_sq() <
+            std::numeric_limits<double>::infinity())) {
+        raise_divergence(t, i, "non-finite control output");
+      }
+    }
+
     // 4. Physics.
     for (int i = 0; i < n; ++i) {
       prev_states[static_cast<size_t>(i)] = states[static_cast<size_t>(i)];
@@ -201,6 +264,18 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
     t = world.time();
     ++total_steps;
     ++result.steps_executed;
+
+    // Sentinel: ground truth must stay finite and inside the divergence
+    // envelope. One negated compare per drone catches NaN and blowup alike.
+    for (int i = 0; i < n; ++i) {
+      const DroneState& s = states[static_cast<size_t>(i)];
+      if (!(s.position.norm_sq() <= divergence_limit_sq)) {
+        raise_divergence(t, i, "position diverged (non-finite or out of envelope)");
+      }
+      if (!(s.velocity.norm_sq() < std::numeric_limits<double>::infinity())) {
+        raise_divergence(t, i, "non-finite velocity");
+      }
+    }
     if (config_.use_navigation_filter) {
       for (int i = 0; i < n; ++i) {
         const Vec3 true_accel = (states[static_cast<size_t>(i)].velocity -

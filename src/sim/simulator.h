@@ -14,6 +14,7 @@
 #include "sim/checkpoint.h"
 #include "sim/collision.h"
 #include "sim/control.h"
+#include "sim/fault.h"
 #include "sim/gps.h"
 #include "sim/imu.h"
 #include "sim/mission.h"
@@ -49,6 +50,13 @@ struct SimulationConfig {
   bool use_navigation_filter = false;
   ImuConfig imu{};
   NavFilterConfig nav_filter{};
+  // Numerical-health sentinel: a drone whose position magnitude exceeds this
+  // (metres; missions span a few hundred) — or whose position, velocity or
+  // control output goes non-finite — aborts the run with a structured
+  // RunFaultError{kNumericalDivergence} instead of letting NaNs reach the
+  // recorder and the objective math. 0 disables the magnitude envelope (the
+  // non-finite checks stay on; they share the same comparison).
+  double divergence_limit = 1e6;
 };
 
 struct RunResult {
@@ -94,6 +102,15 @@ struct RunHooks {
   // control-system type; shape mismatches throw.
   const SimulationCheckpoint* resume_from = nullptr;
   const Recorder* resume_recorder = nullptr;
+
+  // Execution guards: per-run sim-step budget and absolute wall-clock
+  // deadline; exceeding either throws RunFaultError{kTimeout}. Defaults
+  // disable both (see sim/fault.h).
+  RunWatchdog watchdog{};
+
+  // Deterministic fault injection (test machinery): drives a NaN, throw or
+  // hang fault at a chosen sim time so containment paths can be exercised.
+  FaultInjection inject_fault{};
 };
 
 class Simulator {

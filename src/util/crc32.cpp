@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace swarmfuzz::util {
+namespace {
+
+// Standard reflected CRC-32 table for polynomial 0xEDB88320, built once.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, std::string_view data) noexcept {
+  for (const char ch : data) {
+    state = kTable[(state ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) noexcept { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for checkpoint-record
+// framing: each telemetry/checkpoint JSONL line carries the checksum of its
+// own payload so a torn or bit-rotted record is detected on load instead of
+// being half-parsed into a resumed campaign.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace swarmfuzz::util {
+
+// One-shot checksum of `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+// Streaming form: feed chunks in order, starting from crc32_init();
+// finalize with crc32_final(). crc32(x) == crc32_final(crc32_update(crc32_init(), x)).
+[[nodiscard]] std::uint32_t crc32_init() noexcept;
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::string_view data) noexcept;
+[[nodiscard]] std::uint32_t crc32_final(std::uint32_t state) noexcept;
+
+}  // namespace swarmfuzz::util

@@ -1,0 +1,29 @@
+#include "util/fileio.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace swarmfuzz::util {
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("write_file_atomic: cannot open " + temp);
+  }
+  const bool written =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size() &&
+      std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!written || !closed) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("write_file_atomic: short write to " + temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("write_file_atomic: cannot rename " + temp + " to " +
+                             path);
+  }
+}
+
+}  // namespace swarmfuzz::util

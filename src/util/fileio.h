@@ -1,0 +1,17 @@
+// Durable file output: write-temp-then-rename so a crash (or a concurrent
+// reader) never observes a half-written campaign summary or report file —
+// either the old content exists or the new content exists, never a torn mix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace swarmfuzz::util {
+
+// Writes `content` to `path` atomically: the bytes go to `<path>.tmp` in the
+// same directory (so the rename cannot cross filesystems), are flushed, and
+// the temp file is renamed over `path`. Throws std::runtime_error on any
+// I/O failure, after removing the temp file.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace swarmfuzz::util

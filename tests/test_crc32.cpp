@@ -1,0 +1,44 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace swarmfuzz::util {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // Standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) check values.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string data = "{\"v\":1,\"index\":7,\"seed\":\"123\"}";
+  std::uint32_t state = crc32_init();
+  for (const char c : data) {
+    state = crc32_update(state, std::string_view{&c, 1});
+  }
+  EXPECT_EQ(crc32_final(state), crc32(data));
+
+  // Arbitrary split points too, not just per-byte.
+  state = crc32_update(crc32_init(), data.substr(0, 5));
+  state = crc32_update(state, data.substr(5));
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleByteChange) {
+  const std::string a = "telemetry record payload";
+  std::string b = a;
+  b[3] ^= 0x01;
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32, EmbeddedNulBytesAreHashed) {
+  const std::string with_nul{"ab\0cd", 5};
+  EXPECT_NE(crc32(with_nul), crc32("abcd"));
+}
+
+}  // namespace
+}  // namespace swarmfuzz::util

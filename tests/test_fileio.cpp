@@ -1,0 +1,66 @@
+#include "util/fileio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace swarmfuzz::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path{::testing::TempDir()} /
+          ("swarmfuzz_fileio_" + name))
+      .string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(WriteFileAtomic, WritesContentAndLeavesNoTempFile) {
+  const std::string path = temp_path("basic.txt");
+  std::remove(path.c_str());
+  write_file_atomic(path, "campaign summary\n");
+  EXPECT_EQ(slurp(path), "campaign summary\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, ReplacesExistingContentCompletely) {
+  const std::string path = temp_path("replace.txt");
+  write_file_atomic(path, std::string(4096, 'x'));
+  write_file_atomic(path, "short");
+  // Replacement, not truncate-in-place-then-write: no stale tail possible.
+  EXPECT_EQ(slurp(path), "short");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, EmptyContentYieldsEmptyFile) {
+  const std::string path = temp_path("empty.txt");
+  write_file_atomic(path, "");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, ThrowsWhenDirectoryDoesNotExist) {
+  const std::string path = temp_path("no_such_dir") + "/out.txt";
+  EXPECT_THROW(write_file_atomic(path, "x"), std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(WriteFileAtomic, BinaryContentRoundTrips) {
+  const std::string path = temp_path("binary.bin");
+  std::string data{"a\0b\nc\r\nd", 8};
+  data.push_back('\0');
+  write_file_atomic(path, data);
+  EXPECT_EQ(slurp(path), data);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swarmfuzz::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -90,10 +91,20 @@ TEST(Telemetry, StepCountersRoundTrip) {
   EXPECT_EQ(parsed.result.prefix_steps_reused, original.result.prefix_steps_reused);
 }
 
+// Drops the trailing `,"crc":"xxxxxxxx"` member, turning a framed record
+// into the byte layout written before checksum framing existed.
+std::string strip_crc_frame(std::string line) {
+  const size_t begin = line.rfind(",\"crc\":\"");
+  EXPECT_NE(begin, std::string::npos);
+  line.erase(begin, line.size() - 1 - begin);  // keep the closing '}'
+  return line;
+}
+
 TEST(Telemetry, LegacyRecordWithoutStepCountersParses) {
   // Records written before the step counters existed lack the fields
-  // entirely; they must parse (same schema version) with both counters 0.
-  std::string line = to_jsonl(sample_record());
+  // entirely (and predate CRC framing); they must parse (same schema
+  // version) with both counters 0.
+  std::string line = strip_crc_frame(to_jsonl(sample_record()));
   for (const std::string key : {"sim_steps_executed", "prefix_steps_reused"}) {
     const size_t begin = line.find("\"" + key + "\":");
     ASSERT_NE(begin, std::string::npos);
@@ -104,6 +115,76 @@ TEST(Telemetry, LegacyRecordWithoutStepCountersParses) {
   EXPECT_EQ(parsed.result.sim_steps_executed, 0);
   EXPECT_EQ(parsed.result.prefix_steps_reused, 0);
   EXPECT_EQ(parsed.result.simulations, 41);  // neighbours unaffected
+}
+
+TEST(Telemetry, RecordsAreCrcFramed) {
+  const std::string line = to_jsonl(sample_record());
+  // The checksum is the final member: 8 lowercase hex digits.
+  ASSERT_GE(line.size(), 18u);
+  EXPECT_EQ(line.substr(line.size() - 18, 8), ",\"crc\":\"");
+  EXPECT_EQ(line.substr(line.size() - 2), "\"}");
+  for (size_t i = line.size() - 10; i < line.size() - 2; ++i) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(line[i])));
+  }
+}
+
+TEST(Telemetry, UnframedLegacyLineStillParses) {
+  const std::string line = strip_crc_frame(to_jsonl(sample_record()));
+  const TelemetryRecord parsed = telemetry_record_from_json(line);
+  EXPECT_TRUE(deterministic_equal(outcome_from(sample_record()),
+                                  outcome_from(parsed)));
+}
+
+TEST(Telemetry, CorruptedFramedRecordIsRejected) {
+  // Flip one payload byte while leaving the structure valid JSON: the
+  // checksum must catch it even though a plain parse would succeed.
+  std::string line = to_jsonl(sample_record());
+  const size_t pos = line.find("\"simulations\":41");
+  ASSERT_NE(pos, std::string::npos);
+  line[pos + 15] = '2';  // 41 -> 42
+  EXPECT_THROW((void)telemetry_record_from_json(line), std::invalid_argument);
+}
+
+TEST(Telemetry, FaultFieldsRoundTripAndStayOffCleanRecords) {
+  // Fault-free records must remain byte-compatible with the pre-fault
+  // schema: no fault members at all.
+  const std::string clean_line = to_jsonl(sample_record());
+  EXPECT_EQ(clean_line.find("\"fault\""), std::string::npos);
+
+  TelemetryRecord faulted = sample_record();
+  faulted.fault = sim::FaultKind::kTimeout;
+  faulted.fault_detail = "wall-clock deadline exceeded";
+  faulted.fault_attempts = 3;
+  const TelemetryRecord parsed = telemetry_record_from_json(to_jsonl(faulted));
+  EXPECT_EQ(parsed.fault, sim::FaultKind::kTimeout);
+  EXPECT_EQ(parsed.fault_detail, faulted.fault_detail);
+  EXPECT_EQ(parsed.fault_attempts, 3);
+}
+
+TEST(Telemetry, QuarantineRecordRoundTrips) {
+  const QuarantineRecord original{.mission_index = 12,
+                                  .fuzzer = "SwarmFuzz",
+                                  .mission_seed = 0xfeedface12345678ull,
+                                  .config_hash = "00c0ffee00c0ffee",
+                                  .fault = sim::FaultKind::kNumericalDivergence,
+                                  .detail = "non-finite velocity",
+                                  .attempts = 3};
+  const std::string line = to_jsonl(original);
+  const QuarantineRecord parsed = quarantine_record_from_json(line);
+  EXPECT_EQ(parsed.mission_index, original.mission_index);
+  EXPECT_EQ(parsed.fuzzer, original.fuzzer);
+  EXPECT_EQ(parsed.mission_seed, original.mission_seed);
+  EXPECT_EQ(parsed.config_hash, original.config_hash);
+  EXPECT_EQ(parsed.fault, original.fault);
+  EXPECT_EQ(parsed.detail, original.detail);
+  EXPECT_EQ(parsed.attempts, original.attempts);
+
+  const std::string path = temp_path("quarantine.jsonl");
+  std::remove(path.c_str());
+  append_jsonl_line(path, line);
+  append_jsonl_line(path, line);
+  EXPECT_EQ(load_quarantine(path).size(), 2u);
+  std::remove(path.c_str());
 }
 
 TEST(Telemetry, MalformedLineThrows) {
@@ -160,6 +241,30 @@ TEST(Telemetry, LoadSkipsTornTrailingLine) {
   }
   const auto records = load_telemetry(path);
   EXPECT_EQ(records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, SinkHealsTornTailOnAppend) {
+  // A crash mid-write leaves an unterminated fragment; reopening the sink
+  // in append mode must truncate the fragment so the next record starts on
+  // a clean line boundary instead of concatenating into garbage.
+  const std::string path = temp_path("heal.jsonl");
+  {
+    std::ofstream out(path);
+    out << to_jsonl(sample_record()) << "\n";
+    const std::string full = to_jsonl(sample_record());
+    out << full.substr(0, full.size() / 3);  // torn, no newline
+  }
+  {
+    JsonlTelemetrySink sink(path, /*append=*/true);
+    TelemetryRecord record = sample_record();
+    record.mission_index = 9;
+    sink.record(record);
+  }
+  const auto records = load_telemetry(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].mission_index, 7);
+  EXPECT_EQ(records[1].mission_index, 9);
   std::remove(path.c_str());
 }
 
@@ -270,6 +375,40 @@ TEST(Checkpoint, ResumeToleratesTornTrailingLine) {
   resumed_config.checkpoint_path = path;
   const CampaignResult resumed = run_campaign(resumed_config);
   EXPECT_TRUE(deterministic_equal(resumed, uninterrupted));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeAfterTruncationMidRecordRerunsOnlyThatMission) {
+  // Kill-and-resume with the harshest failure: the process died while the
+  // *last complete* record was being flushed, leaving it torn in half. The
+  // resumed campaign must silently re-run exactly that mission and still be
+  // bit-identical to an uninterrupted run.
+  const std::string path = temp_path("truncate_mid.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig config = checkpoint_campaign();
+  const CampaignResult uninterrupted = run_campaign(config);
+
+  CampaignConfig partial = config;
+  partial.checkpoint_path = path;
+  partial.max_new_missions = 3;
+  (void)run_campaign(partial);
+  const auto before = load_telemetry(path);
+  ASSERT_EQ(before.size(), 3u);
+
+  // Chop the file in the middle of the final record (newline included).
+  const auto full_size = std::filesystem::file_size(path);
+  const std::string last_line = to_jsonl(before.back());
+  std::filesystem::resize_file(path, full_size - last_line.size() / 2);
+
+  CampaignConfig resumed_config = config;
+  resumed_config.checkpoint_path = path;
+  const CampaignResult resumed = run_campaign(resumed_config);
+  EXPECT_EQ(resumed.num_completed(), config.num_missions);
+  EXPECT_TRUE(deterministic_equal(resumed, uninterrupted));
+  // The healed checkpoint holds one record per mission again.
+  EXPECT_EQ(load_telemetry(path).size(),
+            static_cast<size_t>(config.num_missions));
   std::remove(path.c_str());
 }
 
