@@ -111,6 +111,30 @@ void BM_FuzzMission(benchmark::State& state) {
 }
 BENCHMARK(BM_FuzzMission)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// BM_FuzzMission with the search's batch evaluations (multi-start
+// candidates, FD stencils) fanned out over an EvalPool. Arg = eval threads;
+// 1 is the serial path. Results are bit-identical across arms (the
+// ParallelSearch golden tests assert it) — only wall time may differ, and
+// the speedup only materialises with spare hardware threads.
+void BM_FuzzMissionParallel(benchmark::State& state) {
+  const sim::MissionSpec mission = mission_of(5);
+  fuzz::FuzzerConfig config;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  config.spoof_distance = 10.0;
+  config.eval_threads = static_cast<int>(state.range(0));
+  const auto fuzzer = fuzz::make_fuzzer(fuzz::FuzzerKind::kSwarmFuzz, config);
+  int batches = 0;
+  for (auto _ : state) {
+    const fuzz::FuzzResult result = fuzzer->fuzz(mission);
+    benchmark::DoNotOptimize(result);
+    batches += result.eval_batches;
+  }
+  state.counters["eval_batches"] = benchmark::Counter(
+      static_cast<double>(batches), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FuzzMissionParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 // One late-window objective evaluation — the inner loop of the gradient
 // search, where prefix reuse pays the most (the spoofing window sits near
 // the clean closest approach, so most of the mission is reusable prefix).

@@ -6,10 +6,11 @@ Usage: compare_bench.py BASELINE_JSON FRESH_JSON
 Both inputs may be raw google-benchmark output or the repo's BENCH_micro.json
 (whose top-level "benchmarks" holds the most recent run). Prints a comparison
 table for every benchmark present in both files, then exits non-zero if any
-*guarded* series — BM_FullMission and BM_FuzzMission, the whole-mission and
-whole-fuzz wall times a campaign repeats hundreds of times — slowed down by
-more than the threshold. Other series are reported but never gate: they are
-too small/noisy for shared CI runners.
+*guarded* series — BM_FullMission, BM_FuzzMission and BM_FuzzMissionParallel:
+the whole-mission and whole-fuzz wall times a campaign repeats hundreds of
+times, serial and eval-pooled — slowed down by more than the threshold. Other
+series are reported but never gate: they are too small/noisy for shared CI
+runners.
 
 Repetitions of the same benchmark name are reduced to the median, which is
 what google-benchmark itself recommends comparing.
@@ -19,7 +20,7 @@ import json
 import statistics
 import sys
 
-GUARDED_PREFIXES = ("BM_FullMission", "BM_FuzzMission")
+GUARDED_PREFIXES = ("BM_FullMission", "BM_FuzzMission", "BM_FuzzMissionParallel")
 THRESHOLD = 0.25  # fail on >25% slowdown of a guarded benchmark
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

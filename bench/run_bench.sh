@@ -4,9 +4,9 @@
 # were built into ./build (cmake -B build -S . && cmake --build build -j).
 #
 # Compare against a saved baseline with bench/compare_bench.py to catch
-# hot-path regressions; the headline series are BM_FullMission and
-# BM_FuzzMission (whole-mission wall time, the units a fuzzing campaign
-# repeats hundreds of times).
+# hot-path regressions; the headline series are BM_FullMission, BM_FuzzMission
+# and BM_FuzzMissionParallel (whole-mission wall time, serial and eval-pooled,
+# the units a fuzzing campaign repeats hundreds of times).
 set -eu
 
 repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"

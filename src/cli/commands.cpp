@@ -90,6 +90,10 @@ int cmd_fuzz(const util::Options& options) {
   config.checkpoint_period = options.get_double("checkpoint-period", 1.0);
   config.mission_timeout_s = options.get_double("mission-timeout", 0.0);
   config.eval_max_steps = options.get_int("eval-max-steps", 0);
+  // --eval-threads=N fans the gradient search's evaluation batches out over
+  // N worker threads (0 = hardware concurrency); results are bit-identical
+  // to --eval-threads=1.
+  config.eval_threads = options.get_int("eval-threads", 1);
   auto fuzzer = fuzz::make_fuzzer(fuzzer_kind_from(options), config,
                                   make_controller(options.get("controller", "")));
   const fuzz::FuzzResult result = fuzzer->fuzz(mission);
@@ -104,6 +108,14 @@ int cmd_fuzz(const util::Options& options) {
   std::printf("%s: %d iterations, %d simulations, mission VDO %.2f m\n",
               fuzzer->name().data(), result.iterations, result.simulations,
               result.mission_vdo);
+  if (result.eval_parallelism > 1) {
+    std::printf("  eval parallelism  %d threads, %d batches\n",
+                result.eval_parallelism, result.eval_batches);
+  }
+  if (result.no_seeds) {
+    std::printf("no seeds: SVG scheduling found no target-victim pairs\n");
+    return 0;
+  }
   if (!result.found) {
     std::printf("no SPV found: mission resilient at %.0f m spoofing\n",
                 config.spoof_distance);
@@ -125,6 +137,10 @@ int cmd_campaign(const util::Options& options) {
   config.num_missions = options.get_int("missions", 30);
   config.base_seed = static_cast<std::uint64_t>(options.get_int("seed", 1000));
   config.num_threads = options.get_int("threads", 0);
+  // 0 = auto: run_campaign splits the hardware between mission workers and
+  // per-worker eval threads (workers x eval threads <= hardware); an
+  // explicit value is clamped to that budget.
+  config.fuzzer.eval_threads = options.get_int("eval-threads", 0);
   config.kind = fuzzer_kind_from(options);
   // Fault containment: --mission-timeout bounds one mission's wall clock,
   // --eval-max-steps bounds each simulation's ticks; tripping either (or any
@@ -214,6 +230,10 @@ int cmd_campaign(const util::Options& options) {
                 100.0 * static_cast<double>(reused) /
                     static_cast<double>(executed + reused),
                 static_cast<long long>(executed + reused));
+  }
+  if (result.num_no_seeds() > 0) {
+    std::printf("  no-seed missions  %d (SVG scheduling found nothing to fuzz)\n",
+                result.num_no_seeds());
   }
   if (result.num_faulted() > 0) {
     std::printf(
@@ -310,9 +330,13 @@ int print_usage() {
       "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
       "             [--no-prefix-reuse] [--checkpoint-period=S]\n"
       "             [--mission-timeout=S] [--eval-max-steps=N]\n"
+      "             [--eval-threads=N] (parallel batch evaluation, 0 = all\n"
+      "             cores; bit-identical results for any N)\n"
       "  campaign   evaluate a configuration over many missions\n"
       "             [--telemetry=FILE] [--checkpoint=FILE [--resume]]\n"
       "             [--progress=false] [--no-prefix-reuse] [--checkpoint-period=S]\n"
+      "             [--eval-threads=N] (per-worker eval threads; 0 = auto-split\n"
+      "             so workers x eval threads <= hardware)\n"
       "             [--summary=FILE] (atomic JSON report)\n"
       "             fault containment: [--mission-timeout=S] (wall-clock budget\n"
       "             per mission) [--eval-max-steps=N] (sim-step budget per\n"

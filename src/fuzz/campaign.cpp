@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fuzz/eval_pool.h"
 #include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
@@ -64,6 +65,27 @@ int CampaignResult::fault_count(sim::FaultKind kind) const {
     if (o.completed && o.fault == kind) ++count;
   }
   return count;
+}
+
+int CampaignResult::num_no_seeds() const {
+  int count = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.completed && o.result.no_seeds) ++count;
+  }
+  return count;
+}
+
+double CampaignResult::avg_attempts_all() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const MissionOutcome& o : outcomes) {
+    if (o.completed && !o.result.clean_run_failed &&
+        o.fault == sim::FaultKind::kNone) {
+      sum += o.result.attempts_tried;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
 }
 
 double CampaignResult::avg_iterations_successful() const {
@@ -317,27 +339,29 @@ bool attempts_equal(const SeedAttempt& a, const SeedAttempt& b) noexcept {
 
 }  // namespace
 
+bool deterministic_equal(const FuzzResult& a, const FuzzResult& b) noexcept {
+  if (a.clean_run_failed != b.clean_run_failed || a.found != b.found ||
+      a.victim != b.victim || a.victim_vdo != b.victim_vdo ||
+      a.iterations != b.iterations || a.simulations != b.simulations ||
+      a.mission_vdo != b.mission_vdo ||
+      a.clean_mission_time != b.clean_mission_time ||
+      a.attempts_tried != b.attempts_tried || a.no_seeds != b.no_seeds ||
+      !plans_equal(a.plan, b.plan) || a.attempts.size() != b.attempts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.attempts.size(); ++i) {
+    if (!attempts_equal(a.attempts[i], b.attempts[i])) return false;
+  }
+  return true;
+}
+
 bool deterministic_equal(const MissionOutcome& a,
                          const MissionOutcome& b) noexcept {
   if (a.mission_index != b.mission_index || a.completed != b.completed ||
       a.mission_seed != b.mission_seed || a.fault != b.fault) {
     return false;
   }
-  const FuzzResult& ra = a.result;
-  const FuzzResult& rb = b.result;
-  if (ra.clean_run_failed != rb.clean_run_failed || ra.found != rb.found ||
-      ra.victim != rb.victim || ra.victim_vdo != rb.victim_vdo ||
-      ra.iterations != rb.iterations || ra.simulations != rb.simulations ||
-      ra.mission_vdo != rb.mission_vdo ||
-      ra.clean_mission_time != rb.clean_mission_time ||
-      !plans_equal(ra.plan, rb.plan) ||
-      ra.attempts.size() != rb.attempts.size()) {
-    return false;
-  }
-  for (size_t i = 0; i < ra.attempts.size(); ++i) {
-    if (!attempts_equal(ra.attempts[i], rb.attempts[i])) return false;
-  }
-  return true;
+  return deterministic_equal(a.result, b.result);
 }
 
 bool deterministic_equal(const CampaignResult& a,
@@ -451,6 +475,26 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                     : static_cast<int>(std::thread::hardware_concurrency());
   threads = std::clamp(threads, 1, config.num_missions);
 
+  // Mission workers and per-worker eval threads share one hardware budget:
+  // workers x eval threads <= hardware concurrency. An explicit over-budget
+  // --eval-threads is clamped (with a warning) rather than oversubscribing;
+  // 0 = auto splits whatever the workers leave free. eval_threads does not
+  // affect outcomes (Objective::evaluate_batch is bit-identical for any
+  // value), so it is excluded from campaign_config_hash and checkpoint
+  // validation.
+  FuzzerConfig worker_fuzzer = config.fuzzer;
+  const int hardware =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  worker_fuzzer.eval_threads =
+      split_eval_threads(threads, config.fuzzer.eval_threads, hardware);
+  if (config.fuzzer.eval_threads > worker_fuzzer.eval_threads) {
+    SWARMFUZZ_WARN(
+        "campaign: clamping eval threads {} -> {} ({} mission workers on {} "
+        "hardware threads)",
+        config.fuzzer.eval_threads, worker_fuzzer.eval_threads, threads,
+        hardware);
+  }
+
   const auto campaign_start = std::chrono::steady_clock::now();
   std::atomic<int> next{0};
   std::atomic<int> completed{resumed};
@@ -486,7 +530,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       if (injected != nullptr && fault_attempt < injected->fail_attempts) {
         // One-off fuzzer with the injection armed, so the shared worker
         // fuzzer stays pristine for every other mission.
-        FuzzerConfig armed_config = config.fuzzer;
+        FuzzerConfig armed_config = worker_fuzzer;
         armed_config.fault_injection = injected->injection;
         armed = make_fuzzer(config.kind, armed_config,
                             config.controller_factory ? config.controller_factory()
@@ -549,7 +593,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       auto controller =
           config.controller_factory ? config.controller_factory() : nullptr;
       const std::unique_ptr<Fuzzer> fuzzer =
-          make_fuzzer(config.kind, config.fuzzer, std::move(controller));
+          make_fuzzer(config.kind, worker_fuzzer, std::move(controller));
       while (true) {
         if (aborted.load()) break;  // fail-fast tripped elsewhere
         const int index = next.fetch_add(1);

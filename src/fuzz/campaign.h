@@ -151,6 +151,16 @@ struct CampaignResult {
   [[nodiscard]] int num_faulted() const;
   [[nodiscard]] int fault_count(sim::FaultKind kind) const;
 
+  // Missions whose seed scheduling produced nothing to fuzz (FuzzResult::
+  // no_seeds) — zero-iteration runs that would otherwise masquerade as
+  // cheap failures in the success-rate denominator.
+  [[nodiscard]] int num_no_seeds() const;
+
+  // Average attempts actually tried (seeds searched / parameter draws) over
+  // fuzzable missions; unlike attempts.size() this is unaffected by the
+  // failed-attempt recording cap.
+  [[nodiscard]] double avg_attempts_all() const;
+
   // Average search iterations: over successful missions only (Table II's
   // "iterations taken to find SPVs") and over all fuzzable missions.
   [[nodiscard]] double avg_iterations_successful() const;
@@ -190,6 +200,13 @@ struct CampaignResult {
 // thread-count independence, checkpoint/resume, and prefix reuse: an
 // interrupted-and-resumed campaign — or one re-run with --no-prefix-reuse —
 // must compare equal to an uninterrupted one.
+// The FuzzResult overload is what the parallel-evaluation golden tests
+// assert: a search run with --eval-threads N must compare equal to the
+// serial run (eval_batches/eval_parallelism are performance accounting,
+// excluded like the step counters; attempts_tried/no_seeds are search
+// state, included).
+[[nodiscard]] bool deterministic_equal(const FuzzResult& a,
+                                       const FuzzResult& b) noexcept;
 [[nodiscard]] bool deterministic_equal(const MissionOutcome& a,
                                        const MissionOutcome& b) noexcept;
 [[nodiscard]] bool deterministic_equal(const CampaignResult& a,

@@ -1,0 +1,115 @@
+// Deterministic parallel evaluation engine for the fuzzing search.
+//
+// The gradient search submits its independent simulations — the multi-start
+// candidates and each iteration's FD stencil — as batches; the pool fans a
+// batch out over worker threads and hands every outcome back in job order.
+// Each worker owns its own Simulator + FlockingControlSystem clone (the only
+// mutable per-run state), and all workers resume from the same read-only
+// PrefixCache, so a batch's simulations are bit-identical to the serial
+// runs they replace. Determinism is then the *caller's* contract: Objective
+// replays pool outcomes in submission order and commits (memo, counters)
+// only the prefix a serial run would have consumed (see objective.h).
+//
+// This is the find-then-batch shape CGF engines use to saturate cores
+// (AFL's fork-server/persistent modes); PR 3's prefix reuse made each
+// evaluation cheap, the pool makes independent evaluations concurrent.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "fuzz/objective.h"
+
+namespace swarmfuzz::fuzz {
+
+// Per-worker eval-thread budget when `workers` campaign workers share
+// `hardware` cores: `requested <= 0` is auto (hardware / workers, floored),
+// explicit requests are clamped so workers * eval_threads <= hardware.
+// Always returns >= 1.
+[[nodiscard]] int split_eval_threads(int workers, int requested,
+                                     int hardware) noexcept;
+
+class EvalPool {
+ public:
+  // One (already projected) candidate of a batch.
+  struct Job {
+    double t_start = 0.0;
+    double duration = 0.0;
+  };
+
+  // Outcome of one job: either an evaluation plus its step accounting, or
+  // the exception the simulation raised (watchdog trip, sentinel, ...).
+  struct JobResult {
+    ObjectiveEval eval{};
+    std::int64_t steps_executed = 0;
+    std::int64_t steps_resumed = 0;
+    std::exception_ptr error;
+  };
+
+  // Everything a batch's jobs share. All pointers are borrowed and must
+  // outlive the evaluate() call; `prefix` is only ever read (concurrent
+  // lookups are safe — see PrefixCache).
+  struct BatchContext {
+    const sim::MissionSpec* mission = nullptr;
+    Seed seed{};
+    double spoof_distance = 0.0;
+    const PrefixCache* prefix = nullptr;
+    const EvalGuards* guards = nullptr;
+  };
+
+  // Spawns `threads` persistent workers (clamped to >= 1); with one thread
+  // no workers are spawned and evaluate() runs inline on the caller.
+  EvalPool(const sim::SimulationConfig& sim,
+           std::shared_ptr<const swarm::SwarmController> controller,
+           const swarm::CommConfig& comm, int threads);
+  ~EvalPool();
+
+  EvalPool(const EvalPool&) = delete;
+  EvalPool& operator=(const EvalPool&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  // Evaluates every job of the batch (concurrently when workers exist) and
+  // returns the outcomes in job order. Blocking; one batch in flight at a
+  // time per pool. Exceptions are captured per job, never thrown from here.
+  [[nodiscard]] std::vector<JobResult> evaluate(const BatchContext& context,
+                                                std::span<const Job> jobs);
+
+ private:
+  void worker_loop();
+  static void run_job(const sim::Simulator& simulator,
+                      swarm::FlockingControlSystem& system,
+                      const BatchContext& context, const Job& job,
+                      JobResult& out) noexcept;
+
+  sim::SimulationConfig sim_config_;
+  std::shared_ptr<const swarm::SwarmController> controller_;
+  swarm::CommConfig comm_;
+  int threads_ = 1;
+
+  // Batch handoff: evaluate() publishes the batch under the mutex and bumps
+  // `generation_`; workers claim job indices via the atomic cursor, write
+  // disjoint results_ slots, and the last decrement of `remaining_` (under
+  // the mutex) releases the waiting caller — so results_ reads are ordered
+  // after every worker's writes.
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const BatchContext* context_ = nullptr;
+  const Job* jobs_ = nullptr;
+  std::size_t num_jobs_ = 0;
+  std::vector<JobResult> results_;
+  std::atomic<std::size_t> next_{0};
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace swarmfuzz::fuzz

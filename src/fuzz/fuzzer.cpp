@@ -1,13 +1,20 @@
 #include "fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <thread>
 
+#include "fuzz/eval_pool.h"
 #include "fuzz/objective.h"
 #include "swarm/vasarhelyi.h"
 #include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
 namespace {
+
+// Cap on recorded failed attempts per mission (successes are always
+// recorded): keeps FuzzResult/telemetry bounded for the random fuzzers at
+// large budgets while attempts_tried still counts everything.
+constexpr std::size_t kMaxRecordedAttempts = 256;
 
 // Shared plumbing: clean run, seed scheduling, bookkeeping.
 class FuzzerBase : public Fuzzer {
@@ -19,7 +26,20 @@ class FuzzerBase : public Fuzzer {
                         ? std::move(controller)
                         : std::make_shared<swarm::VasarhelyiController>()),
         system_(controller_, config_.comm),
-        simulator_(config_.sim) {}
+        simulator_(config_.sim),
+        eval_threads_(config_.eval_threads > 0
+                          ? config_.eval_threads
+                          : static_cast<int>(std::max(
+                                1u, std::thread::hardware_concurrency()))) {
+    // An explicit eval_threads is honoured as-is (oversubscription is the
+    // caller's choice; results are identical regardless); only the 0 = auto
+    // case consults the hardware. Campaigns pre-split their budget via
+    // split_eval_threads before configuring workers.
+    if (eval_threads_ > 1) {
+      pool_ = std::make_unique<EvalPool>(config_.sim, controller_, config_.comm,
+                                         eval_threads_);
+    }
+  }
 
   FuzzResult fuzz(const sim::MissionSpec& mission) final {
     FuzzResult result;
@@ -52,6 +72,7 @@ class FuzzerBase : public Fuzzer {
     result.simulations = 1;
     result.sim_steps_executed = clean.steps_executed;
     result.clean_mission_time = clean.end_time;
+    result.eval_parallelism = eval_threads_;
     if (clean.collided) {
       // The paper's step (1): missions that fail without any attack are not
       // fuzzed.
@@ -111,6 +132,8 @@ class FuzzerBase : public Fuzzer {
   sim::Simulator simulator_;
   PrefixCache prefix_;   // clean-run checkpoints of the current mission
   EvalGuards guards_{};  // armed at fuzz() entry, shared by all evaluations
+  int eval_threads_ = 1;
+  std::unique_ptr<EvalPool> pool_;  // non-null iff eval_threads_ > 1
 };
 
 // Runs the gradient search over an ordered seed list (SwarmFuzz / G_Fuzz).
@@ -126,15 +149,18 @@ class GradientSearchFuzzer : public FuzzerBase {
       if (remaining <= 0) break;
       Objective objective(mission, simulator_, system_, seed,
                           config_.spoof_distance, clean.end_time,
-                          config_.prefix_reuse ? &prefix_ : nullptr, &guards_);
+                          config_.prefix_reuse ? &prefix_ : nullptr, &guards_,
+                          pool_.get());
       const std::vector<StartPoint> starts = initial_guesses(clean, seed);
       const OptimizationResult outcome =
           optimize(objective, starts, std::min(remaining, config_.per_seed_budget),
                    config_.optimizer);
+      ++result.attempts_tried;
       result.iterations += outcome.iterations;
       result.simulations += objective.evaluations();
       result.sim_steps_executed += objective.sim_steps_executed();
       result.prefix_steps_reused += objective.prefix_steps_reused();
+      result.eval_batches += objective.eval_batches();
       result.attempts.push_back(SeedAttempt{seed, outcome});
       if (outcome.success) {
         record_success(result, seed, outcome, clean);
@@ -155,6 +181,13 @@ class SwarmFuzzer final : public GradientSearchFuzzer {
     std::vector<Seed> seeds = schedule_seeds(clean, mission, system_,
                                              config_.spoof_distance, config_.seeds);
     SWARMFUZZ_DEBUG("SwarmFuzz: {} scheduled seeds", seeds.size());
+    if (seeds.empty()) {
+      SWARMFUZZ_WARN(
+          "SwarmFuzz: seed scheduling produced no seeds for mission seed {}; "
+          "nothing fuzzed", mission.seed);
+      result.no_seeds = true;
+      return;
+    }
     search_seeds(mission, clean, std::move(seeds), result);
   }
 };
@@ -215,17 +248,23 @@ class RandomSearchFuzzer : public FuzzerBase {
     const double dt = rng.uniform(0.0, clean.end_time - t_s);
     const ObjectiveEval eval = objective.evaluate(t_s, dt);
     ++result.iterations;
+    ++result.attempts_tried;
     result.simulations += objective.evaluations();
     result.sim_steps_executed += objective.sim_steps_executed();
     result.prefix_steps_reused += objective.prefix_steps_reused();
-    if (eval.success) {
-      const OptimizationResult outcome{.success = true,
-                                       .t_start = t_s,
-                                       .duration = dt,
-                                       .best_f = eval.f,
-                                       .crashed_drone = eval.crashed_drone,
-                                       .iterations = 1};
+    const OptimizationResult outcome{.success = eval.success,
+                                     .t_start = t_s,
+                                     .duration = dt,
+                                     .best_f = eval.f,
+                                     .crashed_drone = eval.crashed_drone,
+                                     .iterations = 1};
+    // Failed draws are recorded too (capped) so R_Fuzz/S_Fuzz telemetry and
+    // the ablation report see every attempt, not just the winning one;
+    // successes always record.
+    if (eval.success || result.attempts.size() < kMaxRecordedAttempts) {
       result.attempts.push_back(SeedAttempt{seed, outcome});
+    }
+    if (eval.success) {
       record_success(result, seed, outcome, clean);
       return true;
     }
@@ -274,7 +313,15 @@ class SvgOnlyFuzzer final : public RandomSearchFuzzer {
                   FuzzResult& result) override {
     const std::vector<Seed> seeds = schedule_seeds(
         clean, mission, system_, config_.spoof_distance, config_.seeds);
-    if (seeds.empty()) return;
+    if (seeds.empty()) {
+      // Without the marker this mission is indistinguishable from a
+      // zero-cost success-free run in campaign summaries.
+      SWARMFUZZ_WARN(
+          "S_Fuzz: seed scheduling produced no seeds for mission seed {}; "
+          "nothing fuzzed", mission.seed);
+      result.no_seeds = true;
+      return;
+    }
     math::Rng rng = rng_.split(mission.seed);
     size_t index = 0;
     while (result.iterations < config_.mission_budget) {

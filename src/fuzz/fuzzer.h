@@ -52,6 +52,15 @@ struct FuzzerConfig {
   // way (see sim/checkpoint.h); off only for benchmarking/debugging.
   bool prefix_reuse = true;
   double checkpoint_period = 1.0;
+  // Eval-thread count for the gradient search's batch evaluations (the
+  // multi-start candidates and each iteration's FD stencil): 1 (default)
+  // evaluates serially, N > 1 fans batches out over an EvalPool of N worker
+  // threads, 0 resolves to the hardware concurrency. Results are
+  // bit-identical for any value (see Objective::evaluate_batch); campaigns
+  // split the machine between mission workers and eval threads
+  // (fuzz::split_eval_threads) so workers x eval threads stays within the
+  // hardware.
+  int eval_threads = 1;
   // Fault containment (see sim/fault.h and DESIGN.md section 11). The
   // wall-clock budget covers one whole fuzz() call — the clean run and every
   // objective evaluation share the same absolute deadline — so a mission
@@ -80,11 +89,23 @@ struct FuzzResult {
   int simulations = 0;            // total mission simulations (incl. stencil)
   double mission_vdo = 0.0;       // min over drones of clean-run VDO
   double clean_mission_time = 0.0;
+  // Search-state accounting (part of deterministic_equal, unlike the
+  // performance counters below): attempts actually tried — seeds searched
+  // by the gradient fuzzers, parameter draws by the random ones — which can
+  // exceed attempts.size() once the recording cap kicks in, and whether
+  // seed scheduling came up empty (a mission that *looks* like a zero-cost
+  // success-free run but was never fuzzed at all).
+  int attempts_tried = 0;
+  bool no_seeds = false;
   // Performance accounting (not part of the search outcome, and excluded
   // from deterministic_equal like wall time): control ticks simulated vs
-  // skipped by resuming from clean-run prefix checkpoints.
+  // skipped by resuming from clean-run prefix checkpoints, plus the batch
+  // count submitted to the parallel evaluation engine and the eval-thread
+  // count it ran with.
   std::int64_t sim_steps_executed = 0;
   std::int64_t prefix_steps_reused = 0;
+  int eval_batches = 0;
+  int eval_parallelism = 1;
   std::vector<SeedAttempt> attempts;
 };
 

@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "fuzz/eval_pool.h"
+
 namespace swarmfuzz::fuzz {
+
+void ObjectiveFunction::evaluate_batch(std::span<const EvalRequest> batch,
+                                       const BatchConsumer& consume) {
+  // Lazy serial default: an entry is only evaluated once every earlier
+  // entry was consumed, so implementations without a pool behave exactly
+  // like the pre-batching caller-driven loop (same evaluation counts).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!consume(i, evaluate(batch[i].t_start, batch[i].duration))) {
+      return;
+    }
+  }
+}
 
 void PrefixCache::on_checkpoint(sim::SimulationCheckpoint&& checkpoint) {
   if (!checkpoints_.empty() && checkpoint.time <= checkpoints_.back().time) {
@@ -31,10 +46,88 @@ const sim::SimulationCheckpoint* PrefixCache::latest_at_or_before(
   return best;
 }
 
+AttackEvalOutcome evaluate_attack(const sim::MissionSpec& mission,
+                                  const sim::Simulator& simulator,
+                                  swarm::FlockingControlSystem& system,
+                                  const Seed& seed, double spoof_distance,
+                                  const PrefixCache* prefix,
+                                  const EvalGuards* guards, double t_start,
+                                  double duration) {
+  const attack::SpoofingPlan plan{
+      .target = seed.target,
+      .direction = seed.direction,
+      .start_time = t_start,
+      .duration = duration,
+      .distance = spoof_distance,
+  };
+  const attack::GpsSpoofer spoofer(plan, mission);
+
+  // Until t_start the attacked run is bit-identical to the clean run, so a
+  // clean-run checkpoint taken at or before t_start is a valid prefix.
+  const sim::SimulationCheckpoint* resume =
+      prefix != nullptr ? prefix->latest_at_or_before(t_start) : nullptr;
+  if (resume != nullptr && prefix->source() == nullptr) {
+    throw std::logic_error(
+        "Objective: prefix cache has checkpoints but no source recorder; "
+        "call PrefixCache::set_source(clean.recorder) after the clean run");
+  }
+  sim::RunHooks hooks;
+  hooks.spoofer = &spoofer;
+  if (resume != nullptr) {
+    hooks.resume_from = resume;
+    hooks.resume_recorder = prefix->source();
+  }
+  if (guards != nullptr) {
+    hooks.watchdog = guards->watchdog;
+    hooks.inject_fault = guards->inject;
+  }
+  const sim::RunResult run = simulator.run(mission, system, hooks);
+
+  AttackEvalOutcome out;
+  out.steps_executed = run.steps_executed;
+  out.steps_resumed = run.steps_resumed;
+  out.eval.end_time = run.end_time;
+  out.eval.f =
+      run.recorder.min_obstacle_distance(seed.victim) - mission.drone_radius;
+  // +inf is legitimate (obstacle-free victim path); NaN means the recorder
+  // ingested a non-finite sample the sentinel somehow let through — surface
+  // it as a fault rather than feeding NaN to the optimizer's comparisons.
+  if (std::isnan(out.eval.f)) {
+    throw sim::RunFaultError(
+        sim::RunFault{.kind = sim::FaultKind::kNumericalDivergence,
+                      .time = run.end_time,
+                      .drone = seed.victim,
+                      .detail = "objective value is NaN"});
+  }
+  if (run.first_collision) {
+    const sim::CollisionEvent& event = *run.first_collision;
+    const bool involves_target =
+        event.drone == seed.target ||
+        (event.kind == sim::CollisionKind::kDroneDrone && event.other == seed.target);
+    if (event.kind == sim::CollisionKind::kDroneObstacle && !involves_target) {
+      // Success per the paper's metric: a victim drone (any swarm member
+      // other than the target) crashed into the on-path obstacle.
+      out.eval.success = true;
+      out.eval.crashed_drone = event.drone;
+      if (event.drone != seed.victim) {
+        // Another drone than the scheduled victim crashed; reflect that in f
+        // so the optimizer sees the success.
+        out.eval.f = std::min(
+            out.eval.f,
+            run.recorder.min_obstacle_distance(event.drone) - mission.drone_radius);
+      }
+    } else {
+      out.eval.target_caused = involves_target;
+    }
+  }
+  return out;
+}
+
 Objective::Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
                      swarm::FlockingControlSystem& system, Seed seed,
                      double spoof_distance, double t_mission,
-                     const PrefixCache* prefix, const EvalGuards* guards)
+                     const PrefixCache* prefix, const EvalGuards* guards,
+                     EvalPool* pool)
     : mission_(mission),
       simulator_(simulator),
       system_(system),
@@ -42,7 +135,8 @@ Objective::Objective(const sim::MissionSpec& mission, const sim::Simulator& simu
       spoof_distance_(spoof_distance),
       t_mission_(t_mission),
       prefix_(prefix),
-      guards_(guards) {
+      guards_(guards),
+      pool_(pool) {
   if (seed.target < 0 || seed.target >= mission.num_drones() || seed.victim < 0 ||
       seed.victim >= mission.num_drones() || seed.target == seed.victim) {
     throw std::invalid_argument("Objective: invalid seed pair");
@@ -68,75 +162,94 @@ ObjectiveEval Objective::evaluate(double t_start, double duration) {
     return it->second;
   }
 
-  const attack::SpoofingPlan plan{
-      .target = seed_.target,
-      .direction = seed_.direction,
-      .start_time = t_start,
-      .duration = duration,
-      .distance = spoof_distance_,
-  };
-  const attack::GpsSpoofer spoofer(plan, mission_);
-
-  // Until t_start the attacked run is bit-identical to the clean run, so a
-  // clean-run checkpoint taken at or before t_start is a valid prefix.
-  const sim::SimulationCheckpoint* resume =
-      prefix_ != nullptr ? prefix_->latest_at_or_before(t_start) : nullptr;
-  if (resume != nullptr && prefix_->source() == nullptr) {
-    throw std::logic_error(
-        "Objective: prefix cache has checkpoints but no source recorder; "
-        "call PrefixCache::set_source(clean.recorder) after the clean run");
-  }
-  sim::RunHooks hooks;
-  hooks.spoofer = &spoofer;
-  if (resume != nullptr) {
-    hooks.resume_from = resume;
-    hooks.resume_recorder = prefix_->source();
-  }
-  if (guards_ != nullptr) {
-    hooks.watchdog = guards_->watchdog;
-    hooks.inject_fault = guards_->inject;
-  }
-  const sim::RunResult run = simulator_.run(mission_, system_, hooks);
+  const AttackEvalOutcome out =
+      evaluate_attack(mission_, simulator_, system_, seed_, spoof_distance_,
+                      prefix_, guards_, t_start, duration);
   ++evaluations_;
-  sim_steps_executed_ += run.steps_executed;
-  prefix_steps_reused_ += run.steps_resumed;
+  sim_steps_executed_ += out.steps_executed;
+  prefix_steps_reused_ += out.steps_resumed;
+  memo_.emplace(key, out.eval);
+  return out.eval;
+}
 
-  ObjectiveEval eval;
-  eval.end_time = run.end_time;
-  eval.f = run.recorder.min_obstacle_distance(seed_.victim) - mission_.drone_radius;
-  // +inf is legitimate (obstacle-free victim path); NaN means the recorder
-  // ingested a non-finite sample the sentinel somehow let through — surface
-  // it as a fault rather than feeding NaN to the optimizer's comparisons.
-  if (std::isnan(eval.f)) {
-    throw sim::RunFaultError(
-        sim::RunFault{.kind = sim::FaultKind::kNumericalDivergence,
-                      .time = run.end_time,
-                      .drone = seed_.victim,
-                      .detail = "objective value is NaN"});
+void Objective::evaluate_batch(std::span<const EvalRequest> batch,
+                               const BatchConsumer& consume) {
+  ++eval_batches_;
+  if (pool_ == nullptr || pool_->threads() <= 1 || batch.size() <= 1) {
+    ObjectiveFunction::evaluate_batch(batch, consume);
+    return;
   }
-  if (run.first_collision) {
-    const sim::CollisionEvent& event = *run.first_collision;
-    const bool involves_target =
-        event.drone == seed_.target ||
-        (event.kind == sim::CollisionKind::kDroneDrone && event.other == seed_.target);
-    if (event.kind == sim::CollisionKind::kDroneObstacle && !involves_target) {
-      // Success per the paper's metric: a victim drone (any swarm member
-      // other than the target) crashed into the on-path obstacle.
-      eval.success = true;
-      eval.crashed_drone = event.drone;
-      if (event.drone != seed_.victim) {
-        // Another drone than the scheduled victim crashed; reflect that in f
-        // so the optimizer sees the success.
-        eval.f = std::min(
-            eval.f,
-            run.recorder.min_obstacle_distance(event.drone) - mission_.drone_radius);
-      }
+
+  // Speculative fan-out: simulate every non-memoised candidate concurrently
+  // (including entries a serial run might never reach), then replay in
+  // submission order and commit — counter increments, memo inserts — only
+  // the prefix the consumer accepts. Discarded speculative work touches no
+  // observable state, so evaluations()/memo_hits()/memo contents match the
+  // serial path bit for bit.
+  constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
+  struct Candidate {
+    double t_start = 0.0;
+    double duration = 0.0;
+    std::pair<std::uint64_t, std::uint64_t> key{};
+    std::size_t job = kNoJob;
+  };
+  std::vector<Candidate> candidates(batch.size());
+  std::vector<EvalPool::Job> jobs;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> queued;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Candidate& c = candidates[i];
+    c.t_start = batch[i].t_start;
+    c.duration = batch[i].duration;
+    project(c.t_start, c.duration);
+    c.key = {std::bit_cast<std::uint64_t>(c.t_start),
+             std::bit_cast<std::uint64_t>(c.duration)};
+    if (memo_.contains(c.key)) {
+      continue;  // replay will serve it as a memo hit
+    }
+    // Duplicate keys within the batch simulate once; during replay the
+    // first occurrence commits the memo entry and later ones hit it,
+    // exactly as serial evaluation would.
+    const auto [it, inserted] = queued.try_emplace(c.key, jobs.size());
+    if (inserted) {
+      jobs.push_back({.t_start = c.t_start, .duration = c.duration});
+    }
+    c.job = it->second;
+  }
+
+  std::vector<EvalPool::JobResult> results;
+  if (!jobs.empty()) {
+    const EvalPool::BatchContext context{.mission = &mission_,
+                                         .seed = seed_,
+                                         .spoof_distance = spoof_distance_,
+                                         .prefix = prefix_,
+                                         .guards = guards_};
+    results = pool_->evaluate(context, jobs);
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Candidate& c = candidates[i];
+    ObjectiveEval eval;
+    if (const auto it = memo_.find(c.key); it != memo_.end()) {
+      ++memo_hits_;
+      eval = it->second;
     } else {
-      eval.target_caused = involves_target;
+      EvalPool::JobResult& r = results[c.job];
+      if (r.error) {
+        // Rethrown at the entry's replay position: everything committed so
+        // far matches the serial run, and the exception aborts the search
+        // before any counter becomes externally observable.
+        std::rethrow_exception(r.error);
+      }
+      ++evaluations_;
+      sim_steps_executed_ += r.steps_executed;
+      prefix_steps_reused_ += r.steps_resumed;
+      memo_.emplace(c.key, r.eval);
+      eval = r.eval;
+    }
+    if (!consume(i, eval)) {
+      return;
     }
   }
-  memo_.emplace(key, eval);
-  return eval;
 }
 
 }  // namespace swarmfuzz::fuzz

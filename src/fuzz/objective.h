@@ -10,9 +10,12 @@
 // the clean run's checkpoints are valid prefixes for every (t_s, dt)).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -43,6 +46,19 @@ struct ObjectiveEval {
   double end_time = 0.0;
 };
 
+// One candidate of an evaluation batch (raw, pre-projection coordinates —
+// evaluate_batch projects exactly like evaluate does).
+struct EvalRequest {
+  double t_start = 0.0;
+  double duration = 0.0;
+};
+
+// Receives batch results replayed in submission order: called once per
+// entry with the entry's index and its evaluation. Return false to stop —
+// later entries are then discarded without touching any observable state,
+// exactly as a serial caller that stopped issuing evaluate() calls.
+using BatchConsumer = std::function<bool(std::size_t, const ObjectiveEval&)>;
+
 // Abstract objective over (t_s, dt): what the gradient search minimises.
 // Split from the simulator-backed Objective so the optimizer can be tested
 // (and reused) against synthetic landscapes.
@@ -52,6 +68,16 @@ class ObjectiveFunction {
   [[nodiscard]] virtual ObjectiveEval evaluate(double t_start, double duration) = 0;
   // Clamps (t_s, dt) into the feasible region.
   virtual void project(double& t_start, double& duration) const = 0;
+
+  // Evaluates a batch of independent candidates and replays the outcomes
+  // through `consume` in submission order. The default is a lazy serial
+  // loop (evaluate each entry only when the previous consume returned
+  // true), so for any implementation the observable behaviour — results,
+  // evaluation counts, memoisation — is that of the equivalent sequence of
+  // evaluate() calls; overrides may evaluate speculatively in parallel but
+  // must preserve that contract (see Objective::evaluate_batch).
+  virtual void evaluate_batch(std::span<const EvalRequest> batch,
+                              const BatchConsumer& consume);
 };
 
 // Collects the clean run's checkpoints, ordered by capture time. One cache
@@ -59,8 +85,10 @@ class ObjectiveFunction {
 // of that mission (any target-victim pair) can resume from it. After the
 // clean run finishes, hand its recorder to set_source(): checkpoints store
 // only accumulator state, and resume rebuilds each prefix's trajectory
-// samples from the source recorder (see sim/recorder.h). Not thread-safe;
-// confine to one fuzzing worker like the Objective itself.
+// samples from the source recorder (see sim/recorder.h). Populate from one
+// thread (on_checkpoint/set_source/clear are not synchronised); once
+// populated, the const lookups (latest_at_or_before/source) are safe to
+// call concurrently — EvalPool workers share one cache this way.
 class PrefixCache final : public sim::CheckpointSink {
  public:
   void on_checkpoint(sim::SimulationCheckpoint&& checkpoint) override;
@@ -89,6 +117,27 @@ class PrefixCache final : public sim::CheckpointSink {
   std::optional<sim::Recorder> source_;
 };
 
+class EvalPool;
+
+// Result of one attack simulation, before any Objective bookkeeping.
+struct AttackEvalOutcome {
+  ObjectiveEval eval{};
+  std::int64_t steps_executed = 0;
+  std::int64_t steps_resumed = 0;
+};
+
+// Runs one attacked mission for the (already projected) spoofing window:
+// the stateless core of Objective::evaluate, also executed by EvalPool
+// workers against their own simulator/system clones. Mutates only `system`
+// (each caller must own its clone); `prefix` is only read. Throws
+// sim::RunFaultError on guard trips or numerical divergence and
+// std::logic_error on a prefix cache with checkpoints but no source.
+[[nodiscard]] AttackEvalOutcome evaluate_attack(
+    const sim::MissionSpec& mission, const sim::Simulator& simulator,
+    swarm::FlockingControlSystem& system, const Seed& seed,
+    double spoof_distance, const PrefixCache* prefix, const EvalGuards* guards,
+    double t_start, double duration);
+
 // Evaluates attacked missions for a fixed seed. Not thread-safe (owns the
 // control system it mutates); create one per worker.
 class Objective final : public ObjectiveFunction {
@@ -98,13 +147,27 @@ class Objective final : public ObjectiveFunction {
   // (optional, borrowed) supplies clean-run checkpoints for prefix reuse;
   // results are bit-identical with or without it. `guards` (optional,
   // borrowed) bounds each evaluation's execution; a tripped guard raises
-  // sim::RunFaultError from evaluate().
+  // sim::RunFaultError from evaluate(). `pool` (optional, borrowed) lets
+  // evaluate_batch() fan batches out over worker threads — results stay
+  // bit-identical to the serial path (see evaluate_batch).
   Objective(const sim::MissionSpec& mission, const sim::Simulator& simulator,
             swarm::FlockingControlSystem& system, Seed seed, double spoof_distance,
             double t_mission, const PrefixCache* prefix = nullptr,
-            const EvalGuards* guards = nullptr);
+            const EvalGuards* guards = nullptr, EvalPool* pool = nullptr);
 
   [[nodiscard]] ObjectiveEval evaluate(double t_start, double duration) override;
+
+  // With a pool: projects every candidate, simulates the non-memoised ones
+  // concurrently (speculatively — including entries a serial run would
+  // never reach), then replays outcomes in submission order, committing
+  // counters and memo entries only for the prefix of entries the consumer
+  // actually accepts. Evaluations, memo hits, step counters, and memo
+  // contents end up exactly as if evaluate() had been called serially until
+  // consume returned false; a captured worker exception is rethrown at its
+  // entry's replay position. Without a pool (or single-threaded, or a
+  // batch of one) this is the serial loop.
+  void evaluate_batch(std::span<const EvalRequest> batch,
+                      const BatchConsumer& consume) override;
 
   // Clamps (t_s, dt) into the feasible region 0 <= t_s, dt_min <= dt,
   // t_s + dt <= t_mission.
@@ -114,6 +177,10 @@ class Objective final : public ObjectiveFunction {
   // projected (t_s, dt) are served from the memo and do not count.
   [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
   [[nodiscard]] int memo_hits() const noexcept { return memo_hits_; }
+
+  // Batches submitted through evaluate_batch (pooled or not); equal across
+  // serial and parallel runs of the same search.
+  [[nodiscard]] int eval_batches() const noexcept { return eval_batches_; }
 
   // Control ticks simulated vs skipped by resuming from prefix checkpoints,
   // summed over all evaluations.
@@ -136,8 +203,10 @@ class Objective final : public ObjectiveFunction {
   double t_mission_;
   const PrefixCache* prefix_;
   const EvalGuards* guards_;
+  EvalPool* pool_;
   int evaluations_ = 0;
   int memo_hits_ = 0;
+  int eval_batches_ = 0;
   std::int64_t sim_steps_executed_ = 0;
   std::int64_t prefix_steps_reused_ = 0;
   // Evaluation memo keyed on the exact bits of the *projected* (t_s, dt):

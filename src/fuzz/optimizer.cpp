@@ -1,9 +1,11 @@
 #include "fuzz/optimizer.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <span>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -17,35 +19,47 @@ OptimizationResult optimize(ObjectiveFunction& objective,
   const int iterations = std::min(budget, config.max_iterations);
   if (starts.empty() || iterations <= 0) return result;
 
-  // Multi-start phase: probe every candidate once; descend from the best.
+  // Multi-start phase: probe every candidate once (submitted as one batch,
+  // evaluated concurrently when the objective has a pool); descend from the
+  // best. Replay order is submission order, so the winner — and the early
+  // return on a success — are the ones the serial loop would pick.
   double t_start = starts.front().t_start;
   double duration = starts.front().duration;
   double start_f = std::numeric_limits<double>::infinity();
+  std::vector<EvalRequest> start_batch;
+  start_batch.reserve(starts.size());
   for (const StartPoint& start : starts) {
-    if (result.iterations >= iterations) break;
-    ++result.iterations;
+    if (static_cast<int>(start_batch.size()) >= iterations) break;
     double ts = start.t_start;
     double dur = start.duration;
     objective.project(ts, dur);
-    const ObjectiveEval eval = objective.evaluate(ts, dur);
-    if (eval.f < result.best_f) {
-      result.best_f = eval.f;
-      result.t_start = ts;
-      result.duration = dur;
-    }
-    if (eval.success) {
-      result.success = true;
-      result.t_start = ts;
-      result.duration = dur;
-      result.crashed_drone = eval.crashed_drone;
-      return result;
-    }
-    if (eval.f < start_f) {
-      start_f = eval.f;
-      t_start = ts;
-      duration = dur;
-    }
+    start_batch.push_back({.t_start = ts, .duration = dur});
   }
+  objective.evaluate_batch(
+      start_batch, [&](std::size_t i, const ObjectiveEval& eval) {
+        ++result.iterations;
+        const double ts = start_batch[i].t_start;
+        const double dur = start_batch[i].duration;
+        if (eval.f < result.best_f) {
+          result.best_f = eval.f;
+          result.t_start = ts;
+          result.duration = dur;
+        }
+        if (eval.success) {
+          result.success = true;
+          result.t_start = ts;
+          result.duration = dur;
+          result.crashed_drone = eval.crashed_drone;
+          return false;
+        }
+        if (eval.f < start_f) {
+          start_f = eval.f;
+          t_start = ts;
+          duration = dur;
+        }
+        return true;
+      });
+  if (result.success) return result;
   objective.project(t_start, duration);
 
   // The first descent iteration re-evaluates the chosen start; seed the
@@ -56,60 +70,77 @@ OptimizationResult optimize(ObjectiveFunction& objective,
 
   for (int iter = result.iterations; iter < iterations; ++iter) {
     result.iterations = iter + 1;
-    const ObjectiveEval eval = objective.evaluate(t_start, duration);
-    if (eval.f < result.best_f) {
-      result.best_f = eval.f;
-      result.t_start = t_start;
-      result.duration = duration;
-    }
-    if (eval.success) {
-      result.success = true;
-      result.t_start = t_start;
-      result.duration = duration;
-      result.crashed_drone = eval.crashed_drone;
-      return result;
-    }
 
-    // Stall detection: converged to a positive minimum -> abandon the seed
-    // (the fuzzer moves on; this is what keeps SwarmFuzz's runtime ~3x below
-    // the random fuzzers in Table III).
-    if (previous_f - eval.f < config.stall_tolerance) {
-      if (++stalls >= config.stall_patience) {
-        result.stalled = true;
-        return result;
-      }
-    } else {
-      stalls = 0;
-    }
-    previous_f = eval.f;
-
-    // Central finite differences. The stencil evaluations also count toward
-    // success: if any lands on a collision we take it immediately.
+    // One batch per gradient update: the centre plus the four-point central
+    // FD stencil, all *projected up front* so each denominator below can be
+    // derived from the coordinates actually evaluated. (Projection clamps
+    // against t_mission too, so near the mission end a raw t_s + h probe is
+    // silently pulled back — dividing by the nominal 2h there mis-scales
+    // the gradient, which is the bug this layout fixes.) The stencil
+    // evaluations also count toward success: if any lands on a collision we
+    // take it immediately.
     const double h = config.fd_step;
-    const auto probe = [&](double ts, double dt) -> double {
-      const ObjectiveEval e = objective.evaluate(ts, dt);
-      if (e.success && !result.success) {
+    std::array<EvalRequest, 5> pts;
+    pts[0] = {.t_start = t_start, .duration = duration};
+    pts[1] = {.t_start = t_start + h, .duration = duration};
+    pts[2] = {.t_start = std::max(t_start - h, 0.0), .duration = duration};
+    pts[3] = {.t_start = t_start, .duration = duration + h};
+    pts[4] = {.t_start = t_start, .duration = std::max(duration - h, 0.0)};
+    for (EvalRequest& p : pts) objective.project(p.t_start, p.duration);
+
+    std::array<double, 5> f{};
+    bool stop = false;
+    objective.evaluate_batch(pts, [&](std::size_t i, const ObjectiveEval& e) {
+      f[i] = e.f;
+      if (i == 0) {
+        if (e.f < result.best_f) {
+          result.best_f = e.f;
+          result.t_start = t_start;
+          result.duration = duration;
+        }
+        if (e.success) {
+          result.success = true;
+          result.t_start = t_start;
+          result.duration = duration;
+          result.crashed_drone = e.crashed_drone;
+          stop = true;
+          return false;
+        }
+        // Stall detection: converged to a positive minimum -> abandon the
+        // seed (the fuzzer moves on; this is what keeps SwarmFuzz's runtime
+        // ~3x below the random fuzzers in Table III).
+        if (previous_f - e.f < config.stall_tolerance) {
+          if (++stalls >= config.stall_patience) {
+            result.stalled = true;
+            stop = true;
+            return false;
+          }
+        } else {
+          stalls = 0;
+        }
+        previous_f = e.f;
+        return true;
+      }
+      if (e.success) {
         result.success = true;
-        result.t_start = ts;
-        result.duration = dt;
+        result.t_start = pts[i].t_start;
+        result.duration = pts[i].duration;
         result.best_f = e.f;
         result.crashed_drone = e.crashed_drone;
+        stop = true;
+        return false;
       }
-      return e.f;
-    };
-    const double f_ts_plus = probe(t_start + h, duration);
-    if (result.success) return result;
-    const double f_ts_minus = probe(std::max(t_start - h, 0.0), duration);
-    if (result.success) return result;
-    const double f_dt_plus = probe(t_start, duration + h);
-    if (result.success) return result;
-    const double f_dt_minus = probe(t_start, std::max(duration - h, 0.0));
-    if (result.success) return result;
+      return true;
+    });
+    if (stop) return result;
 
-    const double denom_ts = t_start + h - std::max(t_start - h, 0.0);
-    const double denom_dt = duration + h - std::max(duration - h, 0.0);
-    const double grad_ts = (f_ts_plus - f_ts_minus) / std::max(denom_ts, 1e-9);
-    const double grad_dt = (f_dt_plus - f_dt_minus) / std::max(denom_dt, 1e-9);
+    // Central finite differences over the projected stencil: denominators
+    // are the distances between the points that were actually simulated,
+    // not the nominal 2h.
+    const double grad_ts =
+        (f[1] - f[2]) / std::max(pts[1].t_start - pts[2].t_start, 1e-9);
+    const double grad_dt =
+        (f[3] - f[4]) / std::max(pts[3].duration - pts[4].duration, 1e-9);
 
     const double step_ts =
         std::clamp(config.learning_rate * grad_ts, -config.max_step, config.max_step);
@@ -120,7 +151,7 @@ OptimizationResult optimize(ObjectiveFunction& objective,
     objective.project(t_start, duration);
 
     SWARMFUZZ_TRACE("opt iter={} f={:.3f} t_s={:.2f} dt={:.2f} grad=({:.3f},{:.3f})",
-                    iter, eval.f, t_start, duration, grad_ts, grad_dt);
+                    iter, f[0], t_start, duration, grad_ts, grad_dt);
 
     // Degenerate gradient: the attack window has no effect; abandon.
     if (std::abs(grad_ts) < 1e-6 && std::abs(grad_dt) < 1e-6) {

@@ -122,12 +122,19 @@ std::string format_ablation_table(const std::vector<CampaignResult>& per_fuzzer)
 
   std::vector<std::string> success{"Success rate"};
   std::vector<std::string> iterations{"Avg. iterations"};
+  std::vector<std::string> attempts{"Avg. attempts"};
   for (const CampaignResult& r : per_fuzzer) {
     success.push_back(util::format_percent(r.success_rate(), 0));
     iterations.push_back(util::format_double(r.avg_iterations_all()));
+    // attempts_tried counts every seed searched / parameter draw, so the
+    // random fuzzers compare on the same footing as the gradient ones
+    // (their recorded attempts are capped, and historically only successes
+    // were recorded at all).
+    attempts.push_back(util::format_double(r.avg_attempts_all()));
   }
   table.add_row(std::move(success));
   table.add_row(std::move(iterations));
+  table.add_row(std::move(attempts));
   return table.render("Table III: Comparison of fuzzers");
 }
 

@@ -30,6 +30,16 @@ void write_result_fields(util::JsonWriter& json, const FuzzResult& result) {
   json.value(result.iterations);
   json.key("simulations");
   json.value(result.simulations);
+  json.key("attempts_tried");
+  json.value(result.attempts_tried);
+  if (result.no_seeds) {
+    json.key("no_seeds");
+    json.value(true);
+  }
+  json.key("eval_batches");
+  json.value(result.eval_batches);
+  json.key("eval_parallelism");
+  json.value(result.eval_parallelism);
   json.key("mission_vdo");
   json.value(result.mission_vdo);
   json.key("clean_mission_time");
@@ -103,6 +113,11 @@ std::string to_json(const CampaignResult& result) {
   json.value(result.avg_iterations_all());
   json.key("avg_iterations_successful");
   json.value(result.avg_iterations_successful());
+
+  json.key("avg_attempts_all");
+  json.value(result.avg_attempts_all());
+  json.key("num_no_seeds");
+  json.value(result.num_no_seeds());
 
   json.key("num_faulted");
   json.value(result.num_faulted());

@@ -160,6 +160,14 @@ void write_result(util::JsonWriter& json, const FuzzResult& result) {
   json.value(result.sim_steps_executed);
   json.key("prefix_steps_reused");
   json.value(result.prefix_steps_reused);
+  json.key("attempts_tried");
+  json.value(result.attempts_tried);
+  json.key("no_seeds");
+  json.value(result.no_seeds);
+  json.key("eval_batches");
+  json.value(result.eval_batches);
+  json.key("eval_parallelism");
+  json.value(result.eval_parallelism);
   json.key("mission_vdo");
   json.value_exact(result.mission_vdo);
   json.key("clean_mission_time");
@@ -188,6 +196,16 @@ FuzzResult result_from(const util::JsonValue& node) {
   result.sim_steps_executed = steps != nullptr ? steps->as_int64() : 0;
   const util::JsonValue* reused = node.find("prefix_steps_reused");
   result.prefix_steps_reused = reused != nullptr ? reused->as_int64() : 0;
+  // Same treatment for the attempt/no-seeds accounting and the parallel-
+  // evaluation counters (all post-v1 additions).
+  const util::JsonValue* tried = node.find("attempts_tried");
+  result.attempts_tried = tried != nullptr ? tried->as_int() : 0;
+  const util::JsonValue* no_seeds = node.find("no_seeds");
+  result.no_seeds = no_seeds != nullptr && no_seeds->as_bool();
+  const util::JsonValue* batches = node.find("eval_batches");
+  result.eval_batches = batches != nullptr ? batches->as_int() : 0;
+  const util::JsonValue* parallelism = node.find("eval_parallelism");
+  result.eval_parallelism = parallelism != nullptr ? parallelism->as_int() : 1;
   result.mission_vdo = node.at("mission_vdo").as_double();
   result.clean_mission_time = node.at("clean_mission_time").as_double();
   result.plan = plan_from(node.at("plan"));

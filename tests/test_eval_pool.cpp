@@ -1,0 +1,225 @@
+#include "fuzz/eval_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+#include "sim/fault.h"
+#include "swarm/vasarhelyi.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// split_eval_threads: the campaign's workers/eval-threads budget split.
+
+TEST(EvalPool, SplitEvalThreadsAutoDividesHardware) {
+  EXPECT_EQ(split_eval_threads(1, 0, 8), 8);
+  EXPECT_EQ(split_eval_threads(2, 0, 8), 4);
+  EXPECT_EQ(split_eval_threads(3, 0, 8), 2);  // floor(8 / 3)
+  EXPECT_EQ(split_eval_threads(8, 0, 8), 1);
+  EXPECT_EQ(split_eval_threads(16, 0, 8), 1);  // oversubscribed workers
+}
+
+TEST(EvalPool, SplitEvalThreadsClampsExplicitRequests) {
+  EXPECT_EQ(split_eval_threads(2, 2, 8), 2);   // fits: honoured
+  EXPECT_EQ(split_eval_threads(2, 16, 8), 4);  // clamped to hardware / workers
+  EXPECT_EQ(split_eval_threads(8, 4, 8), 1);   // no headroom left
+  EXPECT_EQ(split_eval_threads(1, 4, 8), 4);
+}
+
+TEST(EvalPool, SplitEvalThreadsDegenerateInputsStaySane) {
+  EXPECT_EQ(split_eval_threads(0, 0, 0), 1);
+  EXPECT_EQ(split_eval_threads(-3, -1, -2), 1);
+  EXPECT_EQ(split_eval_threads(1, 1, 1), 1);
+}
+
+// ---------------------------------------------------------------------------
+// EvalPool: batch outcomes must match direct serial evaluation bit for bit.
+
+struct PoolFixture {
+  PoolFixture() {
+    sim_config.dt = 0.05;
+    sim_config.gps.rate_hz = 20.0;
+    sim::MissionConfig mc;
+    mc.num_drones = 5;
+    mission = sim::generate_mission(mc, 1005);
+    controller = std::make_shared<swarm::VasarhelyiController>();
+  }
+
+  sim::SimulationConfig sim_config;
+  sim::MissionSpec mission;
+  std::shared_ptr<const swarm::VasarhelyiController> controller;
+  Seed seed{.target = 0, .victim = 1,
+            .direction = attack::SpoofDirection::kRight};
+};
+
+TEST(EvalPool, BatchResultsMatchSerialEvaluation) {
+  PoolFixture f;
+  EvalPool pool(f.sim_config, f.controller, {}, 3);
+  EXPECT_EQ(pool.threads(), 3);
+
+  const std::vector<EvalPool::Job> jobs{
+      {10.0, 20.0}, {30.0, 15.0}, {5.0, 5.0}, {18.0, 12.0}};
+  const EvalPool::BatchContext context{
+      .mission = &f.mission, .seed = f.seed, .spoof_distance = 10.0};
+  const std::vector<EvalPool::JobResult> results = pool.evaluate(context, jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+
+  // Serial reference: a fresh simulator/system clone, like each worker owns.
+  const sim::Simulator simulator(f.sim_config);
+  swarm::FlockingControlSystem system(f.controller, {});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_FALSE(results[i].error) << "job " << i;
+    const AttackEvalOutcome serial =
+        evaluate_attack(f.mission, simulator, system, f.seed, 10.0, nullptr,
+                        nullptr, jobs[i].t_start, jobs[i].duration);
+    EXPECT_EQ(results[i].eval.f, serial.eval.f) << "job " << i;
+    EXPECT_EQ(results[i].eval.success, serial.eval.success);
+    EXPECT_EQ(results[i].eval.crashed_drone, serial.eval.crashed_drone);
+    EXPECT_EQ(results[i].eval.end_time, serial.eval.end_time);
+    EXPECT_EQ(results[i].steps_executed, serial.steps_executed);
+    EXPECT_EQ(results[i].steps_resumed, serial.steps_resumed);
+  }
+}
+
+TEST(EvalPool, SingleThreadRunsInlineWithoutWorkers) {
+  PoolFixture f;
+  EvalPool pool(f.sim_config, f.controller, {}, 1);
+  EXPECT_EQ(pool.threads(), 1);
+  const std::vector<EvalPool::Job> jobs{{10.0, 20.0}};
+  const EvalPool::BatchContext context{
+      .mission = &f.mission, .seed = f.seed, .spoof_distance = 10.0};
+  const auto results = pool.evaluate(context, jobs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].error);
+  EXPECT_GT(results[0].steps_executed, 0);
+}
+
+TEST(EvalPool, EmptyBatchReturnsEmpty) {
+  PoolFixture f;
+  EvalPool pool(f.sim_config, f.controller, {}, 2);
+  const EvalPool::BatchContext context{
+      .mission = &f.mission, .seed = f.seed, .spoof_distance = 10.0};
+  EXPECT_TRUE(pool.evaluate(context, {}).empty());
+}
+
+TEST(EvalPool, CapturesGuardTripsPerJob) {
+  // A one-step watchdog trips every simulation; the pool must capture the
+  // RunFaultError in each job's slot instead of tearing down a worker.
+  PoolFixture f;
+  EvalPool pool(f.sim_config, f.controller, {}, 2);
+  EvalGuards guards;
+  guards.watchdog.max_steps = 1;
+  const std::vector<EvalPool::Job> jobs{{10.0, 20.0}, {30.0, 15.0}};
+  const EvalPool::BatchContext context{.mission = &f.mission,
+                                       .seed = f.seed,
+                                       .spoof_distance = 10.0,
+                                       .guards = &guards};
+  const auto results = pool.evaluate(context, jobs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const EvalPool::JobResult& r : results) {
+    ASSERT_TRUE(r.error);
+    EXPECT_THROW(std::rethrow_exception(r.error), sim::RunFaultError);
+  }
+
+  // The pool stays usable after a faulted batch.
+  const auto ok = pool.evaluate(
+      EvalPool::BatchContext{
+          .mission = &f.mission, .seed = f.seed, .spoof_distance = 10.0},
+      jobs);
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_FALSE(ok[0].error);
+  EXPECT_FALSE(ok[1].error);
+}
+
+// ---------------------------------------------------------------------------
+// Golden parallel-vs-serial: a search run with --eval-threads N must be
+// bit-identical (deterministic_equal) to the serial run, across both vehicle
+// models and with prefix reuse on and off.
+
+FuzzResult run_search(int eval_threads, sim::VehicleType vehicle,
+                      bool prefix_reuse, std::uint64_t mission_seed,
+                      int budget) {
+  FuzzerConfig config;
+  config.spoof_distance = 10.0;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  config.sim.vehicle = vehicle;
+  config.prefix_reuse = prefix_reuse;
+  config.mission_budget = budget;
+  config.eval_threads = eval_threads;
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, config);
+  sim::MissionConfig mc;
+  mc.num_drones = 5;
+  return fuzzer->fuzz(sim::generate_mission(mc, mission_seed));
+}
+
+void expect_golden(sim::VehicleType vehicle, bool prefix_reuse,
+                   std::uint64_t mission_seed, int budget) {
+  const FuzzResult serial =
+      run_search(1, vehicle, prefix_reuse, mission_seed, budget);
+  const FuzzResult parallel =
+      run_search(4, vehicle, prefix_reuse, mission_seed, budget);
+  EXPECT_TRUE(deterministic_equal(serial, parallel));
+  // The batch *shape* of the search is thread-count independent too; only
+  // the parallelism differs.
+  EXPECT_EQ(serial.eval_batches, parallel.eval_batches);
+  EXPECT_GT(parallel.eval_batches, 0);
+  EXPECT_EQ(serial.eval_parallelism, 1);
+  EXPECT_EQ(parallel.eval_parallelism, 4);
+  EXPECT_FALSE(serial.clean_run_failed);
+  EXPECT_GT(serial.attempts_tried, 0);
+}
+
+TEST(ParallelSearch, GoldenPointMassPrefixReuse) {
+  // Seed 1013 is attackable at 10 m: exercises the success/early-stop path.
+  expect_golden(sim::VehicleType::kPointMass, true, 1013, 60);
+}
+
+TEST(ParallelSearch, GoldenPointMassNoPrefix) {
+  expect_golden(sim::VehicleType::kPointMass, false, 1013, 12);
+}
+
+TEST(ParallelSearch, GoldenPointMassStallPath) {
+  // Seed 1000 resists 10 m spoofing: exercises stall/abandon replay.
+  expect_golden(sim::VehicleType::kPointMass, true, 1000, 20);
+}
+
+TEST(ParallelSearch, GoldenQuadrotorPrefixReuse) {
+  expect_golden(sim::VehicleType::kQuadrotor, true, 1013, 8);
+}
+
+TEST(ParallelSearch, GoldenQuadrotorNoPrefix) {
+  expect_golden(sim::VehicleType::kQuadrotor, false, 1013, 6);
+}
+
+TEST(ParallelSearch, CampaignIndependentOfEvalThreads) {
+  // Campaign results must not depend on the eval-thread split either. On a
+  // small machine split_eval_threads may clamp the request back to 1; the
+  // invariant holds for whatever split is granted.
+  CampaignConfig base;
+  base.mission.num_drones = 5;
+  base.fuzzer.spoof_distance = 10.0;
+  base.fuzzer.sim.dt = 0.05;
+  base.fuzzer.sim.gps.rate_hz = 20.0;
+  base.fuzzer.mission_budget = 10;
+  base.num_missions = 3;
+  base.num_threads = 1;
+  base.base_seed = 1000;
+
+  CampaignConfig serial = base;
+  serial.fuzzer.eval_threads = 1;
+  CampaignConfig parallel = base;
+  parallel.fuzzer.eval_threads = 2;
+
+  const CampaignResult a = run_campaign(serial);
+  const CampaignResult b = run_campaign(parallel);
+  EXPECT_TRUE(deterministic_equal(a, b));
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

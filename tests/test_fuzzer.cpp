@@ -107,6 +107,43 @@ TEST(Fuzzer, SvgOnlyFuzzerStopsWithoutSeeds) {
   const FuzzResult result = fuzzer->fuzz(mission);
   EXPECT_FALSE(result.found);
   EXPECT_EQ(result.iterations, 0);
+  // A mission with nothing to fuzz must be distinguishable from a cheap
+  // success-free run.
+  EXPECT_TRUE(result.no_seeds);
+  EXPECT_EQ(result.attempts_tried, 0);
+}
+
+TEST(Fuzzer, SwarmFuzzMarksNoSeedsToo) {
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(10.0));
+  sim::MissionSpec mission = mission_with(1002);
+  mission.obstacles = sim::ObstacleField{};
+  const FuzzResult result = fuzzer->fuzz(mission);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.no_seeds);
+}
+
+TEST(Fuzzer, RandomFuzzerRecordsFailedAttempts) {
+  // Historically only the winning draw was recorded, so R_Fuzz/S_Fuzz
+  // telemetry undercounted attempts relative to the gradient fuzzers.
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 8;
+  auto fuzzer = make_fuzzer(FuzzerKind::kRandom, config);
+  const FuzzResult result = fuzzer->fuzz(mission_with(1000));  // robust mission
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.iterations, 8);
+  EXPECT_EQ(result.attempts_tried, 8);
+  ASSERT_EQ(result.attempts.size(), 8u);
+  for (const SeedAttempt& attempt : result.attempts) {
+    EXPECT_FALSE(attempt.outcome.success);
+    EXPECT_EQ(attempt.outcome.iterations, 1);
+  }
+}
+
+TEST(Fuzzer, GradientFuzzerCountsAttemptedSeeds) {
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(10.0));
+  const FuzzResult result = fuzzer->fuzz(mission_with(1000));
+  EXPECT_GT(result.attempts_tried, 0);
+  EXPECT_EQ(result.attempts_tried, static_cast<int>(result.attempts.size()));
 }
 
 TEST(Fuzzer, GradientOnlyTriesRandomPairs) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace swarmfuzz::fuzz {
 namespace {
@@ -142,6 +145,88 @@ TEST(Optimizer, ParametersStayFeasible) {
   const auto result = optimize(objective, std::span(&kStart, 1), 20, config);
   EXPECT_GE(result.t_start, 0.0);
   EXPECT_GE(result.duration, 0.0);
+}
+
+// A linear landscape with the Objective's joint projection (t_s clamped
+// against t_mission, dt clamped against the remaining window) that records
+// every evaluated point. Linearity makes the correctly-scaled gradient
+// exactly the slope (a, b) regardless of where the stencil lands.
+class RecordingLinear final : public ObjectiveFunction {
+ public:
+  static constexpr double kT = 40.0;      // t_mission
+  static constexpr double kDtMin = 0.05;  // simulator dt
+  static constexpr double kA = 0.2;       // df/dt_s
+  static constexpr double kB = 0.1;       // df/ddt
+
+  static double f(double ts, double dt) { return kA * ts + kB * dt + 50.0; }
+
+  ObjectiveEval evaluate(double t_start, double duration) override {
+    calls.emplace_back(t_start, duration);
+    return ObjectiveEval{.f = f(t_start, duration)};
+  }
+  void project(double& t_start, double& duration) const override {
+    t_start = std::clamp(t_start, 0.0, kT - kDtMin);
+    duration = std::clamp(duration, kDtMin, kT - t_start);
+  }
+
+  std::vector<std::pair<double, double>> calls;
+};
+
+TEST(Optimizer, BoundaryStencilGradientUsesProjectedDenominators) {
+  // Regression for the boundary-clamped gradient bug: with the attack
+  // window within fd_step of the mission end, the raw t_s + h and dt + h
+  // probes are pulled back by the upper clamp, so dividing their FD by the
+  // nominal span (which only accounted for the lower clamp at 0) mis-scales
+  // the gradient. The fixed optimizer must probe the *projected* stencil
+  // and divide by the distances actually evaluated.
+  RecordingLinear objective;
+  const StartPoint start{39.5, 10.0};  // projects to (39.5, 0.5): dt window 0.5
+  const auto result =
+      optimize(objective, std::span(&start, 1), 3, OptimizerConfig{});
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.iterations, 3);
+  ASSERT_GE(objective.calls.size(), 7u);
+
+  // Multi-start eval, then the first descent iteration's centre + stencil —
+  // all at analytically projected coordinates (h = 1):
+  const std::pair<double, double> expected[6] = {
+      {39.5, 0.5},    // start (dt clamped from 10 to the 0.5 s window)
+      {39.5, 0.5},    // descent centre
+      {39.95, 0.05},  // t_s + h: clamped to t_mission - dt_min, dt squeezed
+      {38.5, 0.5},    // t_s - h
+      {39.5, 0.5},    // dt + h: clamped back onto the centre
+      {39.5, 0.05},   // dt - h: clamped up to dt_min
+  };
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(objective.calls[i].first, expected[i].first, 1e-12) << "call " << i;
+    EXPECT_NEAR(objective.calls[i].second, expected[i].second, 1e-12)
+        << "call " << i;
+  }
+
+  // The gradient over that stencil, divided by the projected spans
+  // (1.45 s and 0.45 s — the buggy code divided both by 2h = 2.0):
+  const double grad_ts =
+      (RecordingLinear::f(39.95, 0.05) - RecordingLinear::f(38.5, 0.5)) /
+      (39.95 - 38.5);
+  const double grad_dt =
+      (RecordingLinear::f(39.5, 0.5) - RecordingLinear::f(39.5, 0.05)) /
+      (0.5 - 0.05);
+  // On a linear landscape the projected-stencil dt-gradient is exact.
+  EXPECT_NEAR(grad_dt, RecordingLinear::kB, 1e-12);
+
+  // The second descent centre (7th evaluation) sits exactly where Eq. (1)
+  // lands with those gradients; the mis-scaled gradients would step to a
+  // measurably different point (37.05 instead of ~36.12 in t_s).
+  const OptimizerConfig config{};
+  const double step_ts =
+      std::clamp(config.learning_rate * grad_ts, -config.max_step, config.max_step);
+  const double step_dt =
+      std::clamp(config.learning_rate * grad_dt, -config.max_step, config.max_step);
+  double ts2 = std::max(39.5 - step_ts, 0.0);
+  double dt2 = std::max(0.5 - step_dt, 0.0);
+  objective.project(ts2, dt2);
+  EXPECT_NEAR(objective.calls[6].first, ts2, 1e-9);
+  EXPECT_NEAR(objective.calls[6].second, dt2, 1e-9);
 }
 
 TEST(Optimizer, BestFTracksLowestSeen) {
