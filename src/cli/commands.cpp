@@ -1,14 +1,21 @@
 #include "cli/commands.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "attack/spoofing.h"
 #include "defense/detector.h"
 #include "fuzz/campaign.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/serialize.h"
+#include "fuzz/service.h"
+#include "fuzz/shard_merge.h"
 #include "graph/pagerank.h"
 #include "math/stats.h"
 #include "swarm/flocking_system.h"
@@ -35,6 +42,14 @@ sim::SimulationConfig sim_from(const util::Options& options) {
   config.gps.rate_hz = options.get_double("gps-rate", 20.0);
   config.gps.noise_stddev = options.get_double("gps-noise", 0.0);
   config.use_navigation_filter = options.get_bool("nav-filter", false);
+  const std::string vehicle = options.get("vehicle", "pointmass");
+  if (vehicle == "quadrotor" || vehicle == "quad") {
+    config.vehicle = sim::VehicleType::kQuadrotor;
+  } else if (vehicle == "pointmass" || vehicle == "point_mass") {
+    config.vehicle = sim::VehicleType::kPointMass;
+  } else {
+    throw std::invalid_argument("unknown --vehicle: " + vehicle);
+  }
   return config;
 }
 
@@ -47,7 +62,141 @@ fuzz::FuzzerKind fuzzer_kind_from(const util::Options& options) {
   throw std::invalid_argument("unknown --fuzzer: " + name);
 }
 
+// The --fuzzer spelling that parses back to `kind` (fuzzer_kind_name() is a
+// display name, not a flag value).
+std::string_view fuzzer_flag_of(fuzz::FuzzerKind kind) {
+  switch (kind) {
+    case fuzz::FuzzerKind::kSwarmFuzz: return "swarmfuzz";
+    case fuzz::FuzzerKind::kRandom: return "r_fuzz";
+    case fuzz::FuzzerKind::kGradientOnly: return "g_fuzz";
+    case fuzz::FuzzerKind::kSvgOnly: return "s_fuzz";
+  }
+  return "swarmfuzz";
+}
+
+// The outcome-determining campaign configuration, shared by `campaign` and
+// the sharded-service commands (serve/shard/merge must all rebuild the
+// *same* configuration or campaign_config_hash validation rejects them).
+// Observer/durability fields (checkpoint, telemetry, progress) are not set
+// here — they are per-command concerns.
+fuzz::CampaignConfig campaign_config_from(const util::Options& options) {
+  fuzz::CampaignConfig config;
+  config.mission.num_drones = options.get_int("drones", 5);
+  config.fuzzer.sim = sim_from(options);
+  config.fuzzer.spoof_distance = options.get_double("distance", 10.0);
+  config.fuzzer.mission_budget = options.get_int("budget", 60);
+  config.fuzzer.prefix_reuse = !options.get_bool("no-prefix-reuse", false);
+  config.fuzzer.checkpoint_period = options.get_double("checkpoint-period", 1.0);
+  config.num_missions = options.get_int("missions", 30);
+  config.base_seed = static_cast<std::uint64_t>(options.get_int("seed", 1000));
+  config.num_threads = options.get_int("threads", 0);
+  // 0 = auto: run_campaign splits the hardware between mission workers and
+  // per-worker eval threads (workers x eval threads <= hardware); an
+  // explicit value is clamped to that budget.
+  config.fuzzer.eval_threads = options.get_int("eval-threads", 0);
+  config.kind = fuzzer_kind_from(options);
+  // Fault containment: --mission-timeout bounds one mission's wall clock,
+  // --eval-max-steps bounds each simulation's ticks; tripping either (or any
+  // exception) retries the mission with a salted seed up to
+  // --max-fault-retries times before it is quarantined.
+  config.fuzzer.mission_timeout_s = options.get_double("mission-timeout", 0.0);
+  config.fuzzer.eval_max_steps = options.get_int("eval-max-steps", 0);
+  config.max_fault_retries = options.get_int("max-fault-retries", 2);
+  config.clean_failure_retries =
+      options.get_int("clean-retries", config.clean_failure_retries);
+  config.fail_fast = options.get_bool("fail-fast", false);
+  // Deterministic fault injection (tests/CI): also honoured from the
+  // SWARMFUZZ_FAULT_INJECT environment variable via the usual env fallback.
+  const std::string fault_plan = options.get("fault-inject", "");
+  if (!fault_plan.empty()) {
+    config.fault_injections = fuzz::parse_fault_plan(fault_plan);
+  }
+  if (options.has("controller")) {
+    const std::string name = options.get("controller", "vasarhelyi");
+    config.controller_factory = [name] { return make_controller(name); };
+  }
+  return config;
+}
+
+// Renders the *resolved* configuration back into canonical flags that
+// campaign_config_from() parses to the identical CampaignConfig — the
+// manifest payload of a sharded service. Values come from the built config
+// (not the raw command line) so environment-variable fallbacks resolve at
+// serve time, once, and every shard sees the same campaign. Doubles render
+// with %.17g for bit-exact round-trips; the config hash stored alongside
+// catches anything this list would ever miss.
+std::vector<std::string> campaign_args_from(const fuzz::CampaignConfig& config,
+                                            const util::Options& options) {
+  std::vector<std::string> args;
+  const auto add = [&args](std::string_view flag, const std::string& value) {
+    args.push_back("--" + std::string{flag} + "=" + value);
+  };
+  const auto exact = [](double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return std::string{buffer};
+  };
+  add("drones", std::to_string(config.mission.num_drones));
+  add("dt", exact(config.fuzzer.sim.dt));
+  add("gps-rate", exact(config.fuzzer.sim.gps.rate_hz));
+  add("gps-noise", exact(config.fuzzer.sim.gps.noise_stddev));
+  add("nav-filter", config.fuzzer.sim.use_navigation_filter ? "true" : "false");
+  add("vehicle", config.fuzzer.sim.vehicle == sim::VehicleType::kQuadrotor
+                     ? "quadrotor"
+                     : "pointmass");
+  add("distance", exact(config.fuzzer.spoof_distance));
+  add("budget", std::to_string(config.fuzzer.mission_budget));
+  add("no-prefix-reuse", config.fuzzer.prefix_reuse ? "false" : "true");
+  add("checkpoint-period", exact(config.fuzzer.checkpoint_period));
+  add("missions", std::to_string(config.num_missions));
+  add("seed", std::to_string(config.base_seed));
+  add("fuzzer", std::string{fuzzer_flag_of(config.kind)});
+  add("eval-threads", std::to_string(config.fuzzer.eval_threads));
+  add("mission-timeout", exact(config.fuzzer.mission_timeout_s));
+  add("eval-max-steps", std::to_string(config.fuzzer.eval_max_steps));
+  add("max-fault-retries", std::to_string(config.max_fault_retries));
+  add("clean-retries", std::to_string(config.clean_failure_retries));
+  // Opaque option passthrough: the factory and injection list cannot be
+  // rendered from the config, so their source flags carry over verbatim.
+  // Both are rendered unconditionally (defaulted when unset) because
+  // Options falls back to SWARMFUZZ_* environment variables for *absent*
+  // flags — a shard process's environment must never skew the campaign
+  // away from what serve resolved.
+  add("controller", options.get("controller", "vasarhelyi"));
+  add("fault-inject", options.get("fault-inject", ""));
+  return args;
+}
+
+// Re-parses manifest args through the normal option parser, so shards and
+// merges rebuild the campaign exactly as serve resolved it.
+fuzz::CampaignConfig campaign_config_from_manifest(
+    const fuzz::ServiceManifest& manifest) {
+  std::vector<const char*> argv;
+  argv.push_back("swarmfuzz");
+  argv.reserve(manifest.campaign_args.size() + 1);
+  for (const std::string& arg : manifest.campaign_args) {
+    argv.push_back(arg.c_str());
+  }
+  const util::Options options =
+      util::Options::parse(static_cast<int>(argv.size()), argv.data());
+  fuzz::CampaignConfig config = campaign_config_from(options);
+  const std::string hash = fuzz::campaign_config_hash(config);
+  if (hash != manifest.config_hash) {
+    throw std::runtime_error(
+        "service: rebuilt campaign hashes to " + hash + " but the manifest "
+        "says " + manifest.config_hash +
+        " (edited manifest, or a drifted binary?); refusing to shard");
+  }
+  return config;
+}
+
 }  // namespace
+
+// Shared report tail of `campaign` and `merge`: --summary / --json / the
+// human-readable stats block. Defined below cmd_campaign.
+int emit_campaign_report(const fuzz::CampaignResult& result,
+                         const util::Options& options,
+                         const std::string& quarantine_path);
 
 std::shared_ptr<const swarm::SwarmController> make_controller(std::string_view name) {
   if (name == "vasarhelyi" || name == "vicsek" || name.empty()) {
@@ -127,40 +276,7 @@ int cmd_fuzz(const util::Options& options) {
 }
 
 int cmd_campaign(const util::Options& options) {
-  fuzz::CampaignConfig config;
-  config.mission.num_drones = options.get_int("drones", 5);
-  config.fuzzer.sim = sim_from(options);
-  config.fuzzer.spoof_distance = options.get_double("distance", 10.0);
-  config.fuzzer.mission_budget = options.get_int("budget", 60);
-  config.fuzzer.prefix_reuse = !options.get_bool("no-prefix-reuse", false);
-  config.fuzzer.checkpoint_period = options.get_double("checkpoint-period", 1.0);
-  config.num_missions = options.get_int("missions", 30);
-  config.base_seed = static_cast<std::uint64_t>(options.get_int("seed", 1000));
-  config.num_threads = options.get_int("threads", 0);
-  // 0 = auto: run_campaign splits the hardware between mission workers and
-  // per-worker eval threads (workers x eval threads <= hardware); an
-  // explicit value is clamped to that budget.
-  config.fuzzer.eval_threads = options.get_int("eval-threads", 0);
-  config.kind = fuzzer_kind_from(options);
-  // Fault containment: --mission-timeout bounds one mission's wall clock,
-  // --eval-max-steps bounds each simulation's ticks; tripping either (or any
-  // exception) retries the mission with a salted seed up to
-  // --max-fault-retries times before it is quarantined. --fail-fast stops
-  // the campaign at the first quarantined mission instead.
-  config.fuzzer.mission_timeout_s = options.get_double("mission-timeout", 0.0);
-  config.fuzzer.eval_max_steps = options.get_int("eval-max-steps", 0);
-  config.max_fault_retries = options.get_int("max-fault-retries", 2);
-  config.fail_fast = options.get_bool("fail-fast", false);
-  // Deterministic fault injection (tests/CI): also honoured from the
-  // SWARMFUZZ_FAULT_INJECT environment variable via the usual env fallback.
-  const std::string fault_plan = options.get("fault-inject", "");
-  if (!fault_plan.empty()) {
-    config.fault_injections = fuzz::parse_fault_plan(fault_plan);
-  }
-  if (options.has("controller")) {
-    const std::string name = options.get("controller", "vasarhelyi");
-    config.controller_factory = [name] { return make_controller(name); };
-  }
+  fuzz::CampaignConfig config = campaign_config_from(options);
 
   // Durability/observability: --checkpoint=PATH appends one JSONL record per
   // completed mission; with --resume, records already at PATH satisfy their
@@ -182,19 +298,21 @@ int cmd_campaign(const util::Options& options) {
   }
   if (options.get_bool("progress", true)) {
     config.on_progress = [](const fuzz::CampaignProgress& p) {
-      // Live status line; ETA extrapolates from missions done *this run*.
-      const int fresh = p.completed - p.resumed;
-      const double eta =
-          fresh > 0 ? p.elapsed_s / fresh * (p.total - p.completed) : 0.0;
+      // Live status line. Rate and ETA come from CampaignProgress itself,
+      // which bases both on missions completed *this session* — checkpoint
+      // replays are free and must not inflate throughput after a resume.
       if (p.faulted > 0) {
         std::fprintf(stderr,
-                     "\r%d/%d missions  %d SPVs  %d faulted  %.0fs elapsed  "
-                     "ETA %.0fs ",
-                     p.completed, p.total, p.found, p.faulted, p.elapsed_s, eta);
+                     "\r%d/%d missions  %d SPVs  %d faulted  %.2f/s  "
+                     "%.0fs elapsed  ETA %.0fs ",
+                     p.completed, p.total, p.found, p.faulted, p.rate_per_s(),
+                     p.elapsed_s, p.eta_s());
       } else {
         std::fprintf(stderr,
-                     "\r%d/%d missions  %d SPVs  %.0fs elapsed  ETA %.0fs ",
-                     p.completed, p.total, p.found, p.elapsed_s, eta);
+                     "\r%d/%d missions  %d SPVs  %.2f/s  %.0fs elapsed  "
+                     "ETA %.0fs ",
+                     p.completed, p.total, p.found, p.rate_per_s(), p.elapsed_s,
+                     p.eta_s());
       }
       if (p.completed == p.total) std::fputc('\n', stderr);
       std::fflush(stderr);
@@ -202,6 +320,13 @@ int cmd_campaign(const util::Options& options) {
   }
 
   const fuzz::CampaignResult result = fuzz::run_campaign(config);
+  return emit_campaign_report(result, options, config.quarantine_path);
+}
+
+int emit_campaign_report(const fuzz::CampaignResult& result,
+                         const util::Options& options,
+                         const std::string& quarantine_path) {
+  const fuzz::CampaignConfig& config = result.config;
   // --summary=FILE persists the JSON report atomically (write-temp-then-
   // rename), so a crash mid-write can never leave a half-written report
   // where a dashboard or a later pipeline stage expects a complete one.
@@ -244,11 +369,136 @@ int cmd_campaign(const util::Options& options) {
         result.fault_count(sim::FaultKind::kTimeout),
         result.fault_count(sim::FaultKind::kException),
         result.fault_count(sim::FaultKind::kCleanRunFailed));
-    if (!config.quarantine_path.empty()) {
-      std::printf("  quarantine        %s\n", config.quarantine_path.c_str());
+    if (!quarantine_path.empty()) {
+      std::printf("  quarantine        %s\n", quarantine_path.c_str());
     }
   }
   return 0;
+}
+
+int cmd_serve(const util::Options& options) {
+  const std::string dir = options.get("dir", "");
+  if (dir.empty()) {
+    throw std::invalid_argument("serve: --dir=DIR is required");
+  }
+  const fuzz::CampaignConfig config = campaign_config_from(options);
+
+  fuzz::ServiceManifest manifest;
+  manifest.config_hash = fuzz::campaign_config_hash(config);
+  manifest.num_missions = config.num_missions;
+  // Default carve: a few leases per expected worker keeps tail latency low
+  // (a straggler only strands one small range) without per-mission file
+  // churn.
+  manifest.num_leases =
+      std::clamp(options.get_int("leases", 8), 1, config.num_missions);
+  manifest.lease_ttl_ms = static_cast<std::int64_t>(
+      options.get_double("lease-ttl", 30.0) * 1000.0);
+  if (manifest.lease_ttl_ms < 1) {
+    throw std::invalid_argument("serve: --lease-ttl must be positive");
+  }
+  manifest.campaign_args = campaign_args_from(config, options);
+  fuzz::write_manifest(dir, manifest);
+
+  std::printf("service %s: %d missions in %d leases, ttl %.1fs, config %s\n",
+              dir.c_str(), manifest.num_missions, manifest.num_leases,
+              static_cast<double>(manifest.lease_ttl_ms) / 1000.0,
+              manifest.config_hash.c_str());
+  for (const fuzz::LeaseRange& lease :
+       fuzz::carve_leases(manifest.num_missions, manifest.num_leases)) {
+    std::printf("  lease %-3d missions %d..%d\n", lease.lease_id, lease.begin,
+                lease.end - 1);
+  }
+  std::printf("start workers:  swarmfuzz shard --dir=%s --owner=<unique>\n",
+              dir.c_str());
+  std::printf("then merge:     swarmfuzz merge --dir=%s [--wait]\n", dir.c_str());
+  return 0;
+}
+
+int cmd_shard(const util::Options& options) {
+  const std::string dir = options.get("dir", "");
+  if (dir.empty()) {
+    throw std::invalid_argument("shard: --dir=DIR is required");
+  }
+  const fuzz::ServiceManifest manifest = fuzz::load_manifest(dir);
+
+  fuzz::ShardWorkerConfig worker;
+  worker.campaign = campaign_config_from_manifest(manifest);
+  worker.dir = dir;
+  worker.num_leases = manifest.num_leases;
+  worker.lease_ttl_ms = manifest.lease_ttl_ms;
+  // Default owner: hostname-independent but unique per process.
+  worker.owner = options.get(
+      "owner", "shard-" + std::to_string(static_cast<long long>(getpid())));
+
+  const fuzz::ShardWorkerStats stats = fuzz::run_shard_worker(worker);
+  std::printf(
+      "shard %s: %d leases claimed (%d abandoned), %d missions run, "
+      "%d resumed\n",
+      worker.owner.c_str(), stats.leases_claimed, stats.leases_abandoned,
+      stats.missions_run, stats.missions_resumed);
+  return 0;
+}
+
+int cmd_merge(const util::Options& options) {
+  const std::string dir = options.get("dir", "");
+  if (dir.empty()) {
+    throw std::invalid_argument("merge: --dir=DIR is required");
+  }
+  const fuzz::ServiceManifest manifest = fuzz::load_manifest(dir);
+  const fuzz::CampaignConfig config = campaign_config_from_manifest(manifest);
+
+  if (options.get_bool("wait", false)) {
+    const double timeout_s = options.get_double("wait-timeout", 0.0);
+    if (!fuzz::wait_for_leases(dir, manifest.num_leases,
+                               static_cast<std::int64_t>(timeout_s * 1000.0))) {
+      std::fprintf(stderr, "merge: timed out waiting for %d leases in %s\n",
+                   manifest.num_leases, dir.c_str());
+      return 1;
+    }
+  }
+
+  fuzz::ShardMergeStats stats;
+  const fuzz::CampaignResult result = fuzz::merge_shards(
+      config, dir, options.get_bool("allow-partial", false), &stats);
+  std::fprintf(stderr, "merge: %d shard files, %d records, %d duplicates\n",
+               stats.shard_files, stats.records, stats.duplicates);
+
+  // --golden=FILE: compare the merged result against a single-process run's
+  // checkpoint/telemetry stream; exit 3 on divergence. This is the CI
+  // bit-identical guarantee, executable anywhere.
+  const std::string golden_path = options.get("golden", "");
+  if (!golden_path.empty()) {
+    fuzz::CampaignResult golden;
+    golden.config = config;
+    golden.outcomes.resize(static_cast<std::size_t>(config.num_missions));
+    for (int i = 0; i < config.num_missions; ++i) {
+      golden.outcomes[static_cast<std::size_t>(i)].mission_index = i;
+    }
+    for (const fuzz::TelemetryRecord& record :
+         fuzz::load_telemetry(golden_path)) {
+      fuzz::validate_checkpoint_record(record, config);
+      fuzz::MissionOutcome& outcome =
+          golden.outcomes[static_cast<std::size_t>(record.mission_index)];
+      if (outcome.completed) continue;
+      outcome.completed = true;
+      outcome.mission_seed = record.mission_seed;
+      outcome.wall_time_s = record.wall_time_s;
+      outcome.result = record.result;
+      outcome.fault = record.fault;
+      outcome.fault_detail = record.fault_detail;
+      outcome.fault_attempts = record.fault_attempts;
+    }
+    if (!fuzz::deterministic_equal(result, golden)) {
+      std::fprintf(stderr,
+                   "merge: MISMATCH against golden %s (merged report is not "
+                   "bit-identical)\n",
+                   golden_path.c_str());
+      return 3;
+    }
+    std::printf("merge: bit-identical to golden %s\n", golden_path.c_str());
+  }
+
+  return emit_campaign_report(result, options, "");
 }
 
 int cmd_svg(const util::Options& options) {
@@ -347,9 +597,21 @@ int print_usage() {
       "             hook, also read from SWARMFUZZ_FAULT_INJECT)\n"
       "  svg        print the Swarm Vulnerability Graph seedpool\n"
       "  replay     execute an explicit spoofing plan (--target --direction\n"
-      "             --start --duration --distance) [--detect]\n\n"
+      "             --start --duration --distance) [--detect]\n"
+      "  serve      initialize a sharded campaign service: --dir=DIR plus the\n"
+      "             campaign options above; [--leases=K] (default 8)\n"
+      "             [--lease-ttl=S] (worker heartbeat TTL, default 30)\n"
+      "  shard      run one worker against a service: --dir=DIR\n"
+      "             [--owner=NAME] (unique per worker; default shard-<pid>)\n"
+      "             claims leases, reclaims expired ones, resumes partial\n"
+      "             ranges; exits when every lease is done\n"
+      "  merge      merge shard streams into the campaign report: --dir=DIR\n"
+      "             [--wait [--wait-timeout=S]] [--allow-partial]\n"
+      "             [--golden=FILE] (exit 3 unless bit-identical to a\n"
+      "             single-process checkpoint) [--summary=FILE] [--json]\n\n"
       "common options: --drones=N --seed=N --distance=M --controller=vasarhelyi|\n"
-      "                olfati|reynolds --dt=S --gps-rate=HZ --nav-filter\n");
+      "                olfati|reynolds --dt=S --gps-rate=HZ --nav-filter\n"
+      "                --vehicle=pointmass|quadrotor\n");
   return 64;
 }
 
@@ -363,6 +625,9 @@ int dispatch(int argc, const char* const* argv) {
     if (command == "campaign") return cmd_campaign(options);
     if (command == "svg") return cmd_svg(options);
     if (command == "replay") return cmd_replay(options);
+    if (command == "serve") return cmd_serve(options);
+    if (command == "shard") return cmd_shard(options);
+    if (command == "merge") return cmd_merge(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -6,6 +6,10 @@
 //   swarmfuzz svg       - print the Swarm Vulnerability Graph and seedpool
 //   swarmfuzz replay    - execute an explicit spoofing plan, with optional
 //                         spoofing detection (--detect)
+//   swarmfuzz serve     - initialize a sharded campaign service directory
+//                         (manifest + work leases; see fuzz/service.h)
+//   swarmfuzz shard     - run one shard worker against a service directory
+//   swarmfuzz merge     - merge shard streams into the campaign report
 //
 // Common options: --drones, --seed, --distance, --controller
 // (vasarhelyi|olfati|reynolds), --dt, --gps-rate, --nav-filter.
@@ -28,6 +32,9 @@ int cmd_fuzz(const util::Options& options);
 int cmd_campaign(const util::Options& options);
 int cmd_svg(const util::Options& options);
 int cmd_replay(const util::Options& options);
+int cmd_serve(const util::Options& options);
+int cmd_shard(const util::Options& options);
+int cmd_merge(const util::Options& options);
 
 // Prints usage to stdout; returns the exit code to use.
 int print_usage();

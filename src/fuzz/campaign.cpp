@@ -5,15 +5,27 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "fuzz/eval_pool.h"
 #include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
+
+namespace {
+
+// Averages over empty sets are undefined, not zero: reporting 0 for "no
+// fuzzable missions" reads as "0% success over real runs". NaN serializes
+// as JSON null (see util::JsonWriter), never as the invalid `nan` literal.
+constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
 
 int CampaignResult::num_completed() const {
   int completed = 0;
@@ -25,7 +37,7 @@ int CampaignResult::num_completed() const {
 
 double CampaignResult::success_rate() const {
   const int fuzzable = num_fuzzable();
-  return fuzzable > 0 ? static_cast<double>(num_found()) / fuzzable : 0.0;
+  return fuzzable > 0 ? static_cast<double>(num_found()) / fuzzable : kUndefined;
 }
 
 int CampaignResult::num_found() const {
@@ -85,7 +97,7 @@ double CampaignResult::avg_attempts_all() const {
       ++count;
     }
   }
-  return count > 0 ? sum / count : 0.0;
+  return count > 0 ? sum / count : kUndefined;
 }
 
 double CampaignResult::avg_iterations_successful() const {
@@ -97,7 +109,7 @@ double CampaignResult::avg_iterations_successful() const {
       ++count;
     }
   }
-  return count > 0 ? sum / count : 0.0;
+  return count > 0 ? sum / count : kUndefined;
 }
 
 double CampaignResult::avg_iterations_all() const {
@@ -110,7 +122,7 @@ double CampaignResult::avg_iterations_all() const {
       ++count;
     }
   }
-  return count > 0 ? sum / count : 0.0;
+  return count > 0 ? sum / count : kUndefined;
 }
 
 std::vector<double> CampaignResult::found_start_times() const {
@@ -317,22 +329,32 @@ std::string campaign_config_hash(const CampaignConfig& config) {
 
 namespace {
 
+// Double equality with NaN == NaN: a non-finite mission VDO (obstacle-free
+// clean run) round-trips through telemetry as null -> NaN, and IEEE
+// `NaN != NaN` would make a resumed campaign compare unequal to the run
+// that produced the checkpoint.
+bool same_double(double a, double b) noexcept {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
 bool plans_equal(const attack::SpoofingPlan& a,
                  const attack::SpoofingPlan& b) noexcept {
   return a.target == b.target && a.direction == b.direction &&
-         a.start_time == b.start_time && a.duration == b.duration &&
-         a.distance == b.distance;
+         same_double(a.start_time, b.start_time) &&
+         same_double(a.duration, b.duration) &&
+         same_double(a.distance, b.distance);
 }
 
 bool attempts_equal(const SeedAttempt& a, const SeedAttempt& b) noexcept {
   return a.seed.target == b.seed.target && a.seed.victim == b.seed.victim &&
-         a.seed.direction == b.seed.direction && a.seed.vdo == b.seed.vdo &&
-         a.seed.influence == b.seed.influence &&
+         a.seed.direction == b.seed.direction &&
+         same_double(a.seed.vdo, b.seed.vdo) &&
+         same_double(a.seed.influence, b.seed.influence) &&
          a.outcome.success == b.outcome.success &&
          a.outcome.stalled == b.outcome.stalled &&
-         a.outcome.t_start == b.outcome.t_start &&
-         a.outcome.duration == b.outcome.duration &&
-         a.outcome.best_f == b.outcome.best_f &&
+         same_double(a.outcome.t_start, b.outcome.t_start) &&
+         same_double(a.outcome.duration, b.outcome.duration) &&
+         same_double(a.outcome.best_f, b.outcome.best_f) &&
          a.outcome.crashed_drone == b.outcome.crashed_drone &&
          a.outcome.iterations == b.outcome.iterations;
 }
@@ -341,10 +363,10 @@ bool attempts_equal(const SeedAttempt& a, const SeedAttempt& b) noexcept {
 
 bool deterministic_equal(const FuzzResult& a, const FuzzResult& b) noexcept {
   if (a.clean_run_failed != b.clean_run_failed || a.found != b.found ||
-      a.victim != b.victim || a.victim_vdo != b.victim_vdo ||
+      a.victim != b.victim || !same_double(a.victim_vdo, b.victim_vdo) ||
       a.iterations != b.iterations || a.simulations != b.simulations ||
-      a.mission_vdo != b.mission_vdo ||
-      a.clean_mission_time != b.clean_mission_time ||
+      !same_double(a.mission_vdo, b.mission_vdo) ||
+      !same_double(a.clean_mission_time, b.clean_mission_time) ||
       a.attempts_tried != b.attempts_tried || a.no_seeds != b.no_seeds ||
       !plans_equal(a.plan, b.plan) || a.attempts.size() != b.attempts.size()) {
     return false;
@@ -373,12 +395,8 @@ bool deterministic_equal(const CampaignResult& a,
   return true;
 }
 
-namespace {
-
-// Checks a checkpoint record against the campaign it is being replayed
-// into; a mismatch means the file belongs to a different configuration and
-// resuming from it would fabricate results.
-void validate_record(const TelemetryRecord& record, const CampaignConfig& config) {
+void validate_checkpoint_record(const TelemetryRecord& record,
+                                const CampaignConfig& config) {
   if (record.mission_index < 0 || record.mission_index >= config.num_missions) {
     throw std::runtime_error(
         "checkpoint: mission index " + std::to_string(record.mission_index) +
@@ -405,6 +423,8 @@ void validate_record(const TelemetryRecord& record, const CampaignConfig& config
       " (different campaign?)");
 }
 
+namespace {
+
 TelemetryRecord make_record(const CampaignConfig& config,
                             const MissionOutcome& outcome) {
   TelemetryRecord record;
@@ -420,6 +440,119 @@ TelemetryRecord make_record(const CampaignConfig& config,
 }
 
 }  // namespace
+
+FuzzerConfig worker_fuzzer_config(const CampaignConfig& config, int workers) {
+  // Mission workers and per-worker eval threads share one hardware budget:
+  // workers x eval threads <= hardware concurrency. An explicit over-budget
+  // --eval-threads is clamped (with a warning) rather than oversubscribing;
+  // 0 = auto splits whatever the workers leave free. eval_threads does not
+  // affect outcomes (Objective::evaluate_batch is bit-identical for any
+  // value), so it is excluded from campaign_config_hash and checkpoint
+  // validation.
+  FuzzerConfig worker_fuzzer = config.fuzzer;
+  const int hardware = hardware_threads();
+  worker_fuzzer.eval_threads =
+      split_eval_threads(workers, config.fuzzer.eval_threads, hardware);
+  if (config.fuzzer.eval_threads > worker_fuzzer.eval_threads) {
+    SWARMFUZZ_WARN(
+        "campaign: clamping eval threads {} -> {} ({} mission workers on {} "
+        "hardware threads)",
+        config.fuzzer.eval_threads, worker_fuzzer.eval_threads, workers,
+        hardware);
+  }
+  return worker_fuzzer;
+}
+
+MissionRunner::MissionRunner(const CampaignConfig& config,
+                             const FuzzerConfig& worker_fuzzer)
+    : config_(config),
+      worker_fuzzer_(worker_fuzzer),
+      fuzzer_(make_fuzzer(
+          config.kind, worker_fuzzer,
+          config.controller_factory ? config.controller_factory() : nullptr)) {}
+
+MissionOutcome MissionRunner::run(int index) {
+  MissionOutcome outcome;
+  outcome.mission_index = index;
+  const auto mission_start = std::chrono::steady_clock::now();
+
+  const MissionFaultInjection* injected = nullptr;
+  for (const MissionFaultInjection& injection : config_.fault_injections) {
+    if (injection.mission_index == index) injected = &injection;
+  }
+
+  const int clean_attempts = config_.clean_failure_retries + 1;
+  for (int fault_attempt = 0;; ++fault_attempt) {
+    Fuzzer* active = fuzzer_.get();
+    std::unique_ptr<Fuzzer> armed;
+    if (injected != nullptr && fault_attempt < injected->fail_attempts) {
+      // One-off fuzzer with the injection armed, so the long-lived worker
+      // fuzzer stays pristine for every other mission.
+      FuzzerConfig armed_config = worker_fuzzer_;
+      armed_config.fault_injection = injected->injection;
+      armed = make_fuzzer(config_.kind, armed_config,
+                          config_.controller_factory ? config_.controller_factory()
+                                                     : nullptr);
+      active = armed.get();
+    }
+    bool done = false;
+    try {
+      for (int attempt = 0; attempt < clean_attempts; ++attempt) {
+        // Salted re-draws keep retried missions deterministic and distinct
+        // from every base seed; fault retries extend the same ladder.
+        const std::uint64_t seed = mission_seed(
+            config_.base_seed, index, fault_attempt * clean_attempts + attempt);
+        const sim::MissionSpec mission =
+            sim::generate_mission(config_.mission, seed);
+        outcome.mission_seed = seed;
+        outcome.result = active->fuzz(mission);
+        if (!outcome.result.clean_run_failed) {
+          outcome.fault = sim::FaultKind::kNone;
+          outcome.fault_detail.clear();
+          done = true;
+          break;
+        }
+      }
+      if (!done) {
+        // Every re-draw collided without an attack: a mission-generation
+        // failure, not an infrastructure fault; keep the last clean run's
+        // accounting (matches pre-taxonomy records, which derive this kind
+        // from result.clean_run_failed on load).
+        outcome.fault = sim::FaultKind::kCleanRunFailed;
+        outcome.fault_detail = "mission collided without attack on all " +
+                               std::to_string(clean_attempts) + " re-draws";
+        done = true;
+      }
+    } catch (const sim::RunFaultError& e) {
+      outcome.fault = e.fault().kind;
+      outcome.fault_detail = e.what();
+    } catch (const std::exception& e) {
+      outcome.fault = sim::FaultKind::kException;
+      outcome.fault_detail = e.what();
+    }
+    if (done) break;
+    outcome.fault_attempts = fault_attempt + 1;
+    if (fault_attempt >= config_.max_fault_retries) {
+      // Terminal: no trustworthy search outcome exists; a partial result
+      // must not masquerade as one.
+      outcome.result = FuzzResult{};
+      break;
+    }
+    SWARMFUZZ_WARN(
+        "campaign [{}]: mission {} faulted ({}: {}); retrying with salted "
+        "seed ({}/{})",
+        fuzzer_kind_name(config_.kind), index,
+        sim::fault_kind_name(outcome.fault), outcome.fault_detail,
+        fault_attempt + 1, config_.max_fault_retries);
+  }
+
+  outcome.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    mission_start)
+          .count();
+  outcome.completed = true;
+  return outcome;
+}
 
 CampaignResult run_campaign(const CampaignConfig& config) {
   if (config.num_missions < 1) {
@@ -445,7 +578,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     // Validate every record before truncating the file: a checkpoint from a
     // different campaign must be rejected with its contents intact.
     for (const TelemetryRecord& record : records) {
-      validate_record(record, config);
+      validate_checkpoint_record(record, config);
     }
     checkpoint = std::make_unique<JsonlTelemetrySink>(config.checkpoint_path,
                                                       /*append=*/false);
@@ -470,30 +603,12 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     }
   }
 
-  int threads = config.num_threads > 0
-                    ? config.num_threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
+  // hardware_threads() never reports 0 (unknown concurrency), so the worker
+  // count and the eval-thread split below can never compute 0 workers.
+  int threads =
+      config.num_threads > 0 ? config.num_threads : hardware_threads();
   threads = std::clamp(threads, 1, config.num_missions);
-
-  // Mission workers and per-worker eval threads share one hardware budget:
-  // workers x eval threads <= hardware concurrency. An explicit over-budget
-  // --eval-threads is clamped (with a warning) rather than oversubscribing;
-  // 0 = auto splits whatever the workers leave free. eval_threads does not
-  // affect outcomes (Objective::evaluate_batch is bit-identical for any
-  // value), so it is excluded from campaign_config_hash and checkpoint
-  // validation.
-  FuzzerConfig worker_fuzzer = config.fuzzer;
-  const int hardware =
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  worker_fuzzer.eval_threads =
-      split_eval_threads(threads, config.fuzzer.eval_threads, hardware);
-  if (config.fuzzer.eval_threads > worker_fuzzer.eval_threads) {
-    SWARMFUZZ_WARN(
-        "campaign: clamping eval threads {} -> {} ({} mission workers on {} "
-        "hardware threads)",
-        config.fuzzer.eval_threads, worker_fuzzer.eval_threads, threads,
-        hardware);
-  }
+  const FuzzerConfig worker_fuzzer = worker_fuzzer_config(config, threads);
 
   const auto campaign_start = std::chrono::steady_clock::now();
   std::atomic<int> next{0};
@@ -510,90 +625,28 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::mutex observer_mutex;  // serializes checkpoint order + progress callbacks
   const std::string config_hash = campaign_config_hash(config);
 
-  const int clean_attempts = config.clean_failure_retries + 1;
-  const auto injection_for = [&config](int index) -> const MissionFaultInjection* {
-    for (const MissionFaultInjection& injection : config.fault_injections) {
-      if (injection.mission_index == index) return &injection;
+  // Quarantine is append-only across resumes: a mission whose checkpoint
+  // line was lost (torn tail, deleted file) re-runs and would re-quarantine.
+  // Seeding the dedup set from the existing file keys every append on
+  // (config hash, seed, index), so replayed faults never duplicate records.
+  std::set<std::tuple<std::string, std::uint64_t, int>> quarantined;
+  if (!config.quarantine_path.empty()) {
+    for (const QuarantineRecord& record :
+         load_quarantine(config.quarantine_path)) {
+      quarantined.emplace(record.config_hash, record.mission_seed,
+                          record.mission_index);
     }
-    return nullptr;
-  };
-
-  // Supervised execution of one mission: clean-failure re-draws nested
-  // inside fault retries, every exception out of fuzz() classified into the
-  // FaultKind taxonomy. Leaves outcome.fault == kNone on success.
-  const auto run_supervised = [&](Fuzzer& fuzzer, MissionOutcome& outcome,
-                                  int index) {
-    const MissionFaultInjection* injected = injection_for(index);
-    for (int fault_attempt = 0;; ++fault_attempt) {
-      Fuzzer* active = &fuzzer;
-      std::unique_ptr<Fuzzer> armed;
-      if (injected != nullptr && fault_attempt < injected->fail_attempts) {
-        // One-off fuzzer with the injection armed, so the shared worker
-        // fuzzer stays pristine for every other mission.
-        FuzzerConfig armed_config = worker_fuzzer;
-        armed_config.fault_injection = injected->injection;
-        armed = make_fuzzer(config.kind, armed_config,
-                            config.controller_factory ? config.controller_factory()
-                                                      : nullptr);
-        active = armed.get();
-      }
-      try {
-        for (int attempt = 0; attempt < clean_attempts; ++attempt) {
-          // Salted re-draws keep retried missions deterministic and distinct
-          // from every base seed; fault retries extend the same ladder.
-          const std::uint64_t seed = mission_seed(
-              config.base_seed, index, fault_attempt * clean_attempts + attempt);
-          const sim::MissionSpec mission =
-              sim::generate_mission(config.mission, seed);
-          outcome.mission_seed = seed;
-          outcome.result = active->fuzz(mission);
-          if (!outcome.result.clean_run_failed) {
-            outcome.fault = sim::FaultKind::kNone;
-            outcome.fault_detail.clear();
-            return;
-          }
-        }
-        // Every re-draw collided without an attack: a mission-generation
-        // failure, not an infrastructure fault; keep the last clean run's
-        // accounting (matches pre-taxonomy records, which derive this kind
-        // from result.clean_run_failed on load).
-        outcome.fault = sim::FaultKind::kCleanRunFailed;
-        outcome.fault_detail = "mission collided without attack on all " +
-                               std::to_string(clean_attempts) + " re-draws";
-        return;
-      } catch (const sim::RunFaultError& e) {
-        outcome.fault = e.fault().kind;
-        outcome.fault_detail = e.what();
-      } catch (const std::exception& e) {
-        outcome.fault = sim::FaultKind::kException;
-        outcome.fault_detail = e.what();
-      }
-      outcome.fault_attempts = fault_attempt + 1;
-      if (fault_attempt >= config.max_fault_retries) {
-        // Terminal: no trustworthy search outcome exists; a partial result
-        // must not masquerade as one.
-        outcome.result = FuzzResult{};
-        return;
-      }
-      SWARMFUZZ_WARN(
-          "campaign [{}]: mission {} faulted ({}: {}); retrying with salted "
-          "seed ({}/{})",
-          fuzzer_kind_name(config.kind), index, sim::fault_kind_name(outcome.fault),
-          outcome.fault_detail, fault_attempt + 1, config.max_fault_retries);
-    }
-  };
+  }
 
   const auto worker = [&] {
     // The whole body is supervised: an exception anywhere outside the
     // per-mission containment (fuzzer construction, checkpoint I/O) must
     // stop the campaign cleanly instead of std::terminate-ing the process.
     try {
-      // One fuzzer per worker: fuzzers are stateful but mission outcomes only
-      // depend on per-mission seeds, so sharding is deterministic.
-      auto controller =
-          config.controller_factory ? config.controller_factory() : nullptr;
-      const std::unique_ptr<Fuzzer> fuzzer =
-          make_fuzzer(config.kind, worker_fuzzer, std::move(controller));
+      // One runner (and thus one fuzzer) per worker: fuzzers are stateful but
+      // mission outcomes only depend on per-mission seeds, so sharding is
+      // deterministic.
+      MissionRunner runner(config, worker_fuzzer);
       while (true) {
         if (aborted.load()) break;  // fail-fast tripped elsewhere
         const int index = next.fetch_add(1);
@@ -601,13 +654,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         MissionOutcome& outcome = result.outcomes[static_cast<size_t>(index)];
         if (outcome.completed) continue;  // satisfied by the checkpoint
         if (new_budget.fetch_sub(1) <= 0) break;  // max_new_missions reached
-        const auto mission_start = std::chrono::steady_clock::now();
-        run_supervised(*fuzzer, outcome, index);
-        outcome.wall_time_s =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          mission_start)
-                .count();
-        outcome.completed = true;
+        outcome = runner.run(index);
         if (outcome.result.found) found.fetch_add(1);
         if (outcome.fault != sim::FaultKind::kNone) {
           faulted.fetch_add(1);
@@ -621,7 +668,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
           if (checkpoint) checkpoint->record(record);
           if (config.telemetry) config.telemetry->record(record);
           if (outcome.fault != sim::FaultKind::kNone &&
-              !config.quarantine_path.empty()) {
+              !config.quarantine_path.empty() &&
+              quarantined
+                  .emplace(config_hash, outcome.mission_seed, index)
+                  .second) {
             QuarantineRecord quarantine;
             quarantine.mission_index = index;
             quarantine.fuzzer = std::string{fuzzer_kind_name(config.kind)};

@@ -42,6 +42,28 @@ struct CampaignProgress {
   int found = 0;       // SPVs discovered so far
   int faulted = 0;     // missions recorded with a terminal fault so far
   double elapsed_s = 0.0;  // wall-clock since this run_campaign() call
+
+  // Missions actually executed since run_campaign() started — the resumed
+  // ones were replayed from the checkpoint in (effectively) zero time and
+  // must not enter any throughput math.
+  [[nodiscard]] int completed_this_run() const noexcept {
+    return completed - resumed;
+  }
+  // Throughput in missions/s over *this run only*. A rate based on
+  // `completed / elapsed_s` would count checkpoint replays as work done this
+  // session and, right after a resume, overstate throughput by orders of
+  // magnitude (and make the ETA wildly optimistic). Returns 0 until the
+  // first fresh mission lands.
+  [[nodiscard]] double rate_per_s() const noexcept {
+    const int fresh = completed_this_run();
+    return fresh > 0 && elapsed_s > 0.0 ? fresh / elapsed_s : 0.0;
+  }
+  // Estimated seconds to finish the remaining missions at rate_per_s();
+  // 0 until a rate exists.
+  [[nodiscard]] double eta_s() const noexcept {
+    const double rate = rate_per_s();
+    return rate > 0.0 ? (total - completed) / rate : 0.0;
+  }
 };
 
 // Deterministic fault injection for one mission of a campaign — test
@@ -141,7 +163,9 @@ struct CampaignResult {
   [[nodiscard]] int num_completed() const;
 
   // Success rate over fuzzable missions (clean-run failures excluded, as in
-  // the paper where no mission collides without attack).
+  // the paper where no mission collides without attack). Like every average
+  // below, an empty denominator yields NaN — "undefined", which serializes
+  // as JSON null — rather than a fabricated 0.
   [[nodiscard]] double success_rate() const;
   [[nodiscard]] int num_found() const;
   [[nodiscard]] int num_fuzzable() const;
@@ -211,6 +235,48 @@ struct CampaignResult {
                                        const MissionOutcome& b) noexcept;
 [[nodiscard]] bool deterministic_equal(const CampaignResult& a,
                                        const CampaignResult& b) noexcept;
+
+// Checks a checkpoint/telemetry record against the campaign it is being
+// replayed into; throws std::runtime_error when the record cannot belong to
+// this configuration (index out of range, wrong fuzzer, or a seed that does
+// not derive from the campaign base seed). Shared by run_campaign's resume
+// path and the shard merge (shard_merge.h), which must both refuse to
+// fabricate results from a foreign file.
+void validate_checkpoint_record(const TelemetryRecord& record,
+                                const CampaignConfig& config);
+
+// The eval-thread budget one campaign worker runs with when `workers`
+// workers share the machine: splits the hardware via split_eval_threads and
+// warns when an explicit over-budget request is clamped. Pure configuration;
+// eval_threads never changes outcomes.
+[[nodiscard]] FuzzerConfig worker_fuzzer_config(const CampaignConfig& config,
+                                                int workers);
+
+// Supervised execution of single campaign missions — the unit a worker
+// (thread or shard process) runs. One runner per worker: it owns a fuzzer
+// built from the worker's fuzzer configuration, and run(index) performs the
+// full containment ladder — clean-failure re-draws nested inside salted
+// fault retries, every exception out of fuzz() classified into the
+// sim::FaultKind taxonomy, deterministic fault injections armed per
+// config.fault_injections. Outcomes depend only on (config, base_seed,
+// index), never on which worker executes them, which is what makes both
+// thread sharding and multi-process sharding bit-identical to a serial run.
+class MissionRunner {
+ public:
+  // `worker_fuzzer` is the per-worker fuzzer configuration (normally
+  // worker_fuzzer_config(config, workers)); `config.fuzzer` itself is not
+  // used so campaigns can pre-split eval threads.
+  MissionRunner(const CampaignConfig& config, const FuzzerConfig& worker_fuzzer);
+
+  // Runs mission `index` under supervision and returns its outcome with
+  // completed=true and wall_time_s measured.
+  [[nodiscard]] MissionOutcome run(int index);
+
+ private:
+  CampaignConfig config_;
+  FuzzerConfig worker_fuzzer_;
+  std::unique_ptr<Fuzzer> fuzzer_;
+};
 
 // Runs the campaign. Progress (one line per 10% of missions when there are
 // at least 10) is logged at info level; completion is always logged.

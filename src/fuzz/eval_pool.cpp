@@ -6,6 +6,10 @@
 
 namespace swarmfuzz::fuzz {
 
+int hardware_threads() noexcept {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
 int split_eval_threads(int workers, int requested, int hardware) noexcept {
   workers = std::max(workers, 1);
   hardware = std::max(hardware, 1);

@@ -28,10 +28,18 @@
 
 namespace swarmfuzz::fuzz {
 
+// std::thread::hardware_concurrency() with the zero case handled: the
+// standard allows it to return 0 when the core count is "not computable",
+// and every worker/eval-thread split that divides by it must see >= 1 or
+// it would compute zero workers. All thread-count sizing in the fuzzing
+// layer goes through this helper instead of the raw call.
+[[nodiscard]] int hardware_threads() noexcept;
+
 // Per-worker eval-thread budget when `workers` campaign workers share
 // `hardware` cores: `requested <= 0` is auto (hardware / workers, floored),
 // explicit requests are clamped so workers * eval_threads <= hardware.
-// Always returns >= 1.
+// Always returns >= 1, for any input (zero/negative workers or hardware —
+// the unknown-concurrency degenerate cases — are clamped up to 1 first).
 [[nodiscard]] int split_eval_threads(int workers, int requested,
                                      int hardware) noexcept;
 

@@ -27,10 +27,8 @@ class FuzzerBase : public Fuzzer {
                         : std::make_shared<swarm::VasarhelyiController>()),
         system_(controller_, config_.comm),
         simulator_(config_.sim),
-        eval_threads_(config_.eval_threads > 0
-                          ? config_.eval_threads
-                          : static_cast<int>(std::max(
-                                1u, std::thread::hardware_concurrency()))) {
+        eval_threads_(config_.eval_threads > 0 ? config_.eval_threads
+                                               : hardware_threads()) {
     // An explicit eval_threads is honoured as-is (oversubscription is the
     // caller's choice; results are identical regardless); only the 0 = auto
     // case consults the hardware. Campaigns pre-split their budget via

@@ -1,0 +1,313 @@
+#include "fuzz/service.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "fuzz/shard_merge.h"
+#include "util/fileio.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace swarmfuzz::fuzz {
+
+std::string to_jsonl(const ServiceManifest& manifest) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("v");
+  json.value(manifest.schema_version);
+  json.key("config_hash");
+  json.value(manifest.config_hash);
+  json.key("missions");
+  json.value(manifest.num_missions);
+  json.key("leases");
+  json.value(manifest.num_leases);
+  json.key("ttl_ms");
+  json.value(std::to_string(manifest.lease_ttl_ms));
+  json.key("args");
+  json.begin_array();
+  for (const std::string& arg : manifest.campaign_args) json.value(arg);
+  json.end_array();
+  json.end_object();
+  return frame_with_crc(json.str());
+}
+
+ServiceManifest service_manifest_from_json(std::string_view line) {
+  verify_crc_frame(line);
+  const util::JsonValue root = util::parse_json(line);
+  ServiceManifest manifest;
+  manifest.schema_version = root.at("v").as_int();
+  if (manifest.schema_version != 1) {
+    throw std::invalid_argument("service: unsupported manifest version " +
+                                std::to_string(manifest.schema_version));
+  }
+  manifest.config_hash = root.at("config_hash").as_string();
+  manifest.num_missions = root.at("missions").as_int();
+  manifest.num_leases = root.at("leases").as_int();
+  manifest.lease_ttl_ms = std::stoll(root.at("ttl_ms").as_string());
+  const util::JsonValue& args = root.at("args");
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    manifest.campaign_args.push_back(args.at(i).as_string());
+  }
+  return manifest;
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.json";
+}
+
+void write_manifest(const std::string& dir, const ServiceManifest& manifest) {
+  std::filesystem::create_directories(dir);
+  util::write_file_atomic(manifest_path(dir), to_jsonl(manifest) + "\n");
+}
+
+ServiceManifest load_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("service: no manifest at " + path +
+                             " (run `swarmfuzz serve` first)");
+  }
+  std::string content;
+  char buffer[1 << 12];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  while (!content.empty() && (content.back() == '\n' || content.back() == '\r')) {
+    content.pop_back();
+  }
+  try {
+    return service_manifest_from_json(content);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("service: corrupt manifest at " + path + ": " +
+                             e.what());
+  }
+}
+
+bool all_leases_done(const std::string& dir, int num_leases) {
+  for (int k = 0; k < num_leases; ++k) {
+    std::error_code ec;
+    if (!std::filesystem::exists(
+            dir + "/lease-" + std::to_string(k) + ".done", ec)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool wait_for_leases(const std::string& dir, int num_leases,
+                     std::int64_t timeout_ms, std::int64_t poll_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!all_leases_done(dir, num_leases)) {
+    if (timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::max<std::int64_t>(poll_ms, 1)));
+  }
+  return true;
+}
+
+namespace {
+
+TelemetryRecord shard_record(const CampaignConfig& config,
+                             const MissionOutcome& outcome, int lease_id) {
+  TelemetryRecord record;
+  record.mission_index = outcome.mission_index;
+  record.fuzzer = std::string{fuzzer_kind_name(config.kind)};
+  record.mission_seed = outcome.mission_seed;
+  record.wall_time_s = outcome.wall_time_s;
+  record.shard = lease_id;
+  record.result = outcome.result;
+  record.fault = outcome.fault;
+  record.fault_detail = outcome.fault_detail;
+  record.fault_attempts = outcome.fault_attempts;
+  return record;
+}
+
+// Heartbeat: renews the claim every ttl/3 on a dedicated thread until
+// stopped. A renewal that finds the claim no longer ours trips `fenced` —
+// the worker was presumed dead and its lease reclaimed; continuing to
+// record would race the new owner, so the mission loop must abandon.
+class LeaseHeartbeat {
+ public:
+  LeaseHeartbeat(LeaseStore& store, int lease_id)
+      : store_(store), lease_id_(lease_id) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~LeaseHeartbeat() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+  }
+
+  [[nodiscard]] bool fenced() const noexcept { return fenced_.load(); }
+
+ private:
+  void loop() {
+    const auto period =
+        std::chrono::milliseconds(std::max<std::int64_t>(store_.ttl_ms() / 3, 1));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (wake_.wait_for(lock, period, [this] { return stop_; })) break;
+      try {
+        if (!store_.renew(lease_id_)) {
+          SWARMFUZZ_WARN("shard [{}]: lease {} was reclaimed; abandoning",
+                         store_.owner(), lease_id_);
+          fenced_.store(true);
+          break;
+        }
+      } catch (const std::exception& e) {
+        // Renewal I/O failure: keep trying — the claim only lapses at its
+        // recorded expiry, and a later renewal may still land in time.
+        SWARMFUZZ_ERROR("shard [{}]: lease {} renewal failed: {}",
+                        store_.owner(), lease_id_, e.what());
+      }
+    }
+  }
+
+  LeaseStore& store_;
+  int lease_id_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::atomic<bool> fenced_{false};
+};
+
+}  // namespace
+
+ShardWorkerStats run_shard_worker(const ShardWorkerConfig& config) {
+  if (config.owner.empty()) {
+    throw std::invalid_argument("run_shard_worker: owner must not be empty");
+  }
+  const std::vector<LeaseRange> leases =
+      carve_leases(config.campaign.num_missions, config.num_leases);
+  LeaseStore store(config.dir, config.lease_ttl_ms, config.owner, config.clock);
+  std::function<void(std::int64_t)> sleep_ms = config.sleep_ms;
+  if (!sleep_ms) {
+    sleep_ms = [](std::int64_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+
+  // Shard processes do not split the hardware the way in-process campaign
+  // workers do: each process is its own "worker", so auto eval threads
+  // resolve to the whole machine. eval_threads never changes outcomes.
+  const FuzzerConfig worker_fuzzer = worker_fuzzer_config(config.campaign, 1);
+  const std::string config_hash = campaign_config_hash(config.campaign);
+
+  ShardWorkerStats stats;
+  MissionRunner runner(config.campaign, worker_fuzzer);
+
+  const auto run_lease = [&](const LeaseRange& lease) {
+    const std::string shard_path = shard_telemetry_path(config.dir, lease.lease_id);
+    // The shard file is the lease's sub-range checkpoint: heal a previous
+    // owner's torn tail, then skip every mission it already recorded. The
+    // records are validated exactly like a resume checkpoint — a foreign
+    // file must fail loudly, not seed a merged report.
+    heal_torn_tail(shard_path);
+    std::set<int> recorded;
+    for (const TelemetryRecord& record : load_telemetry(shard_path)) {
+      validate_checkpoint_record(record, config.campaign);
+      if (record.mission_index < lease.begin || record.mission_index >= lease.end) {
+        throw std::runtime_error(
+            "shard: record for mission " + std::to_string(record.mission_index) +
+            " outside lease " + std::to_string(lease.lease_id) + " range in " +
+            shard_path);
+      }
+      recorded.insert(record.mission_index);
+    }
+    // Quarantine dedup across reclaims, keyed like run_campaign's.
+    const std::string quarantine_path = shard_path + ".quarantine";
+    std::set<std::tuple<std::string, std::uint64_t, int>> quarantined;
+    for (const QuarantineRecord& record : load_quarantine(quarantine_path)) {
+      quarantined.emplace(record.config_hash, record.mission_seed,
+                          record.mission_index);
+    }
+
+    LeaseHeartbeat heartbeat(store, lease.lease_id);
+    for (int index = lease.begin; index < lease.end; ++index) {
+      if (heartbeat.fenced()) {
+        ++stats.leases_abandoned;
+        return;
+      }
+      if (recorded.count(index) != 0) {
+        ++stats.missions_resumed;
+        continue;
+      }
+      const MissionOutcome outcome = runner.run(index);
+      if (heartbeat.fenced()) {
+        // Reclaimed mid-mission: the successor will rerun this index and
+        // record the identical outcome; dropping ours avoids racing its
+        // appends on the shard file.
+        ++stats.leases_abandoned;
+        return;
+      }
+      append_jsonl_line(shard_path,
+                        to_jsonl(shard_record(config.campaign, outcome,
+                                              lease.lease_id)));
+      ++stats.missions_run;
+      if (outcome.fault != sim::FaultKind::kNone &&
+          quarantined.emplace(config_hash, outcome.mission_seed, index).second) {
+        QuarantineRecord quarantine;
+        quarantine.mission_index = index;
+        quarantine.fuzzer = std::string{fuzzer_kind_name(config.campaign.kind)};
+        quarantine.mission_seed = outcome.mission_seed;
+        quarantine.config_hash = config_hash;
+        quarantine.fault = outcome.fault;
+        quarantine.detail = outcome.fault_detail;
+        quarantine.attempts = outcome.fault_attempts;
+        try {
+          append_jsonl_line(quarantine_path, to_jsonl(quarantine));
+        } catch (const std::exception& e) {
+          SWARMFUZZ_ERROR("shard: cannot write quarantine record: {}", e.what());
+        }
+      }
+    }
+    if (heartbeat.fenced()) {
+      ++stats.leases_abandoned;
+      return;
+    }
+    store.mark_done(lease.lease_id);
+    SWARMFUZZ_INFO("shard [{}]: lease {} done (missions {}..{})", config.owner,
+                   lease.lease_id, lease.begin, lease.end - 1);
+  };
+
+  // Claim until every lease of the service is done. When nothing is
+  // claimable but leases remain (validly held by live peers), wait out a
+  // fraction of the TTL: either their done markers appear or their claims
+  // expire and become reclaimable.
+  while (true) {
+    bool all_done = true;
+    bool claimed_any = false;
+    for (const LeaseRange& lease : leases) {
+      if (store.is_done(lease.lease_id)) continue;
+      all_done = false;
+      if (!store.try_claim(lease.lease_id)) continue;
+      claimed_any = true;
+      ++stats.leases_claimed;
+      run_lease(lease);
+    }
+    if (all_done) break;
+    if (!claimed_any) {
+      sleep_ms(std::max<std::int64_t>(config.lease_ttl_ms / 4, 1));
+    }
+  }
+  return stats;
+}
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,106 @@
+// Sharded multi-process campaign service.
+//
+// Roles (one binary, three subcommands — see cli/commands.h):
+//
+//   serve   Coordinator. Builds the campaign configuration, carves its
+//           missions into durable work leases (lease.h), and writes the
+//           service manifest into a shared directory. Stateless afterwards:
+//           the directory *is* the coordination medium, so the coordinator
+//           can exit (or die) without affecting running workers.
+//   shard   Worker process. Loads the manifest, rebuilds the configuration,
+//           verifies its campaign_config_hash, then repeatedly claims
+//           leases and runs their missions through the standard supervisor
+//           (MissionRunner — the same clean-redraw/fault-retry/quarantine
+//           ladder run_campaign uses), streaming one CRC-framed
+//           TelemetryRecord per completed mission to the lease's shard
+//           file. A heartbeat thread renews the lease at ttl/3; a renewal
+//           that discovers the lease was reclaimed fences the worker off
+//           the range (it abandons the lease without marking it done).
+//   merge   Loads every shard stream and produces the CampaignResult
+//           (shard_merge.h), bit-identical to a single-process run.
+//
+// Crash safety end to end: mission results live only in per-lease shard
+// files (append + flush per record, CRC framed, torn tails healed), claim
+// files only say who may *run* — so SIGKILL at any point either loses an
+// in-flight mission (its lease expires, a reclaimer reruns exactly that
+// mission deterministically) or nothing at all. The merge dedups the one
+// overlap case (a record landing after its lease was reclaimed) keep-first
+// after checking the copies agree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/lease.h"
+
+namespace swarmfuzz::fuzz {
+
+// The coordinator's durable handoff to shard workers: everything needed to
+// rebuild the campaign configuration in another process, plus the lease
+// geometry. `campaign_args` holds resolved `--flag=value` strings (the CLI
+// layer renders and re-parses them); `config_hash` is the
+// campaign_config_hash of the configuration they rebuild, which workers
+// recompute and verify so a drifted binary or edited manifest is rejected
+// instead of silently fuzzing a different campaign.
+struct ServiceManifest {
+  int schema_version = 1;
+  std::string config_hash;
+  int num_missions = 0;
+  int num_leases = 0;
+  std::int64_t lease_ttl_ms = 30000;
+  std::vector<std::string> campaign_args;
+};
+
+[[nodiscard]] std::string to_jsonl(const ServiceManifest& manifest);
+[[nodiscard]] ServiceManifest service_manifest_from_json(std::string_view line);
+
+[[nodiscard]] std::string manifest_path(const std::string& dir);
+// Atomic write (write-temp-then-rename); creates `dir` if missing.
+void write_manifest(const std::string& dir, const ServiceManifest& manifest);
+// Throws std::runtime_error when the manifest is missing or malformed.
+[[nodiscard]] ServiceManifest load_manifest(const std::string& dir);
+
+// True when every lease's done marker exists.
+[[nodiscard]] bool all_leases_done(const std::string& dir, int num_leases);
+
+// Polls (every `poll_ms`) until all leases are done or `timeout_ms` elapses;
+// returns whether completion was reached. timeout_ms <= 0 waits forever.
+[[nodiscard]] bool wait_for_leases(const std::string& dir, int num_leases,
+                                   std::int64_t timeout_ms,
+                                   std::int64_t poll_ms = 200);
+
+struct ShardWorkerConfig {
+  // Campaign to shard. The single-process observer fields (checkpoint_path,
+  // telemetry, on_progress, max_new_missions) are ignored: durability is
+  // the shard files', and quarantine rides per lease (shard-<k>.quarantine).
+  CampaignConfig campaign;
+  std::string dir;                  // service directory (must exist)
+  int num_leases = 0;               // must match the manifest's carve
+  std::int64_t lease_ttl_ms = 30000;
+  std::string owner;                // unique worker identity
+  // Injectable time and waiting, for deterministic tests. Defaults: system
+  // clock; real sleep.
+  LeaseStore::Clock clock;
+  std::function<void(std::int64_t)> sleep_ms;
+};
+
+struct ShardWorkerStats {
+  int leases_claimed = 0;    // leases this worker won (incl. reclaims)
+  int leases_abandoned = 0;  // leases fenced off mid-range (reclaimed away)
+  int missions_run = 0;      // missions executed by this worker
+  int missions_resumed = 0;  // missions satisfied by existing shard records
+};
+
+// Runs one shard worker to completion: claims leases (reclaiming expired
+// ones), resumes each from its shard file, runs the missing missions, and
+// marks leases done. Returns when every lease of the service is done.
+// Mission outcomes depend only on (config, base_seed, index), so any number
+// of workers — on any schedule, with any crash/reclaim history — produce
+// shard streams that merge bit-identical to a single-process run.
+ShardWorkerStats run_shard_worker(const ShardWorkerConfig& config);
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,45 @@
+// Merging per-shard telemetry streams back into one CampaignResult.
+//
+// Each lease's worker streams its completed missions to
+// `shard-<lease_id>.jsonl` (see lease.h); the merge loads every shard file
+// of the service directory, validates each record against the campaign
+// configuration (same checks as run_campaign's resume path — foreign files
+// are rejected, never silently absorbed), and places outcomes into the
+// mission-index-ordered vector run_campaign itself produces. Because every
+// aggregate in CampaignResult iterates that vector in index order, and every
+// mission's outcome depends only on (config, base_seed, index) — see
+// mission_seed() — the merged report is bit-identical (deterministic_equal)
+// to a single-process run, no matter how leases were carved, which worker
+// ran what, or how many times a lease was reclaimed mid-range.
+//
+// Duplicates (a mission that appears in two shard files, e.g. recorded by
+// both a reclaimed worker's last gasp and its successor) are dropped
+// keep-first after checking the copies agree on every deterministic field;
+// disagreeing duplicates mean the streams cannot have come from the same
+// campaign and the merge throws rather than pick a side.
+#pragma once
+
+#include <string>
+
+#include "fuzz/campaign.h"
+
+namespace swarmfuzz::fuzz {
+
+// Merge accounting, for operators and tests.
+struct ShardMergeStats {
+  int shard_files = 0;   // shard-*.jsonl files read
+  int records = 0;       // valid records loaded across all of them
+  int duplicates = 0;    // records dropped as keep-first duplicates
+};
+
+// Merges every `shard-*.jsonl` in `dir` into a CampaignResult for `config`.
+// Throws std::runtime_error when a record fails validation, duplicates
+// disagree, or (unless `allow_partial`) any mission index is missing — a
+// partial merge would silently report a smaller campaign. The optional
+// `stats` out-param receives merge accounting.
+[[nodiscard]] CampaignResult merge_shards(const CampaignConfig& config,
+                                          const std::string& dir,
+                                          bool allow_partial = false,
+                                          ShardMergeStats* stats = nullptr);
+
+}  // namespace swarmfuzz::fuzz

@@ -24,6 +24,8 @@ constexpr std::size_t kCrcHexLen = 8;
 // ,"crc":" + 8 hex digits + "}
 constexpr std::size_t kCrcSuffixLen = kCrcPrefix.size() + kCrcHexLen + 2;
 
+}  // namespace
+
 std::string frame_with_crc(std::string line) {
   char hex[kCrcHexLen + 1];
   std::snprintf(hex, sizeof hex, "%08x", util::crc32(line));
@@ -34,8 +36,6 @@ std::string frame_with_crc(std::string line) {
   return line;
 }
 
-// Validates the trailing crc member when present; unframed lines (written
-// before framing existed) pass through. Throws on mismatch.
 void verify_crc_frame(std::string_view line) {
   if (line.size() < kCrcSuffixLen ||
       line.compare(line.size() - kCrcSuffixLen, kCrcPrefix.size(), kCrcPrefix) != 0 ||
@@ -59,6 +59,8 @@ void verify_crc_frame(std::string_view line) {
     throw std::invalid_argument("telemetry: record checksum mismatch");
   }
 }
+
+namespace {
 
 attack::SpoofDirection direction_from_name(std::string_view name) {
   if (name == attack::direction_name(attack::SpoofDirection::kRight)) {
@@ -233,6 +235,12 @@ std::string to_jsonl(const TelemetryRecord& record) {
   json.value(std::to_string(record.mission_seed));
   json.key("wall_time_s");
   json.value_exact(record.wall_time_s);
+  // Written only for sharded campaigns, so single-process records stay
+  // byte-identical with files written before the shard schema existed.
+  if (record.shard >= 0) {
+    json.key("shard");
+    json.value(record.shard);
+  }
   json.key("result");
   write_result(json, record.result);
   // Written only when faulted, so fault-free records stay byte-identical
@@ -263,6 +271,9 @@ TelemetryRecord telemetry_record_from_json(std::string_view line) {
   const std::string& seed_text = root.at("seed").as_string();
   record.mission_seed = std::stoull(seed_text);
   record.wall_time_s = root.at("wall_time_s").as_double();
+  if (const util::JsonValue* shard = root.find("shard"); shard != nullptr) {
+    record.shard = shard->as_int();
+  }
   record.result = result_from(root.at("result"));
   if (const util::JsonValue* fault = root.find("fault"); fault != nullptr) {
     record.fault = sim::fault_kind_from_name(fault->as_string());
@@ -334,12 +345,6 @@ void append_jsonl_line(const std::string& path, std::string_view line) {
   }
 }
 
-namespace {
-
-// Truncates an unterminated final line (a write the previous process never
-// finished) so appending resumes on a line boundary. Without this, the next
-// append would glue a fresh record onto the torn fragment, turning the
-// recoverable crash signature into an unrecoverable corrupt complete line.
 void heal_torn_tail(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return;  // nothing to heal
@@ -357,8 +362,6 @@ void heal_torn_tail(const std::string& path) {
                  path, content.size() - keep);
   std::filesystem::resize_file(path, keep);
 }
-
-}  // namespace
 
 JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path, bool append)
     : path_(path) {

@@ -36,6 +36,10 @@ struct TelemetryRecord {
   std::string fuzzer;             // fuzzer_kind_name() of the campaign's kind
   std::uint64_t mission_seed = 0; // final (possibly retried) mission seed
   double wall_time_s = 0.0;       // wall-clock spent on this mission
+  // Shard (lease) id the record came from, for sharded campaigns; -1 for
+  // single-process runs. Written only when >= 0, so single-process records
+  // stay byte-identical with pre-shard-schema files.
+  int shard = -1;
   FuzzResult result;              // full outcome, including seed attempts
   // Fault containment (DESIGN.md section 11). kNone: the mission fuzzed
   // normally. Any other kind: the supervisor exhausted its fault retries and
@@ -83,6 +87,23 @@ struct QuarantineRecord {
 // Appends one line + '\n' to `path` in a single flushed write, creating the
 // file if needed. Throws std::runtime_error on I/O failure.
 void append_jsonl_line(const std::string& path, std::string_view line);
+
+// CRC-32 record framing, shared by every durable JSONL stream (telemetry,
+// checkpoints, quarantine, work leases). frame_with_crc splices the checksum
+// in as the line's final member — `{...}` becomes `{...,"crc":"xxxxxxxx"}`,
+// where the checksum covers the unframed line — so `line` must be a
+// single-line JSON object. verify_crc_frame validates the trailing member
+// when present (unframed legacy lines pass through) and throws
+// std::invalid_argument on mismatch.
+[[nodiscard]] std::string frame_with_crc(std::string line);
+void verify_crc_frame(std::string_view line);
+
+// Truncates an unterminated final line (a write the previous process never
+// finished) so appending resumes on a line boundary. Without this, the next
+// append would glue a fresh record onto the torn fragment, turning the
+// recoverable crash signature into an unrecoverable corrupt complete line.
+// A missing file is a no-op.
+void heal_torn_tail(const std::string& path);
 
 // Receives completed-mission records; implementations must be thread-safe
 // (campaign workers call record() concurrently).

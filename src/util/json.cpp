@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace swarmfuzz::util {
@@ -99,6 +100,14 @@ void JsonWriter::value(std::string_view text) {
 }
 
 void JsonWriter::value(double number) {
+  // JSON has no NaN/Infinity literals; emitting them produces a document no
+  // conforming parser (including ours) accepts. Undefined numeric values —
+  // averages over empty sets, non-finite VDOs — serialize as null instead,
+  // and as_double() maps null back to NaN on the way in.
+  if (!std::isfinite(number)) {
+    null();
+    return;
+  }
   prepare_for_value();
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.10g", number);
@@ -126,6 +135,10 @@ void JsonWriter::null() {
 }
 
 void JsonWriter::value_exact(double number) {
+  if (!std::isfinite(number)) {
+    null();
+    return;
+  }
   prepare_for_value();
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", number);
@@ -156,6 +169,9 @@ bool JsonValue::as_bool() const {
 }
 
 double JsonValue::as_double() const {
+  // null is how the writer spells a non-finite double (see
+  // JsonWriter::value); reading it back as NaN makes the round-trip total.
+  if (is_null()) return std::numeric_limits<double>::quiet_NaN();
   if (!is_number()) kind_error("number");
   return number_;
 }

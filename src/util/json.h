@@ -41,6 +41,8 @@ class JsonWriter {
 
   void value(std::string_view text);
   void value(const char* text) { value(std::string_view{text}); }
+  // Non-finite doubles (NaN/inf have no JSON spelling) are written as null;
+  // as_double() reads null back as NaN.
   void value(double number);
   void value(int number);
   void value(std::int64_t number);
@@ -86,7 +88,7 @@ class JsonValue {
 
   // Typed accessors; throw std::invalid_argument on a kind mismatch.
   [[nodiscard]] bool as_bool() const;
-  [[nodiscard]] double as_double() const;
+  [[nodiscard]] double as_double() const;  // null reads back as quiet NaN
   [[nodiscard]] int as_int() const;                 // rejects non-integral values
   [[nodiscard]] std::int64_t as_int64() const;      // from the raw number text
   [[nodiscard]] std::uint64_t as_uint64() const;    // from the raw number text

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <set>
 
@@ -89,6 +91,63 @@ TEST(Campaign, ProgressCallbackReportsEveryMission) {
     EXPECT_EQ(updates[i].resumed, 0);
     EXPECT_GE(updates[i].elapsed_s, 0.0);
   }
+}
+
+TEST(CampaignProgressMath, ThroughputCountsOnlyThisRunsMissions) {
+  CampaignProgress p;
+  p.completed = 5;
+  p.resumed = 4;
+  p.total = 10;
+  p.elapsed_s = 10.0;
+  EXPECT_EQ(p.completed_this_run(), 1);
+  // 1 fresh mission in 10 s — not the 0.5/s a naive completed/elapsed rate
+  // would claim by crediting the 4 checkpoint replays to this session.
+  EXPECT_DOUBLE_EQ(p.rate_per_s(), 0.1);
+  // 5 missions remain at 0.1/s: 50 s, not the 10 s the naive rate implies.
+  EXPECT_DOUBLE_EQ(p.eta_s(), 50.0);
+
+  // Until the first fresh mission lands there is no rate and no ETA.
+  CampaignProgress replay_only;
+  replay_only.completed = replay_only.resumed = 4;
+  replay_only.total = 10;
+  replay_only.elapsed_s = 2.0;
+  EXPECT_EQ(replay_only.completed_this_run(), 0);
+  EXPECT_EQ(replay_only.rate_per_s(), 0.0);
+  EXPECT_EQ(replay_only.eta_s(), 0.0);
+}
+
+TEST(CampaignProgressMath, ResumeSeparatesReplaysFromFreshWork) {
+  const std::string path =
+      (std::filesystem::path{::testing::TempDir()} / "swarmfuzz_progress.jsonl")
+          .string();
+  std::remove(path.c_str());
+
+  CampaignConfig config = small_campaign();
+  config.checkpoint_path = path;
+  config.max_new_missions = 2;
+  (void)run_campaign(config);  // "killed" after 2 of 6 missions
+
+  config.max_new_missions = 0;
+  config.num_threads = 1;
+  std::vector<CampaignProgress> updates;
+  config.on_progress = [&updates](const CampaignProgress& p) {
+    updates.push_back(p);
+  };
+  (void)run_campaign(config);
+
+  // One update per mission executed this session; the 2 replays never enter
+  // the throughput denominator but do count toward completion.
+  ASSERT_EQ(updates.size(), 4u);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].resumed, 2);
+    EXPECT_EQ(updates[i].completed, static_cast<int>(i) + 3);
+    EXPECT_EQ(updates[i].completed_this_run(), static_cast<int>(i) + 1);
+    if (updates[i].elapsed_s > 0.0) {
+      EXPECT_DOUBLE_EQ(updates[i].rate_per_s(),
+                       updates[i].completed_this_run() / updates[i].elapsed_s);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Campaign, RunsAllMissions) {
@@ -208,7 +267,9 @@ TEST(Campaign, IterationAveragesBounded) {
   if (result.num_found() > 0) {
     EXPECT_GT(result.avg_iterations_successful(), 0.0);
   } else {
-    EXPECT_DOUBLE_EQ(result.avg_iterations_successful(), 0.0);
+    // No successes: the average is undefined (NaN), which serializes as
+    // JSON null rather than an invalid bare nan token.
+    EXPECT_TRUE(std::isnan(result.avg_iterations_successful()));
   }
 }
 

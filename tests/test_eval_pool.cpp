@@ -35,6 +35,19 @@ TEST(EvalPool, SplitEvalThreadsDegenerateInputsStaySane) {
   EXPECT_EQ(split_eval_threads(0, 0, 0), 1);
   EXPECT_EQ(split_eval_threads(-3, -1, -2), 1);
   EXPECT_EQ(split_eval_threads(1, 1, 1), 1);
+  // hardware_concurrency() == 0 ("not computable") must never produce a
+  // zero-thread worker, whatever the worker count says.
+  EXPECT_EQ(split_eval_threads(4, 0, 0), 1);
+  EXPECT_EQ(split_eval_threads(4, 8, 0), 1);
+  // Zero workers clamp to one before the division, not after.
+  EXPECT_EQ(split_eval_threads(0, 2, 8), 2);
+  EXPECT_EQ(split_eval_threads(0, 0, 8), 8);
+}
+
+TEST(EvalPool, HardwareThreadsNeverReportsZero) {
+  // The standard allows hardware_concurrency() to return 0; every
+  // worker-count division in the fuzzing layer relies on this floor.
+  EXPECT_GE(hardware_threads(), 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -278,6 +278,37 @@ TEST(CampaignFaults, TransientFaultSucceedsOnSaltedRetry) {
   }
 }
 
+TEST(CampaignFaults, QuarantineIsDedupedAcrossResume) {
+  const std::string quarantine = temp_path("dedup_quarantine.jsonl");
+  const std::string checkpoint = temp_path("dedup_checkpoint.jsonl");
+  std::remove(quarantine.c_str());
+  std::remove(checkpoint.c_str());
+
+  fuzz::CampaignConfig config = fault_campaign(3);
+  config.fault_injections = fuzz::parse_fault_plan("nan@1");
+  config.max_fault_retries = 0;
+  config.quarantine_path = quarantine;
+  config.checkpoint_path = checkpoint;
+  (void)fuzz::run_campaign(config);
+  ASSERT_EQ(fuzz::load_quarantine(quarantine).size(), 1u);
+
+  // A full replay from the checkpoint executes nothing — and appends nothing.
+  (void)fuzz::run_campaign(config);
+  EXPECT_EQ(fuzz::load_quarantine(quarantine).size(), 1u);
+
+  // Losing the checkpoint (a crash before any record landed) re-runs the
+  // mission; it faults again with the same (config, seed, index), so the
+  // quarantine file must keep exactly one repro record, not grow one copy
+  // per resume.
+  std::remove(checkpoint.c_str());
+  const fuzz::CampaignResult rerun = fuzz::run_campaign(config);
+  EXPECT_EQ(rerun.fault_count(FaultKind::kNumericalDivergence), 1);
+  EXPECT_EQ(fuzz::load_quarantine(quarantine).size(), 1u);
+
+  std::remove(quarantine.c_str());
+  std::remove(checkpoint.c_str());
+}
+
 TEST(CampaignFaults, StepBudgetTimeoutIsTerminalAndQuarantined) {
   // An eval step budget far below any real mission forces kTimeout through
   // the whole supervisor path deterministically (no wall clock involved).

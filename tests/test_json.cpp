@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace swarmfuzz::util {
 namespace {
 
@@ -182,6 +185,26 @@ TEST(JsonParse, ExactDoubleRoundTrip) {
     writer.value_exact(original);
     const double parsed = parse_json(writer.str()).as_double();
     EXPECT_EQ(parsed, original);
+  }
+}
+
+TEST(JsonParse, NonFiniteDoublesRoundTripAsNull) {
+  // JSON has no spelling for nan/inf: a bare `nan` token would make the
+  // whole document unparseable. Both writers must emit null instead, and
+  // as_double() must map null back to NaN so undefined aggregates (averages
+  // over empty sets) survive a serialize/parse cycle as "undefined".
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    JsonWriter plain;
+    plain.value(bad);
+    EXPECT_EQ(plain.str(), "null");
+    JsonWriter exact;
+    exact.value_exact(bad);
+    EXPECT_EQ(exact.str(), "null");
+    const JsonValue parsed = parse_json(exact.str());
+    EXPECT_TRUE(parsed.is_null());
+    EXPECT_TRUE(std::isnan(parsed.as_double()));
   }
 }
 

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <thread>
 
 #include "fuzz/campaign.h"
@@ -159,6 +161,36 @@ TEST(Telemetry, FaultFieldsRoundTripAndStayOffCleanRecords) {
   EXPECT_EQ(parsed.fault, sim::FaultKind::kTimeout);
   EXPECT_EQ(parsed.fault_detail, faulted.fault_detail);
   EXPECT_EQ(parsed.fault_attempts, 3);
+}
+
+TEST(Telemetry, ShardFieldRoundTripsAndStaysOffSingleProcessRecords) {
+  // Single-process records (shard = -1) must remain byte-compatible with
+  // pre-shard-schema files: no shard member at all.
+  const std::string plain_line = to_jsonl(sample_record());
+  EXPECT_EQ(plain_line.find("\"shard\""), std::string::npos);
+  EXPECT_EQ(telemetry_record_from_json(plain_line).shard, -1);
+
+  TelemetryRecord sharded = sample_record();
+  sharded.shard = 5;
+  const std::string line = to_jsonl(sharded);
+  EXPECT_NE(line.find("\"shard\":5"), std::string::npos);
+  const TelemetryRecord parsed = telemetry_record_from_json(line);
+  EXPECT_EQ(parsed.shard, 5);
+  // The shard stamp never perturbs the deterministic payload.
+  EXPECT_TRUE(deterministic_equal(outcome_from(sample_record()),
+                                  outcome_from(parsed)));
+}
+
+TEST(Telemetry, NonFiniteMissionVdoRoundTripsAsNull) {
+  // A diverged clean run records mission_vdo = NaN; the line must stay
+  // valid JSON (null, not a bare nan token) and read back as NaN.
+  TelemetryRecord record = sample_record();
+  record.result.mission_vdo = std::numeric_limits<double>::quiet_NaN();
+  const std::string line = to_jsonl(record);
+  EXPECT_EQ(line.find("nan"), std::string::npos);
+  EXPECT_NE(line.find("\"mission_vdo\":null"), std::string::npos);
+  const TelemetryRecord parsed = telemetry_record_from_json(line);
+  EXPECT_TRUE(std::isnan(parsed.result.mission_vdo));
 }
 
 TEST(Telemetry, QuarantineRecordRoundTrips) {
