@@ -4,7 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
@@ -12,9 +16,11 @@
 #include "fuzz/seeds.h"
 #include "fuzz/svg.h"
 #include "graph/pagerank.h"
+#include "math/geometry.h"
 #include "math/rng.h"
 #include "sim/simulator.h"
 #include "swarm/comm.h"
+#include "swarm/spatial_grid.h"
 #include "swarm/vasarhelyi.h"
 
 namespace {
@@ -24,31 +30,116 @@ using namespace swarmfuzz;
 sim::MissionSpec mission_of(int drones) {
   sim::MissionConfig config;
   config.num_drones = drones;
+  // The default 50 m spawn box only fits ~30 drones at the default 8 m
+  // separation; large swarms get a box that grows with sqrt(N) so spawn
+  // density (and thus neighbourhood structure) stays comparable. Their
+  // missions are capped at 30 s (the examples/large_swarm_scaling workload)
+  // so the whole-mission arms stay sub-second per iteration: the default
+  // 180 s cap would put BM_FullMission/1000 at ~10 s per iteration, far too
+  // slow for the CI smoke run and no more informative per step.
+  if (drones > 30) {
+    config.spawn_range = 2.2 * config.min_spawn_separation *
+                         std::sqrt(static_cast<double>(drones));
+    config.max_time = 30.0;
+  }
   return sim::generate_mission(config, 1005);
 }
 
 sim::WorldSnapshot snapshot_of(const sim::MissionSpec& mission) {
   sim::WorldSnapshot snap;
+  snap.reserve(mission.num_drones());
   for (int i = 0; i < mission.num_drones(); ++i) {
-    snap.drones.push_back(
+    snap.push_back(
         {i, mission.initial_positions[static_cast<size_t>(i)], {2.5, 0, 0}});
   }
   return snap;
 }
 
+// RAII toggle for the process-wide spatial-grid policy, so grid-on/off arms
+// of a benchmark can coexist in one binary run.
+class GridPolicyScope {
+ public:
+  explicit GridPolicyScope(bool enabled) : saved_(swarm::spatial_grid_policy()) {
+    swarm::spatial_grid_policy().enabled = enabled;
+  }
+  ~GridPolicyScope() { swarm::spatial_grid_policy() = saved_; }
+
+ private:
+  swarm::SpatialGridPolicy saved_;
+};
+
+// Whole-swarm controller evaluation through the batch entry point. Arg0 =
+// drones, arg1 = spatial grid enabled (0 forces the dense pair-scan path).
 void BM_ControllerEvaluation(benchmark::State& state) {
   const int drones = static_cast<int>(state.range(0));
+  const GridPolicyScope policy(state.range(1) != 0);
   const sim::MissionSpec mission = mission_of(drones);
   const sim::WorldSnapshot snap = snapshot_of(mission);
   const swarm::VasarhelyiController controller;
+  std::vector<sim::Vec3> desired(static_cast<size_t>(drones));
   for (auto _ : state) {
-    for (int i = 0; i < drones; ++i) {
-      benchmark::DoNotOptimize(controller.desired_velocity(i, snap, mission));
+    controller.desired_velocity_all(snap, mission, desired);
+    benchmark::DoNotOptimize(desired.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * drones);
+}
+BENCHMARK(BM_ControllerEvaluation)
+    ->Args({5, 1})
+    ->Args({10, 1})
+    ->Args({15, 1})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({250, 0})
+    ->Args({250, 1})
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+
+// Raw neighbour-query throughput: one grid rebuild plus a comm-range gather
+// per drone, versus the brute-force O(N^2) scan the grid replaces. Arg0 =
+// drones, arg1 = 1 grid / 0 brute.
+void BM_NeighborQuery(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const bool use_grid = state.range(1) != 0;
+  const sim::MissionSpec mission = mission_of(drones);
+  const sim::WorldSnapshot snap = snapshot_of(mission);
+  const double range = 40.0;
+  swarm::SpatialGrid grid;
+  std::vector<int> cand;
+  for (auto _ : state) {
+    if (use_grid) {
+      grid.build(std::span<const math::Vec3>(snap.gps_position), range);
+      for (int i = 0; i < drones; ++i) {
+        cand.clear();
+        grid.gather(snap.gps_position[static_cast<size_t>(i)], range, cand);
+        benchmark::DoNotOptimize(cand.data());
+      }
+    } else {
+      for (int i = 0; i < drones; ++i) {
+        cand.clear();
+        for (int j = 0; j < drones; ++j) {
+          if (math::distance(snap.gps_position[static_cast<size_t>(i)],
+                             snap.gps_position[static_cast<size_t>(j)]) <= range) {
+            cand.push_back(j);
+          }
+        }
+        benchmark::DoNotOptimize(cand.data());
+      }
     }
   }
   state.SetItemsProcessed(state.iterations() * drones);
 }
-BENCHMARK(BM_ControllerEvaluation)->Arg(5)->Arg(10)->Arg(15);
+BENCHMARK(BM_NeighborQuery)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({250, 0})
+    ->Args({250, 1})
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
 
 // One control tick's worth of communication filtering: every drone's view
 // of the broadcast under range-limited, lossy comms (the non-trivial path
@@ -200,7 +291,14 @@ void BM_FullMission(benchmark::State& state) {
     benchmark::DoNotOptimize(simulator.run(mission, *system));
   }
 }
-BENCHMARK(BM_FullMission)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullMission)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(100)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SvgConstruction(benchmark::State& state) {
   const int drones = static_cast<int>(state.range(0));
@@ -255,4 +353,30 @@ BENCHMARK(BM_MissionGeneration)->Arg(5)->Arg(15);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Instant probe for run_bench.sh: print the configure-time build type and
+  // exit without touching the benchmark machinery (a never-matching
+  // --benchmark_filter produces no JSON at all, so the context block cannot
+  // be probed without actually running a benchmark).
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--swarmfuzz_print_build_type") {
+      std::printf("%s\n", SWARMFUZZ_BUILD_TYPE);
+      return 0;
+    }
+  }
+  // The configure-time build type of THIS code (the packaged benchmark
+  // library's own build type is reported separately and is typically
+  // "debug" regardless). run_bench.sh reads this to refuse recording
+  // baselines from unoptimized binaries.
+  benchmark::AddCustomContext("swarmfuzz_build_type", SWARMFUZZ_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("swarmfuzz_assertions", "off");
+#else
+  benchmark::AddCustomContext("swarmfuzz_assertions", "on");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,11 +6,13 @@ Usage: compare_bench.py BASELINE_JSON FRESH_JSON
 Both inputs may be raw google-benchmark output or the repo's BENCH_micro.json
 (whose top-level "benchmarks" holds the most recent run). Prints a comparison
 table for every benchmark present in both files, then exits non-zero if any
-*guarded* series — BM_FullMission, BM_FuzzMission and BM_FuzzMissionParallel:
-the whole-mission and whole-fuzz wall times a campaign repeats hundreds of
-times, serial and eval-pooled — slowed down by more than the threshold. Other
-series are reported but never gate: they are too small/noisy for shared CI
-runners.
+*guarded* series slowed down by more than the threshold. Guarded series are
+BM_FullMission, BM_FuzzMission and BM_FuzzMissionParallel (the whole-mission
+and whole-fuzz wall times a campaign repeats hundreds of times, serial and
+eval-pooled) plus the large-swarm scaling series — BM_ControllerEvaluation
+and BM_NeighborQuery at N >= 100 — which pin the spatial-grid hot path.
+Other series are reported but never gate: they are too small/noisy for
+shared CI runners.
 
 Repetitions of the same benchmark name are reduced to the median, which is
 what google-benchmark itself recommends comparing.
@@ -20,7 +22,21 @@ import json
 import statistics
 import sys
 
-GUARDED_PREFIXES = ("BM_FullMission", "BM_FuzzMission", "BM_FuzzMissionParallel")
+GUARDED_PREFIXES = (
+    "BM_FullMission",
+    "BM_FuzzMission",
+    "BM_FuzzMissionParallel",
+    # Large-swarm scaling series (grid-on and pair-scan arms alike); the
+    # small-N arms (5/10/15) run in microseconds and stay unguarded.
+    "BM_ControllerEvaluation/100",
+    "BM_ControllerEvaluation/250",
+    "BM_ControllerEvaluation/500",
+    "BM_ControllerEvaluation/1000",
+    "BM_NeighborQuery/100",
+    "BM_NeighborQuery/250",
+    "BM_NeighborQuery/500",
+    "BM_NeighborQuery/1000",
+)
 THRESHOLD = 0.25  # fail on >25% slowdown of a guarded benchmark
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
   snapshot.time = clean.t_clo();
   const auto states = clean.recorder.sample(sample);
   for (int i = 0; i < mission.num_drones(); ++i) {
-    snapshot.drones.push_back({i, states[static_cast<size_t>(i)].position,
-                               states[static_cast<size_t>(i)].velocity});
+    snapshot.push_back({i, states[static_cast<size_t>(i)].position,
+                        states[static_cast<size_t>(i)].velocity});
   }
 
   for (const auto dir : {attack::SpoofDirection::kRight, attack::SpoofDirection::kLeft}) {

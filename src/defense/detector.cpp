@@ -59,14 +59,16 @@ SwarmDetectionMonitor::SwarmDetectionMonitor(int num_drones,
 
 void SwarmDetectionMonitor::on_step(double time, const sim::WorldSnapshot& snapshot,
                                     std::span<const sim::DroneState> /*truth*/) {
-  for (const sim::DroneObservation& obs : snapshot.drones) {
-    if (obs.id < 0 || obs.id >= static_cast<int>(detectors_.size())) continue;
-    InnovationDetector& detector = detectors_[static_cast<size_t>(obs.id)];
+  for (int k = 0; k < snapshot.size(); ++k) {
+    const int id = snapshot.id[static_cast<size_t>(k)];
+    if (id < 0 || id >= static_cast<int>(detectors_.size())) continue;
+    InnovationDetector& detector = detectors_[static_cast<size_t>(id)];
     const bool was_alarmed = detector.alarmed();
-    detector.observe(obs.gps_position, obs.velocity, time);
+    detector.observe(snapshot.gps_position[static_cast<size_t>(k)],
+                     snapshot.velocity[static_cast<size_t>(k)], time);
     if (!was_alarmed && detector.alarmed() && !first_alarm_.detected) {
       first_alarm_.detected = true;
-      first_alarm_.drone = obs.id;
+      first_alarm_.drone = id;
       first_alarm_.time = detector.alarm_time();
     }
   }

@@ -32,9 +32,9 @@ std::vector<Seed> schedule_seeds(const sim::RunResult& clean,
   sim::WorldSnapshot snapshot;
   snapshot.time = t_clo;
   const auto states = clean.recorder.sample(sample);
-  snapshot.drones.reserve(static_cast<size_t>(n));
+  snapshot.reserve(n);
   for (int i = 0; i < n; ++i) {
-    snapshot.drones.push_back(sim::DroneObservation{
+    snapshot.push_back(sim::DroneObservation{
         .id = i,
         .gps_position = states[static_cast<size_t>(i)].position,
         .velocity = states[static_cast<size_t>(i)].velocity,

@@ -1,6 +1,11 @@
 #include "fuzz/svg.h"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "math/geometry.h"
+#include "swarm/spatial_grid.h"
 
 namespace swarmfuzz::fuzz {
 
@@ -9,7 +14,7 @@ graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
                          const swarm::FlockingControlSystem& system,
                          attack::SpoofDirection direction, double distance,
                          const SvgConfig& config) {
-  const int n = static_cast<int>(snapshot.drones.size());
+  const int n = snapshot.size();
   graph::Digraph svg(n);
   if (mission.obstacles.empty()) return svg;
 
@@ -19,47 +24,75 @@ graph::Digraph build_svg(const sim::WorldSnapshot& snapshot,
   const math::Vec3 spoof_offset =
       left * (-static_cast<double>(attack::direction_sign(direction)) * distance);
 
-  // Baseline: what every drone would do right now, unspoofed. Probes are
-  // index-based: drone i is snapshot.drones[i] here by construction, so no
-  // per-probe id rescan is needed.
+  // Baseline: what every drone would do right now, unspoofed. The probes
+  // are whole-broadcast and index-based (drone i is broadcast slot i here
+  // by construction), which is exactly the controller's batch entry point —
+  // bit-identical to one probe per drone, and grid-accelerated for large
+  // swarms.
   std::vector<math::Vec3> base_velocity(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    base_velocity[static_cast<size_t>(i)] =
-        system.probe_desired_velocity_at(i, snapshot, mission);
+  system.controller().desired_velocity_all(snapshot, mission, base_velocity);
+
+  // Spoof-probe culling: if drone j sits (spoofed and unspoofed) beyond the
+  // controller's influence radius from drone i, i's probed velocity is
+  // bit-identical to its baseline, so spoofed_rate == base_rate and — with
+  // a non-negative influence threshold — no edge can appear. Probing only
+  // the i's the grid gathers within influence + spoof-shift of j therefore
+  // changes nothing in the output graph. A non-finite radius (controller
+  // with unbounded influence, e.g. fewer members than k_att) disables
+  // culling, as does a negative threshold or an unbuildable grid.
+  swarm::SpatialGrid grid;
+  bool cull = false;
+  double cull_radius = 0.0;
+  if (config.influence_threshold >= 0.0 && swarm::spatial_grid_wanted(n)) {
+    const double influence =
+        system.controller().probe_influence_radius(snapshot, mission);
+    if (std::isfinite(influence)) {
+      cull_radius = influence + spoof_offset.norm();
+      grid.build(std::span<const math::Vec3>(snapshot.gps_position),
+                 std::max(cull_radius, 1e-3));
+      cull = grid.valid();
+    }
   }
 
   // One reusable counterfactual snapshot: spoof drone j's broadcast position
   // in place, probe, then restore — instead of re-copying the snapshot per j.
   sim::WorldSnapshot spoofed = snapshot;
+  std::vector<int> probe_targets;
   for (int j = 0; j < n; ++j) {
-    spoofed.drones[static_cast<size_t>(j)].gps_position += spoof_offset;
+    spoofed.gps_position[static_cast<size_t>(j)] += spoof_offset;
 
-    for (int i = 0; i < n; ++i) {
+    probe_targets.clear();
+    if (cull) {
+      grid.gather(snapshot.gps_position[static_cast<size_t>(j)], cull_radius,
+                  probe_targets);
+    } else {
+      for (int i = 0; i < n; ++i) probe_targets.push_back(i);
+    }
+    for (const int i : probe_targets) {
       if (i == j) continue;
-      const sim::DroneObservation& obs_i = snapshot.drones[static_cast<size_t>(i)];
-      const auto hit = mission.obstacles.nearest(obs_i.gps_position);
+      const math::Vec3& pos_i = snapshot.gps_position[static_cast<size_t>(i)];
+      const auto hit = mission.obstacles.nearest(pos_i);
       if (!hit) continue;
 
       const math::Vec3 spoofed_velocity =
           system.probe_desired_velocity_at(i, spoofed, mission);
       const double base_rate =
-          math::radial_speed_xy(obs_i.gps_position, mission.obstacles.at(hit->index).center,
+          math::radial_speed_xy(pos_i, mission.obstacles.at(hit->index).center,
                                 base_velocity[static_cast<size_t>(i)]);
       const double spoofed_rate = math::radial_speed_xy(
-          obs_i.gps_position, mission.obstacles.at(hit->index).center, spoofed_velocity);
+          pos_i, mission.obstacles.at(hit->index).center, spoofed_velocity);
 
       // Edge i -> j iff spoofing j makes i approach the obstacle faster.
       if (spoofed_rate < base_rate - config.influence_threshold) {
         const double weight = math::cos_angle_xy(
-            obs_i.gps_position, snapshot.drones[static_cast<size_t>(j)].gps_position,
-            left);
+            pos_i, snapshot.gps_position[static_cast<size_t>(j)], left);
         // A zero-weight edge carries no PageRank mass; keep a small floor so
         // the malicious link itself is never lost from the graph.
         svg.add_edge(i, j, std::max(weight, 1e-3));
       }
     }
-    spoofed.drones[static_cast<size_t>(j)].gps_position =
-        snapshot.drones[static_cast<size_t>(j)].gps_position;
+    spoofed.gps_position[static_cast<size_t>(j)] =
+        snapshot.gps_position[static_cast<size_t>(j)];
   }
   return svg;
 }

@@ -1,8 +1,11 @@
 #include "sim/collision.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "math/geometry.h"
+#include "swarm/spatial_grid.h"
 
 namespace swarmfuzz::sim {
 
@@ -32,18 +35,54 @@ std::optional<CollisionEvent> CollisionMonitor::check(
     }
   }
 
+  // Drone-drone proximity. `pair_test` is the exact accept test; both scan
+  // strategies below visit pairs in the same lexicographic (i, j) order, so
+  // the first reported event is identical.
   const double thr = 2.0 * drone_radius_;
+  const auto pair_test = [&](int i, int j) {
+    const Vec3 d = states[static_cast<size_t>(i)].position -
+                   states[static_cast<size_t>(j)].position;
+    // Cheap squared pre-reject with a 2x margin: well-separated pairs
+    // (the overwhelming majority) skip the sqrt. The margin is far beyond
+    // any rounding of d.norm(), so pairs that could possibly satisfy
+    // `dist <= thr` always fall through to the exact original test.
+    if (d.norm_sq() > 4.0 * thr * thr) return false;
+    return d.norm() <= thr;
+  };
+
+  // Grid fast path: any colliding pair has XY distance <= 3D distance
+  // <= thr, so the per-drone candidate superset at radius thr contains every
+  // partner the exact test could accept; candidates arrive in ascending
+  // index order. check() is const, so the grid lives in thread-local
+  // scratch (buffers reused: no steady-state allocation).
+  if (swarm::spatial_grid_wanted(n)) {
+    thread_local swarm::SpatialGrid grid;
+    thread_local std::vector<Vec3> pos;
+    thread_local std::vector<int> cand;
+    pos.clear();
+    pos.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pos.push_back(states[static_cast<size_t>(i)].position);
+    }
+    grid.build(std::span<const Vec3>(pos), std::max(thr, 1e-3));
+    if (grid.valid()) {
+      for (int i = 0; i < n; ++i) {
+        cand.clear();
+        grid.gather(pos[static_cast<size_t>(i)], thr, cand);
+        for (const int j : cand) {
+          if (j <= i) continue;
+          if (pair_test(i, j)) {
+            return CollisionEvent{CollisionKind::kDroneDrone, time, i, j};
+          }
+        }
+      }
+      return std::nullopt;
+    }
+  }
+
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      const Vec3 d = states[static_cast<size_t>(i)].position -
-                     states[static_cast<size_t>(j)].position;
-      // Cheap squared pre-reject with a 2x margin: well-separated pairs
-      // (the overwhelming majority) skip the sqrt. The margin is far beyond
-      // any rounding of d.norm(), so pairs that could possibly satisfy
-      // `dist <= thr` always fall through to the exact original test.
-      if (d.norm_sq() > 4.0 * thr * thr) continue;
-      const double dist = d.norm();
-      if (dist <= thr) {
+      if (pair_test(i, j)) {
         return CollisionEvent{CollisionKind::kDroneDrone, time, i, j};
       }
     }

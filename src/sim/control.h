@@ -23,7 +23,7 @@ class ControlSystem {
 
   virtual void reset(const MissionSpec& mission, std::uint64_t seed) = 0;
 
-  // `desired` has exactly snapshot.drones.size() entries, filled in id order.
+  // `desired` has exactly snapshot.size() entries, filled in id order.
   virtual void compute(const WorldSnapshot& snapshot, const MissionSpec& mission,
                        std::span<Vec3> desired) = 0;
 

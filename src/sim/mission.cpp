@@ -1,5 +1,6 @@
 #include "sim/mission.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "math/rng.h"
@@ -28,10 +29,12 @@ MissionSpec generate_mission(const MissionConfig& config, std::uint64_t seed) {
   // Spawn positions: uniform in the box, rejection-sampled for separation.
   const Vec3 lo{0.0, 0.0, config.cruise_altitude};
   const Vec3 hi{config.spawn_range, config.spawn_range, config.cruise_altitude};
-  constexpr int kMaxAttempts = 20000;
+  // The attempt budget scales with swarm size: large swarms legitimately
+  // need more rejection-sampling draws even in a comfortably sized box.
+  const int max_attempts = std::max(20000, 200 * config.num_drones);
   int attempts = 0;
   while (static_cast<int>(mission.initial_positions.size()) < config.num_drones) {
-    if (++attempts > kMaxAttempts) {
+    if (++attempts > max_attempts) {
       throw std::runtime_error(
           "generate_mission: cannot place swarm with requested separation");
     }

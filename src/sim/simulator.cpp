@@ -143,7 +143,7 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
   }
 
   WorldSnapshot snapshot;
-  snapshot.drones.resize(static_cast<size_t>(n));
+  snapshot.resize(n);
   std::vector<Vec3> desired(static_cast<size_t>(n));
   std::vector<DroneState> prev_states(static_cast<size_t>(n));
   std::vector<Vec3> prev_positions(static_cast<size_t>(n));
@@ -213,16 +213,15 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
       const DroneState& truth = states[static_cast<size_t>(i)];
       const Vec3 offset = spoofer ? spoofer->offset(i, t) : Vec3{};
       const Vec3 fix = gps[static_cast<size_t>(i)].read(truth.position, offset, t);
-      DroneObservation& obs = snapshot.drones[static_cast<size_t>(i)];
-      obs.id = i;
+      snapshot.id[static_cast<size_t>(i)] = i;
       if (config_.use_navigation_filter) {
         NavigationFilter& filter = filters[static_cast<size_t>(i)];
         filter.correct(fix);
-        obs.gps_position = filter.position();
-        obs.velocity = filter.velocity();
+        snapshot.gps_position[static_cast<size_t>(i)] = filter.position();
+        snapshot.velocity[static_cast<size_t>(i)] = filter.velocity();
       } else {
-        obs.gps_position = fix;
-        obs.velocity = truth.velocity;
+        snapshot.gps_position[static_cast<size_t>(i)] = fix;
+        snapshot.velocity[static_cast<size_t>(i)] = truth.velocity;
       }
     }
 

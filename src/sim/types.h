@@ -19,7 +19,9 @@ struct DroneState {
 
 // What the rest of the swarm knows about a drone at an instant: the GPS fix
 // it broadcast (possibly spoofed and noisy) and its velocity estimate
-// (IMU-derived, not affected by GPS spoofing — see DESIGN.md).
+// (IMU-derived, not affected by GPS spoofing — see DESIGN.md). This is the
+// AoS convenience record; the broadcast itself stores the fields as
+// structure-of-arrays (WorldSnapshot below).
 struct DroneObservation {
   int id = 0;
   Vec3 gps_position;
@@ -28,9 +30,49 @@ struct DroneObservation {
 
 // The shared broadcast picture at one control tick. Swarm controllers only
 // ever see this, never ground truth.
+//
+// Layout is structure-of-arrays: parallel vectors indexed by broadcast slot.
+// The pair kernels (repulsion/friction/alignment) stream positions without
+// dragging velocities and ids through the cache, and the spatial grid
+// (swarm/spatial_grid.h) indexes straight into `gps_position`. Slot k's
+// observation is {id[k], gps_position[k], velocity[k]}; the three vectors
+// always have equal length.
 struct WorldSnapshot {
   double time = 0.0;
-  std::vector<DroneObservation> drones;
+  std::vector<int> id;
+  std::vector<Vec3> gps_position;
+  std::vector<Vec3> velocity;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(id.size()); }
+  [[nodiscard]] bool empty() const noexcept { return id.empty(); }
+
+  void clear() {
+    id.clear();
+    gps_position.clear();
+    velocity.clear();
+  }
+  void resize(int n) {
+    id.resize(static_cast<size_t>(n));
+    gps_position.resize(static_cast<size_t>(n));
+    velocity.resize(static_cast<size_t>(n));
+  }
+  void reserve(int n) {
+    id.reserve(static_cast<size_t>(n));
+    gps_position.reserve(static_cast<size_t>(n));
+    velocity.reserve(static_cast<size_t>(n));
+  }
+  void push_back(const DroneObservation& obs) {
+    id.push_back(obs.id);
+    gps_position.push_back(obs.gps_position);
+    velocity.push_back(obs.velocity);
+  }
+
+  // AoS adapter for cold paths and tests.
+  [[nodiscard]] DroneObservation observation(int k) const {
+    return DroneObservation{.id = id[static_cast<size_t>(k)],
+                            .gps_position = gps_position[static_cast<size_t>(k)],
+                            .velocity = velocity[static_cast<size_t>(k)]};
+  }
 };
 
 }  // namespace swarmfuzz::sim

@@ -12,6 +12,7 @@
 
 #include "math/rng.h"
 #include "sim/types.h"
+#include "swarm/spatial_grid.h"
 
 namespace swarmfuzz::swarm {
 
@@ -20,12 +21,12 @@ struct CommConfig {
   double drop_probability = 0.0;  // per-link, per-tick
 };
 
-// A drone's perceived picture of the swarm: a non-owning view over the
-// shared broadcast snapshot. Two flavours share one type:
+// A drone's perceived picture of the swarm: a non-owning index view over the
+// shared broadcast snapshot's SoA arrays. Two flavours share one type:
 //   - whole-broadcast view: every drone visible, self at `self_index`
 //     (counterfactual probes, tests);
 //   - filtered view: `members` lists the visible drones as indices into
-//     `broadcast.drones`, in broadcast order with the receiver first
+//     the broadcast arrays, in broadcast order with the receiver first
 //     (the hot path; see CommModel::filter_into).
 // The view borrows both the snapshot and the member-index buffer: neither
 // may be mutated or destroyed while the view is alive. Controllers consume
@@ -34,14 +35,14 @@ struct CommConfig {
 class NeighborView {
  public:
   // Whole-broadcast view over `broadcast` with self at `self_index`
-  // (caller must guarantee 0 <= self_index < broadcast.drones.size()).
+  // (caller must guarantee 0 <= self_index < broadcast.size()).
   NeighborView(const sim::WorldSnapshot& broadcast, int self_index) noexcept
       : broadcast_(&broadcast),
         members_(nullptr),
-        count_(static_cast<int>(broadcast.drones.size())),
+        count_(broadcast.size()),
         self_index_(self_index) {}
 
-  // Filtered view: position k maps to broadcast.drones[members[k]]; self is
+  // Filtered view: position k maps to broadcast slot members[k]; self is
   // at view position `self_index`. `members` must stay alive with the view.
   NeighborView(const sim::WorldSnapshot& broadcast, std::span<const int> members,
                int self_index) noexcept
@@ -54,13 +55,35 @@ class NeighborView {
   [[nodiscard]] int size() const noexcept { return count_; }
   [[nodiscard]] int self_index() const noexcept { return self_index_; }
 
-  [[nodiscard]] const sim::DroneObservation& operator[](int k) const noexcept {
-    const size_t i =
-        members_ ? static_cast<size_t>(members_[k]) : static_cast<size_t>(k);
-    return broadcast_->drones[i];
+  // Broadcast slot of view position k (identity for whole-broadcast views).
+  [[nodiscard]] int slot(int k) const noexcept {
+    return members_ ? members_[k] : k;
   }
-  [[nodiscard]] const sim::DroneObservation& self() const noexcept {
-    return (*this)[self_index_];
+
+  [[nodiscard]] int id(int k) const noexcept {
+    return broadcast_->id[static_cast<size_t>(slot(k))];
+  }
+  [[nodiscard]] const math::Vec3& position(int k) const noexcept {
+    return broadcast_->gps_position[static_cast<size_t>(slot(k))];
+  }
+  [[nodiscard]] const math::Vec3& velocity(int k) const noexcept {
+    return broadcast_->velocity[static_cast<size_t>(slot(k))];
+  }
+
+  [[nodiscard]] int self_id() const noexcept { return id(self_index_); }
+  [[nodiscard]] const math::Vec3& self_position() const noexcept {
+    return position(self_index_);
+  }
+  [[nodiscard]] const math::Vec3& self_velocity() const noexcept {
+    return velocity(self_index_);
+  }
+
+  // AoS adapters for tests and cold paths.
+  [[nodiscard]] sim::DroneObservation observation(int k) const {
+    return broadcast_->observation(slot(k));
+  }
+  [[nodiscard]] sim::DroneObservation self() const {
+    return observation(self_index_);
   }
 
  private:
@@ -83,16 +106,23 @@ class CommModel {
   [[nodiscard]] sim::WorldSnapshot filter(const sim::WorldSnapshot& broadcast,
                                           int self_id);
 
-  // Allocation-free equivalent of filter(): writes the indices (into
-  // `broadcast.drones`) of the visible drones into the caller-owned scratch
-  // `members` — self first, then surviving neighbours in broadcast order —
-  // and returns a view with self at position 0. Consumes packet-loss
-  // randomness in exactly the same order as filter(), so the two are
-  // interchangeable mid-stream. `members` is clear()ed and refilled; its
-  // capacity is reused across calls, so steady state performs no heap
-  // allocation.
+  // Allocation-free equivalent of filter(): writes the broadcast slots of
+  // the visible drones into the caller-owned scratch `members` — self
+  // first, then surviving neighbours in broadcast order — and returns a
+  // view with self at position 0. Consumes packet-loss randomness in
+  // exactly the same order as filter(), so the two are interchangeable
+  // mid-stream. `members` is clear()ed and refilled; its capacity is
+  // reused across calls, so steady state performs no heap allocation.
+  //
+  // `grid`, when non-null and valid, must be built over
+  // `broadcast.gps_position`; it culls the candidate scan to the cells
+  // within the comm range. The grid returns a conservative superset in
+  // broadcast order and every candidate still gets the exact range test,
+  // so the member set AND the packet-loss draw sequence are bit-identical
+  // to the unculled scan (out-of-range drones never consumed a draw).
   [[nodiscard]] NeighborView filter_into(const sim::WorldSnapshot& broadcast,
-                                         int self_id, std::vector<int>& members);
+                                         int self_id, std::vector<int>& members,
+                                         const SpatialGrid* grid = nullptr);
 
   [[nodiscard]] const CommConfig& config() const noexcept { return config_; }
 
@@ -109,6 +139,7 @@ class CommModel {
  private:
   CommConfig config_;
   math::Rng rng_;
+  std::vector<int> gather_scratch_;  // grid candidate buffer, reused per call
 };
 
 }  // namespace swarmfuzz::swarm

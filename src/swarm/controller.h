@@ -8,6 +8,7 @@
 // without re-running the mission.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string_view>
@@ -39,8 +40,7 @@ class SwarmController {
   // re-export it with `using SwarmController::desired_velocity;`.
   [[nodiscard]] Vec3 desired_velocity(int self_index, const WorldSnapshot& snapshot,
                                       const MissionSpec& mission) const {
-    if (self_index < 0 ||
-        self_index >= static_cast<int>(snapshot.drones.size())) {
+    if (self_index < 0 || self_index >= snapshot.size()) {
       throw std::out_of_range("SwarmController: self_index out of range");
     }
     return desired_velocity(NeighborView(snapshot, self_index), mission);
@@ -48,18 +48,34 @@ class SwarmController {
 
   // Batch evaluation over the whole broadcast under *trivial* communication
   // (every drone hears every other: infinite range, no packet loss — the
-  // paper's evaluation default). Fills desired[i] for snapshot.drones[i];
-  // `desired.size()` must equal `snapshot.drones.size()`. Semantically
-  // identical to one whole-broadcast desired_velocity call per drone;
-  // controllers may override it with a bit-identical faster equivalent
-  // (VasarhelyiController computes each symmetric pair once).
+  // paper's evaluation default). Fills desired[i] for broadcast slot i;
+  // `desired.size()` must equal `snapshot.size()`. Semantically identical
+  // to one whole-broadcast desired_velocity call per drone; controllers may
+  // override it with a bit-identical faster equivalent (VasarhelyiController
+  // computes each symmetric pair once and the pair kernels use the spatial
+  // grid for large swarms).
   virtual void desired_velocity_all(const WorldSnapshot& snapshot,
                                     const MissionSpec& mission,
                                     std::span<Vec3> desired) const {
-    for (int i = 0; i < static_cast<int>(snapshot.drones.size()); ++i) {
+    for (int i = 0; i < snapshot.size(); ++i) {
       desired[static_cast<size_t>(i)] =
           desired_velocity(NeighborView(snapshot, i), mission);
     }
+  }
+
+  // Radius of influence for counterfactual spoof probes: if drone j's
+  // broadcast position (original AND spoofed) is farther than this from
+  // drone i's position, moving j cannot change i's desired velocity, so the
+  // SVG construction may skip the probe (svg.cpp culls with this through
+  // the spatial grid). Controllers with a hard interaction cutoff override
+  // it; infinity (the default) disables culling. `snapshot` lets the
+  // controller bound state-dependent terms (e.g. velocity-dependent
+  // friction slack, topological attraction distance).
+  [[nodiscard]] virtual double probe_influence_radius(
+      const WorldSnapshot& snapshot, const MissionSpec& mission) const {
+    (void)snapshot;
+    (void)mission;
+    return std::numeric_limits<double>::infinity();
   }
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;

@@ -39,7 +39,8 @@ void FlockingControlSystem::restore_state(std::span<const std::uint64_t> state) 
 void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,
                                     const sim::MissionSpec& mission,
                                     std::span<Vec3> desired) {
-  if (desired.size() != snapshot.drones.size()) {
+  const int n = snapshot.size();
+  if (static_cast<int>(desired.size()) != n) {
     throw std::invalid_argument("FlockingControlSystem: desired size mismatch");
   }
   // Trivial communication (the paper's evaluation default): every view is
@@ -51,13 +52,24 @@ void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,
     controller_->desired_velocity_all(snapshot, mission, desired);
     return;
   }
-  for (size_t i = 0; i < snapshot.drones.size(); ++i) {
-    const int id = snapshot.drones[i].id;
+  // Range-limited communication: one spatial grid for the whole tick culls
+  // every receiver's candidate scan (filter_into re-applies the exact range
+  // test and consumes the same packet-loss draws, so views and the RNG
+  // stream are bit-identical to the unculled scan). The grid member reuses
+  // its buffers, so the rebuild is allocation-free in steady state.
+  const SpatialGrid* grid = nullptr;
+  if (spatial_grid_wanted(n) && std::isfinite(comm_.config().range)) {
+    comm_grid_.build(std::span<const Vec3>(snapshot.gps_position),
+                     std::max(comm_.config().range, 1e-3));
+    if (comm_grid_.valid()) grid = &comm_grid_;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int id = snapshot.id[static_cast<size_t>(i)];
     // filter_into() puts the receiving drone first in its own view; the
     // member-index scratch is reused, so this loop is allocation-free in
     // steady state.
-    const NeighborView view = comm_.filter_into(snapshot, id, members_);
-    desired[i] = controller_->desired_velocity(view, mission);
+    const NeighborView view = comm_.filter_into(snapshot, id, members_, grid);
+    desired[static_cast<size_t>(i)] = controller_->desired_velocity(view, mission);
   }
 }
 
@@ -66,13 +78,13 @@ Vec3 FlockingControlSystem::probe_desired_velocity(
     const sim::MissionSpec& mission) const {
   // Canonical broadcast layout: drone with id i sits at index i. Hit it
   // without scanning; fall back to a scan for synthetic snapshots.
-  const int n = static_cast<int>(snapshot.drones.size());
+  const int n = snapshot.size();
   if (drone_id >= 0 && drone_id < n &&
-      snapshot.drones[static_cast<size_t>(drone_id)].id == drone_id) {
+      snapshot.id[static_cast<size_t>(drone_id)] == drone_id) {
     return probe_desired_velocity_at(drone_id, snapshot, mission);
   }
   for (int i = 0; i < n; ++i) {
-    if (snapshot.drones[static_cast<size_t>(i)].id == drone_id) {
+    if (snapshot.id[static_cast<size_t>(i)] == drone_id) {
       return probe_desired_velocity_at(i, snapshot, mission);
     }
   }
@@ -82,7 +94,7 @@ Vec3 FlockingControlSystem::probe_desired_velocity(
 Vec3 FlockingControlSystem::probe_desired_velocity_at(
     int self_index, const sim::WorldSnapshot& snapshot,
     const sim::MissionSpec& mission) const {
-  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
+  if (self_index < 0 || self_index >= snapshot.size()) {
     throw std::out_of_range("FlockingControlSystem: probe index out of range");
   }
   return controller_->desired_velocity(NeighborView(snapshot, self_index), mission);

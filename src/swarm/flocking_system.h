@@ -47,9 +47,9 @@ class FlockingControlSystem final : public sim::ControlSystem {
                                             const sim::WorldSnapshot& snapshot,
                                             const sim::MissionSpec& mission) const;
 
-  // Index-based probe: same counterfactual for the drone at `self_index` in
-  // `snapshot.drones`, with no id lookup. The per-snapshot batch probes of
-  // SVG construction use this.
+  // Index-based probe: same counterfactual for the drone at broadcast slot
+  // `self_index`, with no id lookup. The per-snapshot batch probes of SVG
+  // construction use this.
   [[nodiscard]] Vec3 probe_desired_velocity_at(int self_index,
                                                const sim::WorldSnapshot& snapshot,
                                                const sim::MissionSpec& mission) const;
@@ -58,6 +58,7 @@ class FlockingControlSystem final : public sim::ControlSystem {
   std::shared_ptr<const SwarmController> controller_;
   CommModel comm_;
   std::vector<int> members_;  // filter_into scratch, reused across ticks
+  SpatialGrid comm_grid_;     // per-tick range-culling grid, buffers reused
 };
 
 // Convenience factory for the common case.

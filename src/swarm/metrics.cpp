@@ -1,8 +1,79 @@
 #include "swarm/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <span>
+#include <vector>
+
+#include "swarm/spatial_grid.h"
 
 namespace swarmfuzz::swarm {
+
+namespace {
+
+// Grid-accelerated smallest pairwise 3D distance. Exact, not approximate:
+// pass 1 finds an ACHIEVED distance M (each drone against a superset of its
+// nearest XY neighbours), pass 2 gathers every pair whose XY distance can be
+// <= M — and since 3D distance >= XY distance, every pair at 3D distance
+// <= M is among them. min() over doubles is order-independent and each
+// candidate's distance comes from the same math::distance(i, j) call the
+// brute-force scan makes, so the result is bit-identical. Returns infinity
+// if the grid cannot be built (non-finite coordinates), signalling the
+// caller to fall back.
+double grid_min_separation(std::span<const sim::DroneState> states) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const int n = static_cast<int>(states.size());
+  thread_local SpatialGrid grid;
+  thread_local std::vector<math::Vec3> pos;
+  thread_local std::vector<int> cand;
+  pos.clear();
+  pos.reserve(static_cast<size_t>(n));
+  double min_x = kInf, max_x = -kInf, min_y = kInf, max_y = -kInf;
+  for (const sim::DroneState& state : states) {
+    pos.push_back(state.position);
+    min_x = std::min(min_x, state.position.x);
+    max_x = std::max(max_x, state.position.x);
+    min_y = std::min(min_y, state.position.y);
+    max_y = std::max(max_y, state.position.y);
+  }
+  // ~1 drone per cell on average keeps both passes near-linear.
+  const double area = (max_x - min_x) * (max_y - min_y);
+  const double cell =
+      std::max(std::sqrt(std::max(area, 0.0) / static_cast<double>(n)), 1e-3);
+  if (!std::isfinite(cell)) return kInf;
+  grid.build(std::span<const math::Vec3>(pos), cell);
+  if (!grid.valid()) return kInf;
+
+  double bound = kInf;
+  for (int i = 0; i < n; ++i) {
+    cand.clear();
+    // min_dist 0 counts drone i itself (distance 0) toward k, hence k=2 to
+    // guarantee coverage of at least one other drone.
+    grid.gather_nearest(pos[static_cast<size_t>(i)], 2, 0.0, cand);
+    for (const int j : cand) {
+      if (j == i) continue;
+      bound = std::min(bound, math::distance(pos[static_cast<size_t>(i)],
+                                             pos[static_cast<size_t>(j)]));
+    }
+  }
+  if (!std::isfinite(bound)) return kInf;
+
+  double min_separation = kInf;
+  for (int i = 0; i < n; ++i) {
+    cand.clear();
+    grid.gather(pos[static_cast<size_t>(i)], bound, cand);
+    for (const int j : cand) {
+      if (j <= i) continue;
+      min_separation =
+          std::min(min_separation, math::distance(pos[static_cast<size_t>(i)],
+                                                  pos[static_cast<size_t>(j)]));
+    }
+  }
+  return min_separation;
+}
+
+}  // namespace
 
 double order_parameter(std::span<const sim::DroneState> states) {
   const int n = static_cast<int>(states.size());
@@ -43,14 +114,23 @@ FlockMetrics flock_metrics(std::span<const sim::DroneState> states) {
   double radius_sum = 0.0;
   for (int i = 0; i < n; ++i) {
     radius_sum += math::distance(states[static_cast<size_t>(i)].position, centroid);
-    for (int j = i + 1; j < n; ++j) {
-      metrics.min_separation =
-          std::min(metrics.min_separation,
-                   math::distance(states[static_cast<size_t>(i)].position,
-                                  states[static_cast<size_t>(j)].position));
-    }
   }
   metrics.cohesion_radius = radius_sum / static_cast<double>(n);
+
+  if (n >= 2 && spatial_grid_wanted(n)) {
+    metrics.min_separation = grid_min_separation(states);
+  }
+  if (!std::isfinite(metrics.min_separation)) {
+    metrics.min_separation = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        metrics.min_separation =
+            std::min(metrics.min_separation,
+                     math::distance(states[static_cast<size_t>(i)].position,
+                                    states[static_cast<size_t>(j)].position));
+      }
+    }
+  }
   return metrics;
 }
 

@@ -1,10 +1,14 @@
 #include "swarm/olfati_saber.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "math/geometry.h"
+#include "swarm/batch_eval.h"
 
 namespace swarmfuzz::swarm {
 namespace {
@@ -50,15 +54,13 @@ double OlfatiSaberController::phi_alpha(double z) const {
 
 Vec3 OlfatiSaberController::desired_velocity(const NeighborView& view,
                                              const MissionSpec& mission) const {
-  const sim::DroneObservation& self = view.self();
-  const Vec3 xi = self.gps_position;
-  const Vec3 vi = self.velocity;
+  const Vec3 xi = view.self_position();
+  const Vec3 vi = view.self_velocity();
 
   Vec3 u_alpha;
   for (int k = 0; k < view.size(); ++k) {
     if (k == view.self_index()) continue;
-    const sim::DroneObservation& other = view[k];
-    const Vec3 diff = (other.gps_position - xi).horizontal();
+    const Vec3 diff = (view.position(k) - xi).horizontal();
     const double dist = diff.norm();
     if (dist < 1e-9 || dist > params_.r_factor * params_.d) continue;
     const double z = sigma_norm(dist, params_.epsilon);
@@ -66,7 +68,7 @@ Vec3 OlfatiSaberController::desired_velocity(const NeighborView& view,
     const Vec3 n_ij = diff / std::sqrt(1.0 + params_.epsilon * dist * dist);
     u_alpha += n_ij * (params_.c1_alpha * phi_alpha(z));
     const double a_ij = bump(z / r_alpha_, params_.h_alpha);
-    u_alpha += (other.velocity - vi).horizontal() * (params_.c2_alpha * a_ij);
+    u_alpha += (view.velocity(k) - vi).horizontal() * (params_.c2_alpha * a_ij);
   }
 
   // Beta-agents: project self onto each obstacle (the cylinder analogue of
@@ -102,6 +104,21 @@ Vec3 OlfatiSaberController::desired_velocity(const NeighborView& view,
   Vec3 v_des = vi + u * params_.tau;
   v_des.z = params_.altitude_gain * (mission.cruise_altitude - xi.z);
   return v_des.clamped(params_.v_max);
+}
+
+void OlfatiSaberController::desired_velocity_all(const WorldSnapshot& snapshot,
+                                                 const MissionSpec& mission,
+                                                 std::span<Vec3> desired) const {
+  evaluate_all_with_cutoff(
+      snapshot, params_.r_factor * params_.d, desired,
+      [&](const NeighborView& view) { return desired_velocity(view, mission); });
+}
+
+double OlfatiSaberController::probe_influence_radius(
+    const WorldSnapshot& snapshot, const MissionSpec& mission) const {
+  (void)snapshot;
+  (void)mission;
+  return params_.r_factor * params_.d;
 }
 
 }  // namespace swarmfuzz::swarm

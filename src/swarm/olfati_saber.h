@@ -49,6 +49,16 @@ class OlfatiSaberController final : public SwarmController {
   using SwarmController::desired_velocity;
   [[nodiscard]] Vec3 desired_velocity(const NeighborView& view,
                                       const MissionSpec& mission) const override;
+  // Bit-identical batch fast path: alpha interactions have a hard cutoff at
+  // r_factor * d, so each drone is evaluated on a grid-culled view whose
+  // candidate superset provably contains every interacting neighbour.
+  void desired_velocity_all(const WorldSnapshot& snapshot,
+                            const MissionSpec& mission,
+                            std::span<Vec3> desired) const override;
+  // Spoof-probe culling radius: the alpha-interaction cutoff. Beyond it a
+  // neighbour contributes nothing regardless of velocity.
+  [[nodiscard]] double probe_influence_radius(
+      const WorldSnapshot& snapshot, const MissionSpec& mission) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "olfati_saber";
   }

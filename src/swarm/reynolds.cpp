@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "math/geometry.h"
+#include "swarm/batch_eval.h"
 
 namespace swarmfuzz::swarm {
 
@@ -17,10 +18,11 @@ ReynoldsController::ReynoldsController(const ReynoldsParams& params)
 
 Vec3 ReynoldsController::desired_velocity(const NeighborView& view,
                                           const MissionSpec& mission) const {
-  const sim::DroneObservation& self = view.self();
+  const Vec3& self_pos = view.self_position();
+  const Vec3& self_vel = view.self_velocity();
 
   // Migration urge.
-  Vec3 desired = (mission.destination - self.gps_position).horizontal().normalized() *
+  Vec3 desired = (mission.destination - self_pos).horizontal().normalized() *
                  params_.v_cruise;
 
   // Boids rules over the neighbourhood.
@@ -28,13 +30,12 @@ Vec3 ReynoldsController::desired_velocity(const NeighborView& view,
   int neighbours = 0;
   for (int k = 0; k < view.size(); ++k) {
     if (k == view.self_index()) continue;
-    const sim::DroneObservation& other = view[k];
-    const Vec3 diff = (self.gps_position - other.gps_position).horizontal();
+    const Vec3 diff = (self_pos - view.position(k)).horizontal();
     const double dist = diff.norm();
     if (dist < 1e-9 || dist > params_.neighbour_radius) continue;
     ++neighbours;
-    velocity_sum += other.velocity.horizontal();
-    centroid += other.gps_position;
+    velocity_sum += view.velocity(k).horizontal();
+    centroid += view.position(k);
     if (dist < params_.separation_radius) {
       separation +=
           diff * (params_.separation_gain * (params_.separation_radius - dist) / dist);
@@ -43,10 +44,10 @@ Vec3 ReynoldsController::desired_velocity(const NeighborView& view,
   if (neighbours > 0) {
     const double inv = 1.0 / static_cast<double>(neighbours);
     desired += separation;
-    desired += (velocity_sum * inv - self.velocity.horizontal()) *
+    desired += (velocity_sum * inv - self_vel.horizontal()) *
                params_.alignment_gain;
     const Vec3 to_centroid =
-        (centroid * inv - self.gps_position).horizontal();
+        (centroid * inv - self_pos).horizontal();
     if (to_centroid.norm() > params_.cohesion_deadzone) {
       desired += to_centroid * params_.cohesion_gain;
     }
@@ -54,18 +55,33 @@ Vec3 ReynoldsController::desired_velocity(const NeighborView& view,
 
   // Obstacle avoidance: push radially outward, linear in proximity.
   for (const sim::CylinderObstacle& obstacle : mission.obstacles.obstacles()) {
-    const double dist = math::distance_to_cylinder(self.gps_position,
+    const double dist = math::distance_to_cylinder(self_pos,
                                                    obstacle.center, obstacle.radius);
     if (dist < params_.avoid_radius) {
       const double strength =
           params_.avoid_gain * (params_.avoid_radius - dist) / params_.avoid_radius;
-      desired += math::cylinder_outward_normal(self.gps_position, obstacle.center) *
+      desired += math::cylinder_outward_normal(self_pos, obstacle.center) *
                  strength;
     }
   }
 
-  desired.z = params_.altitude_gain * (mission.cruise_altitude - self.gps_position.z);
+  desired.z = params_.altitude_gain * (mission.cruise_altitude - self_pos.z);
   return desired.clamped(params_.v_max);
+}
+
+void ReynoldsController::desired_velocity_all(const WorldSnapshot& snapshot,
+                                              const MissionSpec& mission,
+                                              std::span<Vec3> desired) const {
+  evaluate_all_with_cutoff(
+      snapshot, params_.neighbour_radius, desired,
+      [&](const NeighborView& view) { return desired_velocity(view, mission); });
+}
+
+double ReynoldsController::probe_influence_radius(
+    const WorldSnapshot& snapshot, const MissionSpec& mission) const {
+  (void)snapshot;
+  (void)mission;
+  return params_.neighbour_radius;
 }
 
 }  // namespace swarmfuzz::swarm

@@ -34,6 +34,15 @@ class ReynoldsController final : public SwarmController {
   using SwarmController::desired_velocity;
   [[nodiscard]] Vec3 desired_velocity(const NeighborView& view,
                                       const MissionSpec& mission) const override;
+  // Bit-identical batch fast path: all boids rules cut off at
+  // neighbour_radius, so each drone is evaluated on a grid-culled view
+  // whose candidate superset provably contains every interacting neighbour.
+  void desired_velocity_all(const WorldSnapshot& snapshot,
+                            const MissionSpec& mission,
+                            std::span<Vec3> desired) const override;
+  // Spoof-probe culling radius: the boids neighbourhood cutoff.
+  [[nodiscard]] double probe_influence_radius(
+      const WorldSnapshot& snapshot, const MissionSpec& mission) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "reynolds"; }
 
   [[nodiscard]] const ReynoldsParams& params() const noexcept { return params_; }

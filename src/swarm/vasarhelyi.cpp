@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "math/geometry.h"
+#include "swarm/spatial_grid.h"
 
 namespace swarmfuzz::swarm {
 
@@ -30,7 +33,7 @@ namespace {
 using Terms = VasarhelyiController::Terms;
 
 // The pairwise sub-velocity terms, factored out so the per-view path and the
-// symmetric batch path below share bit-identical arithmetic. `diff` is
+// batch paths below share bit-identical arithmetic. `diff` is
 // (self - other) GPS fixes, horizontal; `dist` its norm.
 
 // Goal (2) inter-drone: linear repulsion below r0_rep.
@@ -63,6 +66,24 @@ inline bool friction_term(const VasarhelyiParams& prm, const math::Vec3& vel_dif
   return true;
 }
 
+// Distance beyond which friction_term above is GUARANTEED to return false
+// for every pair whose velocity-gap norm is at most `vel_gap_max`: the
+// braking-curve slack at that separation satisfies
+// vel_gap_max^2 <= 0.81 * slack^2, so the first guard rejects the pair.
+// Inverting both pieces of the monotone braking curve conservatively (the
+// +1.0 m dwarfs any rounding in the curve evaluation).
+inline double friction_cutoff_distance(const VasarhelyiParams& prm,
+                                       double vel_gap_max) {
+  const double slack_needed = vel_gap_max / 0.9 + 1e-6;
+  const double a = prm.a_frict;
+  const double p = prm.p_frict;
+  const double r_needed = std::max(slack_needed / p,
+                                   (slack_needed * slack_needed + a * a / (p * p)) /
+                                       (2.0 * a)) +
+                          1.0;
+  return prm.r0_frict + r_needed;
+}
+
 // Goal (3) cohesion: topological attraction toward the k_att *nearest*
 // members that have drifted beyond r0_att. Topological interaction is
 // standard in flocking (it keeps the formation from fragmenting) and,
@@ -75,6 +96,13 @@ inline bool friction_term(const VasarhelyiParams& prm, const math::Vec3& vel_dif
 // distance values, first-seen wins ties), keeps their selections
 // identical. `dist_at(j)` returns candidate j's distance; `top` receives
 // the selected candidate indices in ascending distance order.
+//
+// Because comparisons are strict and ties go to the first-seen candidate,
+// the selected set is the k smallest by (distance, arrival order)
+// lexicographic rank. Hence feeding any *subset* of the candidates that
+// still contains every candidate at distance <= the k-th smallest, in the
+// same arrival order, selects the exact same members in the same order —
+// which is what lets the spatial grid cull the candidate list.
 template <typename DistAt>
 inline void select_nearest(int count, int k, DistAt dist_at, std::vector<int>& top) {
   top.clear();
@@ -117,12 +145,12 @@ inline math::Vec3 attraction_sum(const VasarhelyiParams& prm,
 // the nearest obstacle surface, moving outward at v_shill. The braking
 // curve makes the term negligible far away and dominant near the surface.
 inline math::Vec3 shill_sum(const VasarhelyiParams& prm,
-                            const sim::DroneObservation& self,
+                            const math::Vec3& self_pos, const math::Vec3& self_vel,
                             const sim::MissionSpec& mission) {
   math::Vec3 shill;
   for (const sim::CylinderObstacle& obstacle : mission.obstacles.obstacles()) {
-    const double dist = math::distance_to_cylinder(self.gps_position,
-                                                   obstacle.center, obstacle.radius);
+    const double dist = math::distance_to_cylinder(self_pos, obstacle.center,
+                                                   obstacle.radius);
     const double slack =
         braking_curve(dist - prm.r0_shill, prm.a_shill, prm.p_shill);
     // Far from the surface the slack is huge; skip the normal/velocity
@@ -130,14 +158,14 @@ inline math::Vec3 shill_sum(const VasarhelyiParams& prm,
     // ((a+b)^2 <= 2a^2 + 2b^2, |shill_velocity| <= v_shill) sits safely
     // below it. The 0.81 margin dwarfs rounding, so whenever the original
     // `vel_diff_norm > slack` could pass we fall through unchanged.
-    if (2.0 * (prm.v_shill * prm.v_shill + self.velocity.norm_sq()) <=
+    if (2.0 * (prm.v_shill * prm.v_shill + self_vel.norm_sq()) <=
         0.81 * slack * slack) {
       continue;
     }
     const math::Vec3 outward =
-        math::cylinder_outward_normal(self.gps_position, obstacle.center);
+        math::cylinder_outward_normal(self_pos, obstacle.center);
     const math::Vec3 shill_velocity = outward * prm.v_shill;
-    const math::Vec3 vel_diff = shill_velocity - self.velocity;
+    const math::Vec3 vel_diff = shill_velocity - self_vel;
     const double vel_diff_norm = vel_diff.norm();
     if (vel_diff_norm > slack) {
       shill += vel_diff * ((vel_diff_norm - slack) / vel_diff_norm);
@@ -148,9 +176,9 @@ inline math::Vec3 shill_sum(const VasarhelyiParams& prm,
 
 // Goal (1): self-propulsion toward the destination at the preferred speed.
 inline math::Vec3 migration_term(const VasarhelyiParams& prm,
-                                 const sim::DroneObservation& self,
+                                 const math::Vec3& self_pos,
                                  const sim::MissionSpec& mission) {
-  return (mission.destination - self.gps_position).horizontal().normalized() *
+  return (mission.destination - self_pos).horizontal().normalized() *
          prm.v_flock;
 }
 
@@ -169,12 +197,16 @@ inline void average_friction(Terms& terms, int contributors) {
 struct Scratch {
   std::vector<std::pair<double, math::Vec3>> neighbours;  // (dist, self-other)
   std::vector<int> top;  // select_nearest output
-  // Batch path: pairwise distance cache (row-major n*n, diagonal unused)
-  // and per-drone accumulators.
+  // Dense batch path: pairwise distance cache (row-major n*n, diagonal
+  // unused) and per-drone accumulators.
   std::vector<double> dist;
   std::vector<Terms> terms;
   std::vector<int> contributors;
   std::vector<int> sel;  // attraction candidates of one drone (broadcast idx)
+  // Grid batch path: the per-tick spatial grid and gather buffers.
+  SpatialGrid grid;
+  std::vector<int> cand;       // pair-term candidates of one drone
+  std::vector<int> cand_near;  // gather_nearest candidates of one drone
 };
 
 Scratch& scratch() {
@@ -182,13 +214,59 @@ Scratch& scratch() {
   return s;
 }
 
+// Largest velocity norm in the broadcast; bounds every pair's velocity gap
+// by 2 * result (triangle inequality). NaN-propagating: a non-finite
+// velocity yields a non-finite bound and callers fall back to the exact
+// dense path.
+inline double max_speed(const sim::WorldSnapshot& snapshot) {
+  double norm_sq = 0.0;
+  for (const math::Vec3& v : snapshot.velocity) {
+    norm_sq = std::max(norm_sq, v.norm_sq());
+    if (std::isnan(v.norm_sq())) return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::sqrt(norm_sq);
+}
+
+// Upper bound on the largest pairwise velocity gap |v_i - v_j|: the
+// diagonal of the component-wise bounding box of the velocity set
+// (|v_i,c - v_j,c| <= max_c - min_c per component). Much tighter than the
+// 2 * max_speed triangle bound for a flock, whose whole point is velocity
+// alignment — a converged swarm has a near-zero diagonal even at cruise
+// speed, which shrinks the friction cutoff (and with it every grid
+// candidate set) to little more than r0_frict. Non-finite velocities yield
+// a non-finite bound (checked explicitly: std::min/max would keep the
+// finite operand) and callers fall back to the exact dense path.
+inline double velocity_gap_bound(const sim::WorldSnapshot& snapshot) {
+  if (snapshot.velocity.empty()) return 0.0;
+  double lo_x = snapshot.velocity[0].x, hi_x = lo_x;
+  double lo_y = snapshot.velocity[0].y, hi_y = lo_y;
+  double lo_z = snapshot.velocity[0].z, hi_z = lo_z;
+  bool finite = true;
+  for (const math::Vec3& v : snapshot.velocity) {
+    finite = finite && std::isfinite(v.x) && std::isfinite(v.y) &&
+             std::isfinite(v.z);
+    lo_x = std::min(lo_x, v.x);
+    hi_x = std::max(hi_x, v.x);
+    lo_y = std::min(lo_y, v.y);
+    hi_y = std::max(hi_y, v.y);
+    lo_z = std::min(lo_z, v.z);
+    hi_z = std::max(hi_z, v.z);
+  }
+  if (!finite) return std::numeric_limits<double>::quiet_NaN();
+  const double dx = hi_x - lo_x;
+  const double dy = hi_y - lo_y;
+  const double dz = hi_z - lo_z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
 }  // namespace
 
 VasarhelyiController::Terms VasarhelyiController::compute_terms(
     const NeighborView& view, const MissionSpec& mission) const {
-  const sim::DroneObservation& self = view.self();
+  const Vec3& self_pos = view.self_position();
+  const Vec3& self_vel = view.self_velocity();
   Terms terms;
-  terms.migration = migration_term(params_, self, mission);
+  terms.migration = migration_term(params_, self_pos, mission);
 
   // Goals (2) and (3): pairwise terms over every heard neighbour.
   std::vector<std::pair<double, Vec3>>& neighbours = scratch().neighbours;
@@ -197,31 +275,30 @@ VasarhelyiController::Terms VasarhelyiController::compute_terms(
   int friction_contributors = 0;
   for (int k = 0; k < view.size(); ++k) {
     if (k == view.self_index()) continue;
-    const sim::DroneObservation& other = view[k];
-    const Vec3 diff = (self.gps_position - other.gps_position).horizontal();
+    const Vec3 diff = (self_pos - view.position(k)).horizontal();
     const double dist = diff.norm();
     if (dist < 1e-9) continue;  // coincident fixes: no defined direction
     neighbours.emplace_back(dist, diff);
 
     Vec3 term;
     if (repulsion_term(params_, diff, dist, term)) terms.repulsion += term;
-    if (friction_term(params_, other.velocity - self.velocity, dist, term)) {
+    if (friction_term(params_, view.velocity(k) - self_vel, dist, term)) {
       terms.friction += term;
       ++friction_contributors;
     }
   }
   average_friction(terms, friction_contributors);
   terms.attraction = attraction_sum(params_, neighbours, scratch().top);
-  terms.shill = shill_sum(params_, self, mission);
+  terms.shill = shill_sum(params_, self_pos, self_vel, mission);
   terms.altitude = Vec3{0.0, 0.0,
                         params_.altitude_gain *
-                            (mission.cruise_altitude - self.gps_position.z)};
+                            (mission.cruise_altitude - self_pos.z)};
   return terms;
 }
 
 VasarhelyiController::Terms VasarhelyiController::compute_terms(
     int self_index, const WorldSnapshot& snapshot, const MissionSpec& mission) const {
-  if (self_index < 0 || self_index >= static_cast<int>(snapshot.drones.size())) {
+  if (self_index < 0 || self_index >= snapshot.size()) {
     throw std::out_of_range("VasarhelyiController: self_index out of range");
   }
   return compute_terms(NeighborView(snapshot, self_index), mission);
@@ -235,26 +312,123 @@ Vec3 VasarhelyiController::desired_velocity(const NeighborView& view,
 void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
                                                 const MissionSpec& mission,
                                                 std::span<Vec3> desired) const {
-  // Symmetric batch path: with trivial communication every drone sees the
-  // same broadcast, so each unordered pair's distance and velocity-gap norm
-  // are computed once and scattered to both members. This is bit-identical
-  // to the per-view path: diff_ji = -diff_ij and the squared norms agree
-  // exactly (IEEE negation and multiplication), subtraction of a term
-  // equals addition of its exact negation, and the scatter order (outer
-  // i ascending, inner j ascending) accumulates into each drone's sums in
-  // exactly the neighbour order the per-view loop uses.
-  const int n = static_cast<int>(snapshot.drones.size());
+  const int n = snapshot.size();
   Scratch& s = scratch();
+  const std::vector<Vec3>& pos = snapshot.gps_position;
+  const std::vector<Vec3>& vel = snapshot.velocity;
+
+  // Grid fast path for large swarms. Candidate culling is conservative:
+  //  * repulsion fires only below r0_rep;
+  //  * friction is guaranteed false beyond friction_cutoff_distance for the
+  //    swarm's worst-case velocity gap (the velocity bounding-box diagonal),
+  //    so skipped pairs contribute neither a term nor a contributor count;
+  //  * attraction needs the true k_att nearest. One fused gather(r_pair)
+  //    covers that too whenever at least k_att candidates sit at exact
+  //    distance <= r_pair: the k-th smallest qualifying distance dk is then
+  //    <= r_pair, every drone at distance <= dk is among the candidates,
+  //    and select_nearest over a subset that (a) contains everything at
+  //    distance <= dk and (b) preserves arrival order picks exactly the
+  //    members the full scan picks (see the select_nearest comment). Drones
+  //    with sparse surroundings re-gather at doubled radii until the same
+  //    certificate holds.
+  // Every candidate still runs the exact per-view arithmetic in ascending
+  // broadcast order, so results are bit-identical to the paths below.
+  if (spatial_grid_wanted(n)) {
+    const double r_pair = std::max(
+        params_.r0_rep,
+        friction_cutoff_distance(params_, velocity_gap_bound(snapshot)));
+    if (std::isfinite(r_pair)) {
+      s.grid.build(std::span<const Vec3>(pos), std::max(r_pair, 1e-3));
+      if (s.grid.valid()) {
+        for (int i = 0; i < n; ++i) {
+          const Vec3& self_pos = pos[static_cast<size_t>(i)];
+          const Vec3& self_vel = vel[static_cast<size_t>(i)];
+          Terms terms;
+          terms.migration = migration_term(params_, self_pos, mission);
+
+          // Fused candidate pass: diff and dist are computed once per
+          // candidate and feed repulsion, friction AND the attraction
+          // neighbour list.
+          s.cand.clear();
+          s.grid.gather(self_pos, r_pair, s.cand);
+          s.neighbours.clear();
+          int friction_contributors = 0;
+          int within_r_pair = 0;
+          for (const int j : s.cand) {
+            if (j == i) continue;
+            const Vec3 diff =
+                (self_pos - pos[static_cast<size_t>(j)]).horizontal();
+            const double dist = diff.norm();
+            if (dist < 1e-9) continue;  // coincident fixes
+            s.neighbours.emplace_back(dist, diff);
+            if (dist <= r_pair) ++within_r_pair;
+            Vec3 term;
+            if (repulsion_term(params_, diff, dist, term)) {
+              terms.repulsion += term;
+            }
+            if (friction_term(params_, vel[static_cast<size_t>(j)] - self_vel,
+                              dist, term)) {
+              terms.friction += term;
+              ++friction_contributors;
+            }
+          }
+          average_friction(terms, friction_contributors);
+
+          // s.neighbours covers the k_att nearest when enough candidates sit
+          // within the exact (unpadded) r_pair, or when the candidate set is
+          // the whole swarm. A drone with sparser surroundings (the Poisson
+          // tail of the neighbour count) re-gathers at geometrically doubled
+          // radii until the same certificate holds — each retry is one cheap
+          // rectangle query, and the doubling terminates because a radius
+          // covering the grid extent returns every drone.
+          double r_att = r_pair;
+          while (within_r_pair < params_.k_att &&
+                 static_cast<int>(s.cand.size()) < n) {
+            r_att *= 2.0;
+            s.cand.clear();
+            s.grid.gather(self_pos, r_att, s.cand);
+            s.neighbours.clear();
+            within_r_pair = 0;
+            for (const int j : s.cand) {
+              if (j == i) continue;
+              const Vec3 diff =
+                  (self_pos - pos[static_cast<size_t>(j)]).horizontal();
+              const double dist = diff.norm();
+              if (dist < 1e-9) continue;
+              s.neighbours.emplace_back(dist, diff);
+              if (dist <= r_att) ++within_r_pair;
+            }
+          }
+          terms.attraction = attraction_sum(params_, s.neighbours, s.top);
+
+          terms.shill = shill_sum(params_, self_pos, self_vel, mission);
+          terms.altitude = Vec3{0.0, 0.0,
+                                params_.altitude_gain *
+                                    (mission.cruise_altitude - self_pos.z)};
+          desired[static_cast<size_t>(i)] = terms.total().clamped(params_.v_max);
+        }
+        return;
+      }
+    }
+  }
+
+  // Symmetric dense batch path: with trivial communication every drone sees
+  // the same broadcast, so each unordered pair's distance and velocity-gap
+  // norm are computed once and scattered to both members. This is
+  // bit-identical to the per-view path: diff_ji = -diff_ij and the squared
+  // norms agree exactly (IEEE negation and multiplication), subtraction of
+  // a term equals addition of its exact negation, and the scatter order
+  // (outer i ascending, inner j ascending) accumulates into each drone's
+  // sums in exactly the neighbour order the per-view loop uses.
   s.dist.resize(static_cast<size_t>(n) * static_cast<size_t>(n));
   s.terms.assign(static_cast<size_t>(n), Terms{});
   s.contributors.assign(static_cast<size_t>(n), 0);
 
-  const auto& drones = snapshot.drones;
   for (int i = 0; i < n; ++i) {
-    const sim::DroneObservation& di = drones[static_cast<size_t>(i)];
+    const Vec3& pi = pos[static_cast<size_t>(i)];
+    const Vec3& vi = vel[static_cast<size_t>(i)];
     for (int j = i + 1; j < n; ++j) {
-      const sim::DroneObservation& dj = drones[static_cast<size_t>(j)];
-      const Vec3 diff = (di.gps_position - dj.gps_position).horizontal();
+      const Vec3 diff = (pi - pos[static_cast<size_t>(j)]).horizontal();
       const double dist = diff.norm();
       s.dist[static_cast<size_t>(i) * static_cast<size_t>(n) +
              static_cast<size_t>(j)] = dist;
@@ -267,7 +441,7 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
         s.terms[static_cast<size_t>(i)].repulsion += term;
         s.terms[static_cast<size_t>(j)].repulsion -= term;
       }
-      if (friction_term(params_, dj.velocity - di.velocity, dist, term)) {
+      if (friction_term(params_, vel[static_cast<size_t>(j)] - vi, dist, term)) {
         s.terms[static_cast<size_t>(i)].friction += term;
         s.terms[static_cast<size_t>(j)].friction -= term;
         ++s.contributors[static_cast<size_t>(i)];
@@ -277,9 +451,9 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
   }
 
   for (int i = 0; i < n; ++i) {
-    const sim::DroneObservation& self = drones[static_cast<size_t>(i)];
+    const Vec3& self_pos = pos[static_cast<size_t>(i)];
     Terms& terms = s.terms[static_cast<size_t>(i)];
-    terms.migration = migration_term(params_, self, mission);
+    terms.migration = migration_term(params_, self_pos, mission);
     average_friction(terms, s.contributors[static_cast<size_t>(i)]);
 
     // Attraction from the cached distance row; the (self - other) diff is
@@ -306,19 +480,82 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
       const double dist = s.dist[row + static_cast<size_t>(j)];
       if (dist > params_.r0_att) {
         const Vec3 diff =
-            (self.gps_position - drones[static_cast<size_t>(j)].gps_position)
-                .horizontal();
+            (self_pos - pos[static_cast<size_t>(j)]).horizontal();
         attraction += diff * (-params_.p_att * (dist - params_.r0_att) / dist);
       }
     }
     terms.attraction = attraction.clamped(params_.v_att_max);
 
-    terms.shill = shill_sum(params_, self, mission);
+    terms.shill = shill_sum(params_, self_pos, vel[static_cast<size_t>(i)], mission);
     terms.altitude = Vec3{0.0, 0.0,
                           params_.altitude_gain *
-                              (mission.cruise_altitude - self.gps_position.z)};
+                              (mission.cruise_altitude - self_pos.z)};
     desired[static_cast<size_t>(i)] = terms.total().clamped(params_.v_max);
   }
+}
+
+double VasarhelyiController::probe_influence_radius(
+    const WorldSnapshot& snapshot, const MissionSpec& mission) const {
+  (void)mission;  // obstacle (shill) terms do not depend on other drones
+  const int n = snapshot.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Moving drone j beyond this radius from drone i (before AND after the
+  // spoof — the caller adds the spoof displacement) cannot change i's
+  // desired velocity:
+  //  * repulsion is zero beyond r0_rep;
+  //  * friction is guaranteed zero beyond the cutoff for the swarm's
+  //    worst-case velocity gap;
+  //  * attraction only reacts to the k_att nearest members, so a drone
+  //    farther than every member's k_att-th nearest distance (Dk_max) is
+  //    never selected — and with strict comparisons, never displaces a
+  //    selection or changes a tie.
+  // If some member has fewer than k_att non-coincident neighbours, every
+  // neighbour is selected no matter how far: no finite radius is safe.
+  const double vmax = max_speed(snapshot);
+  const double r_frict = friction_cutoff_distance(params_, 2.0 * vmax);
+  if (!std::isfinite(r_frict)) return kInf;
+
+  double dk_max = 0.0;
+  if (params_.k_att > 0) {
+    Scratch& s = scratch();
+    const std::vector<Vec3>& pos = snapshot.gps_position;
+    const bool use_grid = spatial_grid_wanted(n);
+    if (use_grid) {
+      s.grid.build(std::span<const Vec3>(pos), std::max(params_.r0_att, 1e-3));
+    }
+    const bool grid_ok = use_grid && s.grid.valid();
+    for (int i = 0; i < n; ++i) {
+      const Vec3& self_pos = pos[static_cast<size_t>(i)];
+      // Qualifying distances from i, via the grid's k-nearest superset when
+      // available (it provably contains the true k_att nearest) or the full
+      // scan otherwise.
+      s.neighbours.clear();
+      const auto consider = [&](int j) {
+        if (j == i) return;
+        const Vec3 diff = (self_pos - pos[static_cast<size_t>(j)]).horizontal();
+        const double dist = diff.norm();
+        if (dist < 1e-9) return;
+        s.neighbours.emplace_back(dist, diff);
+      };
+      if (grid_ok) {
+        s.cand_near.clear();
+        s.grid.gather_nearest(self_pos, params_.k_att, 1e-9, s.cand_near);
+        for (const int j : s.cand_near) consider(j);
+      } else {
+        for (int j = 0; j < n; ++j) consider(j);
+      }
+      if (static_cast<int>(s.neighbours.size()) < params_.k_att) return kInf;
+      select_nearest(
+          static_cast<int>(s.neighbours.size()), params_.k_att,
+          [&](int q) { return s.neighbours[static_cast<size_t>(q)].first; },
+          s.top);
+      const double dk = s.neighbours[static_cast<size_t>(s.top.back())].first;
+      if (!std::isfinite(dk)) return kInf;
+      dk_max = std::max(dk_max, dk);
+    }
+  }
+  return std::max({params_.r0_rep, r_frict, dk_max});
 }
 
 }  // namespace swarmfuzz::swarm

@@ -66,11 +66,21 @@ class VasarhelyiController final : public SwarmController {
   using SwarmController::desired_velocity;
   [[nodiscard]] Vec3 desired_velocity(const NeighborView& view,
                                       const MissionSpec& mission) const override;
-  // Bit-identical batch fast path: computes each symmetric pair's distance
-  // and velocity gap once and scatters the terms to both members.
+  // Bit-identical batch fast path: spatial-grid candidate culling for large
+  // swarms (repulsion/friction cutoff radius plus a k-nearest superset for
+  // the topological attraction), falling back to the symmetric dense pass
+  // that computes each pair's distance and velocity gap once.
   void desired_velocity_all(const WorldSnapshot& snapshot,
                             const MissionSpec& mission,
                             std::span<Vec3> desired) const override;
+  // Finite spoof-probe culling radius: max of the repulsion onset, the
+  // friction cutoff for the swarm's worst-case velocity gap, and the
+  // largest k_att-th-nearest-neighbour distance (beyond which a member can
+  // never enter anyone's topological attraction set). Infinity when some
+  // member has fewer than k_att neighbours (then every member is always
+  // attended to, so no probe may be skipped).
+  [[nodiscard]] double probe_influence_radius(
+      const WorldSnapshot& snapshot, const MissionSpec& mission) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "vasarhelyi";
   }

@@ -8,11 +8,9 @@ namespace {
 sim::WorldSnapshot three_drone_broadcast() {
   sim::WorldSnapshot snap;
   snap.time = 1.0;
-  snap.drones = {
-      {0, {0, 0, 10}, {1, 0, 0}},
-      {1, {20, 0, 10}, {0, 1, 0}},
-      {2, {100, 0, 10}, {0, 0, 1}},
-  };
+  snap.push_back({0, {0, 0, 10}, {1, 0, 0}});
+  snap.push_back({1, {20, 0, 10}, {0, 1, 0}});
+  snap.push_back({2, {100, 0, 10}, {0, 0, 1}});
   return snap;
 }
 
@@ -26,7 +24,7 @@ TEST(Comm, PerfectCommDeliversEverything) {
   CommModel comm;
   comm.reset(1);
   const auto view = comm.filter(three_drone_broadcast(), 0);
-  EXPECT_EQ(view.drones.size(), 3u);
+  EXPECT_EQ(view.size(), 3);
   EXPECT_DOUBLE_EQ(view.time, 1.0);
 }
 
@@ -34,8 +32,8 @@ TEST(Comm, SelfIsAlwaysFirst) {
   CommModel comm;
   comm.reset(1);
   const auto view = comm.filter(three_drone_broadcast(), 1);
-  ASSERT_FALSE(view.drones.empty());
-  EXPECT_EQ(view.drones[0].id, 1);
+  ASSERT_FALSE(view.empty());
+  EXPECT_EQ(view.id[0], 1);
 }
 
 TEST(Comm, RangeLimitsNeighbours) {
@@ -43,8 +41,8 @@ TEST(Comm, RangeLimitsNeighbours) {
   comm.reset(1);
   const auto view = comm.filter(three_drone_broadcast(), 0);
   // Drone 2 at 100 m is out of range; drone 1 at 20 m is in.
-  ASSERT_EQ(view.drones.size(), 2u);
-  EXPECT_EQ(view.drones[1].id, 1);
+  ASSERT_EQ(view.size(), 2);
+  EXPECT_EQ(view.id[1], 1);
 }
 
 TEST(Comm, RangeUsesBroadcastGps) {
@@ -52,9 +50,9 @@ TEST(Comm, RangeUsesBroadcastGps) {
   CommModel comm(CommConfig{.range = 50.0});
   comm.reset(1);
   auto broadcast = three_drone_broadcast();
-  broadcast.drones[1].gps_position = {90, 0, 10};  // fix claims it is far
+  broadcast.gps_position[1] = {90, 0, 10};  // fix claims it is far
   const auto view = comm.filter(broadcast, 0);
-  EXPECT_EQ(view.drones.size(), 1u);  // only self remains
+  EXPECT_EQ(view.size(), 1);  // only self remains
 }
 
 TEST(Comm, DropsAreRandomButSeedDeterministic) {
@@ -64,8 +62,7 @@ TEST(Comm, DropsAreRandomButSeedDeterministic) {
   b.reset(99);
   const auto broadcast = three_drone_broadcast();
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(a.filter(broadcast, 0).drones.size(),
-              b.filter(broadcast, 0).drones.size());
+    EXPECT_EQ(a.filter(broadcast, 0).size(), b.filter(broadcast, 0).size());
   }
 }
 
@@ -76,7 +73,7 @@ TEST(Comm, DropRateApproximatelyMatchesProbability) {
   int delivered = 0;
   const int rounds = 2000;
   for (int i = 0; i < rounds; ++i) {
-    delivered += static_cast<int>(comm.filter(broadcast, 0).drones.size()) - 1;
+    delivered += comm.filter(broadcast, 0).size() - 1;
   }
   const double rate = static_cast<double>(delivered) / (2.0 * rounds);
   EXPECT_NEAR(rate, 0.7, 0.05);
@@ -87,8 +84,8 @@ TEST(Comm, SelfNeverDropped) {
   comm.reset(3);
   for (int i = 0; i < 100; ++i) {
     const auto view = comm.filter(three_drone_broadcast(), 2);
-    ASSERT_GE(view.drones.size(), 1u);
-    EXPECT_EQ(view.drones[0].id, 2);
+    ASSERT_GE(view.size(), 1);
+    EXPECT_EQ(view.id[0], 2);
   }
 }
 

@@ -116,9 +116,10 @@ TEST(SwarmDetectionMonitor, SmallSpoofEvades_LargeSpoofDetected) {
 TEST(SwarmDetectionMonitor, ReportsFirstAlarmingDrone) {
   SwarmDetectionMonitor monitor(2, {.threshold = 1.0, .required_hits = 1});
   sim::WorldSnapshot snap;
-  snap.drones = {{0, {0, 0, 0}, {}}, {1, {10, 0, 0}, {}}};
+  snap.push_back({0, {0, 0, 0}, {}});
+  snap.push_back({1, {10, 0, 0}, {}});
   monitor.on_step(0.0, snap, {});
-  snap.drones[1].gps_position = {25, 0, 0};  // drone 1 jumps
+  snap.gps_position[1] = {25, 0, 0};  // drone 1 jumps
   monitor.on_step(0.1, snap, {});
   const DetectionReport report = monitor.report();
   ASSERT_TRUE(report.detected);

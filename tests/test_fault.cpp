@@ -33,8 +33,8 @@ class StraightLineControl final : public sim::ControlSystem {
   void reset(const sim::MissionSpec&, std::uint64_t) override {}
   void compute(const sim::WorldSnapshot& snapshot, const sim::MissionSpec& mission,
                std::span<sim::Vec3> desired) override {
-    for (size_t i = 0; i < snapshot.drones.size(); ++i) {
-      desired[i] = (mission.destination - snapshot.drones[i].gps_position)
+    for (size_t i = 0; i < snapshot.gps_position.size(); ++i) {
+      desired[i] = (mission.destination - snapshot.gps_position[i])
                        .normalized() * 2.0;
     }
   }

@@ -17,7 +17,7 @@ MissionSpec basic_mission() {
 sim::WorldSnapshot broadcast_for(const MissionSpec& mission) {
   sim::WorldSnapshot snap;
   for (int i = 0; i < mission.num_drones(); ++i) {
-    snap.drones.push_back(
+    snap.push_back(
         {i, mission.initial_positions[static_cast<size_t>(i)], Vec3{}});
   }
   return snap;
@@ -107,7 +107,7 @@ TEST(FlockingSystem, CommDropsAffectComputedVelocities) {
   lossy->reset(mission, 1);
   auto snap = broadcast_for(mission);
   // Give the neighbour a big velocity difference so friction matters.
-  snap.drones[1].velocity = {3, 0, 0};
+  snap.velocity[1] = {3, 0, 0};
   std::vector<Vec3> a(2), b(2);
   lossless->compute(snap, mission, a);
   lossy->compute(snap, mission, b);

@@ -114,11 +114,11 @@ TEST(NavFilter, SpoofingDragsEstimateGradually) {
                  std::span<const DroneState> truth) override {
       if (time >= 20.0 && time < 20.0 + 0.06 && first_offset < 0.0) {
         first_offset =
-            math::distance(snapshot.drones[0].gps_position, truth[0].position);
+            math::distance(snapshot.gps_position[0], truth[0].position);
       }
       if (time >= 34.0 && time < 34.0 + 0.06) {
         late_offset =
-            math::distance(snapshot.drones[0].gps_position, truth[0].position);
+            math::distance(snapshot.gps_position[0], truth[0].position);
       }
     }
     double first_offset = -1.0;

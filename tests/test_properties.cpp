@@ -112,7 +112,7 @@ TEST_P(SpoofWindowSweep, OffsetAppliedExactlyInWindow) {
     void on_step(double time, const sim::WorldSnapshot& snapshot,
                  std::span<const sim::DroneState> truth) override {
       const double offset = math::distance(
-          snapshot.drones[static_cast<size_t>(plan_.target)].gps_position,
+          snapshot.gps_position[static_cast<size_t>(plan_.target)],
           truth[static_cast<size_t>(plan_.target)].position);
       // GPS fixes are held between samples; allow one sample of lag at the
       // window edges (dt == GPS period here).

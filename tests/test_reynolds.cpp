@@ -19,7 +19,7 @@ MissionSpec basic_mission() {
 
 WorldSnapshot snapshot_of(std::initializer_list<DroneObservation> drones) {
   WorldSnapshot snap;
-  snap.drones = drones;
+  for (const DroneObservation& obs : drones) snap.push_back(obs);
   return snap;
 }
 

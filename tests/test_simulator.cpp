@@ -14,8 +14,8 @@ class StraightLineControl final : public ControlSystem {
 
   void compute(const WorldSnapshot& snapshot, const MissionSpec& mission,
                std::span<Vec3> desired) override {
-    for (size_t i = 0; i < snapshot.drones.size(); ++i) {
-      desired[i] = (mission.destination - snapshot.drones[i].gps_position)
+    for (size_t i = 0; i < snapshot.gps_position.size(); ++i) {
+      desired[i] = (mission.destination - snapshot.gps_position[i])
                        .normalized() * speed_;
     }
     last_snapshot = snapshot;
@@ -135,11 +135,11 @@ TEST(Simulator, SpooferShiftsObservedGps) {
   MissionSpec mission = two_drone_mission();
   mission.max_time = 0.5;  // a few ticks are enough
   (void)simulator.run(mission, control, &spoofer);
-  ASSERT_EQ(control.last_snapshot.drones.size(), 2u);
+  ASSERT_EQ(control.last_snapshot.size(), 2);
   // Drone 0 starts at y=0 and moves little in 0.5 s; the observed y must
   // carry the 7 m offset. Drone 1 is unspoofed.
-  EXPECT_NEAR(control.last_snapshot.drones[0].gps_position.y, 7.0, 1.0);
-  EXPECT_NEAR(control.last_snapshot.drones[1].gps_position.y, 10.0, 1.0);
+  EXPECT_NEAR(control.last_snapshot.gps_position[0].y, 7.0, 1.0);
+  EXPECT_NEAR(control.last_snapshot.gps_position[1].y, 10.0, 1.0);
 }
 
 TEST(Simulator, RecorderCoversWholeRun) {

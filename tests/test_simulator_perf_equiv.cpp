@@ -28,6 +28,8 @@
 #include "sim/simulator.h"
 #include "swarm/comm.h"
 #include "swarm/flocking_system.h"
+#include "swarm/olfati_saber.h"
+#include "swarm/spatial_grid.h"
 #include "swarm/vasarhelyi.h"
 
 namespace {
@@ -81,9 +83,9 @@ class ReferenceControlSystem final : public sim::ControlSystem {
 
   void compute(const sim::WorldSnapshot& snapshot, const sim::MissionSpec& mission,
                std::span<sim::Vec3> desired) override {
-    for (size_t i = 0; i < snapshot.drones.size(); ++i) {
+    for (int i = 0; i < snapshot.size(); ++i) {
       const sim::WorldSnapshot perceived =
-          comm_.filter(snapshot, snapshot.drones[i].id);
+          comm_.filter(snapshot, snapshot.id[static_cast<size_t>(i)]);
       desired[i] = controller_->desired_velocity(0, perceived, mission);
     }
   }
@@ -164,6 +166,79 @@ void run_equivalence(sim::VehicleType vehicle, const swarm::CommConfig& comm) {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// RAII save/restore for the process-wide spatial-grid policy.
+class GridPolicyScope {
+ public:
+  GridPolicyScope(bool enabled, int min_drones)
+      : saved_(swarm::spatial_grid_policy()) {
+    swarm::spatial_grid_policy() = {enabled, min_drones};
+  }
+  ~GridPolicyScope() { swarm::spatial_grid_policy() = saved_; }
+
+ private:
+  swarm::SpatialGridPolicy saved_;
+};
+
+// A swarm large enough that spatial culling genuinely prunes work (the
+// 50 m default box cannot hold 40 drones at 8 m separation, so widen it).
+sim::MissionSpec large_mission() {
+  sim::MissionConfig config;
+  config.num_drones = 40;
+  config.spawn_range = 120.0;
+  return sim::generate_mission(config, 91);
+}
+
+// The spatial grid claims to be a pure accelerator: every candidate set is
+// a conservative superset re-filtered by the exact original test, in the
+// original visit order. Hold it to that by running the SAME control system
+// over a full mission with the grid forced on and forced off — collision
+// events, recorder samples and RNG-dependent packet drops must all agree
+// bitwise.
+void run_grid_equivalence(std::shared_ptr<const swarm::SwarmController> controller,
+                          sim::VehicleType vehicle, const swarm::CommConfig& comm) {
+  const sim::MissionSpec mission = large_mission();
+  const sim::Simulator simulator(test_config(vehicle));
+  swarm::FlockingControlSystem system(std::move(controller), comm);
+
+  sim::RunResult with_grid = [&] {
+    const GridPolicyScope scope(true, 2);
+    return simulator.run(mission, system);
+  }();
+  sim::RunResult without = [&] {
+    const GridPolicyScope scope(false, 2);
+    return simulator.run(mission, system);
+  }();
+  expect_bit_identical(with_grid, without);
+}
+
+TEST(SpatialGridEquivalence, VasarhelyiTrivialComm) {
+  run_grid_equivalence(std::make_shared<swarm::VasarhelyiController>(),
+                       sim::VehicleType::kPointMass, {});
+}
+
+TEST(SpatialGridEquivalence, VasarhelyiRangeLimitedWithDrop) {
+  run_grid_equivalence(std::make_shared<swarm::VasarhelyiController>(),
+                       sim::VehicleType::kPointMass,
+                       {.range = 40.0, .drop_probability = 0.15});
+}
+
+TEST(SpatialGridEquivalence, VasarhelyiQuadrotorPacketDrop) {
+  run_grid_equivalence(std::make_shared<swarm::VasarhelyiController>(),
+                       sim::VehicleType::kQuadrotor,
+                       {.range = kInf, .drop_probability = 0.3});
+}
+
+TEST(SpatialGridEquivalence, OlfatiSaberTrivialComm) {
+  run_grid_equivalence(std::make_shared<swarm::OlfatiSaberController>(),
+                       sim::VehicleType::kPointMass, {});
+}
+
+TEST(SpatialGridEquivalence, OlfatiSaberRangeLimitedWithDrop) {
+  run_grid_equivalence(std::make_shared<swarm::OlfatiSaberController>(),
+                       sim::VehicleType::kPointMass,
+                       {.range = 40.0, .drop_probability = 0.15});
+}
+
 TEST(SimulatorPerfEquivalence, PointMassTrivialComm) {
   run_equivalence(sim::VehicleType::kPointMass, {});
 }
@@ -193,12 +268,12 @@ TEST(SimulatorPerfEquivalence, SteadyStateControlComputeDoesNotAllocate) {
 
   sim::WorldSnapshot snapshot;
   snapshot.time = 1.0;
-  snapshot.drones.resize(static_cast<size_t>(n));
+  snapshot.resize(n);
   for (int i = 0; i < n; ++i) {
-    auto& obs = snapshot.drones[static_cast<size_t>(i)];
-    obs.id = i;
-    obs.gps_position = mission.initial_positions[static_cast<size_t>(i)];
-    obs.velocity = sim::Vec3{1.0, 0.5, 0.0};
+    snapshot.id[static_cast<size_t>(i)] = i;
+    snapshot.gps_position[static_cast<size_t>(i)] =
+        mission.initial_positions[static_cast<size_t>(i)];
+    snapshot.velocity[static_cast<size_t>(i)] = sim::Vec3{1.0, 0.5, 0.0};
   }
   std::vector<sim::Vec3> desired(static_cast<size_t>(n));
 
@@ -223,6 +298,45 @@ TEST(SimulatorPerfEquivalence, SteadyStateControlComputeDoesNotAllocate) {
   }
   EXPECT_EQ(g_allocation_count.load() - before, 0u)
       << "steady-state control loop allocated";
+}
+
+TEST(SimulatorPerfEquivalence, SteadyStateGridPathDoesNotAllocate) {
+  const GridPolicyScope scope(true, 2);  // force the grid paths for n = 10
+  const sim::MissionSpec mission = test_mission();
+  const int n = mission.num_drones();
+
+  sim::WorldSnapshot snapshot;
+  snapshot.time = 1.0;
+  snapshot.resize(n);
+  for (int i = 0; i < n; ++i) {
+    snapshot.id[static_cast<size_t>(i)] = i;
+    snapshot.gps_position[static_cast<size_t>(i)] =
+        mission.initial_positions[static_cast<size_t>(i)];
+    snapshot.velocity[static_cast<size_t>(i)] = sim::Vec3{1.0, 0.5, 0.0};
+  }
+  std::vector<sim::Vec3> desired(static_cast<size_t>(n));
+
+  swarm::FlockingControlSystem batch(
+      std::make_shared<swarm::VasarhelyiController>(), swarm::CommConfig{});
+  batch.reset(mission, 123);
+  swarm::FlockingControlSystem filtered(
+      std::make_shared<swarm::VasarhelyiController>(),
+      swarm::CommConfig{.range = 40.0, .drop_probability = 0.1});
+  filtered.reset(mission, 9);
+
+  // Warm-up grows grid buffers and gather scratch to steady-state capacity.
+  for (int it = 0; it < 8; ++it) {
+    batch.compute(snapshot, mission, desired);
+    filtered.compute(snapshot, mission, desired);
+  }
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (int it = 0; it < 200; ++it) {
+    batch.compute(snapshot, mission, desired);
+    filtered.compute(snapshot, mission, desired);
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "steady-state grid-accelerated control loop allocated";
 }
 
 }  // namespace

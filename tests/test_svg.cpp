@@ -26,7 +26,7 @@ WorldSnapshot cruising_snapshot(const MissionSpec& mission) {
   WorldSnapshot snap;
   snap.time = 40.0;
   for (int i = 0; i < mission.num_drones(); ++i) {
-    snap.drones.push_back(DroneObservation{
+    snap.push_back(DroneObservation{
         .id = i,
         .gps_position = mission.initial_positions[static_cast<size_t>(i)] +
                         math::Vec3{40, 0, 0},
@@ -94,10 +94,8 @@ TEST_F(SvgTest, MaliciousInfluenceDetectedInCraftedGeometry) {
   const MissionSpec mission = mission_with_obstacle({60, -6, 0});
   WorldSnapshot snap;
   snap.time = 40.0;
-  snap.drones = {
-      {0, {40, 0, 10}, {2.5, 0, 0}},
-      {1, {40, 12, 10}, {2.5, 0, 0}},
-  };
+  snap.push_back({0, {40, 0, 10}, {2.5, 0, 0}});
+  snap.push_back({1, {40, 12, 10}, {2.5, 0, 0}});
   MissionSpec two = mission;
   two.initial_positions = {{0, 0, 10}, {0, 12, 10}};
   const graph::Digraph svg =

@@ -17,7 +17,7 @@ MissionSpec basic_mission() {
 
 WorldSnapshot snapshot_of(std::initializer_list<DroneObservation> drones) {
   WorldSnapshot snap;
-  snap.drones = drones;
+  for (const DroneObservation& obs : drones) snap.push_back(obs);
   return snap;
 }
 
@@ -153,9 +153,9 @@ TEST(Vasarhelyi, FrictionIsAveragedOverNeighbours) {
       {1, {5, 0, 10}, {3, 0, 0}},
   });
   auto many = one;
-  many.drones.push_back({2, {5, 1, 10}, {3, 0, 0}});
-  many.drones.push_back({3, {5, -1, 10}, {3, 0, 0}});
-  many.drones.push_back({4, {5, 2, 10}, {3, 0, 0}});
+  many.push_back({2, {5, 1, 10}, {3, 0, 0}});
+  many.push_back({3, {5, -1, 10}, {3, 0, 0}});
+  many.push_back({4, {5, 2, 10}, {3, 0, 0}});
   const double f_one = controller.compute_terms(0, one, mission).friction.norm();
   const double f_many = controller.compute_terms(0, many, mission).friction.norm();
   EXPECT_LT(f_many, 1.5 * f_one);
