@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -19,8 +20,10 @@
 #include "math/geometry.h"
 #include "math/rng.h"
 #include "sim/simulator.h"
+#include "sim/tick_pool.h"
 #include "swarm/comm.h"
 #include "swarm/spatial_grid.h"
+#include "swarm/tick_context.h"
 #include "swarm/vasarhelyi.h"
 
 namespace {
@@ -96,6 +99,39 @@ BENCHMARK(BM_ControllerEvaluation)
     ->Args({500, 1})
     ->Args({1000, 0})
     ->Args({1000, 1});
+
+// Whole-swarm controller evaluation through the explicit TickExecutor: the
+// same batch kernel as BM_ControllerEvaluation (grid on), chunked over a
+// TickPool. Arg0 = drones, arg1 = threads; the /1 arm measures the executor
+// plumbing against the serial baseline above, multi-thread arms measure
+// intra-tick scaling. Bit-identical across arms (ParallelTick golden tests);
+// speedups need spare hardware threads — on a single-core runner every arm
+// degrades to roughly serial time plus handoff overhead (compare_bench.py
+// only guards these arms when both runs saw num_threads_available > 1).
+void BM_ControllerEvaluationThreaded(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const GridPolicyScope policy(true);
+  const sim::MissionSpec mission = mission_of(drones);
+  const sim::WorldSnapshot snap = snapshot_of(mission);
+  const swarm::VasarhelyiController controller;
+  std::vector<sim::Vec3> desired(static_cast<size_t>(drones));
+  sim::TickPool pool(threads);
+  swarm::TickContext context(pool.threads());
+  const swarm::TickExecutor exec{&pool, &context};
+  for (auto _ : state) {
+    controller.desired_velocity_all(snap, mission, desired, exec);
+    benchmark::DoNotOptimize(desired.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * drones);
+}
+BENCHMARK(BM_ControllerEvaluationThreaded)
+    ->Args({250, 1})
+    ->Args({250, 2})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4});
 
 // Raw neighbour-query throughput: one grid rebuild plus a comm-range gather
 // per drone, versus the brute-force O(N^2) scan the grid replaces. Arg0 =
@@ -300,6 +336,34 @@ BENCHMARK(BM_FullMission)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+// BM_FullMission with intra-tick parallelism. Arg0 = drones, arg1 =
+// sim_threads. The /N/1 arms double as an overhead check (sim_threads = 1
+// never builds a pool, so they must match BM_FullMission); multi-thread arms
+// are the headline intra-mission scaling series — the ≥3x target for
+// BM_FullMission/1000 assumes ≥4 hardware threads, and on fewer cores the
+// arms still run (bit-identical) but cannot speed up, so compare_bench.py
+// gates them only when num_threads_available > 1 in both runs.
+void BM_FullMissionSimThreads(benchmark::State& state) {
+  const int drones = static_cast<int>(state.range(0));
+  const sim::MissionSpec mission = mission_of(drones);
+  sim::SimulationConfig config;
+  config.dt = 0.05;
+  config.gps.rate_hz = 20.0;
+  config.sim_threads = static_cast<int>(state.range(1));
+  const sim::Simulator simulator(config);
+  auto system = swarm::make_vasarhelyi_system();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(mission, *system));
+  }
+}
+BENCHMARK(BM_FullMissionSimThreads)
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SvgConstruction(benchmark::State& state) {
   const int drones = static_cast<int>(state.range(0));
   const sim::MissionSpec mission = mission_of(drones);
@@ -369,6 +433,12 @@ int main(int argc, char** argv) {
   // "debug" regardless). run_bench.sh reads this to refuse recording
   // baselines from unoptimized binaries.
   benchmark::AddCustomContext("swarmfuzz_build_type", SWARMFUZZ_BUILD_TYPE);
+  // compare_bench.py reads this to decide whether the threaded series
+  // (BM_FullMissionSimThreads, BM_ControllerEvaluationThreaded) are
+  // meaningful on this host: with one hardware thread they measure pure
+  // handoff overhead and are annotated rather than gated.
+  benchmark::AddCustomContext("num_threads_available",
+                              std::to_string(sim::hardware_threads()));
 #ifdef NDEBUG
   benchmark::AddCustomContext("swarmfuzz_assertions", "off");
 #else

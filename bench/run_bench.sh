@@ -16,6 +16,11 @@
 # hot-path regressions; the headline series are BM_FullMission, BM_FuzzMission,
 # BM_FuzzMissionParallel (whole-mission wall time, serial and eval-pooled)
 # and the large-swarm scaling series BM_ControllerEvaluation/BM_NeighborQuery.
+# The intra-tick threaded series (BM_FullMissionSimThreads,
+# BM_ControllerEvaluationThreaded) record num_threads_available in the JSON
+# context; compare_bench.py gates them only when both runs had more than one
+# hardware thread — on a 1-cpu host they measure handoff overhead, not
+# scaling, and are annotated instead of gated.
 set -eu
 
 repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"

@@ -32,6 +32,9 @@ sim::MissionSpec mission_from(const util::Options& options) {
   sim::MissionConfig config;
   config.num_drones = options.get_int("drones", 5);
   config.num_obstacles = options.get_int("obstacles", 1);
+  // The default 50 m box only fits ~30 drones at the default 8 m
+  // separation; large swarms need a wider box or generation throws.
+  config.spawn_range = options.get_double("spawn-range", config.spawn_range);
   const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1013));
   return sim::generate_mission(config, seed);
 }
@@ -42,6 +45,9 @@ sim::SimulationConfig sim_from(const util::Options& options) {
   config.gps.rate_hz = options.get_double("gps-rate", 20.0);
   config.gps.noise_stddev = options.get_double("gps-noise", 0.0);
   config.use_navigation_filter = options.get_bool("nav-filter", false);
+  // Intra-tick worker threads: 1 = serial (default), 0 = auto (all
+  // hardware); bit-identical results for any value.
+  config.sim_threads = options.get_int("sim-threads", 1);
   const std::string vehicle = options.get("vehicle", "pointmass");
   if (vehicle == "quadrotor" || vehicle == "quad") {
     config.vehicle = sim::VehicleType::kQuadrotor;
@@ -152,6 +158,7 @@ std::vector<std::string> campaign_args_from(const fuzz::CampaignConfig& config,
   add("seed", std::to_string(config.base_seed));
   add("fuzzer", std::string{fuzzer_flag_of(config.kind)});
   add("eval-threads", std::to_string(config.fuzzer.eval_threads));
+  add("sim-threads", std::to_string(config.fuzzer.sim.sim_threads));
   add("mission-timeout", exact(config.fuzzer.mission_timeout_s));
   add("eval-max-steps", std::to_string(config.fuzzer.eval_max_steps));
   add("max-fault-retries", std::to_string(config.max_fault_retries));
@@ -577,16 +584,20 @@ int print_usage() {
       "usage: swarmfuzz <command> [options]\n\n"
       "commands:\n"
       "  run        fly one mission without attack\n"
+      "             [--sim-threads=N] (intra-tick worker threads, 0 = all\n"
+      "             cores, 1 = serial; bit-identical results for any N)\n"
       "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
       "             [--no-prefix-reuse] [--checkpoint-period=S]\n"
       "             [--mission-timeout=S] [--eval-max-steps=N]\n"
       "             [--eval-threads=N] (parallel batch evaluation, 0 = all\n"
       "             cores; bit-identical results for any N)\n"
+      "             [--sim-threads=N] (intra-tick threads per simulation,\n"
+      "             0 = auto from what eval threads leave free)\n"
       "  campaign   evaluate a configuration over many missions\n"
       "             [--telemetry=FILE] [--checkpoint=FILE [--resume]]\n"
       "             [--progress=false] [--no-prefix-reuse] [--checkpoint-period=S]\n"
-      "             [--eval-threads=N] (per-worker eval threads; 0 = auto-split\n"
-      "             so workers x eval threads <= hardware)\n"
+      "             [--eval-threads=N] [--sim-threads=N] (per-worker budget;\n"
+      "             0 = auto-split so workers x eval x sim <= hardware)\n"
       "             [--summary=FILE] (atomic JSON report)\n"
       "             fault containment: [--mission-timeout=S] (wall-clock budget\n"
       "             per mission) [--eval-max-steps=N] (sim-step budget per\n"
@@ -611,7 +622,8 @@ int print_usage() {
       "             single-process checkpoint) [--summary=FILE] [--json]\n\n"
       "common options: --drones=N --seed=N --distance=M --controller=vasarhelyi|\n"
       "                olfati|reynolds --dt=S --gps-rate=HZ --nav-filter\n"
-      "                --vehicle=pointmass|quadrotor\n");
+      "                --vehicle=pointmass|quadrotor --spawn-range=M (spawn box\n"
+      "                edge; widen for swarms above ~30 drones)\n");
   return 64;
 }
 

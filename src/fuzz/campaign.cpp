@@ -442,23 +442,33 @@ TelemetryRecord make_record(const CampaignConfig& config,
 }  // namespace
 
 FuzzerConfig worker_fuzzer_config(const CampaignConfig& config, int workers) {
-  // Mission workers and per-worker eval threads share one hardware budget:
-  // workers x eval threads <= hardware concurrency. An explicit over-budget
-  // --eval-threads is clamped (with a warning) rather than oversubscribing;
-  // 0 = auto splits whatever the workers leave free. eval_threads does not
-  // affect outcomes (Objective::evaluate_batch is bit-identical for any
-  // value), so it is excluded from campaign_config_hash and checkpoint
-  // validation.
+  // Mission workers, per-worker eval threads and per-simulation tick threads
+  // share one hardware budget: workers x eval x sim <= hardware concurrency.
+  // Explicit over-budget requests are clamped (with one warning per
+  // campaign — this runs once per campaign/shard, not per mission) rather
+  // than oversubscribing; 0 = auto splits whatever the other dimensions
+  // leave free. Neither knob affects outcomes (evaluation batching and the
+  // tick pool are bit-identical for any width), so both are excluded from
+  // campaign_config_hash and checkpoint validation.
   FuzzerConfig worker_fuzzer = config.fuzzer;
   const int hardware = hardware_threads();
-  worker_fuzzer.eval_threads =
-      split_eval_threads(workers, config.fuzzer.eval_threads, hardware);
-  if (config.fuzzer.eval_threads > worker_fuzzer.eval_threads) {
+  const ThreadBudget budget =
+      split_thread_budget(workers, config.fuzzer.eval_threads,
+                          config.fuzzer.sim.sim_threads, hardware);
+  worker_fuzzer.eval_threads = budget.eval_threads;
+  worker_fuzzer.sim.sim_threads = budget.sim_threads;
+  if (config.fuzzer.eval_threads > budget.eval_threads) {
     SWARMFUZZ_WARN(
         "campaign: clamping eval threads {} -> {} ({} mission workers on {} "
         "hardware threads)",
-        config.fuzzer.eval_threads, worker_fuzzer.eval_threads, workers,
-        hardware);
+        config.fuzzer.eval_threads, budget.eval_threads, workers, hardware);
+  }
+  if (config.fuzzer.sim.sim_threads > budget.sim_threads) {
+    SWARMFUZZ_WARN(
+        "campaign: clamping sim threads {} -> {} ({} mission workers x {} "
+        "eval threads on {} hardware threads)",
+        config.fuzzer.sim.sim_threads, budget.sim_threads, workers,
+        budget.eval_threads, hardware);
   }
   return worker_fuzzer;
 }

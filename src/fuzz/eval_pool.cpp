@@ -4,11 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/tick_pool.h"
+
 namespace swarmfuzz::fuzz {
 
-int hardware_threads() noexcept {
-  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-}
+int hardware_threads() noexcept { return sim::hardware_threads(); }
 
 int split_eval_threads(int workers, int requested, int hardware) noexcept {
   workers = std::max(workers, 1);
@@ -18,6 +18,31 @@ int split_eval_threads(int workers, int requested, int hardware) noexcept {
     return per_worker;  // auto: divide the machine evenly
   }
   return std::min(requested, per_worker);
+}
+
+ThreadBudget split_thread_budget(int workers, int requested_eval,
+                                 int requested_sim, int hardware) noexcept {
+  workers = std::max(workers, 1);
+  hardware = std::max(hardware, 1);
+  const int per_worker = std::max(hardware / workers, 1);
+  ThreadBudget budget;
+  if (requested_eval > 0) {
+    // Explicit eval width wins; sim threads take (or are clamped to) the
+    // rest of this worker's share.
+    budget.eval_threads = std::min(requested_eval, per_worker);
+    const int sim_share = std::max(per_worker / budget.eval_threads, 1);
+    budget.sim_threads =
+        requested_sim <= 0 ? sim_share : std::min(requested_sim, sim_share);
+  } else if (requested_sim > 0) {
+    // Explicit sim width wins; eval threads absorb the rest of the share.
+    budget.sim_threads = std::min(requested_sim, per_worker);
+    budget.eval_threads = std::max(per_worker / budget.sim_threads, 1);
+  } else {
+    // Both auto: historical split — all batch parallelism, serial ticks.
+    budget.eval_threads = per_worker;
+    budget.sim_threads = 1;
+  }
+  return budget;
 }
 
 EvalPool::EvalPool(const sim::SimulationConfig& sim,

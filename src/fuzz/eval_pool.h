@@ -43,6 +43,28 @@ namespace swarmfuzz::fuzz {
 [[nodiscard]] int split_eval_threads(int workers, int requested,
                                      int hardware) noexcept;
 
+// Three-way thread budget for one campaign worker: eval threads (parallel
+// candidate evaluation, EvalPool) times sim threads (intra-tick parallelism,
+// TickPool) per eval thread.
+struct ThreadBudget {
+  int eval_threads = 1;
+  int sim_threads = 1;
+};
+
+// Splits `hardware` cores across `workers` campaign processes into an
+// eval x sim budget per worker. `<= 0` requests are auto. Explicit requests
+// are satisfied first (clamped so the worker's total stays within its
+// hardware share); the remaining dimension takes what is left of the
+// per-worker share. Both-auto keeps the historical behaviour: all eval
+// threads, serial ticks — intra-simulation parallelism never silently
+// steals cores from batch parallelism, which saturates the machine with
+// less synchronization. Every field is >= 1 for any input, so the fully
+// oversubscribed degenerate request (workers = eval = sim = hardware)
+// clamps to {1, 1} instead of exploding the thread count.
+[[nodiscard]] ThreadBudget split_thread_budget(int workers, int requested_eval,
+                                               int requested_sim,
+                                               int hardware) noexcept;
+
 class EvalPool {
  public:
   // One (already projected) candidate of a batch.

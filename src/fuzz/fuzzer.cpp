@@ -16,12 +16,29 @@ namespace {
 // large budgets while attempts_tried still counts everything.
 constexpr std::size_t kMaxRecordedAttempts = 256;
 
+// Resolves sim_threads = 0 (auto) before anything consumes config.sim: the
+// simulator and every EvalPool worker are built from it (and FuzzerBase's
+// member order initializes simulator_ before eval_threads_). Auto gives the
+// intra-tick pool whatever the eval fan-out leaves of the machine, so
+// eval x sim never oversubscribes by default; an explicit request passes
+// through untouched (oversubscription is then the caller's choice — results
+// are identical regardless).
+FuzzerConfig resolve_fuzzer_threads(FuzzerConfig config) {
+  if (config.sim.sim_threads <= 0) {
+    const int eval =
+        config.eval_threads > 0 ? config.eval_threads : hardware_threads();
+    config.sim.sim_threads =
+        std::max(hardware_threads() / std::max(eval, 1), 1);
+  }
+  return config;
+}
+
 // Shared plumbing: clean run, seed scheduling, bookkeeping.
 class FuzzerBase : public Fuzzer {
  public:
   FuzzerBase(FuzzerConfig config,
              std::shared_ptr<const swarm::SwarmController> controller)
-      : config_(std::move(config)),
+      : config_(resolve_fuzzer_threads(std::move(config))),
         controller_(controller != nullptr
                         ? std::move(controller)
                         : std::make_shared<swarm::VasarhelyiController>()),

@@ -57,9 +57,12 @@ struct FuzzerConfig {
   // evaluates serially, N > 1 fans batches out over an EvalPool of N worker
   // threads, 0 resolves to the hardware concurrency. Results are
   // bit-identical for any value (see Objective::evaluate_batch); campaigns
-  // split the machine between mission workers and eval threads
-  // (fuzz::split_eval_threads) so workers x eval threads stays within the
-  // hardware.
+  // split the machine between mission workers, eval threads and intra-tick
+  // sim threads (fuzz::split_thread_budget) so
+  // workers x eval_threads x sim.sim_threads stays within the hardware.
+  // sim.sim_threads composes with this: each eval thread's simulator may
+  // additionally parallelize inside a tick (sim.sim_threads = 0 here means
+  // auto = whatever the eval fan-out leaves of the machine).
   int eval_threads = 1;
   // Fault containment (see sim/fault.h and DESIGN.md section 11). The
   // wall-clock budget covers one whole fuzz() call — the clean run and every

@@ -17,11 +17,14 @@ CollisionMonitor::CollisionMonitor(double drone_radius) : drone_radius_(drone_ra
 
 std::optional<CollisionEvent> CollisionMonitor::check(
     std::span<const DroneState> states, std::span<const Vec3> prev_positions,
-    const ObstacleField& obstacles, double time) const {
+    const ObstacleField& obstacles, double time,
+    const swarm::TickExecutor& exec) const {
   const int n = static_cast<int>(states.size());
   const bool swept = prev_positions.size() == states.size();
 
-  for (int i = 0; i < n; ++i) {
+  // First obstacle hit by drone i this step, or -1; k ascending so the
+  // reported (drone, obstacle) pair matches the serial double loop.
+  const auto first_obstacle = [&](int i) {
     const Vec3& pos = states[static_cast<size_t>(i)].position;
     for (int k = 0; k < obstacles.size(); ++k) {
       const CylinderObstacle& o = obstacles.at(k);
@@ -29,14 +32,13 @@ std::optional<CollisionEvent> CollisionMonitor::check(
           swept ? math::segment_point_distance_xy(prev_positions[static_cast<size_t>(i)],
                                                   pos, o.center)
                 : math::distance_xy(pos, o.center);
-      if (dist <= o.radius + drone_radius_) {
-        return CollisionEvent{CollisionKind::kDroneObstacle, time, i, k};
-      }
+      if (dist <= o.radius + drone_radius_) return k;
     }
-  }
+    return -1;
+  };
 
-  // Drone-drone proximity. `pair_test` is the exact accept test; both scan
-  // strategies below visit pairs in the same lexicographic (i, j) order, so
+  // Drone-drone proximity. `pair_test` is the exact accept test; every scan
+  // strategy below visits pairs in the same lexicographic (i, j) order, so
   // the first reported event is identical.
   const double thr = 2.0 * drone_radius_;
   const auto pair_test = [&](int i, int j) {
@@ -53,12 +55,14 @@ std::optional<CollisionEvent> CollisionMonitor::check(
   // Grid fast path: any colliding pair has XY distance <= 3D distance
   // <= thr, so the per-drone candidate superset at radius thr contains every
   // partner the exact test could accept; candidates arrive in ascending
-  // index order. check() is const, so the grid lives in thread-local
-  // scratch (buffers reused: no steady-state allocation).
+  // index order. check() is const, so the grid and staging buffers come
+  // from the shared tick context (buffers reused: no steady-state
+  // allocation); a parallel executor chunks both scans across the pool.
   if (swarm::spatial_grid_wanted(n)) {
-    thread_local swarm::SpatialGrid grid;
-    thread_local std::vector<Vec3> pos;
-    thread_local std::vector<int> cand;
+    swarm::TickContext& ctx =
+        exec.context != nullptr ? *exec.context : swarm::thread_tick_context();
+    swarm::SpatialGrid& grid = ctx.grid();
+    std::vector<Vec3>& pos = ctx.lane(0).pos;
     pos.clear();
     pos.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -66,6 +70,62 @@ std::optional<CollisionEvent> CollisionMonitor::check(
     }
     grid.build(std::span<const Vec3>(pos), std::max(thr, 1e-3));
     if (grid.valid()) {
+      if (exec.parallel()) {
+        // Each lane records its chunk's first obstacle event and first pair
+        // event; a lane stops each scan at its first hit (later drones in
+        // the chunk can only yield later events).
+        exec.pool->parallel_for(n, [&](int begin, int end, int lane) {
+          swarm::PairScanScratch& s = ctx.lane(lane);
+          s.first_event = {};
+          for (int i = begin; i < end; ++i) {
+            const int k = first_obstacle(i);
+            if (k >= 0) {
+              s.first_event.obstacle_drone = i;
+              s.first_event.obstacle_other = k;
+              break;
+            }
+          }
+          for (int i = begin; i < end && s.first_event.pair_drone < 0; ++i) {
+            s.cand.clear();
+            grid.gather(pos[static_cast<size_t>(i)], thr, s.cand);
+            for (const int j : s.cand) {
+              if (j <= i) continue;
+              if (pair_test(i, j)) {
+                s.first_event.pair_drone = i;
+                s.first_event.pair_other = j;
+                break;
+              }
+            }
+          }
+        });
+        // Deterministic reduction matching the serial order: the serial
+        // loop runs EVERY obstacle check before the first pair check, so
+        // any obstacle event beats any pair event; within a class the
+        // lowest lane holds the globally first event because chunks are
+        // ascending and contiguous.
+        for (int lane = 0; lane < exec.pool->threads(); ++lane) {
+          const swarm::FirstEventSlots& e = ctx.lane(lane).first_event;
+          if (e.obstacle_drone >= 0) {
+            return CollisionEvent{CollisionKind::kDroneObstacle, time,
+                                  e.obstacle_drone, e.obstacle_other};
+          }
+        }
+        for (int lane = 0; lane < exec.pool->threads(); ++lane) {
+          const swarm::FirstEventSlots& e = ctx.lane(lane).first_event;
+          if (e.pair_drone >= 0) {
+            return CollisionEvent{CollisionKind::kDroneDrone, time,
+                                  e.pair_drone, e.pair_other};
+          }
+        }
+        return std::nullopt;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int k = first_obstacle(i);
+        if (k >= 0) {
+          return CollisionEvent{CollisionKind::kDroneObstacle, time, i, k};
+        }
+      }
+      std::vector<int>& cand = ctx.lane(0).cand;
       for (int i = 0; i < n; ++i) {
         cand.clear();
         grid.gather(pos[static_cast<size_t>(i)], thr, cand);
@@ -80,6 +140,12 @@ std::optional<CollisionEvent> CollisionMonitor::check(
     }
   }
 
+  for (int i = 0; i < n; ++i) {
+    const int k = first_obstacle(i);
+    if (k >= 0) {
+      return CollisionEvent{CollisionKind::kDroneObstacle, time, i, k};
+    }
+  }
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
       if (pair_test(i, j)) {

@@ -11,6 +11,7 @@
 
 #include "sim/mission.h"
 #include "sim/types.h"
+#include "swarm/tick_context.h"
 
 namespace swarmfuzz::sim {
 
@@ -32,10 +33,15 @@ class CollisionMonitor {
 
   // Checks all drones against obstacles (swept from prev_positions) and each
   // other; returns the first collision found, if any. `prev_positions` may
-  // be empty on the first step (point checks only).
+  // be empty on the first step (point checks only). A parallel `exec` chunks
+  // the per-drone scans over the tick pool; the lane-wise reduction
+  // reproduces the serial first-event choice exactly (obstacle events beat
+  // drone-drone events, and within a class the lowest drone index wins), so
+  // the returned event is identical for any thread count.
   [[nodiscard]] std::optional<CollisionEvent> check(
       std::span<const DroneState> states, std::span<const Vec3> prev_positions,
-      const ObstacleField& obstacles, double time) const;
+      const ObstacleField& obstacles, double time,
+      const swarm::TickExecutor& exec = {}) const;
 
   [[nodiscard]] double drone_radius() const noexcept { return drone_radius_; }
 

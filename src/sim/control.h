@@ -14,6 +14,8 @@
 
 namespace swarmfuzz::sim {
 
+class TickPool;
+
 // Computes one desired velocity per drone from the shared broadcast picture.
 // Implementations may keep state (e.g. a communication model with packet
 // drops); reset() is called once per mission before the first compute().
@@ -22,6 +24,13 @@ class ControlSystem {
   virtual ~ControlSystem() = default;
 
   virtual void reset(const MissionSpec& mission, std::uint64_t seed) = 0;
+
+  // Hands the implementation a borrowed intra-tick worker pool before the
+  // first compute() of a run (nullptr detaches it afterwards; the pool
+  // outlives the binding). Implementations that opt in MUST stay
+  // bit-identical for every pool size — the pool exists to move wall time,
+  // never results. The default ignores the pool and stays serial.
+  virtual void set_tick_pool(TickPool* pool) { (void)pool; }
 
   // `desired` has exactly snapshot.size() entries, filled in id order.
   virtual void compute(const WorldSnapshot& snapshot, const MissionSpec& mission,

@@ -82,6 +82,30 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
   World world(mission, config_.vehicle, config_.point_mass, config_.quadrotor);
   CollisionMonitor monitor(mission.drone_radius);
 
+  // Intra-tick worker pool, resolved per run (sim_threads = 0 tracks the
+  // host) and recreated only when the resolved width changes. Missions below
+  // kSerialTickThreshold stay serial: the handoff would cost more than the
+  // scans. The pool is handed to the control system for the duration of the
+  // run and detached on every exit path; the collision monitor gets its own
+  // lane context since check() runs outside control.compute().
+  TickPool* pool = nullptr;
+  if (n >= kSerialTickThreshold) {
+    const int threads = resolve_sim_threads(config_.sim_threads);
+    if (threads > 1) {
+      if (tick_pool_ == nullptr || tick_pool_->threads() != threads) {
+        tick_pool_ = std::make_unique<TickPool>(threads);
+      }
+      pool = tick_pool_.get();
+    }
+  }
+  swarm::TickContext collision_context(pool != nullptr ? pool->threads() : 1);
+  const swarm::TickExecutor tick_exec{pool, &collision_context};
+  control.set_tick_pool(pool);
+  struct TickPoolBinding {
+    ControlSystem& control;
+    ~TickPoolBinding() { control.set_tick_pool(nullptr); }
+  } tick_pool_binding{control};
+
   math::Rng gps_rng(config_.noise_seed ^ mission.seed);
   std::vector<GpsSensor> gps;
   gps.reserve(static_cast<size_t>(n));
@@ -286,8 +310,8 @@ RunResult Simulator::run(const MissionSpec& mission, ControlSystem& control,
     }
     result.recorder.record(t, states);
 
-    if (const auto event =
-            monitor.check(states, prev_positions, mission.obstacles, t)) {
+    if (const auto event = monitor.check(states, prev_positions,
+                                         mission.obstacles, t, tick_exec)) {
       result.collided = true;
       if (!result.first_collision) result.first_collision = *event;
       SWARMFUZZ_DEBUG("collision at t={:.2f}s drone={} kind={}", event->time,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "sim/checkpoint.h"
@@ -20,6 +21,7 @@
 #include "sim/mission.h"
 #include "sim/nav_filter.h"
 #include "sim/recorder.h"
+#include "sim/tick_pool.h"
 #include "sim/world.h"
 
 namespace swarmfuzz::sim {
@@ -57,6 +59,13 @@ struct SimulationConfig {
   // recorder and the objective math. 0 disables the magnitude envelope (the
   // non-finite checks stay on; they share the same comparison).
   double divergence_limit = 1e6;
+  // Intra-tick worker threads for the per-drone hot loops (controller batch
+  // kernels, lossless comm filtering, collision scans). 0 = auto (all
+  // hardware threads); 1 (the default) = serial. Results are bit-identical
+  // for every value — static contiguous chunking preserves each drone's
+  // accumulation order (DESIGN.md §15) — and swarms below
+  // kSerialTickThreshold stay on the serial path regardless.
+  int sim_threads = 1;
 };
 
 struct RunResult {
@@ -146,6 +155,12 @@ class Simulator {
 
  private:
   SimulationConfig config_;
+  // Lazily created per-run worker pool (only when the resolved sim_threads
+  // exceeds 1 and the mission is large enough to leave the serial path).
+  // mutable because run() is const; safe because a Simulator instance is
+  // driven by one thread at a time — concurrent fuzzing goes through
+  // EvalPool, whose workers each own their own Simulator.
+  mutable std::unique_ptr<TickPool> tick_pool_;
 };
 
 }  // namespace swarmfuzz::sim

@@ -1,0 +1,108 @@
+#include "sim/tick_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace swarmfuzz::sim {
+
+int hardware_threads() noexcept {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+int resolve_sim_threads(int requested) noexcept {
+  return requested <= 0 ? hardware_threads() : requested;
+}
+
+TickPool::TickPool(int threads) : threads_(std::max(threads, 1)) {
+  errors_.assign(static_cast<std::size_t>(threads_), nullptr);
+  if (threads_ > 1) {
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 0; w < threads_ - 1; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+TickPool::~TickPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void TickPool::run(int n, ChunkFn fn, void* context) {
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    fn(context, 0, n, 0);
+    return;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    fn_ = fn;
+    context_ = context;
+    n_ = n;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // Lane 0 runs on the caller while the workers take lanes 1..T-1; its
+  // exception is captured like theirs so the lowest-lane error wins below.
+  try {
+    const int end = chunk_bound(n, threads_, 1);
+    if (end > 0) fn(context, 0, end, 0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    batch_done_.wait(lock, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+    context_ = nullptr;
+    n_ = 0;
+  }
+  for (std::size_t lane = 0; lane < errors_.size(); ++lane) {
+    if (errors_[lane] != nullptr) {
+      const std::exception_ptr error = std::exchange(errors_[lane], nullptr);
+      for (std::exception_ptr& slot : errors_) slot = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void TickPool::worker_loop(int worker) {
+  const int lane = worker + 1;
+  std::uint64_t seen = 0;
+  for (;;) {
+    ChunkFn fn = nullptr;
+    void* context = nullptr;
+    int n = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      context = context_;
+      n = n_;
+    }
+    const int begin = chunk_bound(n, threads_, lane);
+    const int end = chunk_bound(n, threads_, lane + 1);
+    if (begin < end) {
+      try {
+        fn(context, begin, end, lane);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(lane)] = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) batch_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace swarmfuzz::sim

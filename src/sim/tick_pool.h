@@ -1,0 +1,104 @@
+// Deterministic intra-mission worker pool for the per-tick hot loops.
+//
+// EvalPool (fuzz/eval_pool.h) parallelizes *across* independent simulations;
+// TickPool parallelizes *inside* one simulation tick. Per-drone kernel
+// outputs are independent given the immutable per-tick inputs (WorldSnapshot,
+// SpatialGrid), so the pool splits the drone range into STATIC CONTIGUOUS
+// chunks — chunk boundaries depend only on (n, threads), never on timing —
+// and each drone's floating-point accumulation order is exactly the serial
+// order. Results are therefore bit-identical for any thread count; only wall
+// time changes. The golden ParallelTick tests and DESIGN.md §15 hold the
+// claim.
+//
+// The handoff mirrors EvalPool's persistent-worker + generation pattern:
+// run() publishes the kernel under the mutex and bumps the generation, the
+// CALLER executes chunk 0 inline (lane 0), workers execute chunks 1..T-1
+// (lane = worker index + 1), and the last worker's countdown releases the
+// caller — so every worker write is ordered before the caller's reads.
+// run() performs no heap allocation, keeping the steady-state tick loop
+// allocation-free (the zero-allocation tests cover the threaded path too).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace swarmfuzz::sim {
+
+// std::thread::hardware_concurrency() with the unknown-concurrency zero case
+// clamped to 1. The sim-layer twin of fuzz::hardware_threads() (which
+// delegates here); every thread-count resolution goes through one of them.
+[[nodiscard]] int hardware_threads() noexcept;
+
+// Resolves a --sim-threads request: <= 0 is auto (all hardware threads),
+// explicit values pass through. Always >= 1.
+[[nodiscard]] int resolve_sim_threads(int requested) noexcept;
+
+// Swarms below this size stay on the serial tick path: chunk handoff costs
+// more than a sub-32-drone pair scan, so paper-scale 5-15-drone missions pay
+// zero overhead. Deliberately equal to SpatialGridPolicy's default
+// min_drones — the parallel kernels only exist on the grid fast paths.
+inline constexpr int kSerialTickThreshold = 32;
+
+class TickPool {
+ public:
+  // Clamped to >= 1 threads; with one thread no workers are spawned and
+  // parallel_for() runs inline on the caller.
+  explicit TickPool(int threads);
+  ~TickPool();
+
+  TickPool(const TickPool&) = delete;
+  TickPool& operator=(const TickPool&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  // Invokes fn(begin, end, lane) so that the half-open chunks [begin, end)
+  // partition [0, n) into threads() static contiguous pieces (chunk c =
+  // [c*n/T, (c+1)*n/T)); lane c runs chunk c. The caller runs lane 0
+  // inline; one call in flight at a time per pool (callers must not nest).
+  // `fn` must write only lane-disjoint state plus its own drone range. An
+  // exception thrown by any lane is rethrown here (lowest lane wins, so the
+  // surfaced error is the one the serial loop would have hit first).
+  template <typename Fn>
+  void parallel_for(int n, Fn&& fn) {
+    run(n,
+        [](void* context, int begin, int end, int lane) {
+          (*static_cast<std::remove_reference_t<Fn>*>(context))(begin, end, lane);
+        },
+        std::addressof(fn));
+  }
+
+ private:
+  using ChunkFn = void (*)(void* context, int begin, int end, int lane);
+
+  void run(int n, ChunkFn fn, void* context);
+  void worker_loop(int worker);
+
+  [[nodiscard]] static int chunk_bound(int n, int threads, int lane) noexcept {
+    return static_cast<int>((static_cast<std::int64_t>(n) * lane) / threads);
+  }
+
+  int threads_ = 1;
+
+  // Generation handoff (see EvalPool): run() publishes {fn_, context_, n_}
+  // under the mutex and bumps generation_; each worker runs its fixed chunk
+  // and the last decrement of remaining_ (under the mutex) wakes the caller.
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  ChunkFn fn_ = nullptr;
+  void* context_ = nullptr;
+  int n_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  // one slot per lane, preallocated
+  std::vector<std::thread> workers_;        // threads_ - 1 persistent workers
+};
+
+}  // namespace swarmfuzz::sim

@@ -16,6 +16,7 @@
 #include "sim/mission.h"
 #include "sim/types.h"
 #include "swarm/comm.h"
+#include "swarm/tick_context.h"
 
 namespace swarmfuzz::swarm {
 
@@ -54,9 +55,24 @@ class SwarmController {
   // override it with a bit-identical faster equivalent (VasarhelyiController
   // computes each symmetric pair once and the pair kernels use the spatial
   // grid for large swarms).
+  void desired_velocity_all(const WorldSnapshot& snapshot,
+                            const MissionSpec& mission,
+                            std::span<Vec3> desired) const {
+    desired_velocity_all(snapshot, mission, desired, TickExecutor{});
+  }
+
+  // Executor-aware batch entry point. A parallel `exec` invites the
+  // controller to chunk the per-drone loop over the tick pool; results must
+  // stay bit-identical for any pool size (static contiguous chunking keeps
+  // each drone's accumulation order unchanged — DESIGN.md §15). The default
+  // stays serial: it cannot assume an arbitrary controller's
+  // desired_velocity is safe to call concurrently, so only overrides that
+  // guarantee it (all three in-tree controllers do) opt in.
   virtual void desired_velocity_all(const WorldSnapshot& snapshot,
                                     const MissionSpec& mission,
-                                    std::span<Vec3> desired) const {
+                                    std::span<Vec3> desired,
+                                    const TickExecutor& exec) const {
+    (void)exec;
     for (int i = 0; i < snapshot.size(); ++i) {
       desired[static_cast<size_t>(i)] =
           desired_velocity(NeighborView(snapshot, i), mission);

@@ -21,6 +21,11 @@ void FlockingControlSystem::reset(const sim::MissionSpec& /*mission*/,
   comm_.reset(seed);
 }
 
+void FlockingControlSystem::set_tick_pool(sim::TickPool* pool) {
+  tick_pool_ = pool;
+  tick_context_.resize_lanes(pool != nullptr ? pool->threads() : 1);
+}
+
 void FlockingControlSystem::save_state(std::vector<std::uint64_t>& out) const {
   const math::Rng::State& rng = comm_.rng_state();
   out.assign(rng.begin(), rng.end());
@@ -49,7 +54,8 @@ void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,
   // is observationally identical to the per-drone loop below — including
   // the RNG stream — while letting the controller share work across drones.
   if (std::isinf(comm_.config().range) && comm_.config().drop_probability == 0.0) {
-    controller_->desired_velocity_all(snapshot, mission, desired);
+    controller_->desired_velocity_all(snapshot, mission, desired,
+                                      TickExecutor{tick_pool_, &tick_context_});
     return;
   }
   // Range-limited communication: one spatial grid for the whole tick culls
@@ -62,6 +68,32 @@ void FlockingControlSystem::compute(const sim::WorldSnapshot& snapshot,
     comm_grid_.build(std::span<const Vec3>(snapshot.gps_position),
                      std::max(comm_.config().range, 1e-3));
     if (comm_grid_.valid()) grid = &comm_grid_;
+  }
+  // Lossless range-limited communication consumes no packet-loss draws on
+  // either path, so the per-receiver filter+evaluate loop can run on the
+  // tick pool via the pure filter_at(): each lane filters against the shared
+  // grid into its own member scratch and writes only its own desired slots.
+  // Gated on the canonical broadcast layout (drone id i at slot i, what the
+  // simulator emits) so filter_at's receiver-by-slot addressing resolves
+  // self exactly like filter_into's first-matching-id scan.
+  const TickExecutor exec{tick_pool_, &tick_context_};
+  if (comm_.config().drop_probability == 0.0 && exec.parallel()) {
+    bool canonical = true;
+    for (int i = 0; i < n && canonical; ++i) {
+      canonical = snapshot.id[static_cast<size_t>(i)] == i;
+    }
+    if (canonical) {
+      exec.pool->parallel_for(n, [&](int begin, int end, int lane) {
+        PairScanScratch& s = tick_context_.lane(lane);
+        for (int i = begin; i < end; ++i) {
+          const NeighborView view =
+              comm_.filter_at(snapshot, i, s.members, s.cand, grid);
+          desired[static_cast<size_t>(i)] =
+              controller_->desired_velocity(view, mission);
+        }
+      });
+      return;
+    }
   }
   for (int i = 0; i < n; ++i) {
     const int id = snapshot.id[static_cast<size_t>(i)];

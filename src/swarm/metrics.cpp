@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "swarm/spatial_grid.h"
+#include "swarm/tick_context.h"
 
 namespace swarmfuzz::swarm {
 
@@ -24,9 +25,10 @@ namespace {
 double grid_min_separation(std::span<const sim::DroneState> states) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const int n = static_cast<int>(states.size());
-  thread_local SpatialGrid grid;
-  thread_local std::vector<math::Vec3> pos;
-  thread_local std::vector<int> cand;
+  TickContext& ctx = thread_tick_context();
+  SpatialGrid& grid = ctx.grid();
+  std::vector<math::Vec3>& pos = ctx.lane(0).pos;
+  std::vector<int>& cand = ctx.lane(0).cand;
   pos.clear();
   pos.reserve(static_cast<size_t>(n));
   double min_x = kInf, max_x = -kInf, min_y = kInf, max_y = -kInf;

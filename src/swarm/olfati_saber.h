@@ -51,10 +51,12 @@ class OlfatiSaberController final : public SwarmController {
                                       const MissionSpec& mission) const override;
   // Bit-identical batch fast path: alpha interactions have a hard cutoff at
   // r_factor * d, so each drone is evaluated on a grid-culled view whose
-  // candidate superset provably contains every interacting neighbour.
+  // candidate superset provably contains every interacting neighbour. The
+  // per-view kernel is pure, so a parallel `exec` chunks the drone loop.
+  using SwarmController::desired_velocity_all;
   void desired_velocity_all(const WorldSnapshot& snapshot,
-                            const MissionSpec& mission,
-                            std::span<Vec3> desired) const override;
+                            const MissionSpec& mission, std::span<Vec3> desired,
+                            const TickExecutor& exec) const override;
   // Spoof-probe culling radius: the alpha-interaction cutoff. Beyond it a
   // neighbour contributes nothing regardless of velocity.
   [[nodiscard]] double probe_influence_radius(

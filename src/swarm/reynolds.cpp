@@ -71,10 +71,12 @@ Vec3 ReynoldsController::desired_velocity(const NeighborView& view,
 
 void ReynoldsController::desired_velocity_all(const WorldSnapshot& snapshot,
                                               const MissionSpec& mission,
-                                              std::span<Vec3> desired) const {
+                                              std::span<Vec3> desired,
+                                              const TickExecutor& exec) const {
   evaluate_all_with_cutoff(
       snapshot, params_.neighbour_radius, desired,
-      [&](const NeighborView& view) { return desired_velocity(view, mission); });
+      [&](const NeighborView& view) { return desired_velocity(view, mission); },
+      exec);
 }
 
 double ReynoldsController::probe_influence_radius(

@@ -1,0 +1,10 @@
+#include "swarm/tick_context.h"
+
+namespace swarmfuzz::swarm {
+
+TickContext& thread_tick_context() noexcept {
+  thread_local TickContext context;
+  return context;
+}
+
+}  // namespace swarmfuzz::swarm

@@ -191,28 +191,13 @@ inline void average_friction(Terms& terms, int contributors) {
   }
 }
 
-// Per-thread scratch buffers, reused across calls so the hot path performs
-// no heap allocation in steady state; thread_local (not mutable members)
-// because campaign workers may share one controller instance.
-struct Scratch {
-  std::vector<std::pair<double, math::Vec3>> neighbours;  // (dist, self-other)
-  std::vector<int> top;  // select_nearest output
-  // Dense batch path: pairwise distance cache (row-major n*n, diagonal
-  // unused) and per-drone accumulators.
-  std::vector<double> dist;
-  std::vector<Terms> terms;
-  std::vector<int> contributors;
-  std::vector<int> sel;  // attraction candidates of one drone (broadcast idx)
-  // Grid batch path: the per-tick spatial grid and gather buffers.
-  SpatialGrid grid;
-  std::vector<int> cand;       // pair-term candidates of one drone
-  std::vector<int> cand_near;  // gather_nearest candidates of one drone
-};
-
-Scratch& scratch() {
-  thread_local Scratch s;
-  return s;
-}
+// Scratch comes from the shared per-tick context (swarm/tick_context.h):
+// PairScanScratch fields used here are `neighbours` (dist, self-other),
+// `top` (select_nearest output), `cand`/`cand_near` (grid gathers), and on
+// the dense batch path `dist` (row-major n*n pairwise cache), `vec_a`
+// (repulsion accumulators), `vec_b` (friction accumulators),
+// `contributors`, and `sel`. Serial callers borrow thread_tick_context();
+// the batch path takes lanes from the executor's context.
 
 // Largest velocity norm in the broadcast; bounds every pair's velocity gap
 // by 2 * result (triangle inequality). NaN-propagating: a non-finite
@@ -269,7 +254,8 @@ VasarhelyiController::Terms VasarhelyiController::compute_terms(
   terms.migration = migration_term(params_, self_pos, mission);
 
   // Goals (2) and (3): pairwise terms over every heard neighbour.
-  std::vector<std::pair<double, Vec3>>& neighbours = scratch().neighbours;
+  PairScanScratch& s = thread_tick_context().lane(0);
+  std::vector<std::pair<double, Vec3>>& neighbours = s.neighbours;
   neighbours.clear();
   neighbours.reserve(static_cast<size_t>(view.size()));
   int friction_contributors = 0;
@@ -288,7 +274,7 @@ VasarhelyiController::Terms VasarhelyiController::compute_terms(
     }
   }
   average_friction(terms, friction_contributors);
-  terms.attraction = attraction_sum(params_, neighbours, scratch().top);
+  terms.attraction = attraction_sum(params_, neighbours, s.top);
   terms.shill = shill_sum(params_, self_pos, self_vel, mission);
   terms.altitude = Vec3{0.0, 0.0,
                         params_.altitude_gain *
@@ -311,9 +297,11 @@ Vec3 VasarhelyiController::desired_velocity(const NeighborView& view,
 
 void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
                                                 const MissionSpec& mission,
-                                                std::span<Vec3> desired) const {
+                                                std::span<Vec3> desired,
+                                                const TickExecutor& exec) const {
   const int n = snapshot.size();
-  Scratch& s = scratch();
+  TickContext& ctx =
+      exec.context != nullptr ? *exec.context : thread_tick_context();
   const std::vector<Vec3>& pos = snapshot.gps_position;
   const std::vector<Vec3>& vel = snapshot.velocity;
 
@@ -332,80 +320,94 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
   //    with sparse surroundings re-gather at doubled radii until the same
   //    certificate holds.
   // Every candidate still runs the exact per-view arithmetic in ascending
-  // broadcast order, so results are bit-identical to the paths below.
+  // broadcast order, so results are bit-identical to the paths below — and
+  // because each drone's kernel reads only the immutable grid/snapshot and
+  // writes only desired[i] through lane-private scratch, chunking the loop
+  // over the tick pool reproduces the serial bits for any thread count.
   if (spatial_grid_wanted(n)) {
     const double r_pair = std::max(
         params_.r0_rep,
         friction_cutoff_distance(params_, velocity_gap_bound(snapshot)));
     if (std::isfinite(r_pair)) {
-      s.grid.build(std::span<const Vec3>(pos), std::max(r_pair, 1e-3));
-      if (s.grid.valid()) {
-        for (int i = 0; i < n; ++i) {
-          const Vec3& self_pos = pos[static_cast<size_t>(i)];
-          const Vec3& self_vel = vel[static_cast<size_t>(i)];
-          Terms terms;
-          terms.migration = migration_term(params_, self_pos, mission);
+      SpatialGrid& grid = ctx.grid();
+      grid.build(std::span<const Vec3>(pos), std::max(r_pair, 1e-3));
+      if (grid.valid()) {
+        auto run_range = [&](int begin, int end, int lane) {
+          PairScanScratch& s = ctx.lane(lane);
+          for (int i = begin; i < end; ++i) {
+            const Vec3& self_pos = pos[static_cast<size_t>(i)];
+            const Vec3& self_vel = vel[static_cast<size_t>(i)];
+            Terms terms;
+            terms.migration = migration_term(params_, self_pos, mission);
 
-          // Fused candidate pass: diff and dist are computed once per
-          // candidate and feed repulsion, friction AND the attraction
-          // neighbour list.
-          s.cand.clear();
-          s.grid.gather(self_pos, r_pair, s.cand);
-          s.neighbours.clear();
-          int friction_contributors = 0;
-          int within_r_pair = 0;
-          for (const int j : s.cand) {
-            if (j == i) continue;
-            const Vec3 diff =
-                (self_pos - pos[static_cast<size_t>(j)]).horizontal();
-            const double dist = diff.norm();
-            if (dist < 1e-9) continue;  // coincident fixes
-            s.neighbours.emplace_back(dist, diff);
-            if (dist <= r_pair) ++within_r_pair;
-            Vec3 term;
-            if (repulsion_term(params_, diff, dist, term)) {
-              terms.repulsion += term;
-            }
-            if (friction_term(params_, vel[static_cast<size_t>(j)] - self_vel,
-                              dist, term)) {
-              terms.friction += term;
-              ++friction_contributors;
-            }
-          }
-          average_friction(terms, friction_contributors);
-
-          // s.neighbours covers the k_att nearest when enough candidates sit
-          // within the exact (unpadded) r_pair, or when the candidate set is
-          // the whole swarm. A drone with sparser surroundings (the Poisson
-          // tail of the neighbour count) re-gathers at geometrically doubled
-          // radii until the same certificate holds — each retry is one cheap
-          // rectangle query, and the doubling terminates because a radius
-          // covering the grid extent returns every drone.
-          double r_att = r_pair;
-          while (within_r_pair < params_.k_att &&
-                 static_cast<int>(s.cand.size()) < n) {
-            r_att *= 2.0;
+            // Fused candidate pass: diff and dist are computed once per
+            // candidate and feed repulsion, friction AND the attraction
+            // neighbour list.
             s.cand.clear();
-            s.grid.gather(self_pos, r_att, s.cand);
+            grid.gather(self_pos, r_pair, s.cand);
             s.neighbours.clear();
-            within_r_pair = 0;
+            int friction_contributors = 0;
+            int within_r_pair = 0;
             for (const int j : s.cand) {
               if (j == i) continue;
               const Vec3 diff =
                   (self_pos - pos[static_cast<size_t>(j)]).horizontal();
               const double dist = diff.norm();
-              if (dist < 1e-9) continue;
+              if (dist < 1e-9) continue;  // coincident fixes
               s.neighbours.emplace_back(dist, diff);
-              if (dist <= r_att) ++within_r_pair;
+              if (dist <= r_pair) ++within_r_pair;
+              Vec3 term;
+              if (repulsion_term(params_, diff, dist, term)) {
+                terms.repulsion += term;
+              }
+              if (friction_term(params_, vel[static_cast<size_t>(j)] - self_vel,
+                                dist, term)) {
+                terms.friction += term;
+                ++friction_contributors;
+              }
             }
-          }
-          terms.attraction = attraction_sum(params_, s.neighbours, s.top);
+            average_friction(terms, friction_contributors);
 
-          terms.shill = shill_sum(params_, self_pos, self_vel, mission);
-          terms.altitude = Vec3{0.0, 0.0,
-                                params_.altitude_gain *
-                                    (mission.cruise_altitude - self_pos.z)};
-          desired[static_cast<size_t>(i)] = terms.total().clamped(params_.v_max);
+            // s.neighbours covers the k_att nearest when enough candidates
+            // sit within the exact (unpadded) r_pair, or when the candidate
+            // set is the whole swarm. A drone with sparser surroundings (the
+            // Poisson tail of the neighbour count) re-gathers at
+            // geometrically doubled radii until the same certificate holds —
+            // each retry is one cheap rectangle query, and the doubling
+            // terminates because a radius covering the grid extent returns
+            // every drone.
+            double r_att = r_pair;
+            while (within_r_pair < params_.k_att &&
+                   static_cast<int>(s.cand.size()) < n) {
+              r_att *= 2.0;
+              s.cand.clear();
+              grid.gather(self_pos, r_att, s.cand);
+              s.neighbours.clear();
+              within_r_pair = 0;
+              for (const int j : s.cand) {
+                if (j == i) continue;
+                const Vec3 diff =
+                    (self_pos - pos[static_cast<size_t>(j)]).horizontal();
+                const double dist = diff.norm();
+                if (dist < 1e-9) continue;
+                s.neighbours.emplace_back(dist, diff);
+                if (dist <= r_att) ++within_r_pair;
+              }
+            }
+            terms.attraction = attraction_sum(params_, s.neighbours, s.top);
+
+            terms.shill = shill_sum(params_, self_pos, self_vel, mission);
+            terms.altitude = Vec3{0.0, 0.0,
+                                  params_.altitude_gain *
+                                      (mission.cruise_altitude - self_pos.z)};
+            desired[static_cast<size_t>(i)] =
+                terms.total().clamped(params_.v_max);
+          }
+        };
+        if (exec.parallel()) {
+          exec.pool->parallel_for(n, run_range);
+        } else {
+          run_range(0, n, 0);
         }
         return;
       }
@@ -419,9 +421,15 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
   // norms agree exactly (IEEE negation and multiplication), subtraction of
   // a term equals addition of its exact negation, and the scatter order
   // (outer i ascending, inner j ascending) accumulates into each drone's
-  // sums in exactly the neighbour order the per-view loop uses.
+  // sums in exactly the neighbour order the per-view loop uses. Stays
+  // serial: the half-pair scatter writes rows i and j from one iteration.
+  PairScanScratch& s = ctx.lane(0);
   s.dist.resize(static_cast<size_t>(n) * static_cast<size_t>(n));
-  s.terms.assign(static_cast<size_t>(n), Terms{});
+  // vec_a accumulates repulsion, vec_b friction; the remaining Terms fields
+  // are assembled per drone in the second loop with identical accumulation
+  // order, so the bits match the old per-drone Terms array.
+  s.vec_a.assign(static_cast<size_t>(n), Vec3{});
+  s.vec_b.assign(static_cast<size_t>(n), Vec3{});
   s.contributors.assign(static_cast<size_t>(n), 0);
 
   for (int i = 0; i < n; ++i) {
@@ -438,12 +446,12 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
 
       Vec3 term;
       if (repulsion_term(params_, diff, dist, term)) {
-        s.terms[static_cast<size_t>(i)].repulsion += term;
-        s.terms[static_cast<size_t>(j)].repulsion -= term;
+        s.vec_a[static_cast<size_t>(i)] += term;
+        s.vec_a[static_cast<size_t>(j)] -= term;
       }
       if (friction_term(params_, vel[static_cast<size_t>(j)] - vi, dist, term)) {
-        s.terms[static_cast<size_t>(i)].friction += term;
-        s.terms[static_cast<size_t>(j)].friction -= term;
+        s.vec_b[static_cast<size_t>(i)] += term;
+        s.vec_b[static_cast<size_t>(j)] -= term;
         ++s.contributors[static_cast<size_t>(i)];
         ++s.contributors[static_cast<size_t>(j)];
       }
@@ -452,7 +460,9 @@ void VasarhelyiController::desired_velocity_all(const WorldSnapshot& snapshot,
 
   for (int i = 0; i < n; ++i) {
     const Vec3& self_pos = pos[static_cast<size_t>(i)];
-    Terms& terms = s.terms[static_cast<size_t>(i)];
+    Terms terms;
+    terms.repulsion = s.vec_a[static_cast<size_t>(i)];
+    terms.friction = s.vec_b[static_cast<size_t>(i)];
     terms.migration = migration_term(params_, self_pos, mission);
     average_friction(terms, s.contributors[static_cast<size_t>(i)]);
 
@@ -518,13 +528,15 @@ double VasarhelyiController::probe_influence_radius(
 
   double dk_max = 0.0;
   if (params_.k_att > 0) {
-    Scratch& s = scratch();
+    TickContext& ctx = thread_tick_context();
+    SpatialGrid& grid = ctx.grid();
+    PairScanScratch& s = ctx.lane(0);
     const std::vector<Vec3>& pos = snapshot.gps_position;
     const bool use_grid = spatial_grid_wanted(n);
     if (use_grid) {
-      s.grid.build(std::span<const Vec3>(pos), std::max(params_.r0_att, 1e-3));
+      grid.build(std::span<const Vec3>(pos), std::max(params_.r0_att, 1e-3));
     }
-    const bool grid_ok = use_grid && s.grid.valid();
+    const bool grid_ok = use_grid && grid.valid();
     for (int i = 0; i < n; ++i) {
       const Vec3& self_pos = pos[static_cast<size_t>(i)];
       // Qualifying distances from i, via the grid's k-nearest superset when
@@ -540,7 +552,7 @@ double VasarhelyiController::probe_influence_radius(
       };
       if (grid_ok) {
         s.cand_near.clear();
-        s.grid.gather_nearest(self_pos, params_.k_att, 1e-9, s.cand_near);
+        grid.gather_nearest(self_pos, params_.k_att, 1e-9, s.cand_near);
         for (const int j : s.cand_near) consider(j);
       } else {
         for (int j = 0; j < n; ++j) consider(j);

@@ -69,10 +69,13 @@ class VasarhelyiController final : public SwarmController {
   // Bit-identical batch fast path: spatial-grid candidate culling for large
   // swarms (repulsion/friction cutoff radius plus a k-nearest superset for
   // the topological attraction), falling back to the symmetric dense pass
-  // that computes each pair's distance and velocity gap once.
+  // that computes each pair's distance and velocity gap once. The grid path
+  // chunks the per-drone loop over a parallel `exec` (each drone's kernel
+  // reads only the shared grid and snapshot, writes only its own slot).
+  using SwarmController::desired_velocity_all;
   void desired_velocity_all(const WorldSnapshot& snapshot,
-                            const MissionSpec& mission,
-                            std::span<Vec3> desired) const override;
+                            const MissionSpec& mission, std::span<Vec3> desired,
+                            const TickExecutor& exec) const override;
   // Finite spoof-probe culling radius: max of the repulsion onset, the
   // friction cutoff for the swarm's worst-case velocity gap, and the
   // largest k_att-th-nearest-neighbour distance (beyond which a member can

@@ -51,6 +51,57 @@ TEST(EvalPool, HardwareThreadsNeverReportsZero) {
 }
 
 // ---------------------------------------------------------------------------
+// split_thread_budget: the three-way workers x eval x sim budget.
+
+TEST(SplitThreadBudget, BothAutoKeepsHistoricalSplit) {
+  // Auto-auto = all eval threads, serial ticks (the pre-sim-threads split).
+  EXPECT_EQ(split_thread_budget(1, 0, 0, 8).eval_threads, 8);
+  EXPECT_EQ(split_thread_budget(1, 0, 0, 8).sim_threads, 1);
+  EXPECT_EQ(split_thread_budget(2, 0, 0, 8).eval_threads, 4);
+  EXPECT_EQ(split_thread_budget(2, 0, 0, 8).sim_threads, 1);
+  EXPECT_EQ(split_thread_budget(16, 0, 0, 8).eval_threads, 1);
+  EXPECT_EQ(split_thread_budget(16, 0, 0, 8).sim_threads, 1);
+}
+
+TEST(SplitThreadBudget, ExplicitEvalLeavesRemainderToSim) {
+  const ThreadBudget b = split_thread_budget(1, 2, 0, 8);
+  EXPECT_EQ(b.eval_threads, 2);
+  EXPECT_EQ(b.sim_threads, 4);  // 8 / 2 left for intra-tick parallelism
+}
+
+TEST(SplitThreadBudget, ExplicitSimLeavesRemainderToEval) {
+  const ThreadBudget b = split_thread_budget(1, 0, 2, 8);
+  EXPECT_EQ(b.sim_threads, 2);
+  EXPECT_EQ(b.eval_threads, 4);
+}
+
+TEST(SplitThreadBudget, BothExplicitClampedToWorkerShare) {
+  // workers = 2 on 8 cores -> per-worker share of 4; eval = 3 fits, but
+  // sim = 5 must clamp so eval x sim stays within the share.
+  const ThreadBudget b = split_thread_budget(2, 3, 5, 8);
+  EXPECT_EQ(b.eval_threads, 3);
+  EXPECT_EQ(b.sim_threads, 1);
+}
+
+TEST(SplitThreadBudget, FullyOversubscribedDegenerateClampsToOne) {
+  // workers = eval = sim = hardware would be hw^3 threads; every dimension
+  // must clamp back to >= 1 and the product must respect the worker share.
+  const ThreadBudget b = split_thread_budget(8, 8, 8, 8);
+  EXPECT_EQ(b.eval_threads, 1);
+  EXPECT_EQ(b.sim_threads, 1);
+}
+
+TEST(SplitThreadBudget, DegenerateInputsStaySane) {
+  EXPECT_EQ(split_thread_budget(0, 0, 0, 0).eval_threads, 1);
+  EXPECT_EQ(split_thread_budget(0, 0, 0, 0).sim_threads, 1);
+  EXPECT_EQ(split_thread_budget(-3, -1, -2, -4).eval_threads, 1);
+  EXPECT_EQ(split_thread_budget(-3, -1, -2, -4).sim_threads, 1);
+  // Unknown hardware concurrency (0) never yields a zero-thread budget.
+  EXPECT_EQ(split_thread_budget(4, 8, 8, 0).eval_threads, 1);
+  EXPECT_EQ(split_thread_budget(4, 8, 8, 0).sim_threads, 1);
+}
+
+// ---------------------------------------------------------------------------
 // EvalPool: batch outcomes must match direct serial evaluation bit for bit.
 
 struct PoolFixture {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/tick_pool.h"
 #include "swarm/comm.h"
 #include "swarm/flocking_system.h"
 #include "swarm/olfati_saber.h"
@@ -337,6 +338,53 @@ TEST(SimulatorPerfEquivalence, SteadyStateGridPathDoesNotAllocate) {
   }
   EXPECT_EQ(g_allocation_count.load() - before, 0u)
       << "steady-state grid-accelerated control loop allocated";
+}
+
+// The parallel tick path makes the same zero-allocation claim as the serial
+// one: after warm-up (which grows every lane's scratch and each persistent
+// worker's thread-local context), chunked compute() over a multi-thread
+// TickPool performs no heap allocation — the generation handoff itself is
+// allocation-free by construction.
+TEST(ParallelTickAllocation, SteadyStateThreadedComputeDoesNotAllocate) {
+  const GridPolicyScope scope(true, 2);  // force the grid paths for n = 40
+  const sim::MissionSpec mission = large_mission();
+  const int n = mission.num_drones();
+
+  sim::WorldSnapshot snapshot;
+  snapshot.time = 1.0;
+  snapshot.resize(n);
+  for (int i = 0; i < n; ++i) {
+    snapshot.id[static_cast<size_t>(i)] = i;
+    snapshot.gps_position[static_cast<size_t>(i)] =
+        mission.initial_positions[static_cast<size_t>(i)];
+    snapshot.velocity[static_cast<size_t>(i)] = sim::Vec3{1.0, 0.5, 0.0};
+  }
+  std::vector<sim::Vec3> desired(static_cast<size_t>(n));
+
+  sim::TickPool pool(4);
+  swarm::FlockingControlSystem batch(
+      std::make_shared<swarm::VasarhelyiController>(), swarm::CommConfig{});
+  batch.reset(mission, 123);
+  batch.set_tick_pool(&pool);
+  // Lossless range-limited comm exercises the parallel filter_at() path.
+  swarm::FlockingControlSystem filtered(
+      std::make_shared<swarm::VasarhelyiController>(),
+      swarm::CommConfig{.range = 40.0, .drop_probability = 0.0});
+  filtered.reset(mission, 9);
+  filtered.set_tick_pool(&pool);
+
+  for (int it = 0; it < 8; ++it) {
+    batch.compute(snapshot, mission, desired);
+    filtered.compute(snapshot, mission, desired);
+  }
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (int it = 0; it < 200; ++it) {
+    batch.compute(snapshot, mission, desired);
+    filtered.compute(snapshot, mission, desired);
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "steady-state threaded control loop allocated";
 }
 
 }  // namespace
