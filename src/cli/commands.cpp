@@ -3,7 +3,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -12,6 +14,7 @@
 #include "attack/spoofing.h"
 #include "defense/detector.h"
 #include "fuzz/campaign.h"
+#include "fuzz/coordinator.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/serialize.h"
 #include "fuzz/service.h"
@@ -23,6 +26,7 @@
 #include "swarm/reynolds.h"
 #include "swarm/vasarhelyi.h"
 #include "util/fileio.h"
+#include "util/retry.h"
 #include "util/table.h"
 
 namespace swarmfuzz::cli {
@@ -194,6 +198,52 @@ fuzz::CampaignConfig campaign_config_from_manifest(
         "says " + manifest.config_hash +
         " (edited manifest, or a drifted binary?); refusing to shard");
   }
+  return config;
+}
+
+// What `--wait` timeouts print instead of a bare exit code: every incomplete
+// lease with its range, progress, owner, and last-heartbeat age.
+void print_incomplete_report(const char* who, const std::string& dir,
+                             const fuzz::ServiceManifest& manifest) {
+  try {
+    const fuzz::LeaseTable table = fuzz::load_lease_table(
+        dir, manifest.num_missions, manifest.num_leases);
+    const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+    const std::string report = fuzz::describe_incomplete_leases(
+        fuzz::probe_lease_health(dir, table, manifest.lease_ttl_ms, now_ms));
+    if (!report.empty()) {
+      std::fprintf(stderr, "%s: incomplete leases:\n%s", who, report.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: cannot probe lease health: %s\n", who, e.what());
+  }
+}
+
+fuzz::CoordinatorConfig coordinator_config_from(
+    const util::Options& options, const std::string& dir,
+    const fuzz::ServiceManifest& manifest) {
+  fuzz::CoordinatorConfig config;
+  config.dir = dir;
+  config.num_missions = manifest.num_missions;
+  config.num_leases = manifest.num_leases;
+  config.lease_ttl_ms = manifest.lease_ttl_ms;
+  config.poll_ms = static_cast<std::int64_t>(
+      options.get_double("coordinate-poll", 1.0) * 1000.0);
+  if (config.poll_ms < 1) {
+    throw std::invalid_argument("serve: --coordinate-poll must be positive");
+  }
+  config.stale_heartbeat_periods =
+      options.get_double("stale-heartbeat-periods", config.stale_heartbeat_periods);
+  config.straggler_rate_fraction =
+      options.get_double("straggler-rate-fraction", config.straggler_rate_fraction);
+  config.min_observations =
+      options.get_int("min-observations", config.min_observations);
+  config.stall_factor = options.get_double("stall-factor", config.stall_factor);
+  config.min_recarve_missions =
+      options.get_int("min-recarve-missions", config.min_recarve_missions);
+  config.recarve_pieces = options.get_int("recarve-pieces", config.recarve_pieces);
   return config;
 }
 
@@ -418,6 +468,42 @@ int cmd_serve(const util::Options& options) {
   std::printf("start workers:  swarmfuzz shard --dir=%s --owner=<unique>\n",
               dir.c_str());
   std::printf("then merge:     swarmfuzz merge --dir=%s [--wait]\n", dir.c_str());
+
+  // --coordinate: stay resident as the adaptive coordinator — watch
+  // heartbeats and completion rates, re-carve stragglers' unfinished tails
+  // (fuzz/coordinator.h) — until the service completes or the timeout hits.
+  if (options.get_bool("coordinate", false)) {
+    fuzz::Coordinator coordinator(
+        coordinator_config_from(options, dir, manifest));
+    const double timeout_s = options.get_double("coordinate-timeout", 0.0);
+    const bool complete =
+        coordinator.run(static_cast<std::int64_t>(timeout_s * 1000.0));
+    const fuzz::CoordinatorStats& stats = coordinator.stats();
+    std::printf(
+        "coordinator: %d polls, %d re-carves (%d sub-leases, %d heals)\n",
+        stats.polls, stats.recarves, stats.subleases, stats.heals);
+    if (!complete) {
+      std::fprintf(stderr, "serve: coordination timed out after %.1fs\n",
+                   timeout_s);
+      print_incomplete_report("serve", dir, manifest);
+      return 1;
+    }
+    return 0;
+  }
+
+  // --wait: passively block until every active lease is done (external
+  // workers drive all progress), reporting the stuck leases on timeout.
+  if (options.get_bool("wait", false)) {
+    const double timeout_s = options.get_double("wait-timeout", 0.0);
+    if (!fuzz::wait_for_service(dir, manifest.num_missions,
+                                manifest.num_leases,
+                                static_cast<std::int64_t>(timeout_s * 1000.0))) {
+      std::fprintf(stderr, "serve: timed out waiting for service %s\n",
+                   dir.c_str());
+      print_incomplete_report("serve", dir, manifest);
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -436,13 +522,22 @@ int cmd_shard(const util::Options& options) {
   // Default owner: hostname-independent but unique per process.
   worker.owner = options.get(
       "owner", "shard-" + std::to_string(static_cast<long long>(getpid())));
+  // --chaos=kill@i,torn-write@i,hang@i,eio@i[xN] (also SWARMFUZZ_CHAOS):
+  // deterministic failure injection for tests and the CI chaos-smoke job.
+  worker.chaos = fuzz::parse_chaos_plan(options.get("chaos", ""));
+  // Transport retry jitter is seeded from the campaign seed so chaos runs
+  // replay the exact same backoff schedule.
+  util::io_retrier().set_jitter_seed(worker.campaign.base_seed);
 
   const fuzz::ShardWorkerStats stats = fuzz::run_shard_worker(worker);
+  const util::RetryCounters retries = util::io_retrier().counters();
   std::printf(
-      "shard %s: %d leases claimed (%d abandoned), %d missions run, "
-      "%d resumed\n",
+      "shard %s: %d leases claimed (%d abandoned, %d on I/O), %d missions "
+      "run, %d resumed; transport: %lld attempts, %lld retries\n",
       worker.owner.c_str(), stats.leases_claimed, stats.leases_abandoned,
-      stats.missions_run, stats.missions_resumed);
+      stats.io_aborts, stats.missions_run, stats.missions_resumed,
+      static_cast<long long>(retries.attempts),
+      static_cast<long long>(retries.retries));
   return 0;
 }
 
@@ -456,19 +551,48 @@ int cmd_merge(const util::Options& options) {
 
   if (options.get_bool("wait", false)) {
     const double timeout_s = options.get_double("wait-timeout", 0.0);
-    if (!fuzz::wait_for_leases(dir, manifest.num_leases,
-                               static_cast<std::int64_t>(timeout_s * 1000.0))) {
-      std::fprintf(stderr, "merge: timed out waiting for %d leases in %s\n",
-                   manifest.num_leases, dir.c_str());
+    if (!fuzz::wait_for_service(dir, manifest.num_missions,
+                                manifest.num_leases,
+                                static_cast<std::int64_t>(timeout_s * 1000.0))) {
+      std::fprintf(stderr, "merge: timed out waiting for service %s\n",
+                   dir.c_str());
+      print_incomplete_report("merge", dir, manifest);
       return 1;
     }
   }
 
+  const bool allow_partial = options.get_bool("allow-partial", false);
   fuzz::ShardMergeStats stats;
-  const fuzz::CampaignResult result = fuzz::merge_shards(
-      config, dir, options.get_bool("allow-partial", false), &stats);
+  const fuzz::CampaignResult result =
+      fuzz::merge_shards(config, dir, allow_partial, &stats);
   std::fprintf(stderr, "merge: %d shard files, %d records, %d duplicates\n",
                stats.shard_files, stats.records, stats.duplicates);
+
+  // --allow-partial: record what is missing machine-readably. holes.json +
+  // `resume-holes` turn an abandoned campaign's gaps back into claimable
+  // leases. Any complete merge — partial-tolerant or not — deletes a stale
+  // manifest so nothing ever resumes holes that no longer exist.
+  {
+    const std::vector<fuzz::MissionHole> holes =
+        fuzz::missing_mission_ranges(result);
+    if (holes.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(fuzz::holes_path(dir), ec);
+    } else {
+      fuzz::HolesManifest manifest_out;
+      manifest_out.config_hash = manifest.config_hash;
+      manifest_out.num_missions = manifest.num_missions;
+      manifest_out.holes = holes;
+      fuzz::write_holes(dir, manifest_out);
+      int missing = 0;
+      for (const fuzz::MissionHole& hole : holes) missing += hole.size();
+      std::fprintf(stderr,
+                   "merge: partial — %d missions in %d hole(s); wrote %s "
+                   "(finish with `swarmfuzz resume-holes --dir=%s`)\n",
+                   missing, static_cast<int>(holes.size()),
+                   fuzz::holes_path(dir).c_str(), dir.c_str());
+    }
+  }
 
   // --golden=FILE: compare the merged result against a single-process run's
   // checkpoint/telemetry stream; exit 3 on divergence. This is the CI
@@ -506,6 +630,25 @@ int cmd_merge(const util::Options& options) {
   }
 
   return emit_campaign_report(result, options, "");
+}
+
+int cmd_resume_holes(const util::Options& options) {
+  const std::string dir = options.get("dir", "");
+  if (dir.empty()) {
+    throw std::invalid_argument("resume-holes: --dir=DIR is required");
+  }
+  const fuzz::ServiceManifest manifest = fuzz::load_manifest(dir);
+  const fuzz::HolesManifest holes = fuzz::load_holes(dir);
+  const int created = fuzz::resume_holes(dir, manifest, holes);
+  int missing = 0;
+  for (const fuzz::MissionHole& hole : holes.holes) missing += hole.size();
+  std::printf(
+      "resume-holes %s: %d missing missions in %d hole(s), %d new lease(s) "
+      "created\n",
+      dir.c_str(), missing, static_cast<int>(holes.holes.size()), created);
+  std::printf("start workers:  swarmfuzz shard --dir=%s --owner=<unique>\n",
+              dir.c_str());
+  return 0;
 }
 
 int cmd_svg(const util::Options& options) {
@@ -612,14 +755,28 @@ int print_usage() {
       "  serve      initialize a sharded campaign service: --dir=DIR plus the\n"
       "             campaign options above; [--leases=K] (default 8)\n"
       "             [--lease-ttl=S] (worker heartbeat TTL, default 30)\n"
+      "             [--coordinate [--coordinate-timeout=S]] (stay resident:\n"
+      "             watch heartbeats/progress, re-carve stragglers' tails;\n"
+      "             knobs: --coordinate-poll=S --stale-heartbeat-periods=X\n"
+      "             --straggler-rate-fraction=X --min-observations=N\n"
+      "             --stall-factor=X --min-recarve-missions=N\n"
+      "             --recarve-pieces=N)\n"
+      "             [--wait [--wait-timeout=S]] (block until workers finish;\n"
+      "             on timeout, report each incomplete lease)\n"
       "  shard      run one worker against a service: --dir=DIR\n"
       "             [--owner=NAME] (unique per worker; default shard-<pid>)\n"
       "             claims leases, reclaims expired ones, resumes partial\n"
       "             ranges; exits when every lease is done\n"
+      "             [--chaos=kill|hang|torn-write|eio@idx[xN],...] (failure\n"
+      "             injection; also read from SWARMFUZZ_CHAOS)\n"
       "  merge      merge shard streams into the campaign report: --dir=DIR\n"
-      "             [--wait [--wait-timeout=S]] [--allow-partial]\n"
+      "             [--wait [--wait-timeout=S]] (on timeout, report each\n"
+      "             incomplete lease) [--allow-partial] (merge what exists;\n"
+      "             writes machine-readable holes.json for resume-holes)\n"
       "             [--golden=FILE] (exit 3 unless bit-identical to a\n"
-      "             single-process checkpoint) [--summary=FILE] [--json]\n\n"
+      "             single-process checkpoint) [--summary=FILE] [--json]\n"
+      "  resume-holes  turn a partial merge's holes.json back into claimable\n"
+      "             leases: --dir=DIR; then restart shard workers\n\n"
       "common options: --drones=N --seed=N --distance=M --controller=vasarhelyi|\n"
       "                olfati|reynolds --dt=S --gps-rate=HZ --nav-filter\n"
       "                --vehicle=pointmass|quadrotor --spawn-range=M (spawn box\n"
@@ -640,6 +797,7 @@ int dispatch(int argc, const char* const* argv) {
     if (command == "serve") return cmd_serve(options);
     if (command == "shard") return cmd_shard(options);
     if (command == "merge") return cmd_merge(options);
+    if (command == "resume-holes") return cmd_resume_holes(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,158 @@
+// Adaptive campaign coordinator: straggler detection and lease re-carving.
+//
+// The sharded service (service.h) survives worker death passively — an
+// orphaned lease waits out its TTL, then any worker reclaims it whole. The
+// coordinator makes recovery *active* and handles the failure modes passive
+// reclamation cannot:
+//
+//   dead worker      claim expired — re-carve immediately instead of letting
+//                    one worker re-run the whole tail serially.
+//   stalled worker   SIGSTOP / frozen host: heartbeats stop but the claim
+//                    has not expired yet. Classified by heartbeat staleness
+//                    (renewal age in units of the ttl/3 renewal period).
+//   hung worker      heartbeat thread still renews while the mission loop
+//                    is stuck — the claim never expires. Classified by
+//                    progress stall against the lease's *own* observed
+//                    per-mission pace (self-normalising: no absolute
+//                    mission-duration assumptions).
+//   slow worker      an overloaded host making real but anaemic progress.
+//                    Classified by completion rate against the median of
+//                    its peers (progress-rate percentile).
+//
+// Re-carve protocol (crash-safe in this order, see lease.h):
+//   1. exclusive-create `lease-<k>.recarved` — the single-winner retirement
+//      marker; from now on the lease can never be claimed again.
+//   2. append a RecarveRecord to `recarve.jsonl` splitting the unfinished
+//      tail [begin + recorded_prefix, end) into fresh sub-leases.
+//   3. fence the straggler's claim (rename it aside) so its next renew()
+//      fails and it drops any in-flight result.
+// A crash between 1 and 2 leaves a marker without ledger entry: the lease
+// is unclaimable but uncovered — any later coordinator pass heals it by
+// re-running 2 and 3 (duplicate ledger entries are keep-first on load).
+//
+// Classification only affects *efficiency*. Whatever the coordinator does —
+// including re-carving a perfectly healthy lease — merge results stay
+// bit-identical: fencing stops the old owner, and any record it landed
+// anyway is a keep-first duplicate of the sub-lease owner's identical
+// outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/lease.h"
+
+namespace swarmfuzz::fuzz {
+
+struct CoordinatorConfig {
+  std::string dir;                 // service directory
+  int num_missions = 0;
+  int num_leases = 0;              // the manifest's base carve
+  std::int64_t lease_ttl_ms = 30000;
+  std::int64_t poll_ms = 1000;     // tick period for run()
+
+  // Straggler classification knobs (details in the file header). None of
+  // them affect correctness — only how eagerly tails are re-carved.
+  double stale_heartbeat_periods = 2.5;  // renewal age > this many ttl/3
+  double straggler_rate_fraction = 0.25; // rate < fraction * median peer rate
+  int min_observations = 3;              // polls before rate/stall verdicts
+  double stall_factor = 5.0;             // stall > factor * own ms/mission
+  int min_recarve_missions = 1;          // smallest tail worth re-carving
+  int recarve_pieces = 2;                // sub-leases per re-carve
+
+  // Injectable time and waiting, for deterministic tests. Defaults: system
+  // clock; real sleep.
+  LeaseStore::Clock clock;
+  std::function<void(std::int64_t)> sleep_ms;
+};
+
+// One active lease's observed state, as probed from the service directory.
+struct LeaseHealth {
+  LeaseRange range;
+  bool done = false;
+  bool retired = false;   // marker exists while still in the active table:
+                          // a half-finished re-carve awaiting heal
+  bool claimed = false;   // claim file has a valid record
+  bool expired = false;
+  std::string owner;
+  std::int64_t last_renew_age_ms = -1;  // now - (expires_at - ttl)
+  int recorded = 0;       // contiguous recorded prefix length
+  double rate_per_s = -1.0;  // coordinator-observed; < 0 until observable
+};
+
+struct CoordinatorStats {
+  int polls = 0;
+  int recarves = 0;    // leases retired (incl. heals)
+  int subleases = 0;   // sub-leases created
+  int heals = 0;       // marker-without-entry repairs
+};
+
+struct CoordinatorTickResult {
+  std::vector<LeaseHealth> health;  // active leases, probe order
+  std::vector<int> recarved;        // lease ids retired this tick
+  bool complete = false;            // every active lease done
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config);
+
+  // One observe/classify/re-carve pass. Safe to call on any schedule.
+  CoordinatorTickResult tick();
+
+  // Ticks every poll_ms until the service completes (true) or timeout_ms
+  // elapses (false; <= 0 waits forever).
+  bool run(std::int64_t timeout_ms);
+
+  [[nodiscard]] const CoordinatorStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  // Per-lease progress history, reset when the owner changes or records
+  // regress (a reclaim replayed the shard file).
+  struct Observation {
+    std::string owner;
+    int first_recorded = 0;
+    int recorded = 0;
+    std::int64_t first_ms = 0;
+    std::int64_t last_progress_ms = 0;
+    int polls = 0;
+    int slow_polls = 0;  // consecutive polls below the peer-rate floor
+  };
+
+  // Retires `lease` and sub-leases its unfinished tail; false when another
+  // coordinator won the marker race. `reason` is for the log line.
+  bool recarve(const LeaseRange& lease, const char* reason);
+
+  CoordinatorConfig config_;
+  LeaseStore store_;
+  std::function<void(std::int64_t)> sleep_ms_;
+  std::map<int, Observation> observations_;
+  std::vector<double> finished_rates_;  // rates of leases observed completing
+  CoordinatorStats stats_;
+};
+
+// Length of the contiguous recorded prefix of `lease`'s shard file (workers
+// record in increasing index order, so this is the resume/re-carve point).
+// A missing or unreadable shard file counts as zero.
+[[nodiscard]] int recorded_prefix(const std::string& dir,
+                                  const LeaseRange& lease);
+
+// Probes every active lease's health at `now_ms` (rate_per_s stays -1: rates
+// need history only the coordinator keeps). Shared by the coordinator and
+// the `serve/merge --wait` timeout reports.
+[[nodiscard]] std::vector<LeaseHealth> probe_lease_health(
+    const std::string& dir, const LeaseTable& table, std::int64_t ttl_ms,
+    std::int64_t now_ms);
+
+// Human-readable report of every incomplete lease (id, range, progress,
+// owner, heartbeat age) — what `--wait` prints on timeout instead of a bare
+// exit code. Empty string when everything is done.
+[[nodiscard]] std::string describe_incomplete_leases(
+    const std::vector<LeaseHealth>& health);
+
+}  // namespace swarmfuzz::fuzz

@@ -1,15 +1,18 @@
 #include "fuzz/lease.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <stdexcept>
 
 #include "fuzz/telemetry.h"
 #include "util/fileio.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/retry.h"
 
 namespace swarmfuzz::fuzz {
 
@@ -63,6 +66,58 @@ LeaseClaimRecord lease_claim_from_json(std::string_view line) {
   return record;
 }
 
+std::string to_jsonl(const RecarveRecord& record) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("v");
+  json.value(record.schema_version);
+  json.key("parent");
+  json.value(record.parent);
+  json.key("subs");
+  json.begin_array();
+  for (const LeaseRange& sub : record.subs) {
+    json.begin_object();
+    json.key("id");
+    json.value(sub.lease_id);
+    json.key("begin");
+    json.value(sub.begin);
+    json.key("end");
+    json.value(sub.end);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return frame_with_crc(json.str());
+}
+
+RecarveRecord recarve_record_from_json(std::string_view line) {
+  verify_crc_frame(line);
+  const util::JsonValue root = util::parse_json(line);
+  RecarveRecord record;
+  record.schema_version = root.at("v").as_int();
+  if (record.schema_version != 1) {
+    throw std::invalid_argument("recarve: unsupported schema version " +
+                                std::to_string(record.schema_version));
+  }
+  record.parent = root.at("parent").as_int();
+  const util::JsonValue& subs = root.at("subs");
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const util::JsonValue& sub = subs.at(i);
+    record.subs.push_back(LeaseRange{.lease_id = sub.at("id").as_int(),
+                                     .begin = sub.at("begin").as_int(),
+                                     .end = sub.at("end").as_int()});
+  }
+  return record;
+}
+
+std::string recarve_ledger_path(const std::string& dir) {
+  return dir + "/recarve.jsonl";
+}
+
+std::string recarved_marker_path(const std::string& dir, int lease_id) {
+  return dir + "/lease-" + std::to_string(lease_id) + ".recarved";
+}
+
 namespace {
 
 std::int64_t system_now_ms() {
@@ -71,13 +126,122 @@ std::int64_t system_now_ms() {
       .count();
 }
 
-// Appends one claim/renewal line in a single flushed write (same durability
-// contract as telemetry records: a crash can only tear the final line).
-void append_claim(const std::string& path, const LeaseClaimRecord& record) {
-  append_jsonl_line(path, to_jsonl(record));
+// Reads a whole file through the retrier. ENOENT yields an empty result with
+// `exists` false (an absent claim/ledger is a normal state, not an error);
+// any other failure is an IoError the retrier may absorb.
+struct FileContent {
+  bool exists = false;
+  std::string content;
+};
+
+FileContent read_file(const std::string& path, std::string_view op) {
+  return util::io_retrier().run(op, [&]() -> FileContent {
+    FileContent result;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      if (errno == ENOENT) return result;
+      throw util::IoError("lease: cannot open " + path, errno);
+    }
+    char buffer[1 << 14];
+    std::size_t read = 0;
+    while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+      result.content.append(buffer, read);
+    }
+    const bool failed = std::ferror(file) != 0;
+    const int read_errno = errno;
+    std::fclose(file);
+    if (failed) {
+      throw util::IoError("lease: cannot read " + path, read_errno);
+    }
+    result.exists = true;
+    return result;
+  });
 }
 
 }  // namespace
+
+std::vector<RecarveRecord> load_recarve_ledger(const std::string& path) {
+  std::vector<RecarveRecord> records;
+  const FileContent file = read_file(path, "ledger_read");
+  if (!file.exists) return records;
+  std::size_t start = 0;
+  const std::string& content = file.content;
+  while (start < content.size()) {
+    std::size_t end = content.find('\n', start);
+    const bool complete_line = end != std::string::npos;
+    if (!complete_line) end = content.size();
+    const std::string_view line{content.data() + start, end - start};
+    start = end + 1;
+    if (line.empty()) continue;
+    try {
+      records.push_back(recarve_record_from_json(line));
+    } catch (const std::exception& e) {
+      // Same torn-tail contract as telemetry streams: an unterminated final
+      // line is a coordinator that died mid-append (its orphaned marker is
+      // healed later); a corrupt complete line is real corruption.
+      if (complete_line) {
+        throw std::runtime_error("recarve: corrupt ledger record in " + path +
+                                 ": " + e.what());
+      }
+      SWARMFUZZ_WARN("recarve: skipping torn final record in {} ({} bytes)",
+                     path, line.size());
+    }
+  }
+  return records;
+}
+
+LeaseTable load_lease_table(const std::string& dir, int num_missions,
+                            int num_leases) {
+  LeaseTable table;
+  table.active = carve_leases(num_missions, num_leases);
+  table.next_lease_id = static_cast<int>(table.active.size());
+  const int base_count = table.next_lease_id;  // ids below this are the carve's
+  std::map<int, std::size_t> index_of;  // lease id -> index into active
+  for (std::size_t i = 0; i < table.active.size(); ++i) {
+    index_of[table.active[i].lease_id] = i;
+  }
+  for (const RecarveRecord& record :
+       load_recarve_ledger(recarve_ledger_path(dir))) {
+    if (record.parent >= 0) {
+      const auto it = index_of.find(record.parent);
+      if (it == index_of.end()) {
+        // Keep-first: the parent was already retired (the heal path may
+        // re-append an entry it could not know had landed).
+        continue;
+      }
+      table.retired.push_back(table.active[it->second]);
+      table.active.erase(table.active.begin() +
+                         static_cast<std::ptrdiff_t>(it->second));
+      index_of.clear();
+      for (std::size_t i = 0; i < table.active.size(); ++i) {
+        index_of[table.active[i].lease_id] = i;
+      }
+    }
+    for (const LeaseRange& sub : record.subs) {
+      if (sub.lease_id < base_count || index_of.count(sub.lease_id) != 0) {
+        throw std::runtime_error("recarve: sub-lease id " +
+                                 std::to_string(sub.lease_id) +
+                                 " collides with an existing lease in " + dir);
+      }
+      for (const LeaseRange& retired : table.retired) {
+        if (retired.lease_id == sub.lease_id) {
+          throw std::runtime_error("recarve: sub-lease id " +
+                                   std::to_string(sub.lease_id) +
+                                   " reuses a retired id in " + dir);
+        }
+      }
+      if (sub.begin < 0 || sub.begin >= sub.end || sub.end > num_missions) {
+        throw std::runtime_error("recarve: sub-lease " +
+                                 std::to_string(sub.lease_id) +
+                                 " has invalid range in " + dir);
+      }
+      index_of[sub.lease_id] = table.active.size();
+      table.active.push_back(sub);
+      table.next_lease_id = std::max(table.next_lease_id, sub.lease_id + 1);
+    }
+  }
+  return table;
+}
 
 LeaseStore::LeaseStore(std::string dir, std::int64_t ttl_ms, std::string owner,
                        Clock clock)
@@ -106,6 +270,11 @@ bool LeaseStore::is_done(int lease_id) const {
   return std::filesystem::exists(done_path(lease_id), ec);
 }
 
+bool LeaseStore::is_retired(int lease_id) const {
+  std::error_code ec;
+  return std::filesystem::exists(recarved_marker_path(dir_, lease_id), ec);
+}
+
 void LeaseStore::mark_done(int lease_id) {
   // Atomic write-then-rename: the marker either exists complete or not at
   // all, so a crash between the final mission record and this call merely
@@ -113,18 +282,21 @@ void LeaseStore::mark_done(int lease_id) {
   util::write_file_atomic(done_path(lease_id), owner_ + "\n");
 }
 
+void LeaseStore::set_append_hook_for_test(std::function<void()> hook) {
+  append_hook_ = std::move(hook);
+}
+
+void LeaseStore::append_claim(const std::string& path,
+                              const LeaseClaimRecord& record) {
+  if (append_hook_) append_hook_();
+  append_jsonl_line(path, to_jsonl(record));
+}
+
 LeaseClaimRecord LeaseStore::latest_claim(const std::string& path) const {
   LeaseClaimRecord latest;  // lease_id = -1: no valid record
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return latest;
-  std::string content;
-  char buffer[1 << 14];
-  std::size_t read = 0;
-  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
-    content.append(buffer, read);
-  }
-  std::fclose(file);
-
+  const FileContent file = read_file(path, "claim_read");
+  if (!file.exists) return latest;
+  const std::string& content = file.content;
   std::size_t start = 0;
   while (start < content.size()) {
     std::size_t end = content.find('\n', start);
@@ -143,8 +315,13 @@ LeaseClaimRecord LeaseStore::latest_claim(const std::string& path) const {
   return latest;
 }
 
+LeaseClaimRecord LeaseStore::peek_claim(int lease_id) const {
+  return latest_claim(claim_path(lease_id));
+}
+
 bool LeaseStore::try_claim(int lease_id) {
   if (is_done(lease_id)) return false;
+  if (is_retired(lease_id)) return false;  // re-carved: successors own the tail
   const std::string path = claim_path(lease_id);
   // Bounded retries: each loop iteration either wins the exclusive create,
   // rejects, or loses a reclaim race to a process that just claimed — which
@@ -152,8 +329,17 @@ bool LeaseStore::try_claim(int lease_id) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     // C11 exclusive create: exactly one of any number of racing processes
     // gets the file handle; everyone else sees EEXIST.
-    if (std::FILE* file = std::fopen(path.c_str(), "wbx"); file != nullptr) {
-      std::fclose(file);
+    const bool created =
+        util::io_retrier().run("claim_create", [&]() -> bool {
+          std::FILE* file = std::fopen(path.c_str(), "wbx");
+          if (file != nullptr) {
+            std::fclose(file);
+            return true;
+          }
+          if (errno == EEXIST) return false;
+          throw util::IoError("lease: cannot create " + path, errno);
+        });
+    if (created) {
       append_claim(path, LeaseClaimRecord{.lease_id = lease_id,
                                           .owner = owner_,
                                           .expires_at_ms = now_ms() + ttl_ms_});
@@ -170,13 +356,16 @@ bool LeaseStore::try_claim(int lease_id) {
     // iteration observes whatever the winner wrote.
     const std::string dead = path + ".dead." + std::to_string(now_ms()) + "." +
                              std::to_string(reclaim_nonce_++);
-    std::error_code ec;
-    std::filesystem::rename(path, dead, ec);
-    if (ec) {
-      if (!std::filesystem::exists(path)) continue;  // winner re-creating
-      throw std::runtime_error("lease: cannot reclaim " + path + ": " +
-                               ec.message());
-    }
+    const bool renamed = util::io_retrier().run("claim_reclaim", [&]() -> bool {
+      std::error_code ec;
+      std::filesystem::rename(path, dead, ec);
+      if (!ec) return true;
+      std::error_code exists_ec;
+      if (!std::filesystem::exists(path, exists_ec)) return false;
+      throw util::IoError("lease: cannot reclaim " + path + ": " + ec.message(),
+                          ec.value());
+    });
+    if (!renamed) continue;  // winner re-creating
     SWARMFUZZ_WARN("lease {}: reclaiming expired claim of '{}' (moved to {})",
                    lease_id, latest.lease_id >= 0 ? latest.owner : "<torn>",
                    dead);
@@ -203,6 +392,21 @@ bool LeaseStore::holds(int lease_id) const {
   const LeaseClaimRecord latest = latest_claim(claim_path(lease_id));
   return latest.lease_id >= 0 && latest.owner == owner_ &&
          latest.expires_at_ms > now_ms();
+}
+
+bool LeaseStore::fence_claim(int lease_id) {
+  const std::string path = claim_path(lease_id);
+  const std::string dead = path + ".dead." + std::to_string(now_ms()) + "." +
+                           std::to_string(reclaim_nonce_++);
+  return util::io_retrier().run("claim_fence", [&]() -> bool {
+    std::error_code ec;
+    std::filesystem::rename(path, dead, ec);
+    if (!ec) return true;
+    std::error_code exists_ec;
+    if (!std::filesystem::exists(path, exists_ec)) return false;  // no claim
+    throw util::IoError("lease: cannot fence " + path + ": " + ec.message(),
+                        ec.value());
+  });
 }
 
 std::string shard_telemetry_path(const std::string& dir, int lease_id) {

@@ -1,7 +1,10 @@
 #include "fuzz/serialize.h"
 
+#include <string>
+
 #include "math/stats.h"
 #include "util/json.h"
+#include "util/retry.h"
 
 namespace swarmfuzz::fuzz {
 namespace {
@@ -129,6 +132,24 @@ std::string to_json(const CampaignResult& result) {
     json.key(sim::fault_kind_name(kind));
     json.value(result.fault_count(kind));
   }
+  json.end_object();
+
+  // Transport-layer accounting (util/retry.h): how hard the durable-I/O
+  // path had to work. Process-wide, so a merged shard campaign's summary
+  // reflects the merging process, and a shard's own summary its worker.
+  const util::RetryCounters io = util::io_retrier().counters();
+  json.key("io_retry");
+  json.begin_object();
+  json.key("attempts");
+  json.value(std::to_string(io.attempts));
+  json.key("retries");
+  json.value(std::to_string(io.retries));
+  json.key("exhausted");
+  json.value(std::to_string(io.exhausted));
+  json.key("permanent");
+  json.value(std::to_string(io.permanent));
+  json.key("quarantined_ops");
+  json.value(io.quarantined_ops);
   json.end_object();
 
   json.key("missions");

@@ -36,6 +36,20 @@ int shard_id_of(const std::filesystem::path& path) {
 
 }  // namespace
 
+std::vector<MissionHole> missing_mission_ranges(const CampaignResult& result) {
+  std::vector<MissionHole> holes;
+  const int n = static_cast<int>(result.outcomes.size());
+  for (int i = 0; i < n; ++i) {
+    if (result.outcomes[static_cast<std::size_t>(i)].completed) continue;
+    if (!holes.empty() && holes.back().end == i) {
+      ++holes.back().end;
+    } else {
+      holes.push_back(MissionHole{.begin = i, .end = i + 1});
+    }
+  }
+  return holes;
+}
+
 CampaignResult merge_shards(const CampaignConfig& config, const std::string& dir,
                             bool allow_partial, ShardMergeStats* stats) {
   if (config.num_missions < 1) {

@@ -20,10 +20,25 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "fuzz/campaign.h"
 
 namespace swarmfuzz::fuzz {
+
+// A contiguous run of mission indices [begin, end) with no completed
+// outcome — what a partial merge is missing.
+struct MissionHole {
+  int begin = 0;
+  int end = 0;
+
+  [[nodiscard]] int size() const noexcept { return end - begin; }
+};
+
+// The maximal contiguous runs of missions without a completed outcome, in
+// ascending order. Empty when the campaign is complete.
+[[nodiscard]] std::vector<MissionHole> missing_mission_ranges(
+    const CampaignResult& result);
 
 // Merge accounting, for operators and tests.
 struct ShardMergeStats {

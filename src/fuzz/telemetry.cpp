@@ -1,5 +1,6 @@
 #include "fuzz/telemetry.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include "util/crc32.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/retry.h"
 
 namespace swarmfuzz::fuzz {
 namespace {
@@ -329,20 +331,42 @@ QuarantineRecord quarantine_record_from_json(std::string_view line) {
   return record;
 }
 
-void append_jsonl_line(const std::string& path, std::string_view line) {
+namespace {
+
+void append_jsonl_line_once(const std::string& path, std::string_view line) {
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
-    throw std::runtime_error("telemetry: cannot open " + path + " for append");
+    throw util::IoError("telemetry: cannot open " + path + " for append",
+                        errno);
   }
   std::string framed{line};
   framed.push_back('\n');
   const bool ok =
       std::fwrite(framed.data(), 1, framed.size(), file) == framed.size() &&
       std::fflush(file) == 0;
+  const int write_errno = errno;
   const bool closed = std::fclose(file) == 0;
-  if (!ok || !closed) {
-    throw std::runtime_error("telemetry: short write to " + path);
+  if (!ok) {
+    throw util::IoError("telemetry: short write to " + path, write_errno);
   }
+  if (!closed) {
+    throw util::IoError("telemetry: cannot close " + path, errno);
+  }
+}
+
+}  // namespace
+
+void append_jsonl_line(const std::string& path, std::string_view line) {
+  // A failed attempt may have landed a prefix of the record (a torn,
+  // unterminated tail). Re-appending on top of it would glue two fragments
+  // into a corrupt *complete* line — unrecoverable — so every retry heals
+  // the tail back to a line boundary first.
+  bool retrying = false;
+  util::io_retrier().run("append_jsonl", [&] {
+    if (retrying) heal_torn_tail(path);
+    retrying = true;
+    append_jsonl_line_once(path, line);
+  });
 }
 
 void heal_torn_tail(const std::string& path) {
@@ -360,7 +384,13 @@ void heal_torn_tail(const std::string& path) {
   const std::size_t keep = last_newline == std::string::npos ? 0 : last_newline + 1;
   SWARMFUZZ_WARN("telemetry: {} ends mid-record; truncating {} torn bytes",
                  path, content.size() - keep);
-  std::filesystem::resize_file(path, keep);
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) {
+    throw util::IoError("telemetry: cannot truncate torn tail of " + path +
+                            ": " + ec.message(),
+                        ec.value());
+  }
 }
 
 JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path, bool append)

@@ -85,7 +85,10 @@ struct QuarantineRecord {
 [[nodiscard]] std::vector<QuarantineRecord> load_quarantine(const std::string& path);
 
 // Appends one line + '\n' to `path` in a single flushed write, creating the
-// file if needed. Throws std::runtime_error on I/O failure.
+// file if needed. Transient failures retry with backoff through
+// util::io_retrier(), healing any torn tail the failed attempt left before
+// re-appending; throws util::IoError once retries are exhausted or the
+// error is permanent.
 void append_jsonl_line(const std::string& path, std::string_view line);
 
 // CRC-32 record framing, shared by every durable JSONL stream (telemetry,

@@ -1,29 +1,49 @@
 #include "util/fileio.h"
 
+#include <cerrno>
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/retry.h"
 
 namespace swarmfuzz::util {
+namespace {
 
-void write_file_atomic(const std::string& path, std::string_view content) {
+// One attempt: temp write + flush + close + rename. Restarting from the
+// temp-create makes the whole sequence idempotent, so the retrier can rerun
+// it wholesale after a transient failure.
+void write_file_atomic_once(const std::string& path, std::string_view content) {
   const std::string temp = path + ".tmp";
   std::FILE* file = std::fopen(temp.c_str(), "wb");
   if (file == nullptr) {
-    throw std::runtime_error("write_file_atomic: cannot open " + temp);
+    throw IoError("write_file_atomic: cannot open " + temp, errno);
   }
   const bool written =
       std::fwrite(content.data(), 1, content.size(), file) == content.size() &&
       std::fflush(file) == 0;
+  const int write_errno = errno;
   const bool closed = std::fclose(file) == 0;
-  if (!written || !closed) {
+  if (!written) {
     std::remove(temp.c_str());
-    throw std::runtime_error("write_file_atomic: short write to " + temp);
+    throw IoError("write_file_atomic: short write to " + temp, write_errno);
+  }
+  if (!closed) {
+    std::remove(temp.c_str());
+    throw IoError("write_file_atomic: cannot close " + temp, errno);
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;
     std::remove(temp.c_str());
-    throw std::runtime_error("write_file_atomic: cannot rename " + temp + " to " +
-                             path);
+    throw IoError(
+        "write_file_atomic: cannot rename " + temp + " to " + path,
+        rename_errno);
   }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  io_retrier().run("write_file_atomic",
+                   [&] { write_file_atomic_once(path, content); });
 }
 
 }  // namespace swarmfuzz::util

@@ -10,8 +10,10 @@ namespace swarmfuzz::util {
 
 // Writes `content` to `path` atomically: the bytes go to `<path>.tmp` in the
 // same directory (so the rename cannot cross filesystems), are flushed, and
-// the temp file is renamed over `path`. Throws std::runtime_error on any
-// I/O failure, after removing the temp file.
+// the temp file is renamed over `path`. Transient failures are retried with
+// backoff through util::io_retrier() (the whole temp-write-rename sequence
+// is idempotent); throws util::IoError — carrying the errno — once retries
+// are exhausted or the error is permanent, after removing the temp file.
 void write_file_atomic(const std::string& path, std::string_view content);
 
 }  // namespace swarmfuzz::util

@@ -1,0 +1,141 @@
+// Policy-driven retry for durable-I/O ("transport") operations.
+//
+// Every write that the sharded campaign service depends on — claim
+// create/renew, atomic rename, shard append, manifest read — goes through
+// one process-wide IoRetrier, so a transient filesystem error (EINTR, a
+// brief ENOSPC, an NFS EIO hiccup) degrades to a bounded retry with
+// exponential backoff instead of aborting a whole shard. Failures are
+// classified by errno:
+//
+//   transient   retried up to RetryPolicy::max_attempts with exponential
+//               backoff; the jitter is deterministic (seeded splitmix64 of
+//               the operation name and attempt), so two workers configured
+//               from the same campaign seed still de-synchronise their
+//               retries reproducibly.
+//   permanent   (ENOENT, EACCES, EROFS, ...) rethrown immediately — no
+//               number of retries fixes a read-only filesystem, and tight-
+//               looping on one is exactly the failure mode this layer and
+//               the lease heartbeat must avoid.
+//
+// A fault budget guards against the pathological middle ground: an
+// operation class that keeps exhausting its attempts (the "transient" error
+// is not actually transient) is quarantined after RetryPolicy::fault_budget
+// exhausted episodes; from then on it runs single-shot so the caller's own
+// abandon/abort path engages without multiplying the latency by the retry
+// schedule. Counters (attempts/retries/exhausted/...) are process-wide and
+// stamped into the campaign summary JSON so coordinator overhead is
+// observable (see serialize.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace swarmfuzz::util {
+
+// An I/O failure that remembers its errno, so retry policy (and the lease
+// heartbeat) can tell a retryable hiccup from a permanent refusal. Derives
+// from std::runtime_error: existing catch sites keep working unchanged.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, int error_code);
+
+  // The captured errno (0 when unknown; treated as transient).
+  [[nodiscard]] int code() const noexcept { return code_; }
+
+ private:
+  int code_;
+};
+
+// errno classification: true for errors worth retrying (EINTR, EAGAIN, EIO,
+// ENOSPC, EBUSY, fd exhaustion), false for errors no retry fixes (ENOENT,
+// EACCES, EROFS, EINVAL, ...). Unknown codes (including 0) are transient:
+// misclassifying a permanent error costs a few bounded retries, while
+// misclassifying a transient one aborts a shard.
+[[nodiscard]] bool is_transient_errno(int error_code) noexcept;
+
+struct RetryPolicy {
+  int max_attempts = 4;                 // total tries per operation
+  std::int64_t initial_backoff_ms = 10; // before the second attempt
+  double backoff_multiplier = 4.0;      // growth per further attempt
+  std::int64_t max_backoff_ms = 2000;   // backoff ceiling
+  double jitter = 0.5;                  // backoff scaled by [1-j, 1+j)
+  int fault_budget = 3;                 // exhausted episodes before quarantine
+};
+
+// Snapshot of the process-wide accounting.
+struct RetryCounters {
+  std::int64_t attempts = 0;     // operation executions (incl. retries)
+  std::int64_t retries = 0;      // re-executions after a transient failure
+  std::int64_t exhausted = 0;    // episodes that used every attempt and failed
+  std::int64_t permanent = 0;    // failures rethrown without retrying
+  int quarantined_ops = 0;       // operation classes past their fault budget
+};
+
+class IoRetrier {
+ public:
+  using SleepFn = std::function<void(std::int64_t)>;
+
+  // `sleep` defaults to a real std::this_thread sleep; tests inject a fake
+  // to assert the backoff schedule without waiting it out.
+  explicit IoRetrier(RetryPolicy policy = {}, std::uint64_t jitter_seed = 0,
+                     SleepFn sleep = {});
+
+  // Runs `fn`, retrying on transient IoError with backoff as described in
+  // the file header. Rethrows the final IoError on a permanent errno, on
+  // attempt exhaustion, or immediately when `op` is quarantined. `op` names
+  // the operation class ("shard_append", "claim_create", ...): backoff
+  // jitter, the fault budget and quarantine are all tracked per class.
+  template <typename Fn>
+  auto run(std::string_view op, Fn&& fn) -> decltype(fn()) {
+    for (int attempt = 1;; ++attempt) {
+      note_attempt();
+      try {
+        return fn();
+      } catch (const IoError& error) {
+        const std::int64_t backoff_ms = on_failure(op, attempt, error.code());
+        if (backoff_ms < 0) throw;
+        if (backoff_ms > 0) sleep_(backoff_ms);
+      }
+    }
+  }
+
+  // Deterministic backoff before attempt `attempt + 1` (attempt >= 1).
+  [[nodiscard]] std::int64_t backoff_ms(std::string_view op, int attempt) const;
+
+  [[nodiscard]] bool is_quarantined(std::string_view op) const;
+  [[nodiscard]] RetryCounters counters() const;
+  [[nodiscard]] RetryPolicy policy() const;
+
+  void set_policy(const RetryPolicy& policy);
+  // Seeds the jitter hash — the CLI passes the campaign seed through so
+  // "deterministic" also means "reproducible for this campaign".
+  void set_jitter_seed(std::uint64_t seed);
+  void set_sleep(SleepFn sleep);
+  // Clears counters and quarantine state (tests share the process-wide
+  // instance and must not leak budget across cases).
+  void reset();
+
+ private:
+  void note_attempt();
+  // Bookkeeping for a failed attempt: returns the backoff to sleep before
+  // retrying, or -1 when the error must be rethrown.
+  [[nodiscard]] std::int64_t on_failure(std::string_view op, int attempt,
+                                        int error_code);
+
+  mutable std::mutex mutex_;
+  RetryPolicy policy_;
+  std::uint64_t jitter_seed_;
+  SleepFn sleep_;
+  RetryCounters counters_;
+  std::map<std::string, int, std::less<>> exhausted_by_op_;
+};
+
+// The process-wide retrier every transport operation routes through.
+[[nodiscard]] IoRetrier& io_retrier();
+
+}  // namespace swarmfuzz::util

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <string>
 
+#include "fuzz/service.h"
 #include "fuzz/telemetry.h"
 #include "swarm/controller.h"
 
@@ -102,6 +103,60 @@ TEST(Cli, CampaignCheckpointAndTelemetryFlags) {
   EXPECT_EQ(fuzz::load_telemetry(telemetry).size(), 3u);
   std::remove(checkpoint.c_str());
   std::remove(telemetry.c_str());
+}
+
+TEST(Cli, ResumeHolesRequiresDir) {
+  EXPECT_EQ(run_dispatch({"resume-holes"}), 1);
+}
+
+TEST(Cli, ServeShardMergeResumeHolesRoundTrip) {
+  const std::string dir =
+      (std::filesystem::path{::testing::TempDir()} / "cli_service").string();
+  std::filesystem::remove_all(dir);
+  const std::string dir_flag = "--dir=" + dir;
+
+  EXPECT_EQ(cmd_serve(parse({"serve", dir_flag.c_str(), "--missions=4",
+                             "--budget=6", "--leases=2"})),
+            0);
+
+  // Nothing has run yet: a bounded merge --wait must time out, report the
+  // unclaimed leases, and fail rather than emit a partial report.
+  EXPECT_EQ(cmd_merge(parse({"merge", dir_flag.c_str(), "--wait",
+                             "--wait-timeout=0.2", "--progress=false"})),
+            1);
+
+  // A malformed chaos plan is rejected at the CLI boundary.
+  const std::string chaos_flag = "--chaos=bogus@x";
+  EXPECT_EQ(run_dispatch({"shard", dir_flag.c_str(), chaos_flag.c_str()}), 1);
+
+  // One worker drains both leases; coordinating over a finished service
+  // returns success without re-carving anything.
+  EXPECT_EQ(cmd_shard(parse({"shard", dir_flag.c_str(), "--owner=w1"})), 0);
+  EXPECT_EQ(cmd_serve(parse({"serve", dir_flag.c_str(), "--missions=4",
+                             "--budget=6", "--leases=2", "--coordinate",
+                             "--coordinate-timeout=30"})),
+            0);
+
+  // A complete partial-tolerant merge leaves no holes manifest behind.
+  EXPECT_EQ(cmd_merge(parse({"merge", dir_flag.c_str(), "--allow-partial",
+                             "--progress=false"})),
+            0);
+  EXPECT_FALSE(std::filesystem::exists(fuzz::holes_path(dir)));
+
+  // Lose one shard file: merge --allow-partial records the gap machine-
+  // readably, resume-holes turns it back into claimable leases, and a second
+  // worker finishes the campaign.
+  std::filesystem::remove(dir + "/shard-1.jsonl");
+  EXPECT_EQ(cmd_merge(parse({"merge", dir_flag.c_str(), "--allow-partial",
+                             "--progress=false"})),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(fuzz::holes_path(dir)));
+  EXPECT_EQ(cmd_resume_holes(parse({"resume-holes", dir_flag.c_str()})), 0);
+  EXPECT_EQ(cmd_shard(parse({"shard", dir_flag.c_str(), "--owner=w2"})), 0);
+  EXPECT_EQ(cmd_merge(parse({"merge", dir_flag.c_str(), "--allow-partial",
+                             "--progress=false"})),
+            0);
+  EXPECT_FALSE(std::filesystem::exists(fuzz::holes_path(dir)));
 }
 
 }  // namespace

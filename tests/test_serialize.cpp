@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
+#include "util/retry.h"
+
 namespace swarmfuzz::fuzz {
 namespace {
 
@@ -78,6 +82,25 @@ TEST(Serialize, CampaignResultAggregatesAndRows) {
   EXPECT_NE(json.find("\"seed\":\"1000\""), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Serialize, CampaignResultReportsTransportRetryCounters) {
+  util::io_retrier().reset();
+  // Two transient failures absorbed by the retry layer, then success.
+  int calls = 0;
+  (void)util::io_retrier().run("serialize_test", [&calls] {
+    if (++calls < 3) throw util::IoError("hiccup", EIO);
+    return calls;
+  });
+
+  CampaignResult campaign;
+  const std::string json = to_json(campaign);
+  EXPECT_NE(json.find("\"io_retry\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":\"3\""), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":\"2\""), std::string::npos);
+  EXPECT_NE(json.find("\"exhausted\":\"0\""), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined_ops\":0"), std::string::npos);
+  util::io_retrier().reset();
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -15,6 +17,7 @@
 #include "fuzz/shard_merge.h"
 #include "fuzz/telemetry.h"
 #include "sim/simulator.h"
+#include "util/retry.h"
 
 namespace swarmfuzz::fuzz {
 namespace {
@@ -98,13 +101,16 @@ TEST(ServiceManifest, LoadWithoutServeFailsWithHint) {
 TEST(ServiceLeases, DoneMarkersGateCompletion) {
   const std::string dir = service_dir("done_markers");
   EXPECT_FALSE(all_leases_done(dir, 2));
-  EXPECT_FALSE(wait_for_leases(dir, 2, /*timeout_ms=*/50, /*poll_ms=*/5));
+  EXPECT_FALSE(service_complete(dir, 8, 2));
+  EXPECT_FALSE(wait_for_service(dir, 8, 2, /*timeout_ms=*/50, /*poll_ms=*/5));
   LeaseStore store(dir, 1000, "alice");
   store.mark_done(0);
   EXPECT_FALSE(all_leases_done(dir, 2));
+  EXPECT_FALSE(service_complete(dir, 8, 2));
   store.mark_done(1);
   EXPECT_TRUE(all_leases_done(dir, 2));
-  EXPECT_TRUE(wait_for_leases(dir, 2, /*timeout_ms=*/50, /*poll_ms=*/5));
+  EXPECT_TRUE(service_complete(dir, 8, 2));
+  EXPECT_TRUE(wait_for_service(dir, 8, 2, /*timeout_ms=*/50, /*poll_ms=*/5));
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +349,350 @@ TEST(ShardWorker, ThreeConcurrentWorkersMergeBitIdenticalPointMass) {
       merge_shards(campaign, dir, /*allow_partial=*/false, &merge_stats);
   EXPECT_EQ(merge_stats.records, campaign.num_missions);
   EXPECT_TRUE(deterministic_equal(merged, run_campaign(campaign)));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness.
+
+TEST(ChaosPlan, ParsesTheGrammar) {
+  EXPECT_TRUE(parse_chaos_plan("").empty());
+  const ChaosPlan plan = parse_chaos_plan("kill@3,hang@1,torn-write@2,eio@4x3");
+  ASSERT_EQ(plan.actions.size(), 4u);
+  EXPECT_EQ(plan.actions[0].kind, ChaosAction::Kind::kKill);
+  EXPECT_EQ(plan.actions[0].mission_index, 3);
+  EXPECT_EQ(plan.actions[1].kind, ChaosAction::Kind::kHang);
+  EXPECT_EQ(plan.actions[2].kind, ChaosAction::Kind::kTornWrite);
+  EXPECT_EQ(plan.actions[3].kind, ChaosAction::Kind::kEio);
+  EXPECT_EQ(plan.actions[3].mission_index, 4);
+  EXPECT_EQ(plan.actions[3].count, 3);
+}
+
+TEST(ChaosPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_chaos_plan("kill"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_plan("explode@1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_plan("kill@x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_plan("eio@1x0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_plan("kill@-2"), std::invalid_argument);
+}
+
+TEST(ChaosShardWorker, InjectedEioIsAbsorbedByTheRetryLayer) {
+  util::io_retrier().reset();
+  const CampaignConfig campaign = small_campaign();
+  const std::string dir = service_dir("chaos_eio");
+
+  std::int64_t now = 0;
+  ShardWorkerConfig worker;
+  worker.campaign = campaign;
+  worker.dir = dir;
+  worker.num_leases = 2;
+  worker.owner = "eio";
+  worker.clock = [&now] { return now; };
+  worker.sleep_ms = [&now](std::int64_t ms) { now += ms; };
+  worker.chaos = parse_chaos_plan("eio@1x2");
+  const ShardWorkerStats stats = run_shard_worker(worker);
+
+  // Two injected failures, zero lost work: the shard append retried through.
+  EXPECT_EQ(stats.missions_run, campaign.num_missions);
+  EXPECT_EQ(stats.io_aborts, 0);
+  EXPECT_GE(util::io_retrier().counters().retries, 2);
+  EXPECT_TRUE(deterministic_equal(merge_shards(campaign, dir),
+                                  run_campaign(campaign)));
+  util::io_retrier().reset();
+}
+
+TEST(ChaosShardWorker, KillBeforeRecordLosesOnlyTheInFlightMission) {
+  const CampaignConfig campaign = small_campaign();
+  const std::string dir = service_dir("chaos_kill");
+
+  std::int64_t now = 0;
+  int kills = 0;
+  ShardWorkerConfig worker;
+  worker.campaign = campaign;
+  worker.dir = dir;
+  worker.num_leases = 2;
+  worker.owner = "mortal";
+  worker.clock = [&now] { return now; };
+  worker.sleep_ms = [&now](std::int64_t ms) { now += ms; };
+  worker.chaos = parse_chaos_plan("kill@1");
+  // In-process stand-in for SIGKILL: count it and let run_lease's abandon
+  // path model the restart (the worker rescans and re-claims its own lease,
+  // exactly like a fresh process would).
+  worker.chaos_kill = [&kills] { ++kills; };
+  const ShardWorkerStats stats = run_shard_worker(worker);
+
+  EXPECT_EQ(kills, 1);
+  // Mission 1 was computed, killed before its record, then re-run once.
+  EXPECT_EQ(stats.missions_run, campaign.num_missions);
+  EXPECT_EQ(stats.missions_resumed, 1);  // mission 0's record survived
+  ShardMergeStats merge_stats;
+  const CampaignResult merged =
+      merge_shards(campaign, dir, /*allow_partial=*/false, &merge_stats);
+  EXPECT_EQ(merge_stats.duplicates, 0);
+  EXPECT_TRUE(deterministic_equal(merged, run_campaign(campaign)));
+}
+
+TEST(ChaosShardWorker, TornWriteIsHealedOnResume) {
+  const CampaignConfig campaign = small_campaign();
+  const std::string dir = service_dir("chaos_torn");
+
+  std::int64_t now = 0;
+  ShardWorkerConfig worker;
+  worker.campaign = campaign;
+  worker.dir = dir;
+  worker.num_leases = 2;
+  worker.owner = "torn";
+  worker.clock = [&now] { return now; };
+  worker.sleep_ms = [&now](std::int64_t ms) { now += ms; };
+  worker.chaos = parse_chaos_plan("torn-write@1");
+  worker.chaos_kill = [] {};  // die in place, resume in the same process
+  const ShardWorkerStats stats = run_shard_worker(worker);
+
+  // The fragment was healed away; the mission re-ran and recorded whole.
+  EXPECT_EQ(stats.missions_run, campaign.num_missions);
+  ShardMergeStats merge_stats;
+  const CampaignResult merged =
+      merge_shards(campaign, dir, /*allow_partial=*/false, &merge_stats);
+  EXPECT_EQ(merge_stats.records, campaign.num_missions);
+  EXPECT_EQ(merge_stats.duplicates, 0);
+  EXPECT_TRUE(deterministic_equal(merged, run_campaign(campaign)));
+}
+
+TEST(ChaosShardWorker, HangReleasesWhenTheWaitHookSaysSo) {
+  const CampaignConfig campaign = small_campaign();
+  const std::string dir = service_dir("chaos_hang_release");
+
+  std::int64_t now = 0;
+  int waits = 0;
+  ShardWorkerConfig worker;
+  worker.campaign = campaign;
+  worker.dir = dir;
+  worker.num_leases = 1;
+  worker.owner = "hanger";
+  worker.clock = [&now] { return now; };
+  worker.sleep_ms = [&now](std::int64_t ms) { now += ms; };
+  worker.chaos = parse_chaos_plan("hang@0");
+  worker.chaos_hang_wait = [&waits](std::int64_t) { return ++waits >= 3; };
+  const ShardWorkerStats stats = run_shard_worker(worker);
+
+  EXPECT_EQ(waits, 3);  // hung for three bounded waits, then released
+  EXPECT_EQ(stats.missions_run, campaign.num_missions);
+  EXPECT_TRUE(deterministic_equal(merge_shards(campaign, dir),
+                                  run_campaign(campaign)));
+}
+
+TEST(ChaosShardWorker, HungWorkerIsFencedOffAndRecoversTheLease) {
+  const CampaignConfig campaign = small_campaign();
+  const std::string dir = service_dir("chaos_hang_fence");
+
+  // Real clock and a short TTL: the heartbeat thread must discover the
+  // fence on its own renewal schedule while the mission loop hangs.
+  ShardWorkerConfig worker;
+  worker.campaign = campaign;
+  worker.dir = dir;
+  worker.num_leases = 1;
+  worker.lease_ttl_ms = 150;
+  worker.owner = "hung";
+  worker.chaos = parse_chaos_plan("hang@0");
+  worker.chaos_hang_wait = [](std::int64_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return false;  // never self-release: only the fence gets us out
+  };
+
+  ShardWorkerStats stats;
+  std::thread runner([&] { stats = run_shard_worker(worker); });
+  // Fence the hung worker the way a coordinator would.
+  LeaseStore coordinator(dir, 150, "coordinator");
+  while (!std::filesystem::exists(coordinator.claim_path(0))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  (void)coordinator.fence_claim(0);
+  runner.join();
+
+  // The worker abandoned the hang, re-claimed the lease (its chaos entry
+  // already spent) and finished the campaign.
+  EXPECT_GE(stats.leases_abandoned, 1);
+  EXPECT_TRUE(all_leases_done(dir, 1));
+  EXPECT_TRUE(deterministic_equal(merge_shards(campaign, dir),
+                                  run_campaign(campaign)));
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat failure handling (transient vs permanent renewal errors).
+
+TEST(LeaseHeartbeatErrors, TransientRenewalFailuresAreRetriedNotFatal) {
+  const std::string dir = service_dir("hb_transient");
+  LeaseStore store(dir, /*ttl_ms=*/200, "flaky");
+  ASSERT_TRUE(store.try_claim(0));
+  std::atomic<int> failures{2};
+  store.set_append_hook_for_test([&failures] {
+    if (failures.fetch_sub(1) > 0) throw util::IoError("blip", EIO);
+  });
+  {
+    LeaseHeartbeat heartbeat(store, 0);
+    // Two transient failures fit comfortably inside the TTL; the heartbeat
+    // must back off and recover, never fencing itself.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    while (failures.load() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_LE(failures.load(), 0);
+    EXPECT_FALSE(heartbeat.fenced());
+  }
+  EXPECT_TRUE(store.holds(0));  // a successful renewal landed after the blips
+}
+
+TEST(LeaseHeartbeatErrors, PermanentRenewalFailureFencesImmediately) {
+  const std::string dir = service_dir("hb_permanent");
+  LeaseStore store(dir, /*ttl_ms=*/150, "rofs");
+  ASSERT_TRUE(store.try_claim(0));
+  // A read-only filesystem never heals: the heartbeat must abandon at the
+  // first renewal instead of spinning on retries.
+  store.set_append_hook_for_test(
+      [] { throw util::IoError("read-only", EROFS); });
+  LeaseHeartbeat heartbeat(store, 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  while (!heartbeat.fenced() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(heartbeat.fenced());
+}
+
+TEST(LeaseHeartbeatErrors, TransientFailuresPastTheTtlFence) {
+  const std::string dir = service_dir("hb_lapsed");
+  LeaseStore store(dir, /*ttl_ms=*/120, "unlucky");
+  ASSERT_TRUE(store.try_claim(0));
+  // Every renewal fails "transiently": once the claim has lapsed on disk a
+  // reclaimer may own the range, so the heartbeat must fence rather than
+  // keep retrying into a contested lease.
+  store.set_append_hook_for_test([] { throw util::IoError("still down", EIO); });
+  LeaseHeartbeat heartbeat(store, 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(3000);
+  while (!heartbeat.fenced() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(heartbeat.fenced());
+}
+
+// ---------------------------------------------------------------------------
+// Holes: machine-readable partial merges and resume.
+
+TEST(HolesManifest, RoundTripsThroughJsonl) {
+  HolesManifest manifest;
+  manifest.config_hash = "0123456789abcdef";
+  manifest.num_missions = 20;
+  manifest.holes = {MissionHole{.begin = 3, .end = 7},
+                    MissionHole{.begin = 12, .end = 13}};
+  const HolesManifest parsed = holes_manifest_from_json(to_jsonl(manifest));
+  EXPECT_EQ(parsed.schema_version, 1);
+  EXPECT_EQ(parsed.config_hash, manifest.config_hash);
+  EXPECT_EQ(parsed.num_missions, 20);
+  ASSERT_EQ(parsed.holes.size(), 2u);
+  EXPECT_EQ(parsed.holes[0].begin, 3);
+  EXPECT_EQ(parsed.holes[0].end, 7);
+  EXPECT_EQ(parsed.holes[1].begin, 12);
+}
+
+TEST(HolesManifest, MissingMissionRangesFindsMaximalRuns) {
+  CampaignResult result;
+  result.outcomes.resize(8);
+  for (int i = 0; i < 8; ++i) result.outcomes[i].mission_index = i;
+  for (const int i : {0, 3, 4, 7}) result.outcomes[i].completed = true;
+  const auto holes = missing_mission_ranges(result);
+  ASSERT_EQ(holes.size(), 2u);
+  EXPECT_EQ(holes[0].begin, 1);
+  EXPECT_EQ(holes[0].end, 3);
+  EXPECT_EQ(holes[1].begin, 5);
+  EXPECT_EQ(holes[1].end, 7);
+  for (auto& outcome : result.outcomes) outcome.completed = true;
+  EXPECT_TRUE(missing_mission_ranges(result).empty());
+}
+
+TEST(ResumeHoles, TurnsALostShardBackIntoLeasesAndCompletes) {
+  const CampaignConfig campaign = small_campaign();
+  const std::string dir = service_dir("resume_holes");
+
+  std::int64_t now = 0;
+  ShardWorkerConfig worker;
+  worker.campaign = campaign;
+  worker.dir = dir;
+  worker.num_leases = 2;
+  worker.owner = "first";
+  worker.clock = [&now] { return now; };
+  worker.sleep_ms = [&now](std::int64_t ms) { now += ms; };
+  (void)run_shard_worker(worker);
+
+  // Disaster: lease 1's shard stream is lost *after* its done marker.
+  std::filesystem::remove(shard_telemetry_path(dir, 1));
+  const CampaignResult partial =
+      merge_shards(campaign, dir, /*allow_partial=*/true);
+  const auto holes = missing_mission_ranges(partial);
+  ASSERT_EQ(holes.size(), 1u);  // lease 1's range [3,6)
+
+  ServiceManifest manifest;
+  manifest.config_hash = campaign_config_hash(campaign);
+  manifest.num_missions = campaign.num_missions;
+  manifest.num_leases = 2;
+  manifest.lease_ttl_ms = 1000;
+  HolesManifest holes_manifest;
+  holes_manifest.config_hash = manifest.config_hash;
+  holes_manifest.num_missions = campaign.num_missions;
+  holes_manifest.holes = holes;
+
+  // The done-but-holey lease is retired and its hole re-leased...
+  EXPECT_EQ(resume_holes(dir, manifest, holes_manifest), 1);
+  // ...idempotently: the recovery lease already covers the hole exactly.
+  EXPECT_EQ(resume_holes(dir, manifest, holes_manifest), 0);
+
+  worker.owner = "second";
+  const ShardWorkerStats stats = run_shard_worker(worker);
+  EXPECT_EQ(stats.missions_run, 3);  // exactly the hole, nothing else
+  EXPECT_TRUE(service_complete(dir, campaign.num_missions, 2));
+  EXPECT_TRUE(deterministic_equal(merge_shards(campaign, dir),
+                                  run_campaign(campaign)));
+}
+
+TEST(ResumeHoles, OrphanedHolesGetParentlessLeases) {
+  const std::string dir = service_dir("resume_orphan");
+  // Lease 0 = [0,3) was re-carved down to a sub covering only [2,3): the
+  // records for [0,2) were in its shard file, which is now lost. No active
+  // lease covers [0,2) — the parentless ledger form must.
+  RecarveRecord record;
+  record.parent = 0;
+  record.subs = {LeaseRange{.lease_id = 2, .begin = 2, .end = 3}};
+  append_jsonl_line(recarve_ledger_path(dir), to_jsonl(record));
+
+  ServiceManifest manifest;
+  manifest.config_hash = "cafe";
+  manifest.num_missions = 6;
+  manifest.num_leases = 2;
+  HolesManifest holes;
+  holes.config_hash = "cafe";
+  holes.num_missions = 6;
+  holes.holes = {MissionHole{.begin = 0, .end = 2}};
+
+  EXPECT_EQ(resume_holes(dir, manifest, holes), 1);
+  const LeaseTable table = load_lease_table(dir, 6, 2);
+  ASSERT_EQ(table.active.size(), 3u);  // lease 1, sub 2, recovery lease 3
+  EXPECT_EQ(table.active.back().lease_id, 3);
+  EXPECT_EQ(table.active.back().begin, 0);
+  EXPECT_EQ(table.active.back().end, 2);
+}
+
+TEST(ResumeHoles, RejectsMismatchedConfigHash) {
+  const std::string dir = service_dir("resume_mismatch");
+  ServiceManifest manifest;
+  manifest.config_hash = "aaaa";
+  manifest.num_missions = 6;
+  manifest.num_leases = 2;
+  HolesManifest holes;
+  holes.config_hash = "bbbb";  // from a different campaign
+  holes.num_missions = 6;
+  holes.holes = {MissionHole{.begin = 0, .end = 1}};
+  EXPECT_THROW((void)resume_holes(dir, manifest, holes), std::runtime_error);
 }
 
 TEST(ShardWorker, ThreeConcurrentWorkersMergeBitIdenticalQuadrotor) {
