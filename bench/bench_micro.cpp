@@ -265,6 +265,32 @@ void BM_FuzzMissionParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_FuzzMissionParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Full default-budget E_Fuzz of one mission: SVG-seeded corpus, mutation
+// batches through the speculate-then-replay path, novelty admission and
+// periodic minimization. Arg = eval threads (results are bit-identical
+// across arms; the Evolutionary golden tests assert it).
+void BM_EvolutionaryFuzz(benchmark::State& state) {
+  const sim::MissionSpec mission = mission_of(5);
+  fuzz::FuzzerConfig config;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  config.spoof_distance = 10.0;
+  config.eval_threads = static_cast<int>(state.range(0));
+  const auto fuzzer = fuzz::make_fuzzer(fuzz::FuzzerKind::kEvolutionary, config);
+  int admissions = 0, bins = 0;
+  for (auto _ : state) {
+    const fuzz::FuzzResult result = fuzzer->fuzz(mission);
+    benchmark::DoNotOptimize(result);
+    admissions += result.corpus_admissions;
+    bins += result.novelty_bins;
+  }
+  state.counters["corpus_admissions"] = benchmark::Counter(
+      static_cast<double>(admissions), benchmark::Counter::kAvgIterations);
+  state.counters["novelty_bins"] = benchmark::Counter(
+      static_cast<double>(bins), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EvolutionaryFuzz)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 // One late-window objective evaluation — the inner loop of the gradient
 // search, where prefix reuse pays the most (the spoofing window sits near
 // the clean closest approach, so most of the mission is reusable prefix).

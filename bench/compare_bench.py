@@ -33,6 +33,7 @@ GUARDED_PREFIXES = (
     "BM_FullMission",
     "BM_FuzzMission",
     "BM_FuzzMissionParallel",
+    "BM_EvolutionaryFuzz",
     # Large-swarm scaling series (grid-on and pair-scan arms alike); the
     # small-N arms (5/10/15) run in microseconds and stay unguarded.
     "BM_ControllerEvaluation/100",

@@ -5,11 +5,14 @@
 //   R_Fuzz    : random pairs, random parameters
 //   G_Fuzz    : random pairs, gradient search (no SVG)
 //   S_Fuzz    : SVG scheduling, random parameters (no gradient)
+//   E_Fuzz    : SVG-seeded corpus, novelty-guided mutation (no gradient)
 //
 // Paper values: success 49/8/5/12 %, avg iterations 6.93/19.52/6.75/19.85.
 // Expected shape: SwarmFuzz's success rate is several times higher than all
 // ablations; gradient-based fuzzers consume ~3x fewer iterations because
 // they abandon hopeless seeds early instead of burning the budget.
+#include <algorithm>
+
 #include "bench_common.h"
 #include "util/table.h"
 
@@ -24,7 +27,9 @@ int main(int argc, char** argv) {
   std::vector<fuzz::CampaignResult> results;
   for (const fuzz::FuzzerKind kind :
        {fuzz::FuzzerKind::kSwarmFuzz, fuzz::FuzzerKind::kRandom,
-        fuzz::FuzzerKind::kGradientOnly, fuzz::FuzzerKind::kSvgOnly}) {
+        fuzz::FuzzerKind::kGradientOnly, fuzz::FuzzerKind::kSvgOnly,
+        // Appended last: the summary lines below index results[] positionally.
+        fuzz::FuzzerKind::kEvolutionary}) {
     fuzz::CampaignConfig config = bench::paper_campaign(options);
     config.kind = kind;
     config.mission.num_drones = 5;
@@ -50,6 +55,14 @@ int main(int argc, char** argv) {
   if (swarmfuzz_iters > 0.0) {
     std::printf("Gradient heuristic saving (S_Fuzz vs SwarmFuzz): %.1fx iterations\n",
                 s_iters / swarmfuzz_iters);
+  }
+  const double r_attempts = results[1].avg_attempts_all();
+  const double e_attempts = results[4].avg_attempts_all();
+  if (e_attempts > 0.0) {
+    std::printf("Novelty feedback boost (E_Fuzz vs R_Fuzz): %.2fx success rate, "
+                "%.1fx attempts\n",
+                results[4].success_rate() / std::max(results[1].success_rate(), 1e-9),
+                r_attempts / e_attempts);
   }
   std::printf("\nPaper reference: success 49%%/8%%/5%%/12%%, iterations "
               "6.93/19.52/6.75/19.85\n");

@@ -11,6 +11,17 @@ std::string_view direction_name(SpoofDirection dir) noexcept {
   return dir == SpoofDirection::kRight ? "right" : "left";
 }
 
+SpoofDirection direction_from_name(std::string_view name) {
+  if (name == direction_name(SpoofDirection::kRight)) {
+    return SpoofDirection::kRight;
+  }
+  if (name == direction_name(SpoofDirection::kLeft)) {
+    return SpoofDirection::kLeft;
+  }
+  throw std::invalid_argument("attack: unknown spoof direction: " +
+                              std::string{name});
+}
+
 SpoofDirection opposite(SpoofDirection dir) noexcept {
   return dir == SpoofDirection::kRight ? SpoofDirection::kLeft
                                        : SpoofDirection::kRight;

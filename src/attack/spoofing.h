@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "math/vec3.h"
 #include "sim/gps.h"
@@ -27,6 +28,9 @@ enum class SpoofDirection : int {
   return static_cast<int>(dir);
 }
 [[nodiscard]] std::string_view direction_name(SpoofDirection dir) noexcept;
+// Inverse of direction_name; throws std::invalid_argument on unknown names.
+// Shared by every stream that persists a direction (telemetry, corpus).
+[[nodiscard]] SpoofDirection direction_from_name(std::string_view name);
 [[nodiscard]] SpoofDirection opposite(SpoofDirection dir) noexcept;
 
 struct SpoofingPlan {

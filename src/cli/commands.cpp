@@ -69,6 +69,9 @@ fuzz::FuzzerKind fuzzer_kind_from(const util::Options& options) {
   if (name == "random" || name == "r_fuzz") return fuzz::FuzzerKind::kRandom;
   if (name == "gradient" || name == "g_fuzz") return fuzz::FuzzerKind::kGradientOnly;
   if (name == "svg" || name == "s_fuzz") return fuzz::FuzzerKind::kSvgOnly;
+  if (name == "evolutionary" || name == "e_fuzz") {
+    return fuzz::FuzzerKind::kEvolutionary;
+  }
   throw std::invalid_argument("unknown --fuzzer: " + name);
 }
 
@@ -80,6 +83,7 @@ std::string_view fuzzer_flag_of(fuzz::FuzzerKind kind) {
     case fuzz::FuzzerKind::kRandom: return "r_fuzz";
     case fuzz::FuzzerKind::kGradientOnly: return "g_fuzz";
     case fuzz::FuzzerKind::kSvgOnly: return "s_fuzz";
+    case fuzz::FuzzerKind::kEvolutionary: return "e_fuzz";
   }
   return "swarmfuzz";
 }
@@ -111,6 +115,15 @@ fuzz::CampaignConfig campaign_config_from(const util::Options& options) {
   // --max-fault-retries times before it is quarantined.
   config.fuzzer.mission_timeout_s = options.get_double("mission-timeout", 0.0);
   config.fuzzer.eval_max_steps = options.get_int("eval-max-steps", 0);
+  // E_Fuzz knobs (outcome-affecting, so they enter the config hash and the
+  // service manifest; inert for every other --fuzzer). --corpus-dir is a
+  // persistence location like --checkpoint and stays a per-command concern.
+  config.fuzzer.evolution.novelty.bins =
+      options.get_int("novelty-bins", config.fuzzer.evolution.novelty.bins);
+  config.fuzzer.evolution.batch_size =
+      options.get_int("evo-batch", config.fuzzer.evolution.batch_size);
+  config.fuzzer.evolution.max_corpus =
+      options.get_int("max-corpus", config.fuzzer.evolution.max_corpus);
   config.max_fault_retries = options.get_int("max-fault-retries", 2);
   config.clean_failure_retries =
       options.get_int("clean-retries", config.clean_failure_retries);
@@ -165,6 +178,9 @@ std::vector<std::string> campaign_args_from(const fuzz::CampaignConfig& config,
   add("sim-threads", std::to_string(config.fuzzer.sim.sim_threads));
   add("mission-timeout", exact(config.fuzzer.mission_timeout_s));
   add("eval-max-steps", std::to_string(config.fuzzer.eval_max_steps));
+  add("novelty-bins", std::to_string(config.fuzzer.evolution.novelty.bins));
+  add("evo-batch", std::to_string(config.fuzzer.evolution.batch_size));
+  add("max-corpus", std::to_string(config.fuzzer.evolution.max_corpus));
   add("max-fault-retries", std::to_string(config.max_fault_retries));
   add("clean-retries", std::to_string(config.clean_failure_retries));
   // Opaque option passthrough: the factory and injection list cannot be
@@ -300,6 +316,18 @@ int cmd_fuzz(const util::Options& options) {
   // N worker threads (0 = hardware concurrency); results are bit-identical
   // to --eval-threads=1.
   config.eval_threads = options.get_int("eval-threads", 1);
+  // E_Fuzz: novelty resolution, batch size, and the anytime corpus
+  // directory (load before searching, save the minimized corpus after).
+  config.evolution.novelty.bins =
+      options.get_int("novelty-bins", config.evolution.novelty.bins);
+  config.evolution.batch_size =
+      options.get_int("evo-batch", config.evolution.batch_size);
+  config.evolution.max_corpus =
+      options.get_int("max-corpus", config.evolution.max_corpus);
+  config.evolution.corpus_dir = options.get("corpus-dir", "");
+  if (!config.evolution.corpus_dir.empty()) {
+    std::filesystem::create_directories(config.evolution.corpus_dir);
+  }
   auto fuzzer = fuzz::make_fuzzer(fuzzer_kind_from(options), config,
                                   make_controller(options.get("controller", "")));
   const fuzz::FuzzResult result = fuzzer->fuzz(mission);
@@ -314,6 +342,11 @@ int cmd_fuzz(const util::Options& options) {
   std::printf("%s: %d iterations, %d simulations, mission VDO %.2f m\n",
               fuzzer->name().data(), result.iterations, result.simulations,
               result.mission_vdo);
+  if (result.corpus_admissions > 0) {
+    std::printf("  corpus  %d entries, %d novelty bins, %d admissions\n",
+                result.corpus_size, result.novelty_bins,
+                result.corpus_admissions);
+  }
   if (result.eval_parallelism > 1) {
     std::printf("  eval parallelism  %d threads, %d batches\n",
                 result.eval_parallelism, result.eval_batches);
@@ -729,9 +762,14 @@ int print_usage() {
       "  run        fly one mission without attack\n"
       "             [--sim-threads=N] (intra-tick worker threads, 0 = all\n"
       "             cores, 1 = serial; bit-identical results for any N)\n"
-      "  fuzz       search one mission for SPVs (--fuzzer=swarmfuzz|random|gradient|svg)\n"
+      "  fuzz       search one mission for SPVs\n"
+      "             (--fuzzer=swarmfuzz|random|gradient|svg|evolutionary)\n"
       "             [--no-prefix-reuse] [--checkpoint-period=S]\n"
       "             [--mission-timeout=S] [--eval-max-steps=N]\n"
+      "             evolutionary (E_Fuzz): [--novelty-bins=N] (signature\n"
+      "             resolution, default 16) [--evo-batch=N] [--max-corpus=N]\n"
+      "             [--corpus-dir=DIR] (anytime mode: resume/save the\n"
+      "             per-mission corpus)\n"
       "             [--eval-threads=N] (parallel batch evaluation, 0 = all\n"
       "             cores; bit-identical results for any N)\n"
       "             [--sim-threads=N] (intra-tick threads per simulation,\n"
@@ -749,6 +787,8 @@ int print_usage() {
       "             (default <checkpoint>.quarantine)\n"
       "             [--fault-inject=mode@idx[:t][xN],...] (nan|throw|hang; test\n"
       "             hook, also read from SWARMFUZZ_FAULT_INJECT)\n"
+      "             [--novelty-bins=N] [--evo-batch=N] [--max-corpus=N]\n"
+      "             (E_Fuzz knobs; enter the campaign config hash)\n"
       "  svg        print the Swarm Vulnerability Graph seedpool\n"
       "  replay     execute an explicit spoofing plan (--target --direction\n"
       "             --start --duration --distance) [--detect]\n"

@@ -315,6 +315,19 @@ std::string campaign_config_hash(const CampaignConfig& config) {
   add("init_dur", exact(f.initial_duration));
   add("dt", exact(f.sim.dt));
   add("noise_seed", std::to_string(f.sim.noise_seed));
+  // E_Fuzz knobs: every field except corpus_dir changes search outcomes
+  // (corpus_dir is a persistence location, like checkpoint_path — excluded).
+  const EvolutionConfig& e = f.evolution;
+  add("novelty_bins", std::to_string(e.novelty.bins));
+  add("novelty_widths", exact(e.novelty.clearance_bin_m) + ":" +
+                            exact(e.novelty.separation_bin_m) + ":" +
+                            exact(e.novelty.near_miss_m));
+  add("mutation", exact(e.mutation.shift_max_s) + ":" +
+                      exact(e.mutation.stretch_min) + ":" +
+                      exact(e.mutation.stretch_max));
+  add("evo_batch", std::to_string(e.batch_size));
+  add("evo_minimize", std::to_string(e.minimize_period));
+  add("evo_corpus_max", std::to_string(e.max_corpus));
 
   std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64
   for (const char ch : canon) {
@@ -368,6 +381,8 @@ bool deterministic_equal(const FuzzResult& a, const FuzzResult& b) noexcept {
       !same_double(a.mission_vdo, b.mission_vdo) ||
       !same_double(a.clean_mission_time, b.clean_mission_time) ||
       a.attempts_tried != b.attempts_tried || a.no_seeds != b.no_seeds ||
+      a.corpus_size != b.corpus_size || a.novelty_bins != b.novelty_bins ||
+      a.corpus_admissions != b.corpus_admissions ||
       !plans_equal(a.plan, b.plan) || a.attempts.size() != b.attempts.size()) {
     return false;
   }

@@ -1,7 +1,12 @@
 #include "fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
 #include <thread>
+#include <tuple>
 
 #include "fuzz/eval_pool.h"
 #include "fuzz/objective.h"
@@ -94,9 +99,16 @@ class FuzzerBase : public Fuzzer {
       result.clean_run_failed = true;
       return result;
     }
-    double mission_vdo = std::numeric_limits<double>::infinity();
+    // Min over finite per-drone VDOs only. A drone that never meets an
+    // obstacle reports infinity (and a degenerate sample could surface NaN);
+    // letting either win the fold leaks a non-finite value into telemetry,
+    // where it serializes as JSON null and parses back as NaN — breaking the
+    // bit-exact checkpoint round trip (same_double(inf, NaN) is false). A
+    // mission with no finite VDO keeps NaN, which round-trips stably.
+    double mission_vdo = std::numeric_limits<double>::quiet_NaN();
     for (int i = 0; i < mission.num_drones(); ++i) {
-      mission_vdo = std::min(mission_vdo, clean.recorder.min_obstacle_distance(i));
+      const double vdo = clean.recorder.min_obstacle_distance(i);
+      if (std::isfinite(vdo) && !(vdo >= mission_vdo)) mission_vdo = vdo;
     }
     result.mission_vdo = mission_vdo;
 
@@ -220,10 +232,19 @@ class GradientOnlyFuzzer final : public GradientSearchFuzzer {
  protected:
   void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
                   FuzzResult& result) override {
+    const int n = mission.num_drones();
+    if (n < 2) {
+      // A target-victim pair needs two drones; uniform_int(0, n - 2) below
+      // would otherwise be called on an empty range.
+      SWARMFUZZ_WARN(
+          "G_Fuzz: mission seed {} has {} drone(s), no target-victim pair "
+          "exists; nothing fuzzed", mission.seed, n);
+      result.no_seeds = true;
+      return;
+    }
     // Same seed count as SwarmFuzz would schedule, but drawn uniformly.
     math::Rng rng = rng_.split(mission.seed);
     std::vector<Seed> seeds;
-    const int n = mission.num_drones();
     for (int k = 0; k < config_.seeds.max_seeds; ++k) {
       const int target = rng.uniform_int(0, n - 1);
       int victim = rng.uniform_int(0, n - 2);
@@ -298,8 +319,17 @@ class RandomFuzzer final : public RandomSearchFuzzer {
  protected:
   void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
                   FuzzResult& result) override {
-    math::Rng rng = rng_.split(mission.seed);
     const int n = mission.num_drones();
+    if (n < 2) {
+      // Same degenerate-swarm guard as G_Fuzz: no pair to spoof, and the
+      // victim draw below would hit uniform_int's empty-range precondition.
+      SWARMFUZZ_WARN(
+          "R_Fuzz: mission seed {} has {} drone(s), no target-victim pair "
+          "exists; nothing fuzzed", mission.seed, n);
+      result.no_seeds = true;
+      return;
+    }
+    math::Rng rng = rng_.split(mission.seed);
     while (result.iterations < config_.mission_budget) {
       const int target = rng.uniform_int(0, n - 1);
       int victim = rng.uniform_int(0, n - 2);
@@ -347,6 +377,216 @@ class SvgOnlyFuzzer final : public RandomSearchFuzzer {
   }
 };
 
+// E_Fuzz: AFL-style persistent evolutionary search (DESIGN.md section 17).
+// The corpus is seeded from the SVG schedule (one t_ca-anchored window per
+// scheduled seed); each round assembles a fixed-size batch of mutants,
+// evaluates it through the speculate-then-replay batch path, and admits
+// candidates whose behavioral signature lights a novelty bin no corpus
+// member has lit. Periodic minimization keeps the population at one cheap
+// entry per bin. Results are bit-identical for any eval-thread count: batch
+// composition depends only on the RNG stream and corpus state, both of
+// which advance in replay (= submission) order.
+class EvolutionaryFuzzer final : public FuzzerBase {
+ public:
+  EvolutionaryFuzzer(FuzzerConfig config,
+                     std::shared_ptr<const swarm::SwarmController> controller)
+      : FuzzerBase(std::move(config), std::move(controller)),
+        rng_(config_.rng_seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "E_Fuzz"; }
+
+ protected:
+  void run_search(const sim::MissionSpec& mission, const sim::RunResult& clean,
+                  FuzzResult& result) override {
+    const int n = mission.num_drones();
+    const std::vector<Seed> scheduled = schedule_seeds(
+        clean, mission, system_, config_.spoof_distance, config_.seeds);
+    if (scheduled.empty()) {
+      SWARMFUZZ_WARN(
+          "E_Fuzz: seed scheduling produced no seeds for mission seed {}; "
+          "nothing fuzzed", mission.seed);
+      result.no_seeds = true;
+      return;
+    }
+
+    const EvolutionConfig& evo = config_.evolution;
+    Corpus corpus(evo.max_corpus);
+    int minimized_at = 0;
+
+    // Per-pair objectives are cached for the whole mission so each pair's
+    // memo keeps absorbing repeated windows across rounds; all share the
+    // mission's prefix cache, guards, and eval pool.
+    std::map<std::tuple<int, int, int>, std::unique_ptr<Objective>> objectives;
+    const auto objective_for = [&](const Seed& seed) -> Objective& {
+      const std::tuple<int, int, int> key{seed.target, seed.victim,
+                                          static_cast<int>(seed.direction)};
+      auto it = objectives.find(key);
+      if (it == objectives.end()) {
+        it = objectives
+                 .emplace(key, std::make_unique<Objective>(
+                                   mission, simulator_, system_, seed,
+                                   config_.spoof_distance, clean.end_time,
+                                   config_.prefix_reuse ? &prefix_ : nullptr,
+                                   &guards_, pool_.get()))
+                 .first;
+      }
+      return *it->second;
+    };
+
+    // Anytime mode: resume this mission's corpus from a previous campaign.
+    // Entries for a different swarm size are skipped (the corpus directory
+    // may be shared across grid cells).
+    const std::string corpus_path =
+        evo.corpus_dir.empty()
+            ? std::string{}
+            : evo.corpus_dir + "/corpus_" + std::to_string(mission.seed) +
+                  ".jsonl";
+    if (!corpus_path.empty()) {
+      for (CorpusEntry& entry : load_corpus(corpus_path)) {
+        if (entry.seed.target < 0 || entry.seed.target >= n ||
+            entry.seed.victim < 0 || entry.seed.victim >= n ||
+            entry.seed.target == entry.seed.victim) {
+          continue;
+        }
+        corpus.admit(std::move(entry));
+      }
+      if (corpus.size() > 0) {
+        SWARMFUZZ_DEBUG("E_Fuzz: resumed {} corpus entries from {}",
+                        corpus.size(), corpus_path);
+      }
+    }
+
+    // Round 0: one t_ca-anchored window per scheduled seed — breadth over
+    // pairs first; depth per pair comes from mutation.
+    std::vector<MutantCandidate> pending;
+    pending.reserve(scheduled.size());
+    for (const Seed& seed : scheduled) {
+      const std::vector<StartPoint> starts = initial_guesses(clean, seed);
+      pending.push_back(MutantCandidate{seed, starts.front().t_start,
+                                        starts.front().duration,
+                                        MutationOp::kWindowReset});
+    }
+
+    math::Rng rng = rng_.split(mission.seed);
+    std::size_t pending_next = 0;
+    std::size_t parent_cursor = 0;
+    std::size_t reseed_cursor = 0;
+    bool stop = false;
+    while (!stop && result.iterations < config_.mission_budget) {
+      // Assemble one batch. Mutation draws happen here, before any
+      // evaluation of the batch, so the RNG stream never depends on
+      // speculative execution order.
+      std::vector<MutantCandidate> batch;
+      const int remaining = config_.mission_budget - result.iterations;
+      const int batch_size = std::min(std::max(evo.batch_size, 1), remaining);
+      while (static_cast<int>(batch.size()) < batch_size) {
+        if (pending_next < pending.size()) {
+          batch.push_back(pending[pending_next++]);
+        } else if (corpus.size() > 0) {
+          const auto& entries = corpus.entries();
+          const CorpusEntry& parent = entries[parent_cursor++ % entries.size()];
+          const CorpusEntry& partner = entries[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(entries.size()) - 1))];
+          batch.push_back(mutate(parent, partner, n, clean.end_time, rng,
+                                 evo.mutation));
+        } else {
+          // Unreachable in practice (the first evaluated candidate always
+          // lights fresh bins), but guarantees the loop can never starve:
+          // fall back to scheduled seeds with uniform windows.
+          const Seed& seed = scheduled[reseed_cursor++ % scheduled.size()];
+          const double t_s = rng.uniform(0.0, clean.end_time);
+          batch.push_back(MutantCandidate{
+              seed, t_s, rng.uniform(0.0, clean.end_time - t_s),
+              MutationOp::kWindowReset});
+        }
+        // A victim swap leaves the parent's VDO on the seed; refresh every
+        // candidate from the clean run so recorded attempts stay truthful.
+        MutantCandidate& c = batch.back();
+        c.seed.vdo = clean.recorder.min_obstacle_distance(c.seed.victim);
+      }
+
+      // Group by pair/direction in first-appearance order: each group is one
+      // evaluate_batch against that pair's objective, so window mutants of
+      // one parent fan out over the pool together.
+      std::vector<std::pair<Objective*, std::vector<std::size_t>>> groups;
+      std::map<Objective*, std::size_t> group_of;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Objective& objective = objective_for(batch[i].seed);
+        const auto [it, inserted] = group_of.try_emplace(&objective, groups.size());
+        if (inserted) groups.push_back({&objective, {}});
+        groups[it->second].second.push_back(i);
+      }
+
+      for (auto& [objective, indices] : groups) {
+        if (stop) break;
+        std::vector<EvalRequest> requests;
+        requests.reserve(indices.size());
+        for (const std::size_t i : indices) {
+          double t_s = batch[i].t_start;
+          double dur = batch[i].duration;
+          objective->project(t_s, dur);
+          requests.push_back(EvalRequest{t_s, dur});
+        }
+        objective->evaluate_batch(
+            requests, [&](std::size_t j, const ObjectiveEval& eval) {
+              const MutantCandidate& candidate = batch[indices[j]];
+              ++result.iterations;
+              ++result.attempts_tried;
+              corpus.admit(CorpusEntry{
+                  candidate.seed, requests[j].t_start, requests[j].duration,
+                  eval.f,
+                  // Cost proxy: the tail simulated under prefix reuse — later
+                  // windows are cheaper to re-evaluate, so minimization
+                  // prefers them on equal coverage.
+                  clean.end_time - requests[j].t_start,
+                  novelty_signature(eval, clean.end_time, evo.novelty)});
+              const OptimizationResult outcome{.success = eval.success,
+                                               .t_start = requests[j].t_start,
+                                               .duration = requests[j].duration,
+                                               .best_f = eval.f,
+                                               .crashed_drone = eval.crashed_drone,
+                                               .iterations = 1};
+              if (eval.success ||
+                  result.attempts.size() < kMaxRecordedAttempts) {
+                result.attempts.push_back(SeedAttempt{candidate.seed, outcome});
+              }
+              if (eval.success) {
+                record_success(result, candidate.seed, outcome, clean);
+                stop = true;
+                return false;
+              }
+              return result.iterations < config_.mission_budget;
+            });
+      }
+
+      if (corpus.admissions() - minimized_at >= std::max(evo.minimize_period, 1)) {
+        corpus.minimize();
+        minimized_at = corpus.admissions();
+      }
+    }
+
+    // The reported (and persisted) corpus is always minimal.
+    corpus.minimize();
+    for (const auto& [key, objective] : objectives) {
+      result.simulations += objective->evaluations();
+      result.sim_steps_executed += objective->sim_steps_executed();
+      result.prefix_steps_reused += objective->prefix_steps_reused();
+      result.eval_batches += objective->eval_batches();
+    }
+    result.corpus_size = static_cast<int>(corpus.size());
+    result.novelty_bins = corpus.bins_lit();
+    result.corpus_admissions = corpus.admissions();
+    SWARMFUZZ_DEBUG(
+        "E_Fuzz: mission seed {}: {} iterations, corpus {} entries / {} bins "
+        "({} admissions)", mission.seed, result.iterations, result.corpus_size,
+        result.novelty_bins, result.corpus_admissions);
+    if (!corpus_path.empty()) save_corpus(corpus, corpus_path);
+  }
+
+ private:
+  math::Rng rng_;
+};
+
 }  // namespace
 
 std::string_view fuzzer_kind_name(FuzzerKind kind) noexcept {
@@ -355,6 +595,7 @@ std::string_view fuzzer_kind_name(FuzzerKind kind) noexcept {
     case FuzzerKind::kRandom: return "R_Fuzz";
     case FuzzerKind::kGradientOnly: return "G_Fuzz";
     case FuzzerKind::kSvgOnly: return "S_Fuzz";
+    case FuzzerKind::kEvolutionary: return "E_Fuzz";
   }
   return "?";
 }
@@ -371,6 +612,8 @@ std::unique_ptr<Fuzzer> make_fuzzer(
       return std::make_unique<GradientOnlyFuzzer>(config, std::move(controller));
     case FuzzerKind::kSvgOnly:
       return std::make_unique<SvgOnlyFuzzer>(config, std::move(controller));
+    case FuzzerKind::kEvolutionary:
+      return std::make_unique<EvolutionaryFuzzer>(config, std::move(controller));
   }
   throw std::invalid_argument("make_fuzzer: unknown kind");
 }

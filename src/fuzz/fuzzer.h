@@ -1,9 +1,11 @@
-// The fuzzers (paper sections IV and V-C).
+// The fuzzers (paper sections IV and V-C, plus the evolutionary extension).
 //
 //   SwarmFuzz : SVG/PageRank seed scheduling + gradient-guided search
 //   R_Fuzz    : random pairs, random parameters   (neither heuristic)
 //   G_Fuzz    : random pairs, gradient search     (no SVG)
 //   S_Fuzz    : SVG seed scheduling, random params (no gradient)
+//   E_Fuzz    : SVG-seeded corpus + mutation + behavioral-novelty feedback
+//               (AFL-style anytime search; DESIGN.md section 17)
 //
 // All fuzzers share the same mission-level iteration budget; gradient-based
 // fuzzers additionally stop early when a seed's search stalls, which is why
@@ -13,9 +15,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "fuzz/corpus.h"
+#include "fuzz/mutation.h"
 #include "fuzz/optimizer.h"
 #include "fuzz/seeds.h"
 #include "math/rng.h"
@@ -29,9 +34,28 @@ enum class FuzzerKind {
   kRandom,        // R_Fuzz
   kGradientOnly,  // G_Fuzz
   kSvgOnly,       // S_Fuzz
+  kEvolutionary,  // E_Fuzz
 };
 
 [[nodiscard]] std::string_view fuzzer_kind_name(FuzzerKind kind) noexcept;
+
+// E_Fuzz settings (kEvolutionary only). Everything except corpus_dir
+// affects search outcomes and therefore enters campaign_config_hash.
+struct EvolutionConfig {
+  NoveltyConfig novelty{};
+  MutationConfig mutation{};
+  // Candidates per evaluation batch. A fixed constant — deliberately NOT
+  // derived from eval_threads, or results would differ across thread counts
+  // and break the bit-identical determinism contract.
+  int batch_size = 8;
+  int minimize_period = 32;  // admissions between corpus minimizations
+  int max_corpus = 256;      // minimization triggers above this many entries
+  // Anytime mode: when set, each mission loads `<dir>/corpus_<seed>.jsonl`
+  // before searching and saves its minimized corpus back afterwards, so a
+  // later campaign resumes the exploration where this one stopped. Off by
+  // default — a pre-populated corpus intentionally changes results.
+  std::string corpus_dir;
+};
 
 struct FuzzerConfig {
   double spoof_distance = 10.0;          // d, m
@@ -74,6 +98,8 @@ struct FuzzerConfig {
   std::int64_t eval_max_steps = 0;
   // Deterministic fault injection for containment tests; kNone in production.
   sim::FaultInjection fault_injection{};
+  // E_Fuzz settings; ignored by every other kind.
+  EvolutionConfig evolution{};
 };
 
 // One fuzzed seed's outcome (for diagnostics and the ablation bench).
@@ -100,6 +126,13 @@ struct FuzzResult {
   // success-free run but was never fuzzed at all).
   int attempts_tried = 0;
   bool no_seeds = false;
+  // E_Fuzz search state (zero for every other kind), also part of
+  // deterministic_equal: corpus size after the final minimization, distinct
+  // novelty bins lit, and total admissions (including entries later
+  // minimized away).
+  int corpus_size = 0;
+  int novelty_bins = 0;
+  int corpus_admissions = 0;
   // Performance accounting (not part of the search outcome, and excluded
   // from deterministic_equal like wall time): control ticks simulated vs
   // skipped by resuming from clean-run prefix checkpoints, plus the batch

@@ -1,0 +1,91 @@
+#include "fuzz/mutation.h"
+
+#include <algorithm>
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+// Uniform draw over [0, n) minus two excluded values (which may coincide).
+// Requires at least one admissible value.
+int draw_excluding(math::Rng& rng, int n, int exclude_a, int exclude_b) {
+  const int lo = std::min(exclude_a, exclude_b);
+  const int hi = std::max(exclude_a, exclude_b);
+  const int excluded = lo == hi ? 1 : 2;
+  int v = rng.uniform_int(0, n - 1 - excluded);
+  if (v >= lo) ++v;
+  if (excluded == 2 && v >= hi) ++v;
+  return v;
+}
+
+}  // namespace
+
+std::string_view mutation_op_name(MutationOp op) noexcept {
+  switch (op) {
+    case MutationOp::kWindowShift: return "window_shift";
+    case MutationOp::kWindowStretch: return "window_stretch";
+    case MutationOp::kWindowReset: return "window_reset";
+    case MutationOp::kCrossover: return "crossover";
+    case MutationOp::kTargetSwap: return "target_swap";
+    case MutationOp::kVictimSwap: return "victim_swap";
+    case MutationOp::kDirectionFlip: return "direction_flip";
+  }
+  return "?";
+}
+
+MutantCandidate mutate(const CorpusEntry& parent, const CorpusEntry& partner,
+                       int num_drones, double t_mission, math::Rng& rng,
+                       const MutationConfig& config) {
+  // Weighted operator table: the window is the continuous search space where
+  // gradient-free progress accumulates, so window edits dominate; pair edits
+  // restart the behavioral context and stay rarer.
+  static constexpr MutationOp kTable[10] = {
+      MutationOp::kWindowShift,   MutationOp::kWindowShift,
+      MutationOp::kWindowShift,   MutationOp::kWindowStretch,
+      MutationOp::kWindowStretch, MutationOp::kWindowReset,
+      MutationOp::kCrossover,     MutationOp::kTargetSwap,
+      MutationOp::kVictimSwap,    MutationOp::kDirectionFlip,
+  };
+  MutationOp op = kTable[rng.uniform_int(0, 9)];
+  // A pair swap needs a third drone (the counterpart of a 2-drone swarm is
+  // already taken); degrade to the nearest always-valid discrete edit.
+  if ((op == MutationOp::kTargetSwap || op == MutationOp::kVictimSwap) &&
+      num_drones < 3) {
+    op = MutationOp::kDirectionFlip;
+  }
+
+  MutantCandidate out{parent.seed, parent.t_start, parent.duration, op};
+  switch (op) {
+    case MutationOp::kWindowShift:
+      out.t_start = std::max(
+          parent.t_start + rng.uniform(-config.shift_max_s, config.shift_max_s),
+          0.0);
+      break;
+    case MutationOp::kWindowStretch:
+      out.duration =
+          parent.duration * rng.uniform(config.stretch_min, config.stretch_max);
+      break;
+    case MutationOp::kWindowReset: {
+      out.t_start = rng.uniform(0.0, t_mission);
+      out.duration = rng.uniform(0.0, t_mission - out.t_start);
+      break;
+    }
+    case MutationOp::kCrossover:
+      out.t_start = partner.t_start;
+      out.duration = partner.duration;
+      break;
+    case MutationOp::kTargetSwap:
+      out.seed.target = draw_excluding(rng, num_drones, parent.seed.target,
+                                       parent.seed.victim);
+      break;
+    case MutationOp::kVictimSwap:
+      out.seed.victim = draw_excluding(rng, num_drones, parent.seed.target,
+                                       parent.seed.victim);
+      break;
+    case MutationOp::kDirectionFlip:
+      out.seed.direction = attack::opposite(parent.seed.direction);
+      break;
+  }
+  return out;
+}
+
+}  // namespace swarmfuzz::fuzz

@@ -1,0 +1,60 @@
+// E_Fuzz mutation operators (DESIGN.md section 17).
+//
+// A mutant is derived from one corpus entry (the parent) and, for crossover,
+// a second (the partner). Operators cover both halves of the test-run tuple
+// <T-V, theta, t_s, dt>: continuous window edits (shift, stretch, reset)
+// explore the spoofing window, discrete pair edits (target/victim swap,
+// direction flip) re-aim the attack, and crossover recombines a proven
+// window with a proven pair. Every draw count is fixed per operator, so the
+// mutant is a pure function of (parent, partner, swarm size, mission length,
+// RNG state) — the determinism argument of the whole evolutionary mode rests
+// on this.
+#pragma once
+
+#include <string_view>
+
+#include "fuzz/corpus.h"
+#include "math/rng.h"
+
+namespace swarmfuzz::fuzz {
+
+enum class MutationOp {
+  kWindowShift,    // translate the window in time
+  kWindowStretch,  // scale the duration
+  kWindowReset,    // fresh uniform window (exploration restart)
+  kCrossover,      // parent's pair/direction + partner's window
+  kTargetSwap,     // re-aim the spoof at a different target
+  kVictimSwap,     // expect a different victim to crash
+  kDirectionFlip,  // mirror the spoofing direction
+};
+
+[[nodiscard]] std::string_view mutation_op_name(MutationOp op) noexcept;
+
+struct MutationConfig {
+  double shift_max_s = 10.0;  // window-shift amplitude, +- seconds
+  double stretch_min = 0.6;   // duration scale range for kWindowStretch
+  double stretch_max = 1.6;
+};
+
+// A candidate produced by mutation: the window is raw (pre-projection; the
+// objective projects exactly as it does for every other caller). seed.vdo is
+// the parent's and goes stale on a victim swap — the fuzzer refreshes it
+// from the clean run before recording.
+struct MutantCandidate {
+  Seed seed;
+  double t_start = 0.0;
+  double duration = 0.0;
+  MutationOp op = MutationOp::kWindowShift;
+};
+
+// Draws an operator (window edits weighted over pair edits) and applies it.
+// `num_drones` bounds the pair swaps; swarms too small for a swap fall back
+// to a direction flip, and t_mission bounds the reset window. The target-
+// victim invariant (distinct, in range) is maintained for any input that
+// satisfies it.
+[[nodiscard]] MutantCandidate mutate(const CorpusEntry& parent,
+                                     const CorpusEntry& partner, int num_drones,
+                                     double t_mission, math::Rng& rng,
+                                     const MutationConfig& config = {});
+
+}  // namespace swarmfuzz::fuzz

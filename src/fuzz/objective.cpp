@@ -89,6 +89,27 @@ AttackEvalOutcome evaluate_attack(const sim::MissionSpec& mission,
   out.eval.end_time = run.end_time;
   out.eval.f =
       run.recorder.min_obstacle_distance(seed.victim) - mission.drone_radius;
+  // Behavioral features for the novelty signature: where every drone ended
+  // up relative to the obstacle field, when the globally tightest approach
+  // happened, and how tightly the swarm packed. Cheap — the recorder already
+  // tracked the minima; only the packing term scans one sample (O(n^2)).
+  const int n = mission.num_drones();
+  out.eval.drone_clearance.resize(static_cast<std::size_t>(n));
+  double tightest = std::numeric_limits<double>::infinity();
+  out.eval.min_clearance_time = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double clearance = run.recorder.min_obstacle_distance(i);
+    out.eval.drone_clearance[static_cast<std::size_t>(i)] = clearance;
+    if (clearance < tightest) {
+      tightest = clearance;
+      out.eval.min_clearance_time = run.recorder.time_of_min_obstacle_distance(i);
+    }
+  }
+  if (run.recorder.num_samples() > 0 && n > 1) {
+    const double t_clo = run.recorder.closest_time();
+    out.eval.min_avg_separation =
+        run.recorder.avg_inter_distance(run.recorder.sample_index_at(t_clo));
+  }
   // +inf is legitimate (obstacle-free victim path); NaN means the recorder
   // ingested a non-finite sample the sentinel somehow let through — surface
   // it as a fault rather than feeding NaN to the optimizer's comparisons.

@@ -44,6 +44,14 @@ struct ObjectiveEval {
   bool target_caused = false;   // collision involved the target (excluded by
                                 // the paper's success metric)
   double end_time = 0.0;
+  // Behavioral probe of the attacked run, the raw material of E_Fuzz's
+  // novelty signature (fuzz/corpus.h). Deterministic — derived from the
+  // recorder of a deterministic simulation — and carried through the memo
+  // and EvalPool untouched, so replayed and memo-served evaluations report
+  // the identical features.
+  std::vector<double> drone_clearance;  // per-drone min obstacle distance, m
+  double min_clearance_time = 0.0;      // when the tightest approach happened
+  double min_avg_separation = 0.0;      // tightest average swarm packing, m
 };
 
 // One candidate of an evaluation batch (raw, pre-projection coordinates —

@@ -142,6 +142,17 @@ OptimizationResult optimize(ObjectiveFunction& objective,
     const double grad_dt =
         (f[3] - f[4]) / std::max(pts[3].duration - pts[4].duration, 1e-9);
 
+    // Degenerate gradient: the attack window has no effect; abandon *before*
+    // stepping. Updating and re-projecting first would leave (t_start,
+    // duration) at a point no evaluation ever visited — any caller reading
+    // the abandoned center would be looking at a fabricated coordinate.
+    if (std::abs(grad_ts) < 1e-6 && std::abs(grad_dt) < 1e-6) {
+      SWARMFUZZ_TRACE("opt iter={} f={:.3f} degenerate gradient, abandoning",
+                      iter, f[0]);
+      result.stalled = true;
+      return result;
+    }
+
     const double step_ts =
         std::clamp(config.learning_rate * grad_ts, -config.max_step, config.max_step);
     const double step_dt =
@@ -152,12 +163,6 @@ OptimizationResult optimize(ObjectiveFunction& objective,
 
     SWARMFUZZ_TRACE("opt iter={} f={:.3f} t_s={:.2f} dt={:.2f} grad=({:.3f},{:.3f})",
                     iter, f[0], t_start, duration, grad_ts, grad_dt);
-
-    // Degenerate gradient: the attack window has no effect; abandon.
-    if (std::abs(grad_ts) < 1e-6 && std::abs(grad_dt) < 1e-6) {
-      result.stalled = true;
-      return result;
-    }
   }
   return result;
 }

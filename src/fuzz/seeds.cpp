@@ -1,11 +1,20 @@
 #include "fuzz/seeds.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/centrality.h"
 #include "util/logging.h"
 
 namespace swarmfuzz::fuzz {
+
+bool victim_vdo_before(double vdo_a, double vdo_b, int a, int b) noexcept {
+  const bool finite_a = std::isfinite(vdo_a);
+  const bool finite_b = std::isfinite(vdo_b);
+  if (finite_a != finite_b) return finite_a;
+  if (finite_a && vdo_a != vdo_b) return vdo_a < vdo_b;
+  return a < b;
+}
 
 std::vector<Seed> schedule_seeds(const sim::RunResult& clean,
                                  const sim::MissionSpec& mission,
@@ -41,12 +50,13 @@ std::vector<Seed> schedule_seeds(const sim::RunResult& clean,
     });
   }
 
-  // Victims ordered by ascending VDO.
+  // Victims ordered by ascending VDO, via the NaN-last total order (see
+  // seeds.h — raw `<` on a non-finite VDO is UB in std::sort).
   std::vector<int> victims(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) victims[static_cast<size_t>(i)] = i;
   std::sort(victims.begin(), victims.end(), [&](int a, int b) {
-    return clean.recorder.min_obstacle_distance(a) <
-           clean.recorder.min_obstacle_distance(b);
+    return victim_vdo_before(clean.recorder.min_obstacle_distance(a),
+                             clean.recorder.min_obstacle_distance(b), a, b);
   });
 
   // One SVG + PageRank pair per spoofing direction.

@@ -44,6 +44,15 @@ struct SeedScheduleConfig {
   graph::PageRankOptions pagerank{};
 };
 
+// NaN-last total order used to rank victims by clean-run VDO. Finite VDOs
+// sort ascending; non-finite values (a drone that never approaches an
+// obstacle reports +inf, a degenerate trajectory can surface NaN) sort after
+// every finite one; remaining ties — including every non-finite pair —
+// break on drone id. Unlike raw `<` (which violates strict weak ordering on
+// NaN, UB in std::sort), this is a valid total order.
+[[nodiscard]] bool victim_vdo_before(double vdo_a, double vdo_b, int a,
+                                     int b) noexcept;
+
 // Builds the ordered seedpool from the clean run. `clean` must be the
 // attack-free RunResult of `mission`; `system` is the control system under
 // test (used for SVG probes); `spoof_distance` is the deviation d.

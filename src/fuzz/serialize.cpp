@@ -39,6 +39,16 @@ void write_result_fields(util::JsonWriter& json, const FuzzResult& result) {
     json.key("no_seeds");
     json.value(true);
   }
+  // E_Fuzz corpus accounting; present only when a corpus was populated.
+  if (result.corpus_admissions > 0 || result.corpus_size > 0 ||
+      result.novelty_bins > 0) {
+    json.key("corpus_size");
+    json.value(result.corpus_size);
+    json.key("novelty_bins");
+    json.value(result.novelty_bins);
+    json.key("corpus_admissions");
+    json.value(result.corpus_admissions);
+  }
   json.key("eval_batches");
   json.value(result.eval_batches);
   json.key("eval_parallelism");

@@ -64,16 +64,7 @@ void verify_crc_frame(std::string_view line) {
 
 namespace {
 
-attack::SpoofDirection direction_from_name(std::string_view name) {
-  if (name == attack::direction_name(attack::SpoofDirection::kRight)) {
-    return attack::SpoofDirection::kRight;
-  }
-  if (name == attack::direction_name(attack::SpoofDirection::kLeft)) {
-    return attack::SpoofDirection::kLeft;
-  }
-  throw std::invalid_argument("telemetry: unknown spoof direction: " +
-                              std::string{name});
-}
+using attack::direction_from_name;
 
 void write_plan(util::JsonWriter& json, const attack::SpoofingPlan& plan) {
   json.begin_object();
@@ -168,6 +159,18 @@ void write_result(util::JsonWriter& json, const FuzzResult& result) {
   json.value(result.attempts_tried);
   json.key("no_seeds");
   json.value(result.no_seeds);
+  // E_Fuzz corpus accounting, written only when the search populated a
+  // corpus so records from the other fuzzers stay byte-identical with files
+  // written before the evolutionary schema existed.
+  if (result.corpus_admissions > 0 || result.corpus_size > 0 ||
+      result.novelty_bins > 0) {
+    json.key("corpus_size");
+    json.value(result.corpus_size);
+    json.key("novelty_bins");
+    json.value(result.novelty_bins);
+    json.key("corpus_admissions");
+    json.value(result.corpus_admissions);
+  }
   json.key("eval_batches");
   json.value(result.eval_batches);
   json.key("eval_parallelism");
@@ -206,6 +209,12 @@ FuzzResult result_from(const util::JsonValue& node) {
   result.attempts_tried = tried != nullptr ? tried->as_int() : 0;
   const util::JsonValue* no_seeds = node.find("no_seeds");
   result.no_seeds = no_seeds != nullptr && no_seeds->as_bool();
+  const util::JsonValue* corpus_size = node.find("corpus_size");
+  result.corpus_size = corpus_size != nullptr ? corpus_size->as_int() : 0;
+  const util::JsonValue* novelty_bins = node.find("novelty_bins");
+  result.novelty_bins = novelty_bins != nullptr ? novelty_bins->as_int() : 0;
+  const util::JsonValue* admissions = node.find("corpus_admissions");
+  result.corpus_admissions = admissions != nullptr ? admissions->as_int() : 0;
   const util::JsonValue* batches = node.find("eval_batches");
   result.eval_batches = batches != nullptr ? batches->as_int() : 0;
   const util::JsonValue* parallelism = node.find("eval_parallelism");
@@ -417,16 +426,10 @@ void JsonlTelemetrySink::record(const TelemetryRecord& record) {
   std::fflush(file_);
 }
 
-namespace {
-
-// Shared JSONL replay loop: parses each line with `parse`, pushing results
-// into `records`. Torn final line → warn + skip; corrupt complete line →
-// throw (resuming past it would silently drop missions).
-template <typename Record, typename Parse>
-std::vector<Record> load_jsonl(const std::string& path, Parse parse) {
-  std::vector<Record> records;
+std::vector<JsonlLine> read_jsonl_lines(const std::string& path) {
+  std::vector<JsonlLine> lines;
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return records;
+  if (file == nullptr) return lines;
 
   std::string content;
   char buffer[1 << 14];
@@ -441,24 +444,38 @@ std::vector<Record> load_jsonl(const std::string& path, Parse parse) {
     std::size_t end = content.find('\n', start);
     const bool complete_line = end != std::string::npos;
     if (!complete_line) end = content.size();
-    const std::string_view line{content.data() + start, end - start};
+    if (end > start) {
+      lines.push_back(JsonlLine{content.substr(start, end - start), complete_line});
+    }
     start = end + 1;
-    if (line.empty()) continue;
+  }
+  return lines;
+}
+
+namespace {
+
+// Shared JSONL replay loop: parses each line with `parse`, pushing results
+// into `records`. Torn final line → warn + skip; corrupt complete line →
+// throw (resuming past it would silently drop missions).
+template <typename Record, typename Parse>
+std::vector<Record> load_jsonl(const std::string& path, Parse parse) {
+  std::vector<Record> records;
+  for (const JsonlLine& line : read_jsonl_lines(path)) {
     try {
-      records.push_back(parse(line));
+      records.push_back(parse(std::string_view{line.text}));
     } catch (const std::exception& e) {
       // Records never contain a raw newline, so a crash mid-write can only
       // tear the newline-terminated suffix of the file: a malformed final
       // line without '\n' is the expected crash signature and is skipped.
       // A malformed *complete* line means the file is corrupt, and resuming
       // from it would silently drop missions.
-      if (complete_line) {
+      if (line.complete) {
         throw std::runtime_error("telemetry: corrupt record in " + path + ": " +
                                  e.what());
       }
       SWARMFUZZ_WARN(
           "telemetry: skipping torn final record in {} ({} bytes): {}", path,
-          line.size(), e.what());
+          line.text.size(), e.what());
     }
   }
   return records;

@@ -148,4 +148,16 @@ class JsonlTelemetrySink final : public TelemetrySink {
 // std::runtime_error. A missing file yields an empty vector.
 [[nodiscard]] std::vector<TelemetryRecord> load_telemetry(const std::string& path);
 
+// Raw line replay shared by the durable JSONL loaders (telemetry,
+// quarantine, the E_Fuzz corpus): every line of `path` without its
+// terminator, in file order. An unterminated final line — the torn-write
+// crash signature — is returned with `complete = false` so callers can
+// apply the skip-torn-tail / throw-on-corrupt-complete-line policy. A
+// missing file yields an empty vector.
+struct JsonlLine {
+  std::string text;
+  bool complete = true;
+};
+[[nodiscard]] std::vector<JsonlLine> read_jsonl_lines(const std::string& path);
+
 }  // namespace swarmfuzz::fuzz

@@ -1,0 +1,150 @@
+// E_Fuzz end-to-end: determinism across eval-thread counts and prefix
+// reuse, corpus persistence/resume, counter plumbing, degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+FuzzerConfig fast_config(double spoof_distance = 10.0) {
+  FuzzerConfig config;
+  config.spoof_distance = spoof_distance;
+  config.sim.dt = 0.05;
+  config.sim.gps.rate_hz = 20.0;
+  return config;
+}
+
+sim::MissionSpec mission_with(std::uint64_t seed, int drones = 5) {
+  sim::MissionConfig config;
+  config.num_drones = drones;
+  return sim::generate_mission(config, seed);
+}
+
+std::string fresh_corpus_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path{::testing::TempDir()} / ("swarmfuzz_evo_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+TEST(Evolutionary, KindNameAndFactory) {
+  EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kEvolutionary), "E_Fuzz");
+  EXPECT_EQ(make_fuzzer(FuzzerKind::kEvolutionary, fast_config())->name(),
+            "E_Fuzz");
+}
+
+TEST(Evolutionary, BitIdenticalAcrossEvalThreads) {
+  // The determinism contract of the whole mode: for a fixed seed, the search
+  // outcome AND the persisted corpus are bit-identical for any eval-thread
+  // count (batch composition depends only on the RNG stream and corpus
+  // state, both advancing in replay = submission order).
+  const sim::MissionSpec mission = mission_with(1000);  // robust: full budget
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 24;
+
+  const std::string dir_serial = fresh_corpus_dir("serial");
+  const std::string dir_pool = fresh_corpus_dir("pool");
+  config.eval_threads = 1;
+  config.evolution.corpus_dir = dir_serial;
+  const FuzzResult serial =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission);
+  config.eval_threads = 4;
+  config.evolution.corpus_dir = dir_pool;
+  const FuzzResult pooled =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission);
+
+  EXPECT_TRUE(deterministic_equal(serial, pooled));
+  EXPECT_EQ(serial.iterations, 24);
+  const std::string file = "/corpus_" + std::to_string(mission.seed) + ".jsonl";
+  EXPECT_EQ(slurp(dir_serial + file), slurp(dir_pool + file));
+  std::filesystem::remove_all(dir_serial);
+  std::filesystem::remove_all(dir_pool);
+}
+
+TEST(Evolutionary, BitIdenticalAcrossPrefixReuse) {
+  const sim::MissionSpec mission = mission_with(1002);
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 16;
+  config.prefix_reuse = true;
+  const FuzzResult with_prefix =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission);
+  config.prefix_reuse = false;
+  const FuzzResult without_prefix =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission);
+  EXPECT_TRUE(deterministic_equal(with_prefix, without_prefix));
+}
+
+TEST(Evolutionary, PopulatesCorpusCounters) {
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 16;
+  const FuzzResult result =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission_with(1000));
+  EXPECT_GT(result.corpus_size, 0);
+  // After minimization each entry covers at least one exclusive bin.
+  EXPECT_GE(result.novelty_bins, result.corpus_size);
+  EXPECT_GE(result.corpus_admissions, result.corpus_size);
+  EXPECT_EQ(result.iterations, 16);
+  EXPECT_EQ(result.attempts_tried, 16);
+  EXPECT_GT(result.simulations, 0);
+}
+
+TEST(Evolutionary, ResumesFromSavedCorpus) {
+  const std::string dir = fresh_corpus_dir("resume");
+  const sim::MissionSpec mission = mission_with(1000);
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 16;
+  config.evolution.corpus_dir = dir;
+  const FuzzResult first =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission);
+  ASSERT_GT(first.corpus_size, 0);
+
+  const std::string path =
+      dir + "/corpus_" + std::to_string(mission.seed) + ".jsonl";
+  ASSERT_EQ(static_cast<int>(load_corpus(path).size()), first.corpus_size);
+
+  // A second campaign over the same directory starts from the saved
+  // population: its bin coverage can only grow.
+  const FuzzResult second =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission);
+  EXPECT_GE(second.novelty_bins, first.novelty_bins);
+  EXPECT_EQ(static_cast<int>(load_corpus(path).size()), second.corpus_size);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Evolutionary, MarksNoSeedsWithoutObstacles) {
+  auto fuzzer = make_fuzzer(FuzzerKind::kEvolutionary, fast_config());
+  sim::MissionSpec mission = mission_with(1002);
+  mission.obstacles = sim::ObstacleField{};
+  const FuzzResult result = fuzzer->fuzz(mission);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.no_seeds);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.corpus_size, 0);
+}
+
+TEST(Evolutionary, RespectsMissionBudgetWithOddBatchSize) {
+  FuzzerConfig config = fast_config(10.0);
+  config.mission_budget = 10;
+  config.evolution.batch_size = 4;  // budget is not a multiple of the batch
+  const FuzzResult result =
+      make_fuzzer(FuzzerKind::kEvolutionary, config)->fuzz(mission_with(1000));
+  EXPECT_EQ(result.iterations, 10);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

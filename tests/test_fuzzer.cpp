@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "swarm/vasarhelyi.h"
 
 namespace swarmfuzz::fuzz {
@@ -26,6 +28,7 @@ TEST(Fuzzer, KindNames) {
   EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kRandom), "R_Fuzz");
   EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kGradientOnly), "G_Fuzz");
   EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kSvgOnly), "S_Fuzz");
+  EXPECT_EQ(fuzzer_kind_name(FuzzerKind::kEvolutionary), "E_Fuzz");
 }
 
 TEST(Fuzzer, FactoryBuildsEachKind) {
@@ -34,6 +37,7 @@ TEST(Fuzzer, FactoryBuildsEachKind) {
   EXPECT_EQ(make_fuzzer(FuzzerKind::kRandom, config)->name(), "R_Fuzz");
   EXPECT_EQ(make_fuzzer(FuzzerKind::kGradientOnly, config)->name(), "G_Fuzz");
   EXPECT_EQ(make_fuzzer(FuzzerKind::kSvgOnly, config)->name(), "S_Fuzz");
+  EXPECT_EQ(make_fuzzer(FuzzerKind::kEvolutionary, config)->name(), "E_Fuzz");
 }
 
 TEST(Fuzzer, SwarmFuzzFindsKnownVulnerableMission) {
@@ -120,6 +124,41 @@ TEST(Fuzzer, SwarmFuzzMarksNoSeedsToo) {
   const FuzzResult result = fuzzer->fuzz(mission);
   EXPECT_FALSE(result.found);
   EXPECT_TRUE(result.no_seeds);
+}
+
+TEST(Fuzzer, SingleDroneMissionMarksNoSeedsForEveryKind) {
+  // Regression: R_Fuzz and G_Fuzz drew a victim via uniform_int(0, n - 2)
+  // before checking n, so a 1-drone mission hit the empty-range RNG
+  // precondition. Every fuzzer must now report the degenerate swarm as
+  // no_seeds instead.
+  // The generator refuses to build a 1-drone mission, but one can still
+  // arrive hand-built or through deserialization; truncate a generated spec.
+  sim::MissionSpec mission = mission_with(1002);
+  mission.initial_positions.resize(1);
+  ASSERT_EQ(mission.num_drones(), 1);
+  for (const FuzzerKind kind :
+       {FuzzerKind::kSwarmFuzz, FuzzerKind::kRandom, FuzzerKind::kGradientOnly,
+        FuzzerKind::kSvgOnly, FuzzerKind::kEvolutionary}) {
+    auto fuzzer = make_fuzzer(kind, fast_config(10.0));
+    const FuzzResult result = fuzzer->fuzz(mission);
+    EXPECT_FALSE(result.found) << fuzzer->name();
+    EXPECT_TRUE(result.no_seeds) << fuzzer->name();
+    EXPECT_EQ(result.iterations, 0) << fuzzer->name();
+    EXPECT_EQ(result.attempts_tried, 0) << fuzzer->name();
+  }
+}
+
+TEST(Fuzzer, MissionVdoIsNaNWithoutObstacles) {
+  // Regression: the old min-fold let the all-infinite VDOs of an
+  // obstacle-free clean run leak +inf into mission_vdo, which JSON-nulls to
+  // NaN on reload and breaks the bit-exact checkpoint round trip
+  // (same_double(inf, NaN) is false). Non-finite folds must yield NaN.
+  auto fuzzer = make_fuzzer(FuzzerKind::kSwarmFuzz, fast_config(10.0));
+  sim::MissionSpec mission = mission_with(1002);
+  mission.obstacles = sim::ObstacleField{};
+  const FuzzResult result = fuzzer->fuzz(mission);
+  EXPECT_TRUE(result.no_seeds);
+  EXPECT_TRUE(std::isnan(result.mission_vdo));
 }
 
 TEST(Fuzzer, RandomFuzzerRecordsFailedAttempts) {

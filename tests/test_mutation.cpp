@@ -1,0 +1,147 @@
+#include "fuzz/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace swarmfuzz::fuzz {
+namespace {
+
+CorpusEntry parent_entry() {
+  CorpusEntry entry;
+  entry.seed = Seed{.target = 0, .victim = 3,
+                    .direction = attack::SpoofDirection::kLeft,
+                    .vdo = 4.0, .influence = 0.5};
+  entry.t_start = 30.0;
+  entry.duration = 15.0;
+  entry.cost = 90.0;
+  entry.signature = {1, 2};
+  return entry;
+}
+
+CorpusEntry partner_entry() {
+  CorpusEntry entry;
+  entry.seed = Seed{.target = 2, .victim = 4,
+                    .direction = attack::SpoofDirection::kRight,
+                    .vdo = 7.0, .influence = 0.25};
+  entry.t_start = 55.0;
+  entry.duration = 5.0;
+  entry.cost = 65.0;
+  entry.signature = {3};
+  return entry;
+}
+
+TEST(Mutation, IsDeterministic) {
+  math::Rng rng_a(42), rng_b(42);
+  const CorpusEntry parent = parent_entry(), partner = partner_entry();
+  for (int i = 0; i < 200; ++i) {
+    const MutantCandidate a = mutate(parent, partner, 5, 120.0, rng_a);
+    const MutantCandidate b = mutate(parent, partner, 5, 120.0, rng_b);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.seed.target, b.seed.target);
+    EXPECT_EQ(a.seed.victim, b.seed.victim);
+    EXPECT_EQ(a.seed.direction, b.seed.direction);
+    EXPECT_DOUBLE_EQ(a.t_start, b.t_start);
+    EXPECT_DOUBLE_EQ(a.duration, b.duration);
+  }
+}
+
+TEST(Mutation, MaintainsPairAndWindowInvariants) {
+  math::Rng rng(7);
+  const CorpusEntry parent = parent_entry(), partner = partner_entry();
+  for (int i = 0; i < 500; ++i) {
+    const MutantCandidate m = mutate(parent, partner, 5, 120.0, rng);
+    EXPECT_GE(m.seed.target, 0);
+    EXPECT_LT(m.seed.target, 5);
+    EXPECT_GE(m.seed.victim, 0);
+    EXPECT_LT(m.seed.victim, 5);
+    EXPECT_NE(m.seed.target, m.seed.victim);
+    EXPECT_GE(m.t_start, 0.0);
+    EXPECT_GE(m.duration, 0.0);
+    EXPECT_FALSE(mutation_op_name(m.op).empty());
+  }
+}
+
+TEST(Mutation, ExercisesEveryOperator) {
+  math::Rng rng(11);
+  const CorpusEntry parent = parent_entry(), partner = partner_entry();
+  std::set<MutationOp> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(mutate(parent, partner, 5, 120.0, rng).op);
+  }
+  EXPECT_TRUE(seen.contains(MutationOp::kWindowShift));
+  EXPECT_TRUE(seen.contains(MutationOp::kWindowStretch));
+  EXPECT_TRUE(seen.contains(MutationOp::kWindowReset));
+  EXPECT_TRUE(seen.contains(MutationOp::kCrossover));
+  EXPECT_TRUE(seen.contains(MutationOp::kTargetSwap));
+  EXPECT_TRUE(seen.contains(MutationOp::kVictimSwap));
+  EXPECT_TRUE(seen.contains(MutationOp::kDirectionFlip));
+}
+
+TEST(Mutation, TwoDroneSwarmNeverAttemptsPairSwap) {
+  // With n = 2 the only valid pair is the parent's; a target or victim swap
+  // has no candidate to draw (the empty-range RNG bug class this PR fixes in
+  // R_Fuzz/G_Fuzz), so those operators must degrade to a direction flip.
+  CorpusEntry parent = parent_entry();
+  parent.seed.target = 0;
+  parent.seed.victim = 1;
+  CorpusEntry partner = partner_entry();
+  partner.seed.target = 1;
+  partner.seed.victim = 0;
+  math::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const MutantCandidate m = mutate(parent, partner, 2, 120.0, rng);
+    EXPECT_NE(m.op, MutationOp::kTargetSwap);
+    EXPECT_NE(m.op, MutationOp::kVictimSwap);
+    EXPECT_NE(m.seed.target, m.seed.victim);
+    EXPECT_GE(m.seed.target, 0);
+    EXPECT_LT(m.seed.target, 2);
+  }
+}
+
+TEST(Mutation, CrossoverTakesPartnerWindowAndParentPair) {
+  math::Rng rng(19);
+  const CorpusEntry parent = parent_entry(), partner = partner_entry();
+  bool found = false;
+  for (int i = 0; i < 1000 && !found; ++i) {
+    const MutantCandidate m = mutate(parent, partner, 5, 120.0, rng);
+    if (m.op != MutationOp::kCrossover) continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(m.t_start, partner.t_start);
+    EXPECT_DOUBLE_EQ(m.duration, partner.duration);
+    EXPECT_EQ(m.seed.target, parent.seed.target);
+    EXPECT_EQ(m.seed.victim, parent.seed.victim);
+    EXPECT_EQ(m.seed.direction, parent.seed.direction);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Mutation, DirectionFlipMirrorsTheSpoof) {
+  math::Rng rng(23);
+  const CorpusEntry parent = parent_entry(), partner = partner_entry();
+  bool found = false;
+  for (int i = 0; i < 1000 && !found; ++i) {
+    const MutantCandidate m = mutate(parent, partner, 5, 120.0, rng);
+    if (m.op != MutationOp::kDirectionFlip) continue;
+    found = true;
+    EXPECT_EQ(m.seed.direction, attack::opposite(parent.seed.direction));
+    EXPECT_DOUBLE_EQ(m.t_start, parent.t_start);
+    EXPECT_DOUBLE_EQ(m.duration, parent.duration);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Mutation, OpNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const MutationOp op :
+       {MutationOp::kWindowShift, MutationOp::kWindowStretch,
+        MutationOp::kWindowReset, MutationOp::kCrossover, MutationOp::kTargetSwap,
+        MutationOp::kVictimSwap, MutationOp::kDirectionFlip}) {
+    names.insert(std::string{mutation_op_name(op)});
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace swarmfuzz::fuzz

@@ -229,6 +229,59 @@ TEST(Optimizer, BoundaryStencilGradientUsesProjectedDenominators) {
   EXPECT_NEAR(objective.calls[6].second, dt2, 1e-9);
 }
 
+// Flat landscape that logs the interleaving of evaluate and project calls,
+// to pin down *when* the optimizer stops touching the parameters.
+class EventLoggingFlat final : public ObjectiveFunction {
+ public:
+  enum class Kind { kEvaluate, kProject };
+  struct Event {
+    Kind kind;
+    double t_start;
+    double duration;
+  };
+
+  ObjectiveEval evaluate(double t_start, double duration) override {
+    events.push_back({Kind::kEvaluate, t_start, duration});
+    return ObjectiveEval{.f = 5.0};
+  }
+  void project(double& t_start, double& duration) const override {
+    t_start = std::clamp(t_start, 0.0, 120.0);
+    duration = std::clamp(duration, 0.05, 120.0 - t_start);
+    events.push_back({Kind::kProject, t_start, duration});
+  }
+
+  // project() is const for callers but part of the trace under test.
+  mutable std::vector<Event> events;
+};
+
+TEST(Optimizer, DegenerateGradientAbandonsBeforeUpdatingParameters) {
+  // Regression: the degenerate-gradient abandon used to run *after* the
+  // parameter update and re-projection, leaving (t_start, duration) at a
+  // fabricated point no evaluation ever visited. The fixed ordering checks
+  // the gradient first, so once the last simulation has run the optimizer
+  // never moves the parameters again — and the reported point is always one
+  // that was actually evaluated.
+  EventLoggingFlat objective;
+  const auto result =
+      optimize(objective, std::span(&kStart, 1), 20, OptimizerConfig{});
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.stalled);
+
+  ASSERT_FALSE(objective.events.empty());
+  // No project (= parameter motion) after the final evaluation.
+  EXPECT_EQ(objective.events.back().kind, EventLoggingFlat::Kind::kEvaluate);
+
+  // The reported point matches a center that was actually evaluated.
+  bool reported_point_was_evaluated = false;
+  for (const auto& event : objective.events) {
+    if (event.kind == EventLoggingFlat::Kind::kEvaluate &&
+        event.t_start == result.t_start && event.duration == result.duration) {
+      reported_point_was_evaluated = true;
+    }
+  }
+  EXPECT_TRUE(reported_point_was_evaluated);
+}
+
 TEST(Optimizer, BestFTracksLowestSeen) {
   Paraboloid objective(40.0, 12.0, 1.5);
   const auto result =

@@ -60,7 +60,8 @@ INSTANTIATE_TEST_SUITE_P(AllFuzzers, FoundSpvsValidate,
                          ::testing::Values(fuzz::FuzzerKind::kSwarmFuzz,
                                            fuzz::FuzzerKind::kRandom,
                                            fuzz::FuzzerKind::kGradientOnly,
-                                           fuzz::FuzzerKind::kSvgOnly));
+                                           fuzz::FuzzerKind::kSvgOnly,
+                                           fuzz::FuzzerKind::kEvolutionary));
 
 // Property: fuzzing is deterministic - same mission, same config, same
 // outcome, for every fuzzer kind.
@@ -90,7 +91,8 @@ INSTANTIATE_TEST_SUITE_P(AllFuzzers, FuzzerDeterminism,
                          ::testing::Values(fuzz::FuzzerKind::kSwarmFuzz,
                                            fuzz::FuzzerKind::kRandom,
                                            fuzz::FuzzerKind::kGradientOnly,
-                                           fuzz::FuzzerKind::kSvgOnly));
+                                           fuzz::FuzzerKind::kSvgOnly,
+                                           fuzz::FuzzerKind::kEvolutionary));
 
 // Property: the spoofed drone's broadcast GPS equals truth outside the
 // attack window and truth + d laterally inside it, for several windows.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
+#include <limits>
+
 #include "swarm/vasarhelyi.h"
 
 namespace swarmfuzz::fuzz {
@@ -114,6 +118,72 @@ TEST(Seeds, SameVictimOrderedByInfluence) {
   for (size_t i = 1; i < seeds.size(); ++i) {
     if (seeds[i].victim == seeds[i - 1].victim) {
       EXPECT_LE(seeds[i].influence, seeds[i - 1].influence + 1e-12);
+    }
+  }
+}
+
+TEST(Seeds, VictimVdoOrderIsNaNLastStrictWeakOrder) {
+  // Regression: the victim sort compared raw VDOs with `<`, which violates
+  // strict weak ordering once a NaN (degenerate trajectory) or +-inf (drone
+  // that never approaches an obstacle) appears — UB in std::sort. The
+  // extracted comparator must be a total order: finite ascending, then
+  // non-finite, ties by drone id.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+  EXPECT_TRUE(victim_vdo_before(1.0, 2.0, 0, 1));
+  EXPECT_FALSE(victim_vdo_before(2.0, 1.0, 0, 1));
+  EXPECT_TRUE(victim_vdo_before(1.0, kInf, 1, 0));   // finite before inf
+  EXPECT_TRUE(victim_vdo_before(1.0, kNaN, 1, 0));   // finite before NaN
+  EXPECT_FALSE(victim_vdo_before(kNaN, 1.0, 0, 1));  // NaN never first
+  EXPECT_FALSE(victim_vdo_before(kInf, 1.0, 0, 1));
+  // Non-finite pairs (inf/NaN in any combination) order by drone id.
+  EXPECT_TRUE(victim_vdo_before(kInf, kNaN, 0, 1));
+  EXPECT_FALSE(victim_vdo_before(kNaN, kInf, 1, 0));
+  // Finite ties order by drone id too.
+  EXPECT_TRUE(victim_vdo_before(3.0, 3.0, 0, 1));
+  EXPECT_FALSE(victim_vdo_before(3.0, 3.0, 1, 0));
+
+  // Strict weak ordering over a hostile sample: irreflexivity and
+  // antisymmetry for every pair.
+  const double values[] = {0.0, 1.0, 3.0, 3.0, kInf, -kInf, kNaN};
+  const int n = static_cast<int>(std::size(values));
+  for (int a = 0; a < n; ++a) {
+    EXPECT_FALSE(victim_vdo_before(values[a], values[a], a, a));
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(victim_vdo_before(values[a], values[b], a, b) &&
+                   victim_vdo_before(values[b], values[a], b, a))
+          << "antisymmetry violated for " << a << "," << b;
+    }
+  }
+}
+
+TEST(Seeds, NonFiniteVdoSchedulesDeterministically) {
+  // End-to-end: a recorder with no obstacle telemetry reports +inf VDO for
+  // every drone. Scheduling against a mission that does have obstacles must
+  // not invoke UB and must order victims by the id tie-break.
+  Fixture f;
+  const sim::MissionSpec mission = standard_mission();
+  sim::MissionSpec unobstructed = mission;
+  unobstructed.obstacles = sim::ObstacleField{};
+  const auto clean = f.clean_run(unobstructed);
+  for (int i = 0; i < mission.num_drones(); ++i) {
+    ASSERT_TRUE(std::isinf(clean.recorder.min_obstacle_distance(i)));
+  }
+
+  const auto seeds = schedule_seeds(clean, mission, *f.system, 10.0);
+  const auto again = schedule_seeds(clean, mission, *f.system, 10.0);
+  ASSERT_EQ(seeds.size(), again.size());
+  int last_first_victim = -1;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i].victim, again[i].victim);
+    EXPECT_EQ(seeds[i].target, again[i].target);
+    EXPECT_NE(seeds[i].target, seeds[i].victim);
+    // All-inf VDOs: victims appear in ascending drone-id order.
+    if (seeds[i].victim != last_first_victim) {
+      EXPECT_GT(seeds[i].victim, last_first_victim);
+      last_first_victim = seeds[i].victim;
     }
   }
 }
